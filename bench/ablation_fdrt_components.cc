@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation of the FDRT strategy's components (the Section 5.3
+ * analysis): how much comes from the intra-trace heuristics alone
+ * (chains disabled) versus the inter-trace chain feedback, compared
+ * against Friendly's scheme and its middle-bias variant.
+ *
+ * Paper reference: Friendly +3.1%, Friendly with middle bias +4.7%,
+ * FDRT intra-trace heuristics alone +5.7%, full FDRT +11.5%.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ctcp;
+    using namespace ctcp::bench;
+
+    const std::uint64_t budget = budgetFromArgs(argc, argv);
+    banner("Ablation: FDRT components (Section 5.3)",
+           "friendly +3.1, friendly-mid +4.7, fdrt-intra-only +5.7, "
+           "full fdrt +11.5",
+           budget);
+
+    struct Mode
+    {
+        const char *label;
+        std::function<void(SimConfig &)> apply;
+    };
+    const std::vector<Mode> modes = {
+        {"Friendly",
+         [](SimConfig &c) { c.assign.strategy = AssignStrategy::Friendly; }},
+        {"Friendly+mid",
+         [](SimConfig &c) {
+             c.assign.strategy = AssignStrategy::Friendly;
+             c.assign.friendlyMiddleBias = true;
+         }},
+        {"FDRT intra-only",
+         [](SimConfig &c) {
+             c.assign.strategy = AssignStrategy::Fdrt;
+             c.assign.fdrtChains = false;
+         }},
+        {"FDRT no-pin",
+         [](SimConfig &c) {
+             c.assign.strategy = AssignStrategy::Fdrt;
+             c.assign.fdrtPinning = false;
+         }},
+        {"FDRT full",
+         [](SimConfig &c) { c.assign.strategy = AssignStrategy::Fdrt; }},
+    };
+
+    std::vector<std::string> headers = {"benchmark"};
+    for (const Mode &m : modes)
+        headers.push_back(m.label);
+    TextTable table(headers);
+
+    std::vector<std::vector<double>> speedups(modes.size());
+    for (const std::string &bench : selectedSix()) {
+        const SimResult base = simulate(bench, baseConfig(), budget);
+        table.row(bench);
+        for (std::size_t m = 0; m < modes.size(); ++m) {
+            SimConfig cfg = baseConfig();
+            modes[m].apply(cfg);
+            const SimResult r = simulate(bench, cfg, budget);
+            const double speedup = static_cast<double>(base.cycles) /
+                static_cast<double>(r.cycles);
+            table.cell(speedup, 3);
+            speedups[m].push_back(speedup);
+        }
+    }
+    table.row("HM");
+    for (std::size_t m = 0; m < modes.size(); ++m)
+        table.cell(harmonicMean(speedups[m]), 3);
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation of the trace-cache size: sweep the line count from 64 to
+ * 2048 and report TC coverage, fetched trace size and IPC under FDRT.
+ *
+ * The FDRT profile fields live in trace lines, so a small trace cache
+ * both starves fetch bandwidth and erases chain history — coverage and
+ * the FDRT gain should grow together with capacity and saturate once
+ * the working set fits (the paper's footnote: a 10-cycle or even
+ * 1000-cycle fill-unit latency does not matter, but losing lines does).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ctcp;
+    using namespace ctcp::bench;
+
+    const std::uint64_t budget = budgetFromArgs(argc, argv);
+    banner("Ablation: trace cache capacity sweep (FDRT)",
+           "coverage and FDRT gain saturate once the trace working set "
+           "fits",
+           budget);
+
+    TextTable table({"entries", "% from TC", "fetched trace size",
+                     "base IPC", "FDRT IPC", "FDRT speedup"});
+    for (unsigned entries : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
+        double pct = 0, size = 0, bipc = 0, fipc = 0, speedup = 0;
+        for (const std::string &bench : selectedSix()) {
+            SimConfig base = baseConfig();
+            base.frontEnd.traceCache.entries = entries;
+            SimConfig fdrt = base;
+            fdrt.assign.strategy = AssignStrategy::Fdrt;
+            const SimResult rb = simulate(bench, base, budget);
+            const SimResult rf = simulate(bench, fdrt, budget);
+            pct += rf.pctFromTraceCache;
+            size += rf.meanTraceSize;
+            bipc += rb.ipc();
+            fipc += rf.ipc();
+            speedup += static_cast<double>(rb.cycles) /
+                static_cast<double>(rf.cycles);
+        }
+        table.row(std::to_string(entries))
+            .percentCell(pct / 6.0)
+            .cell(size / 6.0, 2)
+            .cell(bipc / 6.0, 3)
+            .cell(fipc / 6.0, 3)
+            .cell(speedup / 6.0, 3);
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

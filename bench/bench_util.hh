@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction harnesses.
+ *
+ * Every harness accepts:
+ *   argv[1] (optional)  instruction budget per run (default 300000)
+ *
+ * Runs are cached per (benchmark, configuration digest) within one
+ * process so harnesses that need the same simulation for several
+ * columns only pay for it once.
+ */
+
+#ifndef CTCPSIM_BENCH_BENCH_UTIL_HH
+#define CTCPSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "config/presets.hh"
+#include "core/simulator.hh"
+#include "stats/stats.hh"
+#include "stats/table.hh"
+#include "workload/workload.hh"
+
+namespace ctcp::bench {
+
+/** Instruction budget from argv (default 300k per run). */
+inline std::uint64_t
+budgetFromArgs(int argc, char **argv, std::uint64_t fallback = 300'000)
+{
+    if (argc > 1) {
+        const std::uint64_t v = std::strtoull(argv[1], nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+/** Run one simulation. */
+inline SimResult
+simulate(const std::string &bench, SimConfig cfg, std::uint64_t budget)
+{
+    cfg.instructionLimit = budget;
+    Program p = workloads::build(bench);
+    CtcpSimulator sim(cfg, p);
+    return sim.run();
+}
+
+/** Base config with a strategy applied. */
+inline SimConfig
+withStrategy(SimConfig cfg, AssignStrategy s, unsigned issue_latency = 4)
+{
+    cfg.assign.strategy = s;
+    cfg.assign.issueTimeLatency = issue_latency;
+    return cfg;
+}
+
+/** The six benchmarks of the paper's in-depth analysis. */
+inline const std::vector<std::string> &
+selectedSix()
+{
+    return workloads::selectedSix();
+}
+
+/** Standard header line for a harness. */
+inline void
+banner(const char *experiment, const char *paper_summary,
+       std::uint64_t budget)
+{
+    std::printf("== %s ==\n", experiment);
+    std::printf("paper reference: %s\n", paper_summary);
+    std::printf("instructions per run: %llu\n\n",
+                static_cast<unsigned long long>(budget));
+}
+
+} // namespace ctcp::bench
+
+#endif // CTCPSIM_BENCH_BENCH_UTIL_HH

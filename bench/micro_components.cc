@@ -1,0 +1,196 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot components:
+ * trace-cache lookup, fill-unit construction with each assignment
+ * policy, branch prediction, cache access, the functional executor,
+ * and whole-pipeline simulation throughput.
+ *
+ * These measure the *simulator's* speed (host instructions per
+ * simulated unit), which is what determines how much of the paper's
+ * evaluation fits in a given wall-clock budget.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "assign/base_assignment.hh"
+#include "assign/fdrt_assignment.hh"
+#include "assign/friendly_assignment.hh"
+#include "bpred/predictor.hh"
+#include "common/random.hh"
+#include "config/presets.hh"
+#include "core/simulator.hh"
+#include "mem/cache.hh"
+#include "tracecache/fill_unit.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+using namespace ctcp;
+
+void
+BM_FunctionalExecutor(benchmark::State &state)
+{
+    Program p = workloads::build("gzip");
+    Executor exec(p);
+    DynInst d;
+    for (auto _ : state) {
+        exec.step(d);
+        benchmark::DoNotOptimize(d.pc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalExecutor);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    SetAssocCache cache(256, 4, 32);
+    Rng rng(1);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        addr = rng.below(1 << 20);
+        benchmark::DoNotOptimize(cache.access(addr));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BranchPredictorUpdate(benchmark::State &state)
+{
+    BranchPredictorConfig cfg;
+    BranchPredictor bp(cfg);
+    Rng rng(2);
+    for (auto _ : state) {
+        const Addr pc = rng.below(4096);
+        bp.update(pc, true, rng.chance(1, 3), pc + 7);
+        benchmark::DoNotOptimize(bp.peekDirection(pc));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictorUpdate);
+
+void
+BM_TraceCacheLookup(benchmark::State &state)
+{
+    TraceCacheConfig cfg;
+    TraceCache tc(cfg);
+    // Populate with 512 single-block lines.
+    for (Addr start = 0; start < 512; ++start) {
+        TraceLine line;
+        line.key.startPc = start * 16;
+        for (int i = 0; i < 12; ++i) {
+            TraceSlot slot;
+            slot.pc = start * 16 + static_cast<Addr>(i);
+            slot.physSlot = static_cast<std::uint8_t>(i);
+            line.insts.push_back(slot);
+        }
+        tc.insert(line);
+    }
+    Rng rng(3);
+    auto dirs = [](Addr, unsigned) { return true; };
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tc.lookup(rng.below(512) * 16, dirs));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceCacheLookup);
+
+/** Build a representative 16-instruction draft for policy benchmarks. */
+TraceDraft
+policyDraft(Rng &rng)
+{
+    TraceDraft d;
+    d.numClusters = 4;
+    d.slotsPerCluster = 4;
+    for (int i = 0; i < 16; ++i) {
+        DraftInst di;
+        di.pc = 100 + static_cast<Addr>(i);
+        di.dst = static_cast<RegId>(1 + rng.below(28));
+        di.src1 = static_cast<RegId>(1 + rng.below(28));
+        di.writesDst = true;
+        di.criticalSrc = 1;
+        di.criticalForwarded = rng.chance(3, 4);
+        di.criticalInterTrace = rng.chance(1, 4);
+        d.insts.push_back(di);
+    }
+    for (int i = 1; i < 16; ++i) {
+        d.insts[static_cast<std::size_t>(i)].intraProducer = -1;
+        for (int j = i - 1; j >= 0; --j) {
+            if (d.insts[static_cast<std::size_t>(j)].dst ==
+                d.insts[static_cast<std::size_t>(i)].src1) {
+                d.insts[static_cast<std::size_t>(i)].intraProducer = j;
+                break;
+            }
+        }
+    }
+    return d;
+}
+
+template <typename Policy>
+void
+policyLoop(benchmark::State &state, Policy &policy)
+{
+    Rng rng(4);
+    std::vector<TraceDraft> drafts;
+    for (int i = 0; i < 64; ++i)
+        drafts.push_back(policyDraft(rng));
+    std::size_t n = 0;
+    for (auto _ : state) {
+        TraceDraft d = drafts[n++ % drafts.size()];
+        policy.assign(d);
+        benchmark::DoNotOptimize(d.insts[0].physSlot);
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+
+void
+BM_AssignBase(benchmark::State &state)
+{
+    BaseSlotOrderAssignment policy;
+    policyLoop(state, policy);
+}
+BENCHMARK(BM_AssignBase);
+
+void
+BM_AssignFriendly(benchmark::State &state)
+{
+    ClusterConfig cc;
+    Interconnect ic(cc);
+    FriendlyAssignment policy(ic, false);
+    policyLoop(state, policy);
+}
+BENCHMARK(BM_AssignFriendly);
+
+void
+BM_AssignFdrt(benchmark::State &state)
+{
+    ClusterConfig cc;
+    Interconnect ic(cc);
+    FdrtAssignment policy(ic, true);
+    policyLoop(state, policy);
+}
+BENCHMARK(BM_AssignFdrt);
+
+void
+BM_PipelineSimulation(benchmark::State &state)
+{
+    // Simulated instructions per second of the full CTCP model.
+    const auto strategy = static_cast<AssignStrategy>(state.range(0));
+    for (auto _ : state) {
+        SimConfig cfg = baseConfig();
+        cfg.assign.strategy = strategy;
+        cfg.instructionLimit = 20000;
+        Program p = workloads::build("gzip");
+        CtcpSimulator sim(cfg, p);
+        benchmark::DoNotOptimize(sim.run().cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_PipelineSimulation)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Authoring a custom workload with the ProgramBuilder DSL and running
+ * it through the CTCP simulator under two assignment strategies.
+ *
+ * The kernel is a banked histogram: four independent update strands
+ * woven together (the way a trace scheduler emits them), a pattern
+ * whose inter-strand independence clustered machines exploit well.
+ */
+
+#include <cstdio>
+
+#include "common/random.hh"
+#include "config/presets.hh"
+#include "core/simulator.hh"
+#include "prog/builder.hh"
+
+namespace {
+
+ctcp::Program
+buildHistogram()
+{
+    using namespace ctcp;
+
+    constexpr Addr data_base = 0x10000;
+    constexpr Addr hist_base = 0x40000;
+    constexpr std::int64_t items = 4096;
+
+    // Deterministic input data.
+    Rng rng(0xc0ffee);
+    std::vector<std::int64_t> words(items);
+    for (auto &w : words)
+        w = static_cast<std::int64_t>(rng.below(256));
+
+    ProgramBuilder b("histogram");
+    b.data(data_base, std::move(words));
+
+    const RegId iter = intReg(1);
+    const RegId i = intReg(2);
+    const RegId db = intReg(3);
+    const RegId hb = intReg(4);
+
+    b.movi(iter, 1'000'000'000);
+    b.movi(i, 0);
+    b.movi(db, data_base);
+    b.movi(hb, hist_base);
+
+    b.label("loop");
+    // Four independent bucket updates per pass, interleaved.
+    b.beginStrands(4);
+    for (unsigned k = 0; k < 4; ++k) {
+        const RegId a = intReg(6 + k);
+        const RegId v = intReg(10 + k);
+        b.strand(k);
+        b.addi(a, i, static_cast<std::int64_t>(k) * 1024);
+        b.slli(a, a, 3);
+        b.add(a, a, db);
+        b.load(v, a, 0);            // item
+        b.slli(a, v, 3);
+        b.add(a, a, hb);
+        b.load(v, a, 0);            // bucket
+        b.addi(v, v, 1);
+        b.store(v, a, 0);
+    }
+    b.weave();
+    b.addi(i, i, 1);
+    b.andi(i, i, 1023);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "loop");
+    b.halt();
+    return b.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace ctcp;
+
+    Program prog = buildHistogram();
+    std::printf("custom workload '%s': %zu static instructions\n\n",
+                prog.name().c_str(), prog.size());
+
+    for (AssignStrategy s : {AssignStrategy::BaseSlotOrder,
+                             AssignStrategy::Fdrt}) {
+        SimConfig cfg = baseConfig();
+        cfg.assign.strategy = s;
+        cfg.instructionLimit = 200'000;
+        CtcpSimulator sim(cfg, prog);
+        SimResult r = sim.run();
+        std::printf("%-6s  cycles %8llu  IPC %.3f  intra-cluster %.1f%%  "
+                    "distance %.3f\n",
+                    assignStrategyName(s),
+                    static_cast<unsigned long long>(r.cycles), r.ipc(),
+                    r.pctIntraClusterFwd, r.meanFwdDistance);
+    }
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Design-space exploration: sweep the inter-cluster hop latency and
+ * the interconnect topology for one benchmark, and report how much
+ * each cluster-assignment strategy recovers of the gap to a machine
+ * with free forwarding.
+ *
+ * This reproduces the paper's robustness argument (Section 5.6) as a
+ * sweep rather than three fixed points.
+ *
+ * Usage: design_space [benchmark] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "config/presets.hh"
+#include "core/simulator.hh"
+#include "stats/table.hh"
+#include "workload/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ctcp;
+
+    const std::string bench = argc > 1 ? argv[1] : "twolf";
+    const std::uint64_t insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200'000;
+    if (!workloads::exists(bench)) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+        return 1;
+    }
+    Program prog = workloads::build(bench);
+
+    auto cycles = [&](SimConfig cfg) {
+        cfg.instructionLimit = insts;
+        CtcpSimulator sim(cfg, prog);
+        return static_cast<double>(sim.run().cycles);
+    };
+
+    std::printf("design-space sweep on '%s' (%llu instructions/run)\n\n",
+                bench.c_str(), static_cast<unsigned long long>(insts));
+
+    TextTable table({"topology", "hop", "base IPC", "fdrt speedup",
+                     "friendly speedup", "free-fwd ceiling"});
+    for (bool mesh : {false, true}) {
+        for (unsigned hop : {1u, 2u, 3u}) {
+            SimConfig base = baseConfig();
+            base.cluster.mesh = mesh;
+            base.cluster.hopLatency = hop;
+
+            const double base_cycles = cycles(base);
+
+            SimConfig fdrt = base;
+            fdrt.assign.strategy = AssignStrategy::Fdrt;
+            SimConfig friendly = base;
+            friendly.assign.strategy = AssignStrategy::Friendly;
+            SimConfig free_fwd = base;
+            free_fwd.ablation.zeroAllForwardLatency = true;
+
+            table.row(mesh ? "mesh" : "linear")
+                .cell(std::to_string(hop))
+                .cell(static_cast<double>(insts) / base_cycles, 3)
+                .cell(base_cycles / cycles(fdrt), 3)
+                .cell(base_cycles / cycles(friendly), 3)
+                .cell(base_cycles / cycles(free_fwd), 3);
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nThe 'free-fwd ceiling' column is the speedup with all "
+                "inter-cluster forwarding latency removed —\nthe headroom "
+                "retire-time assignment competes for. Gains grow with hop "
+                "latency and shrink on a mesh,\nmatching the paper's "
+                "robustness discussion.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Scaling study: how the cluster-assignment strategies behave as the
+ * machine grows from two to eight four-wide clusters.
+ *
+ * The paper's motivation (Section 1) is that issue-time dependency
+ * analysis scales poorly with width while retire-time assignment
+ * scales for free; this example makes that concrete by modelling the
+ * issue-time analysis latency as one extra front-end stage per four
+ * analyzed instructions and watching the strategies diverge with
+ * width.
+ *
+ * Usage: scaling_study [benchmark] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "config/presets.hh"
+#include "core/simulator.hh"
+#include "stats/table.hh"
+#include "workload/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ctcp;
+
+    const std::string bench = argc > 1 ? argv[1] : "gzip";
+    const std::uint64_t insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200'000;
+    if (!workloads::exists(bench)) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+        return 1;
+    }
+    Program prog = workloads::build(bench);
+
+    auto machine = [&](unsigned clusters) {
+        SimConfig cfg;
+        switch (clusters) {
+          case 2: cfg = twoClusterConfig(); break;
+          case 8: cfg = eightClusterConfig(); break;
+          default: cfg = baseConfig(); break;
+        }
+        cfg.instructionLimit = insts;
+        return cfg;
+    };
+
+    std::printf("scaling study on '%s'\n\n", bench.c_str());
+    TextTable table({"clusters", "width", "base IPC", "FDRT", "Friendly",
+                     "issue-time (scaled lat)"});
+    for (unsigned clusters : {2u, 4u, 8u}) {
+        SimConfig base = machine(clusters);
+        const double base_cycles =
+            static_cast<double>(CtcpSimulator(base, prog).run().cycles);
+
+        auto speedup = [&](AssignStrategy s, unsigned issue_lat) {
+            SimConfig cfg = machine(clusters);
+            cfg.assign.strategy = s;
+            cfg.assign.issueTimeLatency = issue_lat;
+            return base_cycles /
+                static_cast<double>(CtcpSimulator(cfg, prog).run().cycles);
+        };
+
+        // Issue-time analysis latency grows with the number of
+        // instructions analyzed per cycle: one stage per four.
+        const unsigned issue_lat = machine(clusters).machineWidth() / 4;
+        table.row(std::to_string(clusters))
+            .cell(std::to_string(machine(clusters).machineWidth()))
+            .cell(static_cast<double>(insts) / base_cycles, 3)
+            .cell(speedup(AssignStrategy::Fdrt, 0), 3)
+            .cell(speedup(AssignStrategy::Friendly, 0), 3)
+            .cell(speedup(AssignStrategy::IssueTime, issue_lat), 3);
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

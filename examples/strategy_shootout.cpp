@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Strategy shootout: run one benchmark under every cluster-assignment
+ * strategy the paper evaluates and print a speedup table relative to
+ * the base slot-order machine (the experiment behind Figure 6).
+ *
+ * Usage: strategy_shootout [benchmark] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "config/presets.hh"
+#include "core/simulator.hh"
+#include "stats/table.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+struct StrategyRun
+{
+    const char *label;
+    ctcp::AssignStrategy strategy;
+    unsigned issueLatency;   // only for IssueTime
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ctcp;
+
+    const std::string bench = argc > 1 ? argv[1] : "gzip";
+    const std::uint64_t insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500'000;
+
+    if (!workloads::exists(bench)) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+        return 1;
+    }
+
+    const std::vector<StrategyRun> runs = {
+        {"base", AssignStrategy::BaseSlotOrder, 0},
+        {"friendly", AssignStrategy::Friendly, 0},
+        {"fdrt", AssignStrategy::Fdrt, 0},
+        {"issue-0lat", AssignStrategy::IssueTime, 0},
+        {"issue-4lat", AssignStrategy::IssueTime, 4},
+    };
+
+    Program prog = workloads::build(bench);
+    double base_cycles = 0.0;
+
+    TextTable table({"strategy", "cycles", "IPC", "speedup",
+                     "intra-fwd", "distance"});
+    for (const StrategyRun &run : runs) {
+        SimConfig cfg = baseConfig();
+        cfg.assign.strategy = run.strategy;
+        cfg.assign.issueTimeLatency = run.issueLatency;
+        cfg.instructionLimit = insts;
+        CtcpSimulator sim(cfg, prog);
+        SimResult r = sim.run();
+        if (run.strategy == AssignStrategy::BaseSlotOrder)
+            base_cycles = static_cast<double>(r.cycles);
+        table.row(run.label)
+            .cell(std::to_string(r.cycles))
+            .cell(r.ipc(), 3)
+            .cell(base_cycles / static_cast<double>(r.cycles), 3)
+            .percentCell(r.pctIntraClusterFwd)
+            .cell(r.meanFwdDistance, 3);
+    }
+
+    std::printf("benchmark: %s, %llu instructions\n\n%s", bench.c_str(),
+                static_cast<unsigned long long>(insts),
+                table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Baseline retire-time "assignment": instructions keep their logical
+ * order as the physical slot order, so cluster assignment is purely a
+ * function of fetch position (the paper's base machine).
+ */
+
+#ifndef CTCPSIM_ASSIGN_BASE_ASSIGNMENT_HH
+#define CTCPSIM_ASSIGN_BASE_ASSIGNMENT_HH
+
+#include "tracecache/assignment.hh"
+
+namespace ctcp {
+
+/** Identity slot assignment (slot = logical index). */
+class BaseSlotOrderAssignment : public RetireAssignmentPolicy
+{
+  public:
+    void
+    assign(TraceDraft &draft) override
+    {
+        for (std::size_t i = 0; i < draft.insts.size(); ++i) {
+            draft.insts[i].physSlot = static_cast<int>(i);
+            draft.insts[i].newProfile = draft.insts[i].carriedProfile;
+        }
+    }
+
+    const char *name() const override { return "base"; }
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_ASSIGN_BASE_ASSIGNMENT_HH

@@ -1,0 +1,242 @@
+#include "assign/fdrt_assignment.hh"
+
+#include "assign/friendly_assignment.hh"
+#include "common/logging.hh"
+#include "tracecache/trace_cache.hh"
+
+namespace ctcp {
+
+FdrtAssignment::FdrtAssignment(const Interconnect &interconnect, bool pinning,
+                               bool chains)
+    : interconnect_(interconnect), pinning_(pinning), chains_(chains)
+{}
+
+void
+FdrtAssignment::noteCriticalForward(const TimedInst &consumer, TraceCache &tc)
+{
+    if (!consumer.criticalForwarded || !consumer.criticalInterTrace)
+        return;
+    if (consumer.criticalProducerCluster == invalidCluster)
+        return;
+
+    const Addr producer_pc = consumer.criticalProducerPc;
+
+    // Suggested destination cluster for a NEW chain: rotate across
+    // the clusters so that concurrent chains spread out instead of
+    // piling onto one cluster's four per-trace slots (the paper
+    // leaves the suggestion heuristic open). A pinned leader keeps
+    // its first suggestion forever; without pinning the suggestion
+    // tracks wherever the producer happened to execute this time
+    // (the moving-target behaviour of Section 4.4).
+    ClusterId suggested;
+    if (pinning_) {
+        auto it = pins_.find(producer_pc);
+        if (it == pins_.end()) {
+            it = pins_.emplace(producer_pc, nextSuggestion_).first;
+            nextSuggestion_ = static_cast<ClusterId>(
+                (nextSuggestion_ + 1) % interconnect_.numClusters());
+        }
+        suggested = it->second;
+    } else {
+        suggested = consumer.criticalProducerCluster;
+    }
+
+    if (consumer.criticalProducerProfile.role == ChainRole::None) {
+        // Refresh the resident line so runtime inheritance sees the
+        // membership before the producer's trace is next rebuilt.
+        ChainProfile prof;
+        prof.role = ChainRole::Leader;
+        prof.chainCluster = suggested;
+        tc.updateProfile(consumer.criticalProducerTraceKey, producer_pc,
+                         prof);
+    }
+
+    if (pendingPromotions_.size() >= maxPending)
+        pendingPromotions_.clear();   // bounded hardware buffer overflows
+    pendingPromotions_[producer_pc] = suggested;
+    ++promotions_;
+}
+
+ChainProfile
+FdrtAssignment::updateChainState(const DraftInst &inst)
+{
+    // Membership is re-derived from the latest dynamic behaviour at
+    // every trace construction; only the chain *cluster* is sticky
+    // (the pin table). This keeps chain membership tracking the
+    // current inter-trace data flow instead of monotonically
+    // absorbing every instruction that ever saw a jittery critical
+    // input.
+    ChainProfile prof;   // role None
+    if (!chains_)
+        return prof;   // intra-trace-only ablation (Section 5.3)
+
+    // Follower (Table 4): critical input forwarded from a different
+    // trace by a chain member; inherits the chain cluster the
+    // producer forwarded along with its result.
+    const bool producer_is_member =
+        inst.criticalForwarded && inst.criticalInterTrace &&
+        inst.criticalProducerProfile.isMember();
+    if (producer_is_member) {
+        prof.role = ChainRole::Follower;
+        prof.chainCluster = inst.criticalProducerProfile.chainCluster;
+        return prof;
+    }
+
+    // Leader: some consumer reported receiving our result across a
+    // trace boundary as its last-arriving input (promotion feedback).
+    auto it = pendingPromotions_.find(inst.pc);
+    if (it != pendingPromotions_.end()) {
+        prof.role = ChainRole::Leader;
+        prof.chainCluster = it->second;
+        pendingPromotions_.erase(it);
+        if (pinning_) {
+            auto pin = pins_.find(inst.pc);
+            if (pin != pins_.end())
+                prof.chainCluster = pin->second;   // leaders never move
+        }
+    }
+    return prof;
+}
+
+bool
+FdrtAssignment::tryPlace(TraceDraft &draft, DraftInst &inst,
+                         ClusterId cluster, std::vector<unsigned> &used,
+                         std::vector<int> &next_slot)
+{
+    if (cluster == invalidCluster)
+        return false;
+    const auto c = static_cast<std::size_t>(cluster);
+    if (c >= used.size() || used[c] >= draft.slotsPerCluster)
+        return false;
+    inst.physSlot = next_slot[c]++;
+    ++used[c];
+    return true;
+}
+
+bool
+FdrtAssignment::tryNeighbors(TraceDraft &draft, DraftInst &inst,
+                             ClusterId cluster, std::vector<unsigned> &used,
+                             std::vector<int> &next_slot)
+{
+    if (cluster == invalidCluster)
+        return false;
+    // Adjacent clusters, emptier first so parallel chains spread
+    // instead of caravanning, bending toward the middle on ties.
+    ClusterId best = invalidCluster;
+    unsigned best_used = ~0u;
+    for (ClusterId n : interconnect_.byCentrality()) {
+        if (n == cluster || interconnect_.distance(cluster, n) != 1)
+            continue;
+        const unsigned u = used[static_cast<std::size_t>(n)];
+        if (u < draft.slotsPerCluster && u < best_used) {
+            best_used = u;
+            best = n;
+        }
+    }
+    return best != invalidCluster &&
+           tryPlace(draft, inst, best, used, next_slot);
+}
+
+void
+FdrtAssignment::assign(TraceDraft &draft)
+{
+    const unsigned clusters = draft.numClusters;
+    std::vector<unsigned> used(clusters, 0);
+    std::vector<int> next_slot(clusters);
+    for (unsigned c = 0; c < clusters; ++c)
+        next_slot[c] = static_cast<int>(c * draft.slotsPerCluster);
+
+    for (DraftInst &d : draft.insts) {
+        d.physSlot = -1;
+        d.newProfile = updateChainState(d);
+    }
+
+    auto placed_cluster = [&](int logical) -> ClusterId {
+        const DraftInst &p = draft.insts[static_cast<std::size_t>(logical)];
+        return p.physSlot >= 0 ? draft.clusterOfSlot(p.physSlot)
+                               : invalidCluster;
+    };
+
+    // First pass: Table 5, oldest to youngest in logical order.
+    for (DraftInst &d : draft.insts) {
+        const bool has_intra = d.intraProducer >= 0;
+        const bool is_chain = d.newProfile.isMember();
+
+        if (has_intra && !is_chain) {
+            // Option A: producer's cluster, then its neighbors.
+            ++options_.optionA;
+            d.fdrtOption = 'A';
+            const ClusterId prod = placed_cluster(d.intraProducer);
+            if (!tryPlace(draft, d, prod, used, next_slot) &&
+                !tryNeighbors(draft, d, prod, used, next_slot)) {
+                --options_.optionA;
+                ++options_.skipped;
+                d.fdrtOption = 'S';
+            }
+        } else if (!has_intra && is_chain) {
+            // Option B: chain cluster, then its neighbors.
+            ++options_.optionB;
+            d.fdrtOption = 'B';
+            const ClusterId chain = d.newProfile.chainCluster;
+            if (!tryPlace(draft, d, chain, used, next_slot) &&
+                !tryNeighbors(draft, d, chain, used, next_slot)) {
+                --options_.optionB;
+                ++options_.skipped;
+                d.fdrtOption = 'S';
+            }
+        } else if (has_intra && is_chain) {
+            // Option C: chain first, then producer, then neighbors.
+            ++options_.optionC;
+            d.fdrtOption = 'C';
+            const ClusterId chain = d.newProfile.chainCluster;
+            const ClusterId prod = placed_cluster(d.intraProducer);
+            if (!tryPlace(draft, d, chain, used, next_slot) &&
+                !tryPlace(draft, d, prod, used, next_slot) &&
+                !tryNeighbors(draft, d, chain, used, next_slot)) {
+                --options_.optionC;
+                ++options_.skipped;
+                d.fdrtOption = 'S';
+            }
+        } else if (d.hasIntraConsumer) {
+            // Option D: pure producer — funnel toward the middle, but
+            // spread parallel producers by load so their dependence
+            // chains get disjoint clusters to grow in.
+            ++options_.optionD;
+            d.fdrtOption = 'D';
+            ClusterId best = invalidCluster;
+            unsigned best_used = ~0u;
+            for (ClusterId c : interconnect_.byCentrality()) {
+                const unsigned u = used[static_cast<std::size_t>(c)];
+                if (u < draft.slotsPerCluster && u < best_used) {
+                    best_used = u;
+                    best = c;
+                }
+            }
+            if (best == invalidCluster ||
+                !tryPlace(draft, d, best, used, next_slot)) {
+                --options_.optionD;
+                ++options_.skipped;
+                d.fdrtOption = 'S';
+            }
+        } else {
+            // Option E: nothing identifiable — leave to the second pass.
+            ++options_.optionE;
+            d.fdrtOption = 'E';
+        }
+    }
+
+    // Second pass: place the remainder with Friendly's slot-centric
+    // method over the slots that are still free.
+    std::vector<int> free_slots;
+    for (unsigned c = 0; c < clusters; ++c)
+        for (unsigned s = used[c]; s < draft.slotsPerCluster; ++s)
+            free_slots.push_back(
+                static_cast<int>(c * draft.slotsPerCluster + s));
+    FriendlyAssignment::fillSlots(draft, free_slots);
+
+
+    for ([[maybe_unused]] const DraftInst &d : draft.insts)
+        ctcp_assert(d.physSlot >= 0, "FDRT left an instruction unplaced");
+}
+
+} // namespace ctcp

@@ -1,0 +1,80 @@
+#include "assign/friendly_assignment.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ctcp {
+
+void
+FriendlyAssignment::fillSlots(TraceDraft &draft,
+                              const std::vector<int> &slot_order)
+{
+    const std::size_t n = draft.insts.size();
+
+    // Cluster each already-placed instruction occupies (second-pass use).
+    auto placed_cluster = [&](std::size_t i) -> ClusterId {
+        const DraftInst &d = draft.insts[i];
+        return d.physSlot >= 0 ? draft.clusterOfSlot(d.physSlot)
+                               : invalidCluster;
+    };
+
+    // Per the paper's description of the Friendly scheme: "for each
+    // issue slot, each instruction is checked for an intra-trace input
+    // dependency for the respective cluster" — i.e. a slot takes the
+    // oldest unplaced instruction whose producer already landed on the
+    // slot's cluster, falling back to the oldest unplaced instruction.
+    for (int slot : slot_order) {
+        const ClusterId cluster = draft.clusterOfSlot(slot);
+
+        int match = -1;   // intra-trace producer placed on `cluster`
+        int any = -1;     // fallback: oldest unplaced
+        for (std::size_t i = 0; i < n; ++i) {
+            DraftInst &d = draft.insts[i];
+            if (d.physSlot >= 0)
+                continue;
+            if (any < 0)
+                any = static_cast<int>(i);
+            if (d.intraProducer >= 0 &&
+                placed_cluster(static_cast<std::size_t>(d.intraProducer)) ==
+                    cluster) {
+                match = static_cast<int>(i);
+                break;
+            }
+        }
+
+        const int pick = match >= 0 ? match : any;
+        if (pick < 0)
+            break;   // all instructions placed
+        draft.insts[static_cast<std::size_t>(pick)].physSlot = slot;
+    }
+}
+
+void
+FriendlyAssignment::assign(TraceDraft &draft)
+{
+    for (DraftInst &d : draft.insts) {
+        d.physSlot = -1;
+        d.newProfile = d.carriedProfile;
+    }
+
+    std::vector<int> order;
+    if (middleBias_) {
+        // Visit slots cluster-by-cluster, middle clusters first.
+        for (ClusterId c : interconnect_.byCentrality())
+            for (unsigned s = 0; s < draft.slotsPerCluster; ++s)
+                order.push_back(static_cast<int>(c) *
+                                    static_cast<int>(draft.slotsPerCluster) +
+                                static_cast<int>(s));
+    } else {
+        for (unsigned s = 0; s < draft.totalSlots(); ++s)
+            order.push_back(static_cast<int>(s));
+    }
+
+    fillSlots(draft, order);
+
+    for ([[maybe_unused]] const DraftInst &d : draft.insts)
+        ctcp_assert(d.physSlot >= 0, "Friendly pass left an unplaced inst");
+}
+
+} // namespace ctcp

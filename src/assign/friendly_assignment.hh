@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Friendly et al.'s retire-time reordering (MICRO-31), as described in
+ * Section 2.3 of the paper: a slot-centric pass that, for each issue
+ * slot in turn, looks for an instruction with an intra-trace input
+ * dependency on the slot's cluster.
+ *
+ * The optional middle-bias variant (Section 5.3's "minor adjustment")
+ * visits slots of the middle clusters first so that the majority of
+ * instructions land where worst-case forwarding distances are short.
+ */
+
+#ifndef CTCPSIM_ASSIGN_FRIENDLY_ASSIGNMENT_HH
+#define CTCPSIM_ASSIGN_FRIENDLY_ASSIGNMENT_HH
+
+#include "cluster/interconnect.hh"
+#include "tracecache/assignment.hh"
+
+namespace ctcp {
+
+/** Friendly-style intra-trace slot-centric reordering. */
+class FriendlyAssignment : public RetireAssignmentPolicy
+{
+  public:
+    /**
+     * @param interconnect  cluster topology (for the middle-bias order)
+     * @param middle_bias   visit middle-cluster slots first
+     */
+    FriendlyAssignment(const Interconnect &interconnect, bool middle_bias)
+        : interconnect_(interconnect), middleBias_(middle_bias)
+    {}
+
+    void assign(TraceDraft &draft) override;
+
+    const char *name() const override
+    {
+        return middleBias_ ? "friendly-mid" : "friendly";
+    }
+
+    /**
+     * Shared slot-filling pass: fill every slot in @p slot_order with
+     * the best unplaced instruction (placed-producer match first, then
+     * dependency-free, then oldest). Used by FriendlyAssignment and as
+     * the FDRT second pass.
+     */
+    static void fillSlots(TraceDraft &draft,
+                          const std::vector<int> &slot_order);
+
+  private:
+    const Interconnect &interconnect_;
+    bool middleBias_;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_ASSIGN_FRIENDLY_ASSIGNMENT_HH

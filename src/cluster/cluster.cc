@@ -1,0 +1,183 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ctcp {
+
+bool
+ReservationStation::tryInsert(TimedInst *inst, Cycle now)
+{
+    if (full())
+        return false;
+    if (portCycle_ != now) {
+        portCycle_ = now;
+        portsUsed_ = 0;
+    }
+    if (portsUsed_ >= writePorts_)
+        return false;
+    ++portsUsed_;
+    entries_.push_back(inst);
+    return true;
+}
+
+bool
+ReservationStation::canInsert(Cycle now) const
+{
+    if (full())
+        return false;
+    return portCycle_ != now || portsUsed_ < writePorts_;
+}
+
+void
+ReservationStation::remove(TimedInst *inst)
+{
+    auto it = std::find(entries_.begin(), entries_.end(), inst);
+    ctcp_assert(it != entries_.end(), "removing instruction not in station");
+    entries_.erase(it);
+}
+
+FuPool::FuPool()
+{
+    auto setCount = [this](FuKind kind, unsigned count) {
+        units_[static_cast<std::size_t>(kind)].assign(count, 0);
+    };
+    // Figure 3: eight special-purpose units per cluster.
+    setCount(FuKind::IntAlu, 2);
+    setCount(FuKind::IntMem, 1);
+    setCount(FuKind::Branch, 1);
+    setCount(FuKind::IntComplex, 1);
+    setCount(FuKind::FpBasic, 1);
+    setCount(FuKind::FpComplex, 1);
+    setCount(FuKind::FpMem, 1);
+}
+
+bool
+FuPool::available(FuKind kind, Cycle now) const
+{
+    for (Cycle busy_until : units_[static_cast<std::size_t>(kind)])
+        if (busy_until <= now)
+            return true;
+    return false;
+}
+
+void
+FuPool::reserve(FuKind kind, Cycle now, unsigned issue_latency)
+{
+    for (Cycle &busy_until : units_[static_cast<std::size_t>(kind)]) {
+        if (busy_until <= now) {
+            busy_until = now + issue_latency;
+            return;
+        }
+    }
+    ctcp_panic("reserve on a %s unit with none available",
+               std::string(fuKindName(kind)).c_str());
+}
+
+StationKind
+stationFor(FuKind kind)
+{
+    switch (kind) {
+      case FuKind::IntMem:
+      case FuKind::FpMem:
+        return StationKind::Mem;
+      case FuKind::Branch:
+        return StationKind::Branch;
+      case FuKind::IntComplex:
+      case FuKind::FpComplex:
+        return StationKind::Complex;
+      case FuKind::IntAlu:
+      case FuKind::FpBasic:
+        return StationKind::Simple0;   // caller picks Simple0 vs Simple1
+      default:
+        ctcp_panic("no station for FU kind %u",
+                   static_cast<unsigned>(kind));
+    }
+}
+
+Cluster::Cluster(ClusterId id, const ClusterConfig &cfg)
+    : id_(id), width_(cfg.clusterWidth)
+{
+    for (unsigned s = 0; s < numStations; ++s)
+        stations_.emplace_back(cfg.rsEntries, cfg.rsWritePorts);
+}
+
+bool
+Cluster::issue(TimedInst *inst, Cycle now)
+{
+    StationKind kind = stationFor(inst->dyn.fu());
+    if (kind == StationKind::Simple0) {
+        // Pick the emptier of the two simple stations; on a tie or
+        // failure, try the other as well.
+        ReservationStation &s0 = station(StationKind::Simple0);
+        ReservationStation &s1 = station(StationKind::Simple1);
+        ReservationStation &first =
+            s1.freeEntries() > s0.freeEntries() ? s1 : s0;
+        ReservationStation &second = &first == &s0 ? s1 : s0;
+        return first.tryInsert(inst, now) || second.tryInsert(inst, now);
+    }
+    return station(kind).tryInsert(inst, now);
+}
+
+bool
+Cluster::canAccept(const TimedInst &inst, Cycle now) const
+{
+    StationKind kind = stationFor(inst.dyn.fu());
+    if (kind == StationKind::Simple0) {
+        return station(StationKind::Simple0).canInsert(now) ||
+               station(StationKind::Simple1).canInsert(now);
+    }
+    return station(kind).canInsert(now);
+}
+
+std::vector<TimedInst *>
+Cluster::dispatch(Cycle now, const DispatchHooks &hooks)
+{
+    // Gather all resident instructions oldest-first across stations.
+    std::vector<TimedInst *> candidates;
+    for (const ReservationStation &st : stations_)
+        candidates.insert(candidates.end(), st.entries().begin(),
+                          st.entries().end());
+    std::sort(candidates.begin(), candidates.end(),
+              [](const TimedInst *a, const TimedInst *b) {
+                  return a->dyn.seq < b->dyn.seq;
+              });
+
+    std::vector<TimedInst *> done;
+    for (TimedInst *inst : candidates) {
+        if (done.size() >= width_)
+            break;
+        const FuKind fu = inst->dyn.fu();
+        if (!fus_.available(fu, now))
+            continue;
+        if (!hooks.ready(*inst, now))
+            continue;
+        fus_.reserve(fu, now, inst->dyn.info().issueLatency);
+        inst->dispatched = true;
+        inst->dispatchAt = now;
+        inst->completeAt = hooks.execute(*inst, now);
+        // Remove from whichever station holds it.
+        for (ReservationStation &st : stations_) {
+            const auto &es = st.entries();
+            if (std::find(es.begin(), es.end(), inst) != es.end()) {
+                st.remove(inst);
+                break;
+            }
+        }
+        ++dispatchCount_;
+        done.push_back(inst);
+    }
+    return done;
+}
+
+std::size_t
+Cluster::occupancy() const
+{
+    std::size_t n = 0;
+    for (const ReservationStation &st : stations_)
+        n += st.occupancy();
+    return n;
+}
+
+} // namespace ctcp

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * One execution cluster: five 8-entry reservation stations feeding
+ * eight special-purpose functional units (Figure 3 of the paper).
+ *
+ * Station layout:
+ *   Mem      — integer and FP memory operations
+ *   Branch   — all control transfers
+ *   Complex  — integer mul/div and FP mul/div/sqrt
+ *   Simple0  — simple integer ALU and basic FP (first copy)
+ *   Simple1  — simple integer ALU and basic FP (second copy)
+ *
+ * Functional units: 2x simple integer, 1x integer memory, 1x branch,
+ * 1x complex integer, 1x basic FP, 1x complex FP, 1x FP memory.
+ * Reservation stations accept at most rsWritePorts new instructions
+ * per cycle and select ready instructions out of order (oldest first).
+ */
+
+#ifndef CTCPSIM_CLUSTER_CLUSTER_HH
+#define CTCPSIM_CLUSTER_CLUSTER_HH
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "cluster/timed_inst.hh"
+#include "config/sim_config.hh"
+#include "isa/opcodes.hh"
+#include "stats/stats.hh"
+
+namespace ctcp {
+
+/** Reservation-station classes within a cluster. */
+enum class StationKind : std::uint8_t
+{
+    Mem = 0,
+    Branch = 1,
+    Complex = 2,
+    Simple0 = 3,
+    Simple1 = 4,
+    NumStations = 5,
+};
+
+inline constexpr unsigned numStations =
+    static_cast<unsigned>(StationKind::NumStations);
+
+/** One out-of-order-selectable reservation station. */
+class ReservationStation
+{
+  public:
+    ReservationStation(unsigned entries, unsigned write_ports)
+        : capacity_(entries), writePorts_(write_ports)
+    {}
+
+    /** Free entries right now. */
+    unsigned freeEntries() const
+    {
+        return capacity_ - static_cast<unsigned>(entries_.size());
+    }
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t occupancy() const { return entries_.size(); }
+
+    /**
+     * Try to insert @p inst during cycle @p now, respecting capacity
+     * and per-cycle write-port limits.
+     */
+    bool tryInsert(TimedInst *inst, Cycle now);
+
+    /** Would tryInsert succeed at @p now (capacity and ports)? */
+    bool canInsert(Cycle now) const;
+
+    /** All resident instructions (selection order handled by caller). */
+    const std::vector<TimedInst *> &entries() const { return entries_; }
+
+    /** Remove a dispatched instruction. */
+    void remove(TimedInst *inst);
+
+  private:
+    unsigned capacity_;
+    unsigned writePorts_;
+    std::vector<TimedInst *> entries_;
+    Cycle portCycle_ = neverCycle;
+    unsigned portsUsed_ = 0;
+};
+
+/** Pool of special-purpose functional units with issue-latency tracking. */
+class FuPool
+{
+  public:
+    FuPool();
+
+    /** A unit of @p kind can start a new op at @p now. */
+    bool available(FuKind kind, Cycle now) const;
+
+    /** Reserve a unit for an op with the given issue latency. */
+    void reserve(FuKind kind, Cycle now, unsigned issue_latency);
+
+  private:
+    /** busy-until cycle per unit, grouped by kind. */
+    std::array<std::vector<Cycle>, static_cast<std::size_t>(FuKind::NumKinds)>
+        units_;
+};
+
+/** Routing from functional-unit class to reservation-station class. */
+StationKind stationFor(FuKind kind);
+
+/** Hooks the core supplies to the structural dispatch loop. */
+struct DispatchHooks
+{
+    /** All data/memory constraints satisfied at @p now? */
+    std::function<bool(const TimedInst &, Cycle)> ready;
+    /**
+     * Perform the dispatch: compute and return the completion cycle
+     * (memory latency included for loads).
+     */
+    std::function<Cycle(TimedInst &, Cycle)> execute;
+};
+
+/** One execution cluster. */
+class Cluster
+{
+  public:
+    Cluster(ClusterId id, const ClusterConfig &cfg);
+
+    ClusterId id() const { return id_; }
+
+    /**
+     * Issue @p inst into the appropriate reservation station.
+     * Simple operations pick the emptier of the two simple stations.
+     *
+     * @return false when the station is full or out of write ports.
+     */
+    bool issue(TimedInst *inst, Cycle now);
+
+    /** True when @p inst could be issued at @p now (non-mutating). */
+    bool canAccept(const TimedInst &inst, Cycle now) const;
+
+    /**
+     * Select and dispatch ready instructions, oldest first, up to the
+     * cluster width, honoring FU availability.
+     *
+     * @return instructions dispatched this cycle.
+     */
+    std::vector<TimedInst *> dispatch(Cycle now, const DispatchHooks &hooks);
+
+    /** Total instructions currently waiting in this cluster's stations. */
+    std::size_t occupancy() const;
+
+    std::uint64_t dispatched() const { return dispatchCount_.value(); }
+
+  private:
+    ReservationStation &station(StationKind k)
+    {
+        return stations_[static_cast<std::size_t>(k)];
+    }
+    const ReservationStation &station(StationKind k) const
+    {
+        return stations_[static_cast<std::size_t>(k)];
+    }
+
+    ClusterId id_;
+    unsigned width_;
+    std::vector<ReservationStation> stations_;
+    FuPool fus_;
+    Counter dispatchCount_;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_CLUSTER_CLUSTER_HH

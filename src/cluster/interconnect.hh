@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Inter-cluster data-forwarding network model.
+ *
+ * The baseline is a linear point-to-point network: forwarding to an
+ * adjacent cluster costs hopLatency cycles, and each additional cluster
+ * hop adds hopLatency more. The end clusters do not communicate
+ * directly. The mesh variant (Figure 8) closes the ring so the end
+ * clusters become adjacent, eliminating three-cluster trips.
+ * Intra-cluster forwarding is free (same cycle as dispatch).
+ */
+
+#ifndef CTCPSIM_CLUSTER_INTERCONNECT_HH
+#define CTCPSIM_CLUSTER_INTERCONNECT_HH
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "config/sim_config.hh"
+
+namespace ctcp {
+
+/** Computes forwarding distances and latencies between clusters. */
+class Interconnect
+{
+  public:
+    explicit Interconnect(const ClusterConfig &cfg)
+        : numClusters_(static_cast<int>(cfg.numClusters)),
+          hopLatency_(cfg.hopLatency), mesh_(cfg.mesh), bus_(cfg.bus),
+          busLatency_(cfg.busLatency)
+    {
+        ctcp_assert(numClusters_ > 0, "interconnect needs clusters");
+    }
+
+    /** Number of cluster hops between @p from and @p to (0 if equal). */
+    unsigned
+    distance(ClusterId from, ClusterId to) const
+    {
+        ctcp_assert(from >= 0 && from < numClusters_ &&
+                    to >= 0 && to < numClusters_,
+                    "distance between invalid clusters %d and %d",
+                    static_cast<int>(from), static_cast<int>(to));
+        if (bus_)
+            return from == to ? 0 : 1;   // every remote cluster is one hop
+        const unsigned linear =
+            static_cast<unsigned>(std::abs(static_cast<int>(from) -
+                                           static_cast<int>(to)));
+        if (!mesh_)
+            return linear;
+        const unsigned wrapped = static_cast<unsigned>(numClusters_) - linear;
+        return std::min(linear, wrapped);
+    }
+
+    /** Forwarding latency in cycles from @p from to @p to. */
+    unsigned
+    latency(ClusterId from, ClusterId to) const
+    {
+        if (bus_)
+            return from == to ? 0 : busLatency_;
+        return distance(from, to) * hopLatency_;
+    }
+
+    /** True when the two clusters are the same or directly connected. */
+    bool
+    adjacent(ClusterId a, ClusterId b) const
+    {
+        return distance(a, b) <= 1;
+    }
+
+    int numClusters() const { return numClusters_; }
+    unsigned hopLatency() const { return hopLatency_; }
+    bool isMesh() const { return mesh_; }
+    bool isBus() const { return bus_; }
+    unsigned busLatency() const { return busLatency_; }
+
+    /**
+     * Clusters sorted by centrality: middle clusters first. Used by the
+     * FDRT strategy to funnel producers toward the middle and keep
+     * worst-case forwarding distances short.
+     */
+    std::vector<ClusterId>
+    byCentrality() const
+    {
+        std::vector<ClusterId> order;
+        for (int c = 0; c < numClusters_; ++c)
+            order.push_back(static_cast<ClusterId>(c));
+        const double mid = (numClusters_ - 1) / 2.0;
+        std::stable_sort(order.begin(), order.end(),
+            [mid](ClusterId a, ClusterId b) {
+                return std::abs(a - mid) < std::abs(b - mid);
+            });
+        return order;
+    }
+
+  private:
+    int numClusters_;
+    unsigned hopLatency_;
+    bool mesh_;
+    bool bus_ = false;
+    unsigned busLatency_ = 3;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_CLUSTER_INTERCONNECT_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The in-flight (timed) instruction: a committed DynInst annotated with
+ * everything the CTCP pipeline learns about it — fetch source and trace
+ * instance, FDRT profile fields carried from the trace cache, cluster
+ * assignment, per-stage timestamps, and operand provenance used for
+ * criticality analysis.
+ *
+ * Producer/consumer linkage uses a push protocol that avoids dangling
+ * pointers: a consumer registers itself with an incomplete producer at
+ * rename; when the producer completes it pushes (completion cycle,
+ * cluster) into each waiter. Consumers never dereference the producer
+ * pointer afterwards. Because retirement is in order, a producer always
+ * completes before any of its consumers can retire, so waiter pointers
+ * are always live when the push happens.
+ */
+
+#ifndef CTCPSIM_CLUSTER_TIMED_INST_HH
+#define CTCPSIM_CLUSTER_TIMED_INST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "func/dyninst.hh"
+
+namespace ctcp {
+
+/** FDRT leader/follower states stored in trace-cache profile fields. */
+enum class ChainRole : std::uint8_t
+{
+    None = 0,
+    Leader = 1,
+    Follower = 2,
+};
+
+/** Per-instruction FDRT profile carried in a trace-cache line slot. */
+struct ChainProfile
+{
+    ChainRole role = ChainRole::None;
+    /** Suggested chain cluster; invalidCluster when not a chain member. */
+    ClusterId chainCluster = invalidCluster;
+
+    bool isMember() const
+    {
+        return role != ChainRole::None && chainCluster != invalidCluster;
+    }
+};
+
+/** Provenance and readiness of one source operand. */
+struct OperandState
+{
+    /** The instruction reads this operand at all. */
+    bool valid = false;
+    /** Value comes from the register file (no in-flight producer). */
+    bool fromRF = true;
+    /** Cycle the raw value exists at its producer's output (or in RF). */
+    Cycle rawReady = neverCycle;
+    /**
+     * Cycle the value is visible to OTHER clusters. On the
+     * point-to-point network this equals rawReady (per-hop latency is
+     * added by the consumer); on a bus it includes the broadcast slot
+     * and the bus latency.
+     */
+    Cycle remoteReady = neverCycle;
+
+    // Producer snapshot (meaningful when !fromRF).
+    InstSeqNum producerSeq = invalidSeqNum;
+    Addr producerPc = 0;
+    ClusterId producerCluster = invalidCluster;
+    std::uint64_t producerTraceInstance = ~0ull;
+    /** Trace-cache line the producer was fetched from (0 = I-cache). */
+    std::uint64_t producerTraceKey = 0;
+    ChainProfile producerProfile;
+    /** Producer's dispatch had already completed at our rename. */
+    bool producerComplete = false;
+    /**
+     * Raw producer pointer, valid until the producer retires. Because
+     * retirement is in order and a producer always completes (and
+     * pushes its completion) before retiring, this pointer must only
+     * be dereferenced while producerComplete is false — after the
+     * push it is never needed again.
+     */
+    struct TimedInst *producerPtr = nullptr;
+};
+
+/** One in-flight dynamic instruction. */
+struct TimedInst
+{
+    DynInst dyn;
+
+    // ---- Fetch annotations ------------------------------------------
+    bool fromTraceCache = false;
+    /** Unique id per delivered fetch group / trace-line instance. */
+    std::uint64_t traceInstance = 0;
+    /** Identity of the TC line fetched from (0 when from the I-cache). */
+    std::uint64_t traceKey = 0;
+    /** Physical issue-buffer slot (determines cluster in slot steering). */
+    int slotIndex = 0;
+    /** Logical (program-order) index within the fetched group. */
+    int logicalIndex = 0;
+    /** FDRT profile fields fetched with the instruction. */
+    ChainProfile profile;
+
+    // ---- Branch prediction state -------------------------------------
+    bool predictedTaken = false;
+    bool predictedTargetValid = false;
+    Addr predictedTarget = 0;
+    /** Resolves as a direction/target misprediction (known at fetch). */
+    bool mispredicted = false;
+
+    // ---- Cluster assignment -------------------------------------------
+    ClusterId cluster = invalidCluster;
+
+    // ---- Pipeline timestamps -------------------------------------------
+    Cycle fetchAt = 0;
+    Cycle renameAt = 0;
+    Cycle issueAt = 0;
+    Cycle dispatchAt = neverCycle;
+    Cycle completeAt = neverCycle;
+    /** Bus mode: cycle this result's broadcast reaches remote clusters. */
+    Cycle busReadyAt = neverCycle;
+    bool issued = false;
+    bool dispatched = false;
+    bool completed = false;
+
+    // ---- Operand provenance -------------------------------------------
+    OperandState ops[2];
+    /** Consumers waiting for our completion push. */
+    std::vector<TimedInst *> waiters;
+
+    // ---- Criticality analysis (filled at dispatch) ----------------------
+    /** 0 = register file, 1 = src1 producer, 2 = src2 producer. */
+    int criticalSrc = 0;
+    /** Critical input was satisfied by data forwarding. */
+    bool criticalForwarded = false;
+    /** Critical forwarded input crossed trace instances. */
+    bool criticalInterTrace = false;
+    /** Forwarding distance (cluster hops) of the critical input. */
+    unsigned criticalDistance = 0;
+    ChainProfile criticalProducerProfile;
+    Addr criticalProducerPc = 0;
+    ClusterId criticalProducerCluster = invalidCluster;
+    /** TC line the critical producer was fetched from (0 = I-cache). */
+    std::uint64_t criticalProducerTraceKey = 0;
+
+    /** Notify waiters that the result exists at @p cluster_id. */
+    void
+    pushCompletion()
+    {
+        for (TimedInst *w : waiters) {
+            for (OperandState &op : w->ops) {
+                if (op.valid && !op.fromRF && op.producerSeq == dyn.seq) {
+                    op.rawReady = completeAt;
+                    op.remoteReady =
+                        busReadyAt == neverCycle ? completeAt : busReadyAt;
+                    op.producerCluster = cluster;
+                    op.producerComplete = true;
+                }
+            }
+        }
+        waiters.clear();
+    }
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_CLUSTER_TIMED_INST_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by the cache, predictor and trace
+ * cache indexing logic.
+ */
+
+#ifndef CTCPSIM_COMMON_BITUTIL_HH
+#define CTCPSIM_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace ctcp {
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)). @pre v > 0. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)). @pre v > 0. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Extract bits [lo, lo+count) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned count)
+{
+    return (v >> lo) & ((count >= 64) ? ~0ull : ((1ull << count) - 1));
+}
+
+/** Fold the upper bits of an address into @p width low bits (XOR hash). */
+constexpr std::uint64_t
+foldAddress(std::uint64_t v, unsigned width)
+{
+    std::uint64_t result = 0;
+    while (v != 0) {
+        result ^= bits(v, 0, width);
+        v >>= width;
+    }
+    return result;
+}
+
+} // namespace ctcp
+
+#endif // CTCPSIM_COMMON_BITUTIL_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fixed-capacity FIFO used for pipeline latches, the ROB, the load queue
+ * and the store buffer.
+ *
+ * Entries keep stable indices while resident, supporting "squash all
+ * entries younger than X" which out-of-order structures need.
+ */
+
+#ifndef CTCPSIM_COMMON_CIRCULAR_QUEUE_HH
+#define CTCPSIM_COMMON_CIRCULAR_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ctcp {
+
+/**
+ * Bounded circular FIFO.
+ *
+ * @tparam T element type; must be movable.
+ */
+template <typename T>
+class CircularQueue
+{
+  public:
+    explicit CircularQueue(std::size_t capacity)
+        : storage_(capacity), head_(0), count_(0)
+    {
+        ctcp_assert(capacity > 0, "CircularQueue capacity must be positive");
+    }
+
+    std::size_t capacity() const { return storage_.size(); }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ == storage_.size(); }
+
+    /** Append to the tail. @pre !full(). */
+    void
+    pushBack(T value)
+    {
+        ctcp_assert(!full(), "pushBack on a full CircularQueue");
+        storage_[physical(count_)] = std::move(value);
+        ++count_;
+    }
+
+    /** Remove the head element. @pre !empty(). */
+    void
+    popFront()
+    {
+        ctcp_assert(!empty(), "popFront on an empty CircularQueue");
+        head_ = (head_ + 1) % storage_.size();
+        --count_;
+    }
+
+    /** Drop the newest @p n elements from the tail. @pre n <= size(). */
+    void
+    popBack(std::size_t n = 1)
+    {
+        ctcp_assert(n <= count_, "popBack past the head");
+        count_ -= n;
+    }
+
+    /** Head (oldest) element. @pre !empty(). */
+    T &front() { ctcp_assert(!empty(), "front of empty queue"); return storage_[head_]; }
+    const T &front() const { ctcp_assert(!empty(), "front of empty queue"); return storage_[head_]; }
+
+    /** Tail (youngest) element. @pre !empty(). */
+    T &back() { ctcp_assert(!empty(), "back of empty queue"); return storage_[physical(count_ - 1)]; }
+    const T &back() const { ctcp_assert(!empty(), "back of empty queue"); return storage_[physical(count_ - 1)]; }
+
+    /** Element @p i positions behind the head (0 == oldest). */
+    T &
+    at(std::size_t i)
+    {
+        ctcp_assert(i < count_, "CircularQueue index out of range");
+        return storage_[physical(i)];
+    }
+
+    const T &
+    at(std::size_t i) const
+    {
+        ctcp_assert(i < count_, "CircularQueue index out of range");
+        return storage_[physical(i)];
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    std::size_t physical(std::size_t logical) const
+    {
+        return (head_ + logical) % storage_.size();
+    }
+
+    std::vector<T> storage_;
+    std::size_t head_;
+    std::size_t count_;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_COMMON_CIRCULAR_QUEUE_HH

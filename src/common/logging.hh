@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug in
+ *            ctcpsim itself); aborts.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, unknown benchmark name); exits(1).
+ * warn()   — something questionable happened but simulation continues.
+ * inform() — plain status output.
+ */
+
+#ifndef CTCPSIM_COMMON_LOGGING_HH
+#define CTCPSIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ctcp {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace ctcp
+
+#define ctcp_panic(...) \
+    ::ctcp::panicImpl(__FILE__, __LINE__, ::ctcp::detail::format(__VA_ARGS__))
+
+#define ctcp_fatal(...) \
+    ::ctcp::fatalImpl(__FILE__, __LINE__, ::ctcp::detail::format(__VA_ARGS__))
+
+#define ctcp_warn(...) \
+    ::ctcp::warnImpl(::ctcp::detail::format(__VA_ARGS__))
+
+#define ctcp_inform(...) \
+    ::ctcp::informImpl(::ctcp::detail::format(__VA_ARGS__))
+
+/**
+ * Invariant check that stays on in release builds. Use for simulator
+ * self-consistency conditions whose violation means a ctcpsim bug.
+ */
+#define ctcp_assert(cond, ...)                                        \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::ctcp::panicImpl(__FILE__, __LINE__,                     \
+                std::string("assertion failed: " #cond " — ") +       \
+                ::ctcp::detail::format(__VA_ARGS__));                 \
+        }                                                             \
+    } while (0)
+
+#endif // CTCPSIM_COMMON_LOGGING_HH

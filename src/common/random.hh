@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All synthetic workload data in ctcpsim is generated through this
+ * xorshift64* generator so that every simulation (and therefore every
+ * reproduced table) is bit-for-bit repeatable across runs and hosts.
+ * std::mt19937 is deliberately avoided in workload code because its
+ * distribution adaptors are not guaranteed identical across standard
+ * library implementations.
+ */
+
+#ifndef CTCPSIM_COMMON_RANDOM_HH
+#define CTCPSIM_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace ctcp {
+
+/** xorshift64* PRNG with deterministic, implementation-defined-free output. */
+class Rng
+{
+  public:
+    /** @param seed Any value; 0 is remapped to a fixed odd constant. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        ctcp_assert(bound > 0, "Rng::below requires a positive bound");
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. @pre lo <= hi. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        ctcp_assert(lo <= hi, "Rng::range requires lo <= hi");
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Bernoulli draw: true with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_COMMON_RANDOM_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every ctcpsim module.
+ *
+ * The simulator follows SimpleScalar/gem5 conventions: addresses and
+ * cycle counts are unsigned 64-bit, dynamic instructions carry a
+ * monotonically increasing sequence number, and architectural registers
+ * are small integer ids.
+ */
+
+#ifndef CTCPSIM_COMMON_TYPES_HH
+#define CTCPSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ctcp {
+
+/** Byte address in the simulated machine's flat address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle. Cycle 0 is the first simulated cycle. */
+using Cycle = std::uint64_t;
+
+/** Monotonic id assigned to each committed dynamic instruction. */
+using InstSeqNum = std::uint64_t;
+
+/** Architectural register id (integer and FP share one flat space). */
+using RegId = std::uint8_t;
+
+/** Execution cluster index (0-based; the paper numbers them 1..4). */
+using ClusterId = std::int8_t;
+
+/** Sentinel for "no cluster assigned / unknown". */
+inline constexpr ClusterId invalidCluster = -1;
+
+/** Sentinel for "no register" (e.g. an absent second source operand). */
+inline constexpr RegId invalidReg = 0xff;
+
+/** Sentinel cycle meaning "never" / "not yet scheduled". */
+inline constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel sequence number meaning "no producer / from register file". */
+inline constexpr InstSeqNum invalidSeqNum =
+    std::numeric_limits<InstSeqNum>::max();
+
+} // namespace ctcp
+
+#endif // CTCPSIM_COMMON_TYPES_HH

@@ -1,0 +1,72 @@
+#include "config/presets.hh"
+
+namespace ctcp {
+
+SimConfig
+baseConfig()
+{
+    SimConfig cfg;   // defaults are Table 7
+    cfg.validate();
+    return cfg;
+}
+
+SimConfig
+meshConfig()
+{
+    SimConfig cfg = baseConfig();
+    cfg.cluster.mesh = true;
+    cfg.validate();
+    return cfg;
+}
+
+SimConfig
+oneCycleForwardConfig()
+{
+    SimConfig cfg = baseConfig();
+    cfg.cluster.hopLatency = 1;
+    cfg.validate();
+    return cfg;
+}
+
+SimConfig
+busConfig()
+{
+    SimConfig cfg = baseConfig();
+    cfg.cluster.bus = true;
+    cfg.validate();
+    return cfg;
+}
+
+SimConfig
+eightClusterConfig()
+{
+    SimConfig cfg = baseConfig();
+    cfg.cluster.numClusters = 8;
+    cfg.frontEnd.fetchWidth = 32;
+    cfg.frontEnd.traceCache.maxInsts = 32;
+    cfg.frontEnd.traceCache.maxBlocks = 4;
+    cfg.core.decodeWidth = 32;
+    cfg.core.issueWidth = 32;
+    cfg.core.retireWidth = 32;
+    cfg.core.robEntries = 256;
+    cfg.validate();
+    return cfg;
+}
+
+SimConfig
+twoClusterConfig()
+{
+    SimConfig cfg = baseConfig();
+    cfg.cluster.numClusters = 2;
+    cfg.frontEnd.fetchWidth = 8;
+    cfg.frontEnd.traceCache.maxInsts = 8;
+    cfg.core.decodeWidth = 8;
+    cfg.core.issueWidth = 8;
+    cfg.core.retireWidth = 8;
+    cfg.core.robEntries = 64;
+    cfg.assign.issueTimeLatency = 2;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace ctcp

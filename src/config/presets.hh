@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Named machine configurations used throughout the evaluation.
+ *
+ * baseConfig() is Table 7; the other three are the Figure 8 variants
+ * (mesh interconnect, one-cycle forwarding, and the eight-wide
+ * two-cluster machine).
+ */
+
+#ifndef CTCPSIM_CONFIG_PRESETS_HH
+#define CTCPSIM_CONFIG_PRESETS_HH
+
+#include "config/sim_config.hh"
+
+namespace ctcp {
+
+/** The paper's baseline: 16-wide, 4 clusters, 2-cycle hops, linear. */
+SimConfig baseConfig();
+
+/** Figure 8, group 1: mesh interconnect (end clusters adjacent). */
+SimConfig meshConfig();
+
+/** Figure 8, group 2: one-cycle inter-cluster forwarding per hop. */
+SimConfig oneCycleForwardConfig();
+
+/**
+ * Figure 8, group 3: eight-wide machine with two four-wide clusters
+ * (half the execution resources; caches/predictor/TLB unchanged;
+ * issue-time steering latency drops to two cycles).
+ */
+SimConfig twoClusterConfig();
+
+/**
+ * Ablation: shared-bus result interconnect (uniform 3-cycle broadcast,
+ * one broadcast per cycle) instead of the point-to-point network —
+ * the alternative Parcerisa et al. argue against.
+ */
+SimConfig busConfig();
+
+/**
+ * Forward-looking scaling point: eight four-wide clusters (32-wide
+ * machine). Not evaluated in the paper; used by the scaling example
+ * and ablation benches.
+ */
+SimConfig eightClusterConfig();
+
+} // namespace ctcp
+
+#endif // CTCPSIM_CONFIG_PRESETS_HH

@@ -1,0 +1,58 @@
+#include "config/sim_config.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace ctcp {
+
+const char *
+assignStrategyName(AssignStrategy s)
+{
+    switch (s) {
+      case AssignStrategy::BaseSlotOrder: return "base";
+      case AssignStrategy::Friendly:      return "friendly";
+      case AssignStrategy::Fdrt:          return "fdrt";
+      case AssignStrategy::IssueTime:     return "issue-time";
+    }
+    return "unknown";
+}
+
+void
+SimConfig::validate() const
+{
+    if (cluster.numClusters == 0 || cluster.numClusters > 8)
+        ctcp_fatal("numClusters must be in 1..8 (got %u)",
+                   cluster.numClusters);
+    if (cluster.clusterWidth == 0)
+        ctcp_fatal("clusterWidth must be positive");
+    if (cluster.rsEntries == 0 || cluster.rsWritePorts == 0)
+        ctcp_fatal("reservation stations need entries and write ports");
+    if (cluster.bus && cluster.busBandwidth == 0)
+        ctcp_fatal("bus interconnect needs bandwidth of at least one");
+    if (cluster.bus && cluster.mesh)
+        ctcp_fatal("bus and mesh interconnects are mutually exclusive");
+    if (frontEnd.fetchWidth != machineWidth())
+        ctcp_fatal("fetchWidth (%u) must equal numClusters*clusterWidth (%u)",
+                   frontEnd.fetchWidth, machineWidth());
+    if (frontEnd.traceCache.maxInsts != frontEnd.fetchWidth)
+        ctcp_fatal("trace line size (%u) must equal fetchWidth (%u)",
+                   frontEnd.traceCache.maxInsts, frontEnd.fetchWidth);
+    if (!isPowerOfTwo(frontEnd.traceCache.entries) ||
+        frontEnd.traceCache.assoc == 0 ||
+        frontEnd.traceCache.entries % frontEnd.traceCache.assoc != 0)
+        ctcp_fatal("trace cache geometry invalid");
+    if (!isPowerOfTwo(mem.l1dSets) || !isPowerOfTwo(mem.l2Sets))
+        ctcp_fatal("cache set counts must be powers of two");
+    if (!isPowerOfTwo(bpred.gshareEntries) ||
+        !isPowerOfTwo(bpred.bimodalEntries) ||
+        !isPowerOfTwo(bpred.chooserEntries))
+        ctcp_fatal("predictor table sizes must be powers of two");
+    if (core.robEntries == 0 || core.retireWidth == 0)
+        ctcp_fatal("ROB and retire width must be positive");
+    if (mem.storeBufferEntries == 0 || mem.loadQueueEntries == 0)
+        ctcp_fatal("store buffer and load queue must be non-empty");
+    if (frontEnd.traceCache.maxBlocks == 0)
+        ctcp_fatal("trace lines must allow at least one basic block");
+}
+
+} // namespace ctcp

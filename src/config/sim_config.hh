@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Complete machine configuration for the CTCP model.
+ *
+ * Defaults reproduce Table 7 of the paper (the baseline 16-wide,
+ * four-cluster configuration). Presets for the Figure 8 architecture
+ * variants live in config/presets.hh.
+ */
+
+#ifndef CTCPSIM_CONFIG_SIM_CONFIG_HH
+#define CTCPSIM_CONFIG_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ctcp {
+
+/** Dynamic cluster assignment strategies evaluated in the paper. */
+enum class AssignStrategy : std::uint8_t
+{
+    /** Slot-position assignment as fetched (the paper's base machine). */
+    BaseSlotOrder,
+    /** Friendly et al. retire-time intra-trace reordering (MICRO-31). */
+    Friendly,
+    /** The paper's feedback-directed retire-time assignment. */
+    Fdrt,
+    /** Issue-time dependency steering (latency set separately). */
+    IssueTime,
+};
+
+/** Human-readable strategy name. */
+const char *assignStrategyName(AssignStrategy s);
+
+/** Execution-cluster geometry and interconnect. */
+struct ClusterConfig
+{
+    unsigned numClusters = 4;
+    /** Issue slots (and FU pipes) per cluster per cycle. */
+    unsigned clusterWidth = 4;
+    /** Entries per reservation station (five stations per cluster). */
+    unsigned rsEntries = 8;
+    /** New instructions a reservation station accepts per cycle. */
+    unsigned rsWritePorts = 2;
+    /** Inter-cluster forwarding latency per cluster hop, in cycles. */
+    unsigned hopLatency = 2;
+    /** Mesh/ring interconnect: end clusters communicate directly. */
+    bool mesh = false;
+    /**
+     * Bus interconnect: inter-cluster results broadcast over a shared
+     * bus with uniform latency and limited bandwidth, instead of the
+     * point-to-point network (the alternative Parcerisa et al. argue
+     * against, modelled here for the ablation benches).
+     */
+    bool bus = false;
+    /** Bus transfer latency (producer to any other cluster). */
+    unsigned busLatency = 3;
+    /** Broadcasts the bus can start per cycle. */
+    unsigned busBandwidth = 1;
+};
+
+/** Trace cache geometry (2-way, 1K-entry, 3-cycle access in the paper). */
+struct TraceCacheConfig
+{
+    unsigned entries = 1024;
+    unsigned assoc = 2;
+    /** Maximum instructions per trace line. */
+    unsigned maxInsts = 16;
+    /** Maximum basic blocks (embedded conditional branches + 1). */
+    unsigned maxBlocks = 3;
+    /**
+     * Fill-unit latency: cycles between trace construction at
+     * retirement and the line becoming fetchable. The paper reports
+     * that even 1000 cycles barely matters (Section 4); default 0.
+     */
+    unsigned fillLatency = 0;
+};
+
+/** Front-end (fetch/decode/rename) configuration. */
+struct FrontEndConfig
+{
+    unsigned fetchWidth = 16;
+    /** Pipeline stages for fetch (trace cache access time). */
+    unsigned fetchStages = 3;
+    unsigned decodeStages = 1;
+    unsigned renameStages = 1;
+    TraceCacheConfig traceCache;
+    /** L1 I-cache: 4-way, 4 KB, 2-cycle (modelled as hit/miss tags). */
+    unsigned icacheSets = 32;
+    unsigned icacheAssoc = 4;
+    unsigned icacheLineBytes = 32;
+    unsigned icacheHitLatency = 2;
+    /** Instructions fetchable from the I-cache per cycle (one block). */
+    unsigned icacheFetchWidth = 4;
+};
+
+/** Branch predictor configuration (16k gshare/bimodal hybrid, 512x4 BTB). */
+struct BranchPredictorConfig
+{
+    unsigned gshareEntries = 16384;
+    unsigned bimodalEntries = 16384;
+    unsigned chooserEntries = 16384;
+    unsigned historyBits = 14;
+    unsigned btbEntries = 512;
+    unsigned btbAssoc = 4;
+    unsigned rasEntries = 32;
+};
+
+/** Data-memory subsystem (Table 7 values). */
+struct MemConfig
+{
+    unsigned l1dSets = 256;         ///< 4-way, 32 KB, 32 B lines
+    unsigned l1dAssoc = 4;
+    unsigned l1dLineBytes = 32;
+    unsigned l1dHitLatency = 2;
+    unsigned l2Sets = 8192;         ///< 4-way, 1 MB
+    unsigned l2Assoc = 4;
+    unsigned l2LineBytes = 32;
+    unsigned l2ExtraLatency = 8;    ///< added to an L1 miss
+    unsigned dtlbEntries = 128;
+    unsigned dtlbAssoc = 4;
+    unsigned dtlbHitLatency = 1;
+    unsigned dtlbMissLatency = 30;
+    unsigned pageBytes = 4096;
+    unsigned storeBufferEntries = 32;
+    unsigned loadQueueEntries = 32;
+    unsigned mshrs = 16;
+    unsigned cachePorts = 4;
+    unsigned memLatency = 65;       ///< main memory, added to an L2 miss
+};
+
+/** Out-of-order core resources. */
+struct CoreConfig
+{
+    unsigned robEntries = 128;
+    unsigned decodeWidth = 16;
+    unsigned issueWidth = 16;
+    unsigned retireWidth = 16;
+    unsigned registerFileLatency = 2;
+};
+
+/** Cluster-assignment policy selection and knobs. */
+struct AssignConfig
+{
+    AssignStrategy strategy = AssignStrategy::BaseSlotOrder;
+    /** Extra front-end stages for issue-time steering (0 = idealized). */
+    unsigned issueTimeLatency = 4;
+    /** FDRT: pin chain members permanently to their first cluster. */
+    bool fdrtPinning = true;
+    /**
+     * FDRT: use inter-trace chains. Disabling isolates the intra-trace
+     * heuristics (the Section 5.3 ablation).
+     */
+    bool fdrtChains = true;
+    /**
+     * Friendly-variant knob: bias unconstrained instructions toward the
+     * middle clusters (the "minor adjustment" of Section 5.3).
+     */
+    bool friendlyMiddleBias = false;
+};
+
+/**
+ * Latency-ablation switches implementing the "No X Lat" experiments of
+ * Figure 5. All default off (realistic latencies).
+ */
+struct AblationConfig
+{
+    bool zeroAllForwardLatency = false;
+    bool zeroCriticalForwardLatency = false;
+    bool zeroIntraTraceForwardLatency = false;
+    bool zeroInterTraceForwardLatency = false;
+    bool zeroRegisterFileLatency = false;
+};
+
+/** Debug/observability switches. */
+struct DebugConfig
+{
+    /**
+     * When non-empty, write a per-event pipeline trace (fetch, rename,
+     * issue, dispatch, complete, retire) for the first `traceCycles`
+     * cycles to this file path.
+     */
+    std::string pipelineTracePath;
+    /** Cycles of pipeline trace to record. */
+    std::uint64_t traceCycles = 1000;
+};
+
+/** Top-level simulation configuration. */
+struct SimConfig
+{
+    ClusterConfig cluster;
+    FrontEndConfig frontEnd;
+    BranchPredictorConfig bpred;
+    MemConfig mem;
+    CoreConfig core;
+    AssignConfig assign;
+    AblationConfig ablation;
+    DebugConfig debug;
+
+    /** Stop after this many committed instructions (0 = run to Halt). */
+    std::uint64_t instructionLimit = 2'000'000;
+
+    /** Consistency-check the configuration; fatal()s on invalid setups. */
+    void validate() const;
+
+    /** Total issue slots per cycle (numClusters * clusterWidth). */
+    unsigned machineWidth() const
+    {
+        return cluster.numClusters * cluster.clusterWidth;
+    }
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_CONFIG_SIM_CONFIG_HH

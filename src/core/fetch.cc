@@ -1,0 +1,230 @@
+#include "core/fetch.hh"
+
+#include "common/logging.hh"
+
+namespace ctcp {
+
+FetchEngine::FetchEngine(const SimConfig &cfg, TraceCache &tc,
+                         InstMemory &imem, BranchPredictor &bpred,
+                         Executor &exec)
+    : cfg_(cfg), tc_(tc), imem_(imem), bpred_(bpred), exec_(exec)
+{}
+
+const DynInst *
+FetchEngine::peek(std::size_t k)
+{
+    while (buffer_.size() <= k && !execDone_) {
+        DynInst d;
+        const bool more = exec_.step(d);
+        buffer_.push_back(d);   // the Halt itself is part of the stream
+        if (!more)
+            execDone_ = true;
+    }
+    return k < buffer_.size() ? &buffer_[k] : nullptr;
+}
+
+void
+FetchEngine::consume(std::size_t n)
+{
+    ctcp_assert(n <= buffer_.size(), "consuming past the stream buffer");
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+bool
+FetchEngine::streamEnded()
+{
+    return peek(0) == nullptr;
+}
+
+void
+FetchEngine::resolveGate(InstSeqNum seq, Cycle resume_at)
+{
+    if (gatingSeq_ == seq) {
+        gatingSeq_ = invalidSeqNum;
+        resumeAt_ = resume_at;
+    }
+}
+
+std::unique_ptr<TimedInst>
+FetchEngine::makeInst(const DynInst &dyn, Cycle now, bool from_tc,
+                      std::uint64_t instance, std::uint64_t key, int slot,
+                      int logical, const ChainProfile &profile)
+{
+    auto ti = std::make_unique<TimedInst>();
+    ti->dyn = dyn;
+    ti->fromTraceCache = from_tc;
+    ti->traceInstance = instance;
+    ti->traceKey = key;
+    ti->slotIndex = slot;
+    ti->logicalIndex = logical;
+    ti->profile = profile;
+    ti->fetchAt = now;
+    if (from_tc)
+        ++fromTC_;
+    else
+        ++fromIC_;
+    return ti;
+}
+
+bool
+FetchEngine::predictBranch(TimedInst &ti, bool embedded_dir_valid,
+                           bool embedded_dir)
+{
+    const DynInst &dyn = ti.dyn;
+    if (dyn.isCondBranch()) {
+        ti.predictedTaken = embedded_dir_valid
+            ? embedded_dir
+            : bpred_.peekDirection(dyn.pc);
+        ti.mispredicted = ti.predictedTaken != dyn.taken;
+        return ti.mispredicted;
+    }
+
+    // Unconditional transfers are always taken.
+    ti.predictedTaken = true;
+    if (dyn.isCallOp())
+        bpred_.pushRas(dyn.pc + 1);
+    if (dyn.isReturnOp()) {
+        auto [target, valid] = bpred_.popRas();
+        ti.predictedTarget = target;
+        ti.predictedTargetValid = valid;
+        ti.mispredicted = !valid || target != dyn.targetPc;
+        return ti.mispredicted;
+    }
+    if (dyn.op == Opcode::JumpReg) {
+        auto [target, valid] = bpred_.peekBtb(dyn.pc);
+        ti.predictedTarget = target;
+        ti.predictedTargetValid = valid;
+        ti.mispredicted = !valid || target != dyn.targetPc;
+        return ti.mispredicted;
+    }
+
+    // Direct jumps and calls: the target is encodable at decode; we
+    // idealize next-line prediction for them (no BTB dependence).
+    ti.predictedTarget = dyn.targetPc;
+    ti.predictedTargetValid = true;
+    ti.mispredicted = false;
+    return false;
+}
+
+std::optional<FetchGroup>
+FetchEngine::fetchCycle(Cycle now)
+{
+    if (gatingSeq_ != invalidSeqNum || now < resumeAt_)
+        return std::nullopt;
+
+    const DynInst *first = peek(0);
+    if (first == nullptr)
+        return std::nullopt;
+
+    FetchGroup group;
+
+    // ---- Trace-cache path -----------------------------------------------
+    const TraceLine *line = tc_.lookup(first->pc,
+        [this](Addr branch_pc, unsigned) {
+            return bpred_.peekDirection(branch_pc);
+        },
+        now);
+
+    if (line != nullptr) {
+        group.fromTraceCache = true;
+        group.readyAt = now + cfg_.frontEnd.fetchStages;
+        const std::uint64_t instance = nextInstance_++;
+        const std::uint64_t key = line->key.hash();
+        ++tcLines_;
+
+        std::size_t delivered = 0;
+        unsigned cond_seen = 0;
+        for (std::size_t i = 0; i < line->insts.size(); ++i) {
+            const DynInst *dyn = peek(i);
+            if (dyn == nullptr)
+                break;
+            ctcp_assert(dyn->pc == line->insts[i].pc,
+                        "trace line diverged from the committed stream "
+                        "without a mispredicted branch");
+            auto ti = makeInst(*dyn, now, true, instance, key,
+                               line->insts[i].physSlot,
+                               static_cast<int>(i),
+                               line->insts[i].profile);
+            bool gate = false;
+            if (dyn->isBranchOp()) {
+                bool embedded_valid = false;
+                bool embedded = false;
+                if (dyn->isCondBranch()) {
+                    ctcp_assert(cond_seen < line->key.numCondBranches,
+                                "more conditionals in stream than in line");
+                    embedded_valid = true;
+                    embedded = (line->key.condDirs >> cond_seen) & 1;
+                    ++cond_seen;
+                }
+                gate = predictBranch(*ti, embedded_valid, embedded);
+            }
+            const InstSeqNum seq = ti->dyn.seq;
+            group.insts.push_back(std::move(ti));
+            ++delivered;
+            if (gate) {
+                gatingSeq_ = seq;
+                ++gates_;
+                break;
+            }
+        }
+        consume(delivered);
+        tcLineInsts_ += delivered;
+        if (group.insts.empty())
+            return std::nullopt;
+        return group;
+    }
+
+    // ---- I-cache path ------------------------------------------------------
+    group.fromTraceCache = false;
+    const unsigned penalty =
+        imem_.fetchPenalty(Program::byteAddr(first->pc));
+    group.readyAt = now + cfg_.frontEnd.fetchStages + penalty;
+    const std::uint64_t instance = nextInstance_++;
+
+    std::size_t delivered = 0;
+    for (unsigned i = 0; i < cfg_.frontEnd.icacheFetchWidth; ++i) {
+        const DynInst *dyn = peek(i);
+        if (dyn == nullptr)
+            break;
+        auto ti = makeInst(*dyn, now, false, instance, 0,
+                           static_cast<int>(i), static_cast<int>(i),
+                           ChainProfile{});
+        bool gate = false;
+        bool stop = false;
+        if (dyn->isBranchOp()) {
+            gate = predictBranch(*ti, false, false);
+            // Cannot fetch past a predicted-taken transfer this cycle.
+            if (ti->predictedTaken)
+                stop = true;
+        }
+        if (dyn->op == Opcode::Halt)
+            stop = true;
+        const InstSeqNum seq = ti->dyn.seq;
+        group.insts.push_back(std::move(ti));
+        ++delivered;
+        if (gate) {
+            gatingSeq_ = seq;
+            ++gates_;
+            break;
+        }
+        if (stop)
+            break;
+    }
+    consume(delivered);
+    if (group.insts.empty())
+        return std::nullopt;
+    return group;
+}
+
+void
+FetchEngine::dumpStats(StatDump &out) const
+{
+    out.scalar("fetch.from_tc", fromTC_.value());
+    out.scalar("fetch.from_ic", fromIC_.value());
+    out.scalar("fetch.tc_lines", tcLines_.value());
+    out.scalar("fetch.mean_tc_line_insts", meanFetchedTraceSize());
+    out.scalar("fetch.mispredict_gates", gates_.value());
+}
+
+} // namespace ctcp

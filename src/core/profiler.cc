@@ -1,0 +1,114 @@
+#include "core/profiler.hh"
+
+namespace ctcp {
+
+void
+Profiler::onExecute(const TimedInst &inst)
+{
+    // ---- Figure 4: source of the most critical input -------------------
+    const bool has_inputs = inst.ops[0].valid || inst.ops[1].valid;
+    if (has_inputs) {
+        ++instsWithInputs_;
+        if (!inst.criticalForwarded)
+            ++critFromRF_;
+        else if (inst.criticalSrc == 1)
+            ++critFromRs1_;
+        else
+            ++critFromRs2_;
+    }
+
+    // ---- Table 2 / Table 8: forwarded-dependency accounting -------------
+    for (int s = 0; s < 2; ++s) {
+        const OperandState &op = inst.ops[s];
+        if (!op.valid || op.fromRF)
+            continue;
+        ++fwdDeps_;
+        const bool critical =
+            inst.criticalForwarded && inst.criticalSrc == s + 1;
+        if (critical) {
+            ++critFwdDeps_;
+            if (inst.criticalInterTrace) {
+                ++critFwdInter_;
+                critFwdInterDistance_ += inst.criticalDistance;
+                if (inst.criticalDistance == 0)
+                    ++critFwdInterIntraCluster_;
+            }
+            if (inst.criticalDistance == 0)
+                ++critFwdIntraCluster_;
+            critFwdDistance_ += inst.criticalDistance;
+        }
+
+        // ---- Table 3: producer stability ------------------------------
+        ProducerHistory &hist = producers_[inst.dyn.pc];
+        Counter &events = s == 0 ? rs1Events_ : rs2Events_;
+        Counter &repeats = s == 0 ? rs1Repeat_ : rs2Repeat_;
+        ++events;
+        if (hist.seen[s] && hist.last[s] == op.producerPc)
+            ++repeats;
+        hist.last[s] = op.producerPc;
+        hist.seen[s] = true;
+
+        if (critical && inst.criticalInterTrace) {
+            ProducerHistory &ci = critInterProducers_[inst.dyn.pc];
+            Counter &ci_events = s == 0 ? rs1CiEvents_ : rs2CiEvents_;
+            Counter &ci_repeats = s == 0 ? rs1CiRepeat_ : rs2CiRepeat_;
+            ++ci_events;
+            if (ci.seen[s] && ci.last[s] == op.producerPc)
+                ++ci_repeats;
+            ci.last[s] = op.producerPc;
+            ci.seen[s] = true;
+        }
+    }
+}
+
+void
+Profiler::onRetire(const TimedInst &inst)
+{
+    ++retired_;
+    if (inst.fromTraceCache)
+        ++retiredFromTC_;
+
+    // ---- Table 9: cluster migration --------------------------------------
+    const bool chain = inst.profile.isMember();
+    auto it = lastCluster_.find(inst.dyn.pc);
+    if (it != lastCluster_.end()) {
+        ++revisits_;
+        const bool moved = it->second != inst.cluster;
+        if (moved)
+            ++migrated_;
+        if (chain) {
+            ++chainRevisits_;
+            if (moved)
+                ++chainMigrated_;
+        }
+        it->second = inst.cluster;
+    } else {
+        lastCluster_.emplace(inst.dyn.pc, inst.cluster);
+    }
+}
+
+void
+Profiler::dumpStats(StatDump &out) const
+{
+    out.scalar("prof.retired", retired_.value());
+    out.scalar("prof.pct_from_tc", pctFromTraceCache());
+    out.scalar("prof.pct_crit_rf", pctCriticalFromRF());
+    out.scalar("prof.pct_crit_rs1", pctCriticalFromRs1());
+    out.scalar("prof.pct_crit_rs2", pctCriticalFromRs2());
+    out.scalar("prof.pct_deps_critical", pctDepsCritical());
+    out.scalar("prof.pct_crit_inter_trace", pctCriticalInterTrace());
+    out.scalar("prof.repeat_rs1", repeatRs1());
+    out.scalar("prof.repeat_rs2", repeatRs2());
+    out.scalar("prof.repeat_rs1_crit_inter", repeatRs1CritInter());
+    out.scalar("prof.repeat_rs2_crit_inter", repeatRs2CritInter());
+    out.scalar("prof.pct_intra_cluster_fwd", pctIntraClusterForwarding());
+    out.scalar("prof.mean_fwd_distance", meanForwardingDistance());
+    out.scalar("prof.mean_inter_trace_distance", meanInterTraceDistance());
+    out.scalar("prof.mean_intra_trace_distance", meanIntraTraceDistance());
+    out.scalar("prof.inter_trace_intra_cluster_pct",
+               pctInterTraceIntraCluster());
+    out.scalar("prof.migration_all_pct", migrationAllPct());
+    out.scalar("prof.migration_chain_pct", migrationChainPct());
+}
+
+} // namespace ctcp

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Measurement infrastructure for the paper's characterization metrics.
+ *
+ * The Profiler is pure instrumentation (it models no hardware): it
+ * observes every instruction at dispatch (when operand criticality is
+ * resolved) and at retirement, and accumulates the distributions
+ * behind Tables 1-3 and 8-10 and Figures 4 and 7 of the paper.
+ */
+
+#ifndef CTCPSIM_CORE_PROFILER_HH
+#define CTCPSIM_CORE_PROFILER_HH
+
+#include <array>
+#include <unordered_map>
+
+#include "cluster/timed_inst.hh"
+#include "stats/stats.hh"
+
+namespace ctcp {
+
+/** Collects per-run characterization statistics. */
+class Profiler
+{
+  public:
+    /** Observe an instruction at dispatch (criticality resolved). */
+    void onExecute(const TimedInst &inst);
+
+    /** Observe an instruction at retirement (cluster final). */
+    void onRetire(const TimedInst &inst);
+
+    // ---- Table 1 --------------------------------------------------------
+    /** Percent of retired instructions fetched from the trace cache. */
+    double pctFromTraceCache() const
+    {
+        return percent(retiredFromTC_.value(), retired_.value());
+    }
+
+    // ---- Figure 4 --------------------------------------------------------
+    double pctCriticalFromRF() const
+    {
+        return percent(critFromRF_.value(), instsWithInputs_.value());
+    }
+    double pctCriticalFromRs1() const
+    {
+        return percent(critFromRs1_.value(), instsWithInputs_.value());
+    }
+    double pctCriticalFromRs2() const
+    {
+        return percent(critFromRs2_.value(), instsWithInputs_.value());
+    }
+
+    // ---- Table 2 ----------------------------------------------------------
+    /** Percent of forwarded dependencies that were critical. */
+    double pctDepsCritical() const
+    {
+        return percent(critFwdDeps_.value(), fwdDeps_.value());
+    }
+    /** Percent of critical forwarded dependencies that are inter-trace. */
+    double pctCriticalInterTrace() const
+    {
+        return percent(critFwdInter_.value(), critFwdDeps_.value());
+    }
+
+    // ---- Table 3 -----------------------------------------------------------
+    double repeatRs1() const
+    {
+        return percent(rs1Repeat_.value(), rs1Events_.value());
+    }
+    double repeatRs2() const
+    {
+        return percent(rs2Repeat_.value(), rs2Events_.value());
+    }
+    double repeatRs1CritInter() const
+    {
+        return percent(rs1CiRepeat_.value(), rs1CiEvents_.value());
+    }
+    double repeatRs2CritInter() const
+    {
+        return percent(rs2CiRepeat_.value(), rs2CiEvents_.value());
+    }
+
+    // ---- Table 8 -------------------------------------------------------------
+    /** Percent of critical forwarded inputs satisfied intra-cluster. */
+    double pctIntraClusterForwarding() const
+    {
+        return percent(critFwdIntraCluster_.value(), critFwdDeps_.value());
+    }
+    /** Mean cluster distance over critical forwarded inputs. */
+    double meanForwardingDistance() const
+    {
+        return ratio(critFwdDistance_.value(), critFwdDeps_.value());
+    }
+
+    /** Mean distance over the inter-trace subset of critical inputs. */
+    double meanInterTraceDistance() const
+    {
+        return ratio(critFwdInterDistance_.value(), critFwdInter_.value());
+    }
+
+    /** Mean distance over the intra-trace subset of critical inputs. */
+    double meanIntraTraceDistance() const
+    {
+        return ratio(critFwdDistance_.value() -
+                         critFwdInterDistance_.value(),
+                     critFwdDeps_.value() - critFwdInter_.value());
+    }
+
+    /** Intra-cluster percentage among inter-trace critical inputs. */
+    double pctInterTraceIntraCluster() const
+    {
+        return percent(critFwdInterIntraCluster_.value(),
+                       critFwdInter_.value());
+    }
+
+    // ---- Table 9 ---------------------------------------------------------------
+    double migrationAllPct() const
+    {
+        return percent(migrated_.value(), revisits_.value());
+    }
+    double migrationChainPct() const
+    {
+        return percent(chainMigrated_.value(), chainRevisits_.value());
+    }
+
+    std::uint64_t retired() const { return retired_.value(); }
+
+    void dumpStats(StatDump &out) const;
+
+  private:
+    // Table 1.
+    Counter retired_;
+    Counter retiredFromTC_;
+
+    // Figure 4.
+    Counter instsWithInputs_;
+    Counter critFromRF_;
+    Counter critFromRs1_;
+    Counter critFromRs2_;
+
+    // Table 2 / Table 8.
+    Counter fwdDeps_;
+    Counter critFwdDeps_;
+    Counter critFwdInter_;
+    Counter critFwdIntraCluster_;
+    Counter critFwdDistance_;
+    Counter critFwdInterDistance_;
+    Counter critFwdInterIntraCluster_;
+
+    // Table 3: last forwarded producer per (consumer PC, source).
+    struct ProducerHistory
+    {
+        Addr last[2] = {0, 0};
+        bool seen[2] = {false, false};
+    };
+    std::unordered_map<Addr, ProducerHistory> producers_;
+    std::unordered_map<Addr, ProducerHistory> critInterProducers_;
+    Counter rs1Events_, rs1Repeat_;
+    Counter rs2Events_, rs2Repeat_;
+    Counter rs1CiEvents_, rs1CiRepeat_;
+    Counter rs2CiEvents_, rs2CiRepeat_;
+
+    // Table 9: cluster migration.
+    std::unordered_map<Addr, ClusterId> lastCluster_;
+    Counter revisits_, migrated_;
+    Counter chainRevisits_, chainMigrated_;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_CORE_PROFILER_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Aggregated results of one simulation run: everything the paper's
+ * tables and figures need, plus the full raw stats dump.
+ */
+
+#ifndef CTCPSIM_CORE_SIM_RESULT_HH
+#define CTCPSIM_CORE_SIM_RESULT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ctcp {
+
+/** Per-run metrics. Percentages are in [0, 100]. */
+struct SimResult
+{
+    std::string benchmark;
+    std::string strategy;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    // ---- Table 1 -------------------------------------------------------
+    double pctFromTraceCache = 0.0;
+    double meanTraceSize = 0.0;
+
+    // ---- Figure 4 -------------------------------------------------------
+    double pctCritFromRF = 0.0;
+    double pctCritFromRs1 = 0.0;
+    double pctCritFromRs2 = 0.0;
+
+    // ---- Table 2 ----------------------------------------------------------
+    double pctDepsCritical = 0.0;
+    double pctCritInterTrace = 0.0;
+
+    // ---- Table 3 -----------------------------------------------------------
+    double repeatRs1 = 0.0;
+    double repeatRs2 = 0.0;
+    double repeatRs1CritInter = 0.0;
+    double repeatRs2CritInter = 0.0;
+
+    // ---- Table 8 / Table 10 --------------------------------------------------
+    double pctIntraClusterFwd = 0.0;
+    double meanFwdDistance = 0.0;
+
+    // ---- Figure 7 (FDRT runs only) ----------------------------------------
+    double pctOptionA = 0.0;
+    double pctOptionB = 0.0;
+    double pctOptionC = 0.0;
+    double pctOptionD = 0.0;
+    double pctOptionE = 0.0;
+    double pctSkipped = 0.0;
+
+    // ---- Table 9 ---------------------------------------------------------------
+    double migrationAllPct = 0.0;
+    double migrationChainPct = 0.0;
+
+    // ---- Misc ------------------------------------------------------------------
+    double bpredAccuracy = 0.0;
+    double tcHitRate = 0.0;
+    std::uint64_t mispredicts = 0;
+
+    /** Full aligned-text dump of every component's statistics. */
+    std::string statsText;
+
+    /** Headline metrics as a flat JSON object (machine consumption). */
+    std::string toJson() const;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_CORE_SIM_RESULT_HH

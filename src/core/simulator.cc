@@ -1,0 +1,649 @@
+#include "core/simulator.hh"
+
+#include <algorithm>
+
+#include "assign/base_assignment.hh"
+#include "assign/fdrt_assignment.hh"
+#include "assign/friendly_assignment.hh"
+#include "common/logging.hh"
+
+namespace ctcp {
+
+CtcpSimulator::CtcpSimulator(const SimConfig &cfg, const Program &program)
+    : cfg_(cfg), program_(program), exec_(program), dmem_(cfg.mem),
+      imem_(cfg.frontEnd, dmem_), interconnect_(cfg.cluster),
+      rob_(cfg.core.robEntries),
+      renameTable_(numArchRegs, nullptr)
+{
+    cfg_.validate();
+    bpred_ = std::make_unique<BranchPredictor>(cfg_.bpred);
+    tc_ = std::make_unique<TraceCache>(cfg_.frontEnd.traceCache);
+
+    for (unsigned c = 0; c < cfg_.cluster.numClusters; ++c)
+        clusters_.emplace_back(static_cast<ClusterId>(c), cfg_.cluster);
+
+    switch (cfg_.assign.strategy) {
+      case AssignStrategy::BaseSlotOrder:
+        policy_ = std::make_unique<BaseSlotOrderAssignment>();
+        break;
+      case AssignStrategy::Friendly:
+        policy_ = std::make_unique<FriendlyAssignment>(
+            interconnect_, cfg_.assign.friendlyMiddleBias);
+        break;
+      case AssignStrategy::Fdrt: {
+        auto fdrt = std::make_unique<FdrtAssignment>(
+            interconnect_, cfg_.assign.fdrtPinning,
+            cfg_.assign.fdrtChains);
+        fdrt_ = fdrt.get();
+        policy_ = std::move(fdrt);
+        break;
+      }
+      case AssignStrategy::IssueTime:
+        // The fill unit leaves traces in fetch order; clusters are
+        // chosen at issue by the steering logic, whose analysis and
+        // routing latency shows up as extra front-end stages.
+        policy_ = std::make_unique<BaseSlotOrderAssignment>();
+        steering_ = std::make_unique<IssueTimeSteering>(
+            interconnect_, cfg_.cluster.clusterWidth);
+        issueExtraStages_ = cfg_.assign.issueTimeLatency;
+        break;
+    }
+
+    clusterQueues_.resize(cfg_.cluster.numClusters);
+    if (cfg_.cluster.bus)
+        busSchedule_ = std::make_unique<PortSchedule>(
+            cfg_.cluster.busBandwidth);
+
+    fillUnit_ = std::make_unique<FillUnit>(
+        cfg_.frontEnd.traceCache, cfg_.cluster.numClusters,
+        cfg_.cluster.clusterWidth, *tc_, *policy_);
+    fetch_ = std::make_unique<FetchEngine>(cfg_, *tc_, imem_, *bpred_,
+                                           exec_);
+
+    if (!cfg_.debug.pipelineTracePath.empty()) {
+        traceFile_ = std::fopen(cfg_.debug.pipelineTracePath.c_str(), "w");
+        if (traceFile_ == nullptr)
+            ctcp_fatal("cannot open pipeline trace file '%s'",
+                       cfg_.debug.pipelineTracePath.c_str());
+        std::fprintf(traceFile_,
+                     "# cycle stage seq pc cluster slot detail\n");
+    }
+}
+
+CtcpSimulator::~CtcpSimulator()
+{
+    if (traceFile_ != nullptr)
+        std::fclose(traceFile_);
+}
+
+void
+CtcpSimulator::traceEvent(const char *stage, const TimedInst &inst)
+{
+    std::fprintf(traceFile_,
+                 "%llu %-8s %llu pc=%llu cluster=%d slot=%d %s%s\n",
+                 static_cast<unsigned long long>(cycle_), stage,
+                 static_cast<unsigned long long>(inst.dyn.seq),
+                 static_cast<unsigned long long>(inst.dyn.pc),
+                 static_cast<int>(inst.cluster), inst.slotIndex,
+                 std::string(inst.dyn.info().mnemonic).c_str(),
+                 inst.mispredicted ? " MISPRED" : "");
+}
+
+ClusterId
+CtcpSimulator::slotCluster(const TimedInst &inst) const
+{
+    const int c = inst.slotIndex /
+        static_cast<int>(cfg_.cluster.clusterWidth);
+    ctcp_assert(c >= 0 && c < static_cast<int>(cfg_.cluster.numClusters),
+                "slot %d maps to invalid cluster", inst.slotIndex);
+    return static_cast<ClusterId>(c);
+}
+
+// ---------------------------------------------------------------------
+// Operand readiness and criticality
+// ---------------------------------------------------------------------
+
+CtcpSimulator::Readiness
+CtcpSimulator::operandReadiness(const TimedInst &inst) const
+{
+    const AblationConfig &ab = cfg_.ablation;
+    Cycle eff[2] = {0, 0};
+    bool forwarded[2] = {false, false};
+
+    for (int i = 0; i < 2; ++i) {
+        const OperandState &op = inst.ops[i];
+        if (!op.valid)
+            continue;
+        if (op.fromRF) {
+            eff[i] = op.rawReady;
+            continue;
+        }
+        forwarded[i] = true;
+        if (!op.producerComplete) {
+            eff[i] = neverCycle;
+            continue;
+        }
+        const bool zero_lat = ab.zeroAllForwardLatency ||
+            (ab.zeroIntraTraceForwardLatency &&
+             op.producerTraceInstance == inst.traceInstance) ||
+            (ab.zeroInterTraceForwardLatency &&
+             op.producerTraceInstance != inst.traceInstance);
+        if (zero_lat) {
+            eff[i] = op.rawReady;
+        } else if (interconnect_.isBus() &&
+                   op.producerCluster != inst.cluster) {
+            // Bus: the broadcast slot + uniform bus latency, computed
+            // when the producer completed.
+            eff[i] = op.remoteReady;
+        } else {
+            eff[i] = op.rawReady + interconnect_.latency(op.producerCluster,
+                                                         inst.cluster);
+        }
+    }
+
+    Readiness r;
+    const bool v0 = inst.ops[0].valid;
+    const bool v1 = inst.ops[1].valid;
+    if (v0 && v1) {
+        if (eff[1] > eff[0]) {
+            r.critical = 1;
+        } else if (eff[0] > eff[1]) {
+            r.critical = 0;
+        } else {
+            // Tie: a forwarded input is "more critical" than a
+            // register-file read; among equals prefer RS1.
+            r.critical = (forwarded[1] && !forwarded[0]) ? 1 : 0;
+        }
+    } else if (v0) {
+        r.critical = 0;
+    } else if (v1) {
+        r.critical = 1;
+    }
+
+    if (r.critical >= 0 && ab.zeroCriticalForwardLatency &&
+        forwarded[r.critical] &&
+        inst.ops[r.critical].producerComplete) {
+        // Figure 5 "No Crit Fwd Lat": only the last-arriving forwarded
+        // value is delivered with zero forwarding latency.
+        eff[r.critical] = inst.ops[r.critical].rawReady;
+    }
+
+    r.ready = 0;
+    if (v0)
+        r.ready = std::max(r.ready, eff[0]);
+    if (v1)
+        r.ready = std::max(r.ready, eff[1]);
+    return r;
+}
+
+void
+CtcpSimulator::recordCriticality(TimedInst &inst)
+{
+    const Readiness r = operandReadiness(inst);
+    inst.criticalSrc = 0;
+    inst.criticalForwarded = false;
+    inst.criticalInterTrace = false;
+    inst.criticalDistance = 0;
+    if (r.critical < 0)
+        return;
+    const OperandState &op = inst.ops[r.critical];
+    if (op.fromRF)
+        return;   // criticalSrc stays 0 (register file)
+    inst.criticalSrc = r.critical + 1;
+    inst.criticalForwarded = true;
+    inst.criticalInterTrace =
+        op.producerTraceInstance != inst.traceInstance;
+    inst.criticalDistance = interconnect_.distance(op.producerCluster,
+                                                   inst.cluster);
+    inst.criticalProducerPc = op.producerPc;
+    inst.criticalProducerProfile = op.producerProfile;
+    inst.criticalProducerCluster = op.producerCluster;
+    inst.criticalProducerTraceKey = op.producerTraceKey;
+}
+
+// ---------------------------------------------------------------------
+// Memory-dependence helpers
+// ---------------------------------------------------------------------
+
+bool
+CtcpSimulator::olderStoresDispatched(const TimedInst &load) const
+{
+    // No speculative disambiguation (Table 7): a load waits until the
+    // addresses of all older stores are resolved.
+    for (const TimedInst *st : storeWindow_) {
+        if (st->dyn.seq >= load.dyn.seq)
+            break;
+        if (!st->dispatched)
+            return false;
+    }
+    return true;
+}
+
+const TimedInst *
+CtcpSimulator::forwardingStore(const TimedInst &load) const
+{
+    const Addr word = load.dyn.effAddr >> 3;
+    const TimedInst *best = nullptr;
+    for (const TimedInst *st : storeWindow_) {
+        if (st->dyn.seq >= load.dyn.seq)
+            break;
+        if ((st->dyn.effAddr >> 3) == word)
+            best = st;   // youngest older store wins
+    }
+    return best;
+}
+
+// ---------------------------------------------------------------------
+// Dispatch hooks
+// ---------------------------------------------------------------------
+
+bool
+CtcpSimulator::readyToDispatch(const TimedInst &inst, Cycle now_cycle)
+{
+    if (operandReadiness(inst).ready > now_cycle)
+        return false;
+    if (inst.dyn.isLoadOp()) {
+        if (!olderStoresDispatched(inst))
+            return false;
+        if (dmem_.loadQueueFull(now_cycle))
+            return false;
+    }
+    return true;
+}
+
+Cycle
+CtcpSimulator::executeInst(TimedInst &inst, Cycle now_cycle)
+{
+    recordCriticality(inst);
+    profiler_.onExecute(inst);
+    if (inst.criticalForwarded && inst.criticalInterTrace)
+        policy_->noteCriticalForward(inst, *tc_);
+
+    Cycle complete = now_cycle + inst.dyn.info().execLatency;
+    if (inst.dyn.isLoadOp()) {
+        if (const TimedInst *st = forwardingStore(inst)) {
+            // In-flight store-to-load forwarding: one extra cycle past
+            // the store's address/data availability.
+            complete = std::max(complete, st->completeAt + 1);
+        } else {
+            complete = dmem_.load(inst.dyn.effAddr, complete).ready;
+        }
+    }
+    return complete;
+}
+
+// ---------------------------------------------------------------------
+// Pipeline stages (one call each per cycle)
+// ---------------------------------------------------------------------
+
+void
+CtcpSimulator::doCompletions()
+{
+    while (!completions_.empty() &&
+           completions_.top()->completeAt <= cycle_) {
+        TimedInst *inst = completions_.top();
+        completions_.pop();
+        inst->completed = true;
+        if (tracing())
+            traceEvent("complete", *inst);
+        if (interconnect_.isBus() && inst->dyn.hasDst()) {
+            // Reserve a broadcast slot on the shared result bus.
+            const Cycle slot = busSchedule_->reserve(inst->completeAt);
+            inst->busReadyAt = slot + cfg_.cluster.busLatency;
+        }
+        inst->pushCompletion();
+
+        if (inst->dyn.isBranchOp()) {
+            // Resolution (redirect timing) happens here; predictor
+            // training is deferred to in-order retirement so that the
+            // global-history register sees branches in program order
+            // regardless of completion order.
+            if (inst->dyn.isCondBranch()) {
+                ++condResolved_;
+                if (inst->mispredicted)
+                    ++condMispredicted_;
+            } else if (inst->dyn.isIndirectOp()) {
+                ++indirectResolved_;
+                if (inst->mispredicted)
+                    ++indirectMispredicted_;
+            }
+            if (inst->mispredicted)
+                fetch_->resolveGate(inst->dyn.seq, cycle_ + 1);
+        }
+    }
+}
+
+void
+CtcpSimulator::doRetire()
+{
+    for (unsigned n = 0; n < cfg_.core.retireWidth && !rob_.empty(); ++n) {
+        TimedInst *head = rob_.front().get();
+        if (!head->completed)
+            break;
+        if (head->dyn.isStoreOp()) {
+            if (!dmem_.store(head->dyn.effAddr, cycle_)) {
+                ++storeRetireStalls_;
+                break;   // store buffer full: retirement stalls
+            }
+        }
+
+        if (head->dyn.isBranchOp())
+            bpred_->update(head->dyn.pc, head->dyn.isCondBranch(),
+                           head->dyn.taken, head->dyn.targetPc);
+
+        if (tracing())
+            traceEvent("retire", *head);
+
+        fillUnit_->retire(*head, cycle_);
+        profiler_.onRetire(*head);
+
+        if (head->dyn.hasDst() &&
+            renameTable_[head->dyn.dst] == head) {
+            renameTable_[head->dyn.dst] = nullptr;
+        }
+        if (!storeWindow_.empty() && storeWindow_.front() == head)
+            storeWindow_.pop_front();
+
+        ++retired_;
+        rob_.popFront();
+    }
+}
+
+void
+CtcpSimulator::doDispatch()
+{
+    DispatchHooks hooks;
+    hooks.ready = [this](const TimedInst &inst, Cycle now_cycle) {
+        return readyToDispatch(inst, now_cycle);
+    };
+    hooks.execute = [this](TimedInst &inst, Cycle now_cycle) {
+        return executeInst(inst, now_cycle);
+    };
+    for (Cluster &cluster : clusters_) {
+        for (TimedInst *inst : cluster.dispatch(cycle_, hooks)) {
+            if (tracing())
+                traceEvent("dispatch", *inst);
+            completions_.push(inst);
+        }
+    }
+}
+
+void
+CtcpSimulator::doIssue()
+{
+    if (steering_) {
+        // Issue-time steering: the steering logic examines the whole
+        // issue buffer (one machine width of instructions) in
+        // parallel, so a blocked instruction does not prevent younger
+        // ones from being routed to other clusters this cycle.
+        steering_->newCycle(cycle_);
+        unsigned issued = 0;
+        std::size_t index = 0;
+        while (index < issueQueue_.size() &&
+               index < cfg_.core.issueWidth &&
+               issued < cfg_.core.issueWidth) {
+            TimedInst *inst = issueQueue_[index];
+            const Cycle issue_ready = inst->renameAt +
+                cfg_.frontEnd.renameStages + issueExtraStages_;
+            if (issue_ready > cycle_)
+                break;   // younger entries are not ready either
+            const ClusterId cluster = steering_->pick(*inst, clusters_);
+            if (cluster == invalidCluster) {
+                ++issueStalls_;
+                ++index;   // leave it buffered; examine the next slot
+                continue;
+            }
+            inst->cluster = cluster;
+            const bool ok =
+                clusters_[static_cast<std::size_t>(cluster)].issue(inst,
+                                                                   cycle_);
+            ctcp_assert(ok, "steering picked a cluster that rejected");
+            inst->issued = true;
+            inst->issueAt = cycle_;
+            if (tracing())
+                traceEvent("issue", *inst);
+            issueQueue_.erase(issueQueue_.begin() +
+                              static_cast<std::ptrdiff_t>(index));
+            ++issued;
+        }
+        return;
+    }
+
+    // Slot-based modes: each cluster drains its own issue-buffer slice
+    // independently, up to clusterWidth per cycle.
+    for (unsigned c = 0; c < cfg_.cluster.numClusters; ++c) {
+        auto &queue = clusterQueues_[c];
+        Cluster &cluster = clusters_[c];
+        for (unsigned n = 0; n < cfg_.cluster.clusterWidth; ++n) {
+            if (queue.empty())
+                break;
+            TimedInst *inst = queue.front();
+            const Cycle issue_ready = inst->renameAt +
+                cfg_.frontEnd.renameStages + issueExtraStages_;
+            if (issue_ready > cycle_)
+                break;
+            inst->cluster = static_cast<ClusterId>(c);
+            if (!cluster.issue(inst, cycle_)) {
+                inst->cluster = invalidCluster;
+                ++issueStalls_;
+                break;   // reservation station full or out of ports
+            }
+            inst->issued = true;
+            inst->issueAt = cycle_;
+            if (tracing())
+                traceEvent("issue", *inst);
+            queue.pop_front();
+        }
+    }
+}
+
+void
+CtcpSimulator::renameOperand(TimedInst &inst, int index, RegId reg)
+{
+    OperandState &op = inst.ops[index];
+    if (reg == invalidReg || reg == zeroReg)
+        return;   // not a real data input
+    op.valid = true;
+    TimedInst *producer = renameTable_[reg];
+    if (producer == nullptr) {
+        op.fromRF = true;
+        op.rawReady = cycle_ +
+            (cfg_.ablation.zeroRegisterFileLatency
+                 ? 0 : cfg_.core.registerFileLatency);
+        return;
+    }
+    op.fromRF = false;
+    op.producerSeq = producer->dyn.seq;
+    op.producerPc = producer->dyn.pc;
+    op.producerTraceInstance = producer->traceInstance;
+    op.producerTraceKey = producer->traceKey;
+    op.producerProfile = producer->profile;
+    op.producerPtr = producer;
+    if (producer->completed) {
+        op.producerComplete = true;
+        op.rawReady = producer->completeAt;
+        op.remoteReady = producer->busReadyAt == neverCycle
+            ? producer->completeAt : producer->busReadyAt;
+        op.producerCluster = producer->cluster;
+    } else {
+        producer->waiters.push_back(&inst);
+    }
+}
+
+void
+CtcpSimulator::doRename()
+{
+    for (unsigned n = 0; n < cfg_.core.decodeWidth; ++n) {
+        if (fetchQueue_.empty())
+            break;
+        FetchGroup &group = fetchQueue_.front();
+        if (group.readyAt + cfg_.frontEnd.decodeStages > cycle_)
+            break;
+        if (rob_.full()) {
+            ++robStalls_;
+            break;
+        }
+
+        TimedInst *inst = group.insts[frontGroupPos_].get();
+        if (inst->dyn.info().readsSrc1)
+            renameOperand(*inst, 0, inst->dyn.src1);
+        if (inst->dyn.info().readsSrc2)
+            renameOperand(*inst, 1, inst->dyn.src2);
+        if (inst->dyn.hasDst())
+            renameTable_[inst->dyn.dst] = inst;
+        inst->renameAt = cycle_;
+        if (tracing())
+            traceEvent("rename", *inst);
+
+        rob_.pushBack(std::move(group.insts[frontGroupPos_]));
+        if (steering_)
+            issueQueue_.push_back(inst);
+        else
+            clusterQueues_[static_cast<std::size_t>(slotCluster(*inst))]
+                .push_back(inst);
+        if (inst->dyn.isStoreOp())
+            storeWindow_.push_back(inst);
+
+        if (++frontGroupPos_ >= group.insts.size()) {
+            fetchQueue_.pop_front();
+            frontGroupPos_ = 0;
+        }
+    }
+}
+
+void
+CtcpSimulator::doFetch()
+{
+    if (fetchQueue_.size() >= fetchQueueCap)
+        return;
+    if (auto group = fetch_->fetchCycle(cycle_)) {
+        if (tracing()) {
+            for (const auto &inst : group->insts)
+                traceEvent(group->fromTraceCache ? "fetch-tc" : "fetch-ic",
+                           *inst);
+        }
+        fetchQueue_.push_back(std::move(*group));
+    }
+}
+
+void
+CtcpSimulator::step()
+{
+    doCompletions();
+    doRetire();
+    doDispatch();
+    doIssue();
+    doRename();
+    doFetch();
+    ++cycle_;
+}
+
+bool
+CtcpSimulator::done()
+{
+    if (cfg_.instructionLimit > 0 && retired_ >= cfg_.instructionLimit)
+        return true;
+    return fetch_->streamEnded() && fetchQueue_.empty() && rob_.empty();
+}
+
+SimResult
+CtcpSimulator::run()
+{
+    // Generous watchdog: any real run retires far faster than this.
+    const Cycle max_cycles = 1000ull +
+        200ull * (cfg_.instructionLimit ? cfg_.instructionLimit
+                                        : 100'000'000ull);
+    while (!done()) {
+        step();
+        if (cycle_ > max_cycles)
+            ctcp_panic("simulation wedged: %llu cycles, %llu retired",
+                       static_cast<unsigned long long>(cycle_),
+                       static_cast<unsigned long long>(retired_));
+    }
+    return assemble();
+}
+
+SimResult
+CtcpSimulator::assemble()
+{
+    SimResult r;
+    r.benchmark = program_.name();
+    r.strategy = steering_ ? "issue-time" : policy_->name();
+    r.cycles = cycle_;
+    r.instructions = retired_;
+
+    r.pctFromTraceCache = profiler_.pctFromTraceCache();
+    r.meanTraceSize = fetch_->meanFetchedTraceSize();
+
+    r.pctCritFromRF = profiler_.pctCriticalFromRF();
+    r.pctCritFromRs1 = profiler_.pctCriticalFromRs1();
+    r.pctCritFromRs2 = profiler_.pctCriticalFromRs2();
+
+    r.pctDepsCritical = profiler_.pctDepsCritical();
+    r.pctCritInterTrace = profiler_.pctCriticalInterTrace();
+
+    r.repeatRs1 = profiler_.repeatRs1();
+    r.repeatRs2 = profiler_.repeatRs2();
+    r.repeatRs1CritInter = profiler_.repeatRs1CritInter();
+    r.repeatRs2CritInter = profiler_.repeatRs2CritInter();
+
+    r.pctIntraClusterFwd = profiler_.pctIntraClusterForwarding();
+    r.meanFwdDistance = profiler_.meanForwardingDistance();
+
+    if (fdrt_) {
+        const FdrtOptionStats &o = fdrt_->optionStats();
+        const std::uint64_t total = o.total();
+        r.pctOptionA = percent(o.optionA, total);
+        r.pctOptionB = percent(o.optionB, total);
+        r.pctOptionC = percent(o.optionC, total);
+        r.pctOptionD = percent(o.optionD, total);
+        r.pctOptionE = percent(o.optionE, total);
+        r.pctSkipped = percent(o.skipped, total);
+    }
+
+    r.migrationAllPct = profiler_.migrationAllPct();
+    r.migrationChainPct = profiler_.migrationChainPct();
+
+    r.bpredAccuracy =
+        100.0 - percent(condMispredicted_.value(), condResolved_.value());
+    r.tcHitRate = percent(tc_->hits(), tc_->hits() + tc_->misses());
+    r.mispredicts = condMispredicted_.value() + indirectMispredicted_.value();
+
+    StatDump dump;
+    dump.note("benchmark", r.benchmark);
+    dump.note("strategy", r.strategy);
+    dump.scalar("cycles", r.cycles);
+    dump.scalar("instructions", r.instructions);
+    dump.scalar("ipc", r.ipc());
+    dump.scalar("cond_resolved", condResolved_.value());
+    dump.scalar("cond_mispredicted", condMispredicted_.value());
+    dump.scalar("indirect_resolved", indirectResolved_.value());
+    dump.scalar("indirect_mispredicted", indirectMispredicted_.value());
+    dump.scalar("rob_stalls", robStalls_.value());
+    dump.scalar("issue_stalls", issueStalls_.value());
+    dump.scalar("store_retire_stalls", storeRetireStalls_.value());
+    for (std::size_t c = 0; c < clusters_.size(); ++c)
+        dump.scalar("cluster" + std::to_string(c) + ".dispatched",
+                    clusters_[c].dispatched());
+    if (fdrt_) {
+        dump.scalar("fdrt.option_a_pct", r.pctOptionA);
+        dump.scalar("fdrt.option_b_pct", r.pctOptionB);
+        dump.scalar("fdrt.option_c_pct", r.pctOptionC);
+        dump.scalar("fdrt.option_d_pct", r.pctOptionD);
+        dump.scalar("fdrt.option_e_pct", r.pctOptionE);
+        dump.scalar("fdrt.skipped_pct", r.pctSkipped);
+        dump.scalar("fdrt.promotions", fdrt_->promotions());
+        dump.scalar("fdrt.pins", static_cast<std::uint64_t>(
+            fdrt_->pinCount()));
+    }
+    profiler_.dumpStats(dump);
+    fetch_->dumpStats(dump);
+    tc_->dumpStats(dump);
+    fillUnit_->dumpStats(dump);
+    bpred_->dumpStats(dump);
+    dmem_.dumpStats(dump);
+    r.statsText = dump.render();
+    return r;
+}
+
+} // namespace ctcp

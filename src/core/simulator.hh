@@ -1,0 +1,187 @@
+/**
+ * @file
+ * CtcpSimulator — the public entry point of the library.
+ *
+ * Wires together the functional simulator, the trace-cache front end,
+ * the fill unit with its retire-time assignment policy, four execution
+ * clusters with the inter-cluster forwarding network, and the data
+ * memory hierarchy, and advances them cycle by cycle.
+ *
+ * Typical use:
+ * @code
+ *   SimConfig cfg = baseConfig();
+ *   cfg.assign.strategy = AssignStrategy::Fdrt;
+ *   Program prog = workloads::build("gzip");
+ *   CtcpSimulator sim(cfg, prog);
+ *   SimResult r = sim.run();
+ * @endcode
+ */
+
+#ifndef CTCPSIM_CORE_SIMULATOR_HH
+#define CTCPSIM_CORE_SIMULATOR_HH
+
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "assign/issue_time_steering.hh"
+#include "bpred/predictor.hh"
+#include "cluster/cluster.hh"
+#include "cluster/interconnect.hh"
+#include "common/circular_queue.hh"
+#include "config/sim_config.hh"
+#include "core/fetch.hh"
+#include "core/profiler.hh"
+#include "core/sim_result.hh"
+#include "func/executor.hh"
+#include "mem/dmem.hh"
+#include "prog/program.hh"
+#include "tracecache/fill_unit.hh"
+#include "tracecache/trace_cache.hh"
+
+namespace ctcp {
+
+class FdrtAssignment;
+
+/** Cycle-level clustered trace cache processor simulator. */
+class CtcpSimulator
+{
+  public:
+    /**
+     * @param cfg      validated machine configuration
+     * @param program  workload (not owned; must outlive the simulator)
+     */
+    CtcpSimulator(const SimConfig &cfg, const Program &program);
+    ~CtcpSimulator();
+
+    CtcpSimulator(const CtcpSimulator &) = delete;
+    CtcpSimulator &operator=(const CtcpSimulator &) = delete;
+
+    /** Run to the instruction limit (or program end) and report. */
+    SimResult run();
+
+    /** Advance exactly one cycle (exposed for tests). */
+    void step();
+
+    /** Simulation has nothing left to do. */
+    bool done();
+
+    Cycle now() const { return cycle_; }
+    std::uint64_t retired() const { return retired_; }
+
+    const Profiler &profiler() const { return profiler_; }
+    const TraceCache &traceCache() const { return *tc_; }
+    const BranchPredictor &branchPredictor() const { return *bpred_; }
+
+  private:
+    void doCompletions();
+    void doRetire();
+    void doDispatch();
+    void doIssue();
+    void doRename();
+    void doFetch();
+
+    void renameOperand(TimedInst &inst, int index, RegId reg);
+    ClusterId slotCluster(const TimedInst &inst) const;
+
+    /**
+     * Effective readiness of both operands at the instruction's
+     * cluster, with Figure 5 ablations applied, and the index of the
+     * critical (last-arriving) operand (-1 when no register inputs).
+     */
+    struct Readiness
+    {
+        Cycle ready = 0;
+        int critical = -1;
+    };
+    Readiness operandReadiness(const TimedInst &inst) const;
+
+    bool readyToDispatch(const TimedInst &inst, Cycle now_cycle);
+    Cycle executeInst(TimedInst &inst, Cycle now_cycle);
+    void recordCriticality(TimedInst &inst);
+
+    bool olderStoresDispatched(const TimedInst &load) const;
+    const TimedInst *forwardingStore(const TimedInst &load) const;
+
+    SimConfig cfg_;
+    const Program &program_;
+
+    // Substrates.
+    Executor exec_;
+    DataMemorySystem dmem_;
+    InstMemory imem_;
+    std::unique_ptr<BranchPredictor> bpred_;
+    std::unique_ptr<TraceCache> tc_;
+    Interconnect interconnect_;
+    std::vector<Cluster> clusters_;
+
+    // Assignment policy (retire-time) and issue-time steering.
+    std::unique_ptr<RetireAssignmentPolicy> policy_;
+    FdrtAssignment *fdrt_ = nullptr;   ///< non-null when strategy is FDRT
+    std::unique_ptr<FillUnit> fillUnit_;
+    std::unique_ptr<IssueTimeSteering> steering_;
+
+    std::unique_ptr<FetchEngine> fetch_;
+    Profiler profiler_;
+
+    // Pipeline state.
+    std::deque<FetchGroup> fetchQueue_;
+    static constexpr std::size_t fetchQueueCap = 4;
+    /** Position of the next instruction to rename in the front group. */
+    std::size_t frontGroupPos_ = 0;
+
+    CircularQueue<std::unique_ptr<TimedInst>> rob_;
+    /** Issue-time steering mode: one in-order queue (steering redirects). */
+    std::deque<TimedInst *> issueQueue_;
+    /**
+     * Slot-based modes: one FIFO per cluster, mirroring the per-cluster
+     * issue-buffer slices of the CTCP (a backed-up cluster does not
+     * block the others).
+     */
+    std::vector<std::deque<TimedInst *>> clusterQueues_;
+    std::vector<TimedInst *> renameTable_;
+    std::deque<TimedInst *> storeWindow_;
+
+    struct CompareComplete
+    {
+        bool
+        operator()(const TimedInst *a, const TimedInst *b) const
+        {
+            return a->completeAt > b->completeAt;
+        }
+    };
+    std::priority_queue<TimedInst *, std::vector<TimedInst *>,
+                        CompareComplete> completions_;
+    /** Shared result-bus broadcast slots (bus interconnect mode only). */
+    std::unique_ptr<PortSchedule> busSchedule_;
+
+    Cycle cycle_ = 0;
+    std::uint64_t retired_ = 0;
+    unsigned issueExtraStages_ = 0;
+
+    // Pipeline tracing (DebugConfig): one line per pipeline event for
+    // the first debug.traceCycles cycles.
+    FILE *traceFile_ = nullptr;
+    bool tracing() const
+    {
+        return traceFile_ != nullptr && cycle_ < cfg_.debug.traceCycles;
+    }
+    void traceEvent(const char *stage, const TimedInst &inst);
+
+    // Counters.
+    Counter condResolved_;
+    Counter condMispredicted_;
+    Counter indirectResolved_;
+    Counter indirectMispredicted_;
+    Counter robStalls_;
+    Counter issueStalls_;
+    Counter storeRetireStalls_;
+
+    SimResult assemble();
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_CORE_SIMULATOR_HH

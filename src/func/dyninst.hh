@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Committed dynamic-instruction record.
+ *
+ * The functional simulator emits one DynInst per architecturally
+ * executed instruction; the timing model consumes this stream
+ * (trace-driven, execute-at-commit). A DynInst carries everything the
+ * CTCP pipeline needs: operands, FU class, effective address, and the
+ * resolved control-flow outcome used to evaluate the branch predictor.
+ */
+
+#ifndef CTCPSIM_FUNC_DYNINST_HH
+#define CTCPSIM_FUNC_DYNINST_HH
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace ctcp {
+
+/** One committed dynamic instruction. */
+struct DynInst
+{
+    InstSeqNum seq = 0;
+    /** Word PC of this instruction. */
+    Addr pc = 0;
+    Opcode op = Opcode::Nop;
+
+    RegId dst = invalidReg;
+    RegId src1 = invalidReg;
+    RegId src2 = invalidReg;
+
+    /** Byte effective address (memory ops only). */
+    Addr effAddr = 0;
+
+    /** Actual next word PC (fall-through or taken target). */
+    Addr nextPc = 0;
+    /** Taken target (branches only; == nextPc when taken). */
+    Addr targetPc = 0;
+    /** Branch outcome (branches only). */
+    bool taken = false;
+
+    const OpcodeInfo &info() const { return opcodeInfo(op); }
+    FuKind fu() const { return info().fu; }
+
+    bool isBranchOp() const { return ctcp::isBranch(op); }
+    bool isCondBranch() const { return isConditionalBranch(op); }
+    bool isIndirectOp() const { return isIndirect(op); }
+    bool isCallOp() const { return isCall(op); }
+    bool isReturnOp() const { return isReturn(op); }
+    bool isLoadOp() const { return isLoad(op); }
+    bool isStoreOp() const { return isStore(op); }
+    bool isMem() const { return isMemOp(op); }
+
+    bool hasDst() const { return info().writesDst && dst != zeroReg; }
+    bool hasSrc1() const { return info().readsSrc1 && src1 != invalidReg; }
+    bool hasSrc2() const { return info().readsSrc2 && src2 != invalidReg; }
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_FUNC_DYNINST_HH

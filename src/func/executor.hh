@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Functional simulator: architecturally executes a Program, producing
+ * the committed DynInst stream that drives the timing model.
+ *
+ * This plays the role SimpleScalar's sim-fast plays in the paper's
+ * methodology: a fast ISA-level interpreter whose committed stream is
+ * consumed by the detailed cycle-level model.
+ */
+
+#ifndef CTCPSIM_FUNC_EXECUTOR_HH
+#define CTCPSIM_FUNC_EXECUTOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "func/dyninst.hh"
+#include "func/memory.hh"
+#include "prog/program.hh"
+
+namespace ctcp {
+
+/** ISA-level interpreter over a Program. */
+class Executor
+{
+  public:
+    /** Binds to @p program (not owned; must outlive the executor). */
+    explicit Executor(const Program &program);
+
+    /**
+     * Execute one instruction.
+     *
+     * @param out filled with the committed instruction record.
+     * @return false once Halt has executed (out is still valid for the
+     *         Halt itself on the call that executes it).
+     */
+    bool step(DynInst &out);
+
+    /** True once Halt has been executed. */
+    bool halted() const { return halted_; }
+
+    /** Instructions committed so far. */
+    InstSeqNum committed() const { return nextSeq_; }
+
+    /** Current architectural PC (word index). */
+    Addr pc() const { return pc_; }
+
+    /** Architectural register read (r0 reads as zero). */
+    std::int64_t readReg(RegId r) const;
+
+    /** Architectural register write (writes to r0 are discarded). */
+    void writeReg(RegId r, std::int64_t value);
+
+    /** Direct access to simulated memory (used by tests/workload init). */
+    SparseMemory &memory() { return mem_; }
+    const SparseMemory &memory() const { return mem_; }
+
+    /** Reset architectural state and restart at the entry point. */
+    void reset();
+
+  private:
+    const Program &program_;
+    SparseMemory mem_;
+    std::array<std::int64_t, numArchRegs> regs_{};
+    Addr pc_;
+    InstSeqNum nextSeq_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_FUNC_EXECUTOR_HH

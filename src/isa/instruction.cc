@@ -1,0 +1,47 @@
+#include "isa/instruction.hh"
+
+#include <cstdio>
+
+namespace ctcp {
+
+namespace {
+
+std::string
+regName(RegId r)
+{
+    if (r == invalidReg)
+        return "-";
+    char buf[8];
+    if (r < numIntRegs)
+        std::snprintf(buf, sizeof(buf), "r%u", static_cast<unsigned>(r));
+    else
+        std::snprintf(buf, sizeof(buf), "f%u",
+                      static_cast<unsigned>(r) - numIntRegs);
+    return buf;
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const OpcodeInfo &info = inst.info();
+    std::string out(info.mnemonic);
+    bool first = true;
+    auto sep = [&]() -> const char * {
+        const char *s = first ? " " : ", ";
+        first = false;
+        return s;
+    };
+    if (info.writesDst)
+        out += sep() + regName(inst.dst);
+    if (info.readsSrc1)
+        out += sep() + regName(inst.src1);
+    if (info.readsSrc2)
+        out += sep() + regName(inst.src2);
+    if (info.hasImmediate)
+        out += sep() + std::to_string(inst.imm);
+    return out;
+}
+
+} // namespace ctcp

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Static instruction representation and register-file layout.
+ *
+ * The machine has 32 integer registers (r0 hardwired to zero, r31 the
+ * conventional link register) and 32 FP registers (ids 32..63). RegId
+ * is a flat 0..63 space so dependency tracking never needs to care
+ * which file a register lives in.
+ */
+
+#ifndef CTCPSIM_ISA_INSTRUCTION_HH
+#define CTCPSIM_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace ctcp {
+
+/** Number of integer architectural registers. */
+inline constexpr unsigned numIntRegs = 32;
+/** Number of FP architectural registers. */
+inline constexpr unsigned numFpRegs = 32;
+/** Total architectural registers (flat id space). */
+inline constexpr unsigned numArchRegs = numIntRegs + numFpRegs;
+
+/** Integer register id helper (0..31). */
+constexpr RegId
+intReg(unsigned n)
+{
+    return static_cast<RegId>(n);
+}
+
+/** FP register id helper (0..31 -> flat 32..63). */
+constexpr RegId
+fpReg(unsigned n)
+{
+    return static_cast<RegId>(numIntRegs + n);
+}
+
+/** The hardwired zero register. */
+inline constexpr RegId zeroReg = 0;
+/** The conventional link register used by Call/Ret. */
+inline constexpr RegId linkReg = 31;
+
+/** Instruction word size in bytes (PCs advance by this amount). */
+inline constexpr Addr instBytes = 4;
+
+/**
+ * One static instruction. Branch targets are stored as absolute
+ * instruction indices (word PCs), resolved by ProgramBuilder.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegId dst = invalidReg;
+    RegId src1 = invalidReg;
+    RegId src2 = invalidReg;
+    /** Immediate operand, memory displacement, or branch target index. */
+    std::int64_t imm = 0;
+
+    const OpcodeInfo &info() const { return opcodeInfo(op); }
+
+    bool hasDst() const { return info().writesDst && dst != zeroReg; }
+    bool hasSrc1() const { return info().readsSrc1 && src1 != invalidReg; }
+    bool hasSrc2() const { return info().readsSrc2 && src2 != invalidReg; }
+};
+
+/** Disassemble one instruction (labels rendered as absolute indices). */
+std::string disassemble(const Instruction &inst);
+
+} // namespace ctcp
+
+#endif // CTCPSIM_ISA_INSTRUCTION_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Opcode and functional-unit-class definitions for the ctcpsim ISA.
+ *
+ * The ISA is a minimal load/store RISC designed so that the dynamic
+ * stream carries exactly the information the clustered trace cache
+ * processor cares about: up to two register sources, at most one
+ * register destination, a functional-unit class, and control-flow
+ * semantics. Functional-unit classes match Figure 3 / Table 7 of the
+ * paper: two simple integer ALUs, one integer memory unit, one branch
+ * unit (shared by integer and FP branches), one complex integer unit,
+ * one basic FP unit, one complex FP unit and one FP memory unit per
+ * cluster.
+ */
+
+#ifndef CTCPSIM_ISA_OPCODES_HH
+#define CTCPSIM_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace ctcp {
+
+/** Functional-unit classes (one reservation-station routing class each). */
+enum class FuKind : std::uint8_t
+{
+    IntAlu,     ///< simple integer: add/sub/logic/shift/compare/moves
+    IntMem,     ///< integer loads and stores (address generation)
+    Branch,     ///< all control transfers (integer and FP conditions)
+    IntComplex, ///< integer multiply/divide/remainder
+    FpBasic,    ///< FP add/sub/compare/convert
+    FpComplex,  ///< FP multiply/divide/sqrt
+    FpMem,      ///< FP loads and stores
+    NumKinds,
+};
+
+/** All machine opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Simple integer (FuKind::IntAlu).
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+    AddI, AndI, OrI, XorI, SllI, SrlI, SltI,
+    MovI,   ///< dst = imm
+    Mov,    ///< dst = src1
+
+    // Complex integer (FuKind::IntComplex).
+    Mul, Div, Rem,
+
+    // Integer memory (FuKind::IntMem).
+    Load,   ///< dst = mem[src1 + imm]
+    Store,  ///< mem[src1 + imm] = src2
+
+    // Control transfers (FuKind::Branch).
+    Beq, Bne, Blt, Bge,   ///< conditional, compare src1 vs src2
+    Jump,                  ///< unconditional direct
+    JumpReg,               ///< unconditional indirect through src1
+    Call,                  ///< direct call; dst receives return address
+    Ret,                   ///< indirect return through src1
+
+    // Basic FP (FuKind::FpBasic). Operands are IEEE double bit patterns.
+    FAdd, FSub, FNeg, FCmpLt, FCvtIF, FCvtFI,
+
+    // Complex FP (FuKind::FpComplex).
+    FMul, FDiv, FSqrt,
+
+    // FP memory (FuKind::FpMem).
+    FLoad, FStore,
+
+    // Pseudo-ops.
+    Nop,    ///< no effect (FuKind::IntAlu)
+    Halt,   ///< terminates the program (FuKind::IntAlu)
+
+    NumOpcodes,
+};
+
+/** Static per-opcode properties. */
+struct OpcodeInfo
+{
+    std::string_view mnemonic;
+    FuKind fu;
+    /** Execution latency in cycles (memory ops: address generation only). */
+    std::uint8_t execLatency;
+    /** Cycles before the FU can accept another op (1 == fully pipelined). */
+    std::uint8_t issueLatency;
+    bool readsSrc1;
+    bool readsSrc2;
+    bool writesDst;
+    bool hasImmediate;
+};
+
+/** Table lookup for a given opcode's static properties. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Convenience predicates. */
+bool isBranch(Opcode op);
+bool isConditionalBranch(Opcode op);
+bool isIndirect(Opcode op);
+bool isCall(Opcode op);
+bool isReturn(Opcode op);
+bool isLoad(Opcode op);
+bool isStore(Opcode op);
+bool isMemOp(Opcode op);
+
+/** Human-readable FU class name (for stats and disassembly). */
+std::string_view fuKindName(FuKind kind);
+
+} // namespace ctcp
+
+#endif // CTCPSIM_ISA_OPCODES_HH

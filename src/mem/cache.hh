@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Generic set-associative tag array with true-LRU replacement.
+ *
+ * Used for L1D, unified L2, L1I and (over page numbers) the D-TLB.
+ * This is a timing model only — data contents live in the functional
+ * simulator's SparseMemory — so the cache tracks tags, not bytes.
+ */
+
+#ifndef CTCPSIM_MEM_CACHE_HH
+#define CTCPSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace ctcp {
+
+/** Tag-only set-associative cache with LRU replacement. */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param sets        number of sets (power of two)
+     * @param assoc       ways per set
+     * @param line_bytes  bytes per line (power of two)
+     */
+    SetAssocCache(unsigned sets, unsigned assoc, unsigned line_bytes);
+
+    /**
+     * Look up @p addr; on a miss, optionally allocate (evicting LRU).
+     *
+     * @return true on hit.
+     */
+    bool access(Addr addr, bool allocate = true);
+
+    /** Look up without changing any state (for tests and probes). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate the line containing @p addr if present. */
+    void invalidate(Addr addr);
+
+    /** Drop all lines. */
+    void reset();
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    unsigned sets() const { return sets_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned lineBytes() const { return lineBytes_; }
+
+    /** Line-aligned address (identifies a cache line). */
+    Addr lineAddr(Addr addr) const { return addr >> lineShift_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned setIndex(Addr line) const { return line & (sets_ - 1); }
+    Addr tagOf(Addr line) const { return line >> setsLog2_; }
+
+    unsigned sets_;
+    unsigned assoc_;
+    unsigned lineBytes_;
+    unsigned lineShift_;
+    unsigned setsLog2_;
+    std::vector<Way> ways_;   ///< sets_ * assoc_, row-major by set
+    std::uint64_t useClock_ = 0;
+    Counter hits_;
+    Counter misses_;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_MEM_CACHE_HH

@@ -1,0 +1,48 @@
+#include "mem/mshr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ctcp {
+
+MshrFile::MshrFile(unsigned entries)
+    : capacity_(entries)
+{
+    ctcp_assert(entries > 0, "MSHR file needs at least one entry");
+}
+
+void
+MshrFile::expire(Cycle now)
+{
+    std::erase_if(entries_, [now](const Entry &e) { return e.ready <= now; });
+}
+
+Cycle
+MshrFile::outstanding(Addr line) const
+{
+    for (const Entry &e : entries_)
+        if (e.line == line)
+            return e.ready;
+    return neverCycle;
+}
+
+void
+MshrFile::allocate(Addr line, Cycle ready)
+{
+    ctcp_assert(!full(), "allocate on a full MSHR file");
+    ctcp_assert(outstanding(line) == neverCycle,
+                "duplicate MSHR allocation for one line");
+    entries_.push_back({line, ready});
+}
+
+Cycle
+MshrFile::earliestReady() const
+{
+    Cycle best = neverCycle;
+    for (const Entry &e : entries_)
+        best = std::min(best, e.ready);
+    return best;
+}
+
+} // namespace ctcp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Miss-status holding registers: track outstanding cache-line fills so
+ * that misses to the same line merge, and so the miss count in flight
+ * is bounded (16 MSHRs in the paper's configuration).
+ */
+
+#ifndef CTCPSIM_MEM_MSHR_HH
+#define CTCPSIM_MEM_MSHR_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace ctcp {
+
+/** Fixed-size MSHR file keyed by cache-line address. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned entries);
+
+    /**
+     * Reclaim entries whose fill completed at or before @p now.
+     * Call once per request before allocate/lookup.
+     */
+    void expire(Cycle now);
+
+    /** Fill-completion cycle of an outstanding miss, or neverCycle. */
+    Cycle outstanding(Addr line) const;
+
+    /** True if no free entry remains (after expire()). */
+    bool full() const { return entries_.size() >= capacity_; }
+
+    /**
+     * Track a new outstanding fill.
+     * @pre !full() and no entry for @p line exists.
+     */
+    void allocate(Addr line, Cycle ready);
+
+    /** Earliest completion among outstanding fills (neverCycle if none). */
+    Cycle earliestReady() const;
+
+    std::size_t inFlight() const { return entries_.size(); }
+    std::uint64_t merges() const { return merges_.value(); }
+
+    /** Count a merged (secondary) miss; bookkeeping for stats. */
+    void noteMerge() { ++merges_; }
+
+  private:
+    struct Entry
+    {
+        Addr line;
+        Cycle ready;
+    };
+
+    unsigned capacity_;
+    std::vector<Entry> entries_;
+    Counter merges_;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_MEM_MSHR_HH

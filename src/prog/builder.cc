@@ -1,0 +1,261 @@
+#include "prog/builder.hh"
+
+#include "common/logging.hh"
+
+namespace ctcp {
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : name_(std::move(name))
+{}
+
+ProgramBuilder &
+ProgramBuilder::emit(Instruction inst)
+{
+    ctcp_assert(!built_, "emit after build()");
+    if (activeStrand_ >= 0) {
+        strands_[static_cast<std::size_t>(activeStrand_)].push_back(inst);
+        return *this;
+    }
+    code_.push_back(inst);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::beginStrands(unsigned count)
+{
+    ctcp_assert(activeStrand_ < 0, "beginStrands while already weaving");
+    ctcp_assert(count > 0, "need at least one strand");
+    strands_.assign(count, {});
+    activeStrand_ = 0;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::strand(unsigned index)
+{
+    ctcp_assert(activeStrand_ >= 0, "strand() outside beginStrands");
+    ctcp_assert(index < strands_.size(), "strand index out of range");
+    activeStrand_ = static_cast<int>(index);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::weave()
+{
+    ctcp_assert(activeStrand_ >= 0, "weave() outside beginStrands");
+    activeStrand_ = -1;
+    std::size_t remaining = 0;
+    for (const auto &s : strands_)
+        remaining += s.size();
+    std::vector<std::size_t> pos(strands_.size(), 0);
+    while (remaining > 0) {
+        for (std::size_t k = 0; k < strands_.size(); ++k) {
+            if (pos[k] < strands_[k].size()) {
+                code_.push_back(strands_[k][pos[k]++]);
+                --remaining;
+            }
+        }
+    }
+    strands_.clear();
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    ctcp_assert(activeStrand_ < 0, "labels are not allowed in strands");
+    auto [it, inserted] = labels_.emplace(name, code_.size());
+    (void)it;
+    if (!inserted)
+        ctcp_fatal("duplicate label '%s' in program '%s'",
+                   name.c_str(), name_.c_str());
+    return *this;
+}
+
+// Three-register ALU helper macro keeps the emitter table readable.
+#define CTCP_RRR(method, opcode)                                        \
+    ProgramBuilder &                                                    \
+    ProgramBuilder::method(RegId d, RegId a, RegId b)                   \
+    {                                                                   \
+        return emit({Opcode::opcode, d, a, b, 0});                      \
+    }
+
+#define CTCP_RRI(method, opcode)                                        \
+    ProgramBuilder &                                                    \
+    ProgramBuilder::method(RegId d, RegId a, std::int64_t imm)          \
+    {                                                                   \
+        return emit({Opcode::opcode, d, a, invalidReg, imm});           \
+    }
+
+#define CTCP_RR(method, opcode)                                         \
+    ProgramBuilder &                                                    \
+    ProgramBuilder::method(RegId d, RegId a)                            \
+    {                                                                   \
+        return emit({Opcode::opcode, d, a, invalidReg, 0});             \
+    }
+
+CTCP_RRR(add, Add)
+CTCP_RRR(sub, Sub)
+CTCP_RRR(and_, And)
+CTCP_RRR(or_, Or)
+CTCP_RRR(xor_, Xor)
+CTCP_RRR(sll, Sll)
+CTCP_RRR(srl, Srl)
+CTCP_RRR(sra, Sra)
+CTCP_RRR(slt, Slt)
+CTCP_RRR(sltu, Sltu)
+CTCP_RRI(addi, AddI)
+CTCP_RRI(andi, AndI)
+CTCP_RRI(ori, OrI)
+CTCP_RRI(xori, XorI)
+CTCP_RRI(slli, SllI)
+CTCP_RRI(srli, SrlI)
+CTCP_RRI(slti, SltI)
+CTCP_RR(mov, Mov)
+CTCP_RRR(mul, Mul)
+CTCP_RRR(div, Div)
+CTCP_RRR(rem, Rem)
+CTCP_RRR(fadd, FAdd)
+CTCP_RRR(fsub, FSub)
+CTCP_RR(fneg, FNeg)
+CTCP_RRR(fcmplt, FCmpLt)
+CTCP_RR(fcvtif, FCvtIF)
+CTCP_RR(fcvtfi, FCvtFI)
+CTCP_RRR(fmul, FMul)
+CTCP_RRR(fdiv, FDiv)
+CTCP_RR(fsqrt, FSqrt)
+
+#undef CTCP_RRR
+#undef CTCP_RRI
+#undef CTCP_RR
+
+ProgramBuilder &
+ProgramBuilder::movi(RegId d, std::int64_t imm)
+{
+    return emit({Opcode::MovI, d, invalidReg, invalidReg, imm});
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    return emit({Opcode::Nop, invalidReg, invalidReg, invalidReg, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::load(RegId d, RegId a, std::int64_t offset)
+{
+    return emit({Opcode::Load, d, a, invalidReg, offset});
+}
+
+ProgramBuilder &
+ProgramBuilder::store(RegId v, RegId a, std::int64_t offset)
+{
+    return emit({Opcode::Store, invalidReg, a, v, offset});
+}
+
+ProgramBuilder &
+ProgramBuilder::fload(RegId d, RegId a, std::int64_t offset)
+{
+    return emit({Opcode::FLoad, d, a, invalidReg, offset});
+}
+
+ProgramBuilder &
+ProgramBuilder::fstore(RegId v, RegId a, std::int64_t offset)
+{
+    return emit({Opcode::FStore, invalidReg, a, v, offset});
+}
+
+ProgramBuilder &
+ProgramBuilder::emitBranch(Opcode op, RegId a, RegId b,
+                           const std::string &target)
+{
+    ctcp_assert(activeStrand_ < 0, "branches are not allowed in strands");
+    fixups_.emplace_back(code_.size(), target);
+    return emit({op, invalidReg, a, b, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::beq(RegId a, RegId b, const std::string &target)
+{
+    return emitBranch(Opcode::Beq, a, b, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bne(RegId a, RegId b, const std::string &target)
+{
+    return emitBranch(Opcode::Bne, a, b, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::blt(RegId a, RegId b, const std::string &target)
+{
+    return emitBranch(Opcode::Blt, a, b, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::bge(RegId a, RegId b, const std::string &target)
+{
+    return emitBranch(Opcode::Bge, a, b, target);
+}
+
+ProgramBuilder &
+ProgramBuilder::jump(const std::string &target)
+{
+    ctcp_assert(activeStrand_ < 0, "branches are not allowed in strands");
+    fixups_.emplace_back(code_.size(), target);
+    return emit({Opcode::Jump, invalidReg, invalidReg, invalidReg, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::jumpReg(RegId a)
+{
+    ctcp_assert(activeStrand_ < 0, "branches are not allowed in strands");
+    return emit({Opcode::JumpReg, invalidReg, a, invalidReg, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::call(const std::string &target, RegId link)
+{
+    ctcp_assert(activeStrand_ < 0, "branches are not allowed in strands");
+    fixups_.emplace_back(code_.size(), target);
+    return emit({Opcode::Call, link, invalidReg, invalidReg, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::ret(RegId link)
+{
+    ctcp_assert(activeStrand_ < 0, "branches are not allowed in strands");
+    return emit({Opcode::Ret, invalidReg, link, invalidReg, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    return emit({Opcode::Halt, invalidReg, invalidReg, invalidReg, 0});
+}
+
+ProgramBuilder &
+ProgramBuilder::data(Addr base, std::vector<std::int64_t> words)
+{
+    data_.push_back({base, std::move(words)});
+    return *this;
+}
+
+Program
+ProgramBuilder::build()
+{
+    ctcp_assert(!built_, "build() called twice");
+    built_ = true;
+    for (const auto &[index, target] : fixups_) {
+        auto it = labels_.find(target);
+        if (it == labels_.end())
+            ctcp_fatal("undefined label '%s' in program '%s'",
+                       target.c_str(), name_.c_str());
+        code_[index].imm = static_cast<std::int64_t>(it->second);
+    }
+    if (code_.empty())
+        ctcp_fatal("program '%s' has no instructions", name_.c_str());
+    return Program(name_, std::move(code_), std::move(data_));
+}
+
+} // namespace ctcp

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Embedded assembler DSL for authoring synthetic workloads.
+ *
+ * ProgramBuilder accumulates instructions, resolves symbolic labels to
+ * absolute instruction indices at build() time, and carries initial
+ * data blocks. Workload kernels (src/workload/) are written entirely
+ * against this interface.
+ *
+ * Example:
+ * @code
+ *   ProgramBuilder b("loop-demo");
+ *   b.movi(intReg(1), 0);
+ *   b.label("top");
+ *   b.addi(intReg(1), intReg(1), 1);
+ *   b.slti(intReg(2), intReg(1), 100);
+ *   b.bne(intReg(2), zeroReg, "top");
+ *   b.halt();
+ *   Program p = b.build();
+ * @endcode
+ */
+
+#ifndef CTCPSIM_PROG_BUILDER_HH
+#define CTCPSIM_PROG_BUILDER_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace ctcp {
+
+/** Incremental builder producing a validated Program. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(std::string name);
+
+    // ---- Labels -------------------------------------------------------
+
+    /** Define @p name at the current code position. Names are unique. */
+    ProgramBuilder &label(const std::string &name);
+
+    /** Current instruction index (useful for computed jump tables). */
+    Addr here() const { return code_.size(); }
+
+    // ---- Simple integer ------------------------------------------------
+
+    ProgramBuilder &add(RegId d, RegId a, RegId b);
+    ProgramBuilder &sub(RegId d, RegId a, RegId b);
+    ProgramBuilder &and_(RegId d, RegId a, RegId b);
+    ProgramBuilder &or_(RegId d, RegId a, RegId b);
+    ProgramBuilder &xor_(RegId d, RegId a, RegId b);
+    ProgramBuilder &sll(RegId d, RegId a, RegId b);
+    ProgramBuilder &srl(RegId d, RegId a, RegId b);
+    ProgramBuilder &sra(RegId d, RegId a, RegId b);
+    ProgramBuilder &slt(RegId d, RegId a, RegId b);
+    ProgramBuilder &sltu(RegId d, RegId a, RegId b);
+    ProgramBuilder &addi(RegId d, RegId a, std::int64_t imm);
+    ProgramBuilder &andi(RegId d, RegId a, std::int64_t imm);
+    ProgramBuilder &ori(RegId d, RegId a, std::int64_t imm);
+    ProgramBuilder &xori(RegId d, RegId a, std::int64_t imm);
+    ProgramBuilder &slli(RegId d, RegId a, std::int64_t imm);
+    ProgramBuilder &srli(RegId d, RegId a, std::int64_t imm);
+    ProgramBuilder &slti(RegId d, RegId a, std::int64_t imm);
+    ProgramBuilder &movi(RegId d, std::int64_t imm);
+    ProgramBuilder &mov(RegId d, RegId a);
+    ProgramBuilder &nop();
+
+    // ---- Complex integer ----------------------------------------------
+
+    ProgramBuilder &mul(RegId d, RegId a, RegId b);
+    ProgramBuilder &div(RegId d, RegId a, RegId b);
+    ProgramBuilder &rem(RegId d, RegId a, RegId b);
+
+    // ---- Integer memory -------------------------------------------------
+
+    /** d = mem64[a + offset] */
+    ProgramBuilder &load(RegId d, RegId a, std::int64_t offset = 0);
+    /** mem64[a + offset] = v */
+    ProgramBuilder &store(RegId v, RegId a, std::int64_t offset = 0);
+
+    // ---- Control flow ----------------------------------------------------
+
+    ProgramBuilder &beq(RegId a, RegId b, const std::string &target);
+    ProgramBuilder &bne(RegId a, RegId b, const std::string &target);
+    ProgramBuilder &blt(RegId a, RegId b, const std::string &target);
+    ProgramBuilder &bge(RegId a, RegId b, const std::string &target);
+    ProgramBuilder &jump(const std::string &target);
+    ProgramBuilder &jumpReg(RegId a);
+    /** Direct call; the return address lands in @p link. */
+    ProgramBuilder &call(const std::string &target, RegId link = linkReg);
+    /** Indirect return through @p link. */
+    ProgramBuilder &ret(RegId link = linkReg);
+    ProgramBuilder &halt();
+
+    // ---- Floating point --------------------------------------------------
+
+    ProgramBuilder &fadd(RegId d, RegId a, RegId b);
+    ProgramBuilder &fsub(RegId d, RegId a, RegId b);
+    ProgramBuilder &fneg(RegId d, RegId a);
+    ProgramBuilder &fcmplt(RegId d, RegId a, RegId b);
+    ProgramBuilder &fcvtif(RegId d, RegId a);
+    ProgramBuilder &fcvtfi(RegId d, RegId a);
+    ProgramBuilder &fmul(RegId d, RegId a, RegId b);
+    ProgramBuilder &fdiv(RegId d, RegId a, RegId b);
+    ProgramBuilder &fsqrt(RegId d, RegId a);
+    ProgramBuilder &fload(RegId d, RegId a, std::int64_t offset = 0);
+    ProgramBuilder &fstore(RegId v, RegId a, std::int64_t offset = 0);
+
+    // ---- Strand weaving ----------------------------------------------------
+    //
+    // Real compilers schedule independent computations so that their
+    // instructions interleave (software pipelining / list scheduling
+    // for a multi-issue machine). Kernels express that by emitting
+    // each independent computation into a *strand* and weaving them:
+    //
+    //   b.beginStrands(2);
+    //   b.strand(0).load(a0, p0).add(s0, s0, a0);
+    //   b.strand(1).load(a1, p1).add(s1, s1, a1);
+    //   b.weave();   // emits: load a0; load a1; add s0; add s1
+    //
+    // Strands must be branch-free (weaving would not preserve
+    // control-flow semantics); emitting a branch inside a strand is a
+    // fatal error.
+
+    /** Start collecting @p count branch-free strands. */
+    ProgramBuilder &beginStrands(unsigned count);
+
+    /** Select the strand subsequent instructions append to. */
+    ProgramBuilder &strand(unsigned index);
+
+    /** Interleave the collected strands round-robin into the program. */
+    ProgramBuilder &weave();
+
+    // ---- Data -------------------------------------------------------------
+
+    /** Attach an initialized data block at byte address @p base. */
+    ProgramBuilder &data(Addr base, std::vector<std::int64_t> words);
+
+    // ---- Finish -----------------------------------------------------------
+
+    /**
+     * Resolve all label references and produce the Program.
+     * fatal()s on undefined or duplicate labels.
+     */
+    Program build();
+
+  private:
+    ProgramBuilder &emit(Instruction inst);
+    ProgramBuilder &emitBranch(Opcode op, RegId a, RegId b,
+                               const std::string &target);
+
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<DataBlock> data_;
+    std::unordered_map<std::string, Addr> labels_;
+    /** (instruction index, label) pairs awaiting resolution. */
+    std::vector<std::pair<std::size_t, std::string>> fixups_;
+    /** Strand buffers while weaving (empty when not in strand mode). */
+    std::vector<std::vector<Instruction>> strands_;
+    int activeStrand_ = -1;
+    bool built_ = false;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_PROG_BUILDER_HH

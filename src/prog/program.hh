@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Container for a complete synthetic program: code, initial data image
+ * and entry point.
+ *
+ * PCs are instruction indices; the byte address of instruction i is
+ * i * instBytes, which is what the I-cache and trace cache index by.
+ */
+
+#ifndef CTCPSIM_PROG_PROGRAM_HH
+#define CTCPSIM_PROG_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace ctcp {
+
+/** A contiguous block of initialized 64-bit data words. */
+struct DataBlock
+{
+    /** Byte address of the first word (8-byte aligned by convention). */
+    Addr base = 0;
+    std::vector<std::int64_t> words;
+};
+
+/** An executable synthetic program. */
+class Program
+{
+  public:
+    Program(std::string name, std::vector<Instruction> code,
+            std::vector<DataBlock> data, Addr entry = 0)
+        : name_(std::move(name)), code_(std::move(code)),
+          data_(std::move(data)), entry_(entry)
+    {}
+
+    const std::string &name() const { return name_; }
+    Addr entry() const { return entry_; }
+    std::size_t size() const { return code_.size(); }
+
+    const Instruction &
+    fetch(Addr pc) const
+    {
+        ctcp_assert(pc < code_.size(),
+                    "fetch past program end: pc=%llu size=%zu",
+                    static_cast<unsigned long long>(pc), code_.size());
+        return code_[pc];
+    }
+
+    const std::vector<Instruction> &code() const { return code_; }
+    const std::vector<DataBlock> &data() const { return data_; }
+
+    /** Byte address of the instruction at word PC @p pc. */
+    static Addr byteAddr(Addr pc) { return pc * instBytes; }
+
+  private:
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<DataBlock> data_;
+    Addr entry_;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_PROG_PROGRAM_HH

@@ -1,0 +1,67 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace ctcp {
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double denom = 0.0;
+    for (double v : values) {
+        ctcp_assert(v > 0.0, "harmonic mean requires positive values");
+        denom += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / denom;
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return std::accumulate(values.begin(), values.end(), 0.0) /
+        static_cast<double>(values.size());
+}
+
+void
+StatDump::scalar(const std::string &name, std::uint64_t value)
+{
+    entries_.push_back({name, std::to_string(value)});
+}
+
+void
+StatDump::scalar(const std::string &name, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+    entries_.push_back({name, buf});
+}
+
+void
+StatDump::note(const std::string &name, const std::string &text)
+{
+    entries_.push_back({name, text});
+}
+
+std::string
+StatDump::render() const
+{
+    std::size_t width = 0;
+    for (const auto &e : entries_)
+        width = std::max(width, e.name.size());
+    std::string out;
+    for (const auto &e : entries_) {
+        out += e.name;
+        out.append(width - e.name.size() + 2, ' ');
+        out += e.value;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace ctcp

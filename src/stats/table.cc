@@ -1,0 +1,89 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace ctcp {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    ctcp_assert(!headers_.empty(), "TextTable needs at least one column");
+}
+
+TextTable &
+TextTable::row(const std::string &first_cell)
+{
+    rows_.emplace_back();
+    rows_.back().push_back(first_cell);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &text)
+{
+    ctcp_assert(!rows_.empty(), "cell() before row()");
+    ctcp_assert(rows_.back().size() < headers_.size(),
+                "row has more cells than headers");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return cell(std::string(buf));
+}
+
+TextTable &
+TextTable::percentCell(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, value);
+    return cell(std::string(buf));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &cells,
+                        std::string &out) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string text = c < cells.size() ? cells[c] : "";
+            if (c == 0) {
+                // Left-align the label column.
+                out += text;
+                out.append(widths[c] - text.size(), ' ');
+            } else {
+                out += "  ";
+                out.append(widths[c] - text.size(), ' ');
+                out += text;
+            }
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(headers_, out);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto &r : rows_)
+        emit_row(r, out);
+    return out;
+}
+
+} // namespace ctcp

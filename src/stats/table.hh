@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Text-table renderer for the bench harnesses.
+ *
+ * Every reproduced paper table/figure is printed through this class so
+ * the output format is uniform: a header row, a separator, and one row
+ * per benchmark, with right-aligned numeric columns.
+ */
+
+#ifndef CTCPSIM_STATS_TABLE_HH
+#define CTCPSIM_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace ctcp {
+
+/** Builder for an aligned plain-text table. */
+class TextTable
+{
+  public:
+    /** @param headers column titles; fixes the column count. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    TextTable &row(const std::string &first_cell);
+
+    /** Append a preformatted cell to the current row. */
+    TextTable &cell(const std::string &text);
+
+    /** Append a numeric cell with @p decimals fraction digits. */
+    TextTable &cell(double value, int decimals = 2);
+
+    /** Append a percentage cell rendered as "12.34%". */
+    TextTable &percentCell(double value, int decimals = 2);
+
+    /** Render the whole table. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_STATS_TABLE_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Retire-time cluster-assignment interface.
+ *
+ * The fill unit prepares a TraceDraft — the logical instruction list of
+ * a newly constructed trace together with the intra-trace dependency
+ * analysis and the dynamic feedback gathered during execution — and a
+ * RetireAssignmentPolicy fills in the physical slot of every
+ * instruction (slot s issues to cluster s / slotsPerCluster).
+ * Policy implementations live in src/assign/.
+ */
+
+#ifndef CTCPSIM_TRACECACHE_ASSIGNMENT_HH
+#define CTCPSIM_TRACECACHE_ASSIGNMENT_HH
+
+#include <vector>
+
+#include "cluster/timed_inst.hh"
+#include "common/types.hh"
+
+namespace ctcp {
+
+class TraceCache;
+
+/** Per-instruction input/output record for retire-time assignment. */
+struct DraftInst
+{
+    // ---- Static identity ------------------------------------------------
+    Addr pc = 0;
+    RegId dst = invalidReg;
+    RegId src1 = invalidReg;
+    RegId src2 = invalidReg;
+    bool writesDst = false;
+
+    // ---- Dynamic feedback from this retirement ---------------------------
+    /** 0 = register file, 1 = src1 producer, 2 = src2 producer. */
+    int criticalSrc = 0;
+    bool criticalForwarded = false;
+    /** Critical input crossed the fetch-time trace boundary. */
+    bool criticalInterTrace = false;
+    Addr criticalProducerPc = 0;
+    ChainProfile criticalProducerProfile;
+    /** Profile fields the instruction carried through the pipeline. */
+    ChainProfile carriedProfile;
+
+    // ---- Fill-unit intra-trace analysis (within the NEW trace) ----------
+    /** Logical index of the critical input's intra-trace producer, or -1. */
+    int intraProducer = -1;
+    /** Some later instruction in this trace consumes our result. */
+    bool hasIntraConsumer = false;
+
+    // ---- Assignment outputs ----------------------------------------------
+    /** Physical issue slot; policies must set this for every inst. */
+    int physSlot = -1;
+    /** Profile fields to store in the new line (chain updates applied). */
+    ChainProfile newProfile;
+    /**
+     * FDRT bookkeeping for Figure 7: 'A'..'E' per Table 5, 'S' for an
+     * instruction skipped in the first pass, '-' for other policies.
+     */
+    char fdrtOption = '-';
+};
+
+/** A trace under construction, in logical order. */
+struct TraceDraft
+{
+    std::vector<DraftInst> insts;
+    unsigned numClusters = 4;
+    unsigned slotsPerCluster = 4;
+
+    unsigned totalSlots() const { return numClusters * slotsPerCluster; }
+
+    ClusterId
+    clusterOfSlot(int slot) const
+    {
+        return static_cast<ClusterId>(slot / static_cast<int>(slotsPerCluster));
+    }
+};
+
+/** Retire-time cluster-assignment strategy. */
+class RetireAssignmentPolicy
+{
+  public:
+    virtual ~RetireAssignmentPolicy() = default;
+
+    /** Fill in physSlot (and newProfile) for every draft instruction. */
+    virtual void assign(TraceDraft &draft) = 0;
+
+    /**
+     * Hook invoked when a consumer's critical input arrives via
+     * inter-trace forwarding; FDRT uses this for leader promotion.
+     * Default: no feedback.
+     */
+    virtual void
+    noteCriticalForward(const TimedInst &consumer, TraceCache &tc)
+    {
+        (void)consumer;
+        (void)tc;
+    }
+
+    virtual const char *name() const = 0;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_TRACECACHE_ASSIGNMENT_HH

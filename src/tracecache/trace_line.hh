@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Trace-cache line representation.
+ *
+ * A trace holds up to 16 instructions spanning up to three basic
+ * blocks. Its identity (TraceKey) is the start PC plus the embedded
+ * directions of its conditional branches — path associativity in the
+ * Rotenberg style. The fill unit physically reorders instructions into
+ * issue slots (slot s feeds cluster s / clusterWidth) while the logical
+ * program order is marked per slot; ctcpsim stores slots in logical
+ * order with an explicit physical-slot field, which is the same
+ * information transposed.
+ *
+ * Each slot also carries the paper's two FDRT profile fields: the
+ * two-bit chain cluster and the two-bit leader/follower state.
+ */
+
+#ifndef CTCPSIM_TRACECACHE_TRACE_LINE_HH
+#define CTCPSIM_TRACECACHE_TRACE_LINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/timed_inst.hh"
+#include "common/types.hh"
+
+namespace ctcp {
+
+/** Maximum instructions representable in one line (config may use fewer). */
+inline constexpr unsigned traceLineMaxInsts = 16;
+/** Maximum conditional branches whose directions a key can embed. */
+inline constexpr unsigned traceLineMaxBranches = 8;
+
+/** Path-associative trace identity. */
+struct TraceKey
+{
+    Addr startPc = 0;
+    /** Bit i = embedded direction of the i-th conditional branch. */
+    std::uint32_t condDirs = 0;
+    std::uint8_t numCondBranches = 0;
+
+    bool
+    operator==(const TraceKey &o) const
+    {
+        return startPc == o.startPc && condDirs == o.condDirs &&
+               numCondBranches == o.numCondBranches;
+    }
+
+    /** Stable non-zero hash (used as the TimedInst::traceKey handle). */
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = startPc * 0x9e3779b97f4a7c15ull;
+        h ^= (static_cast<std::uint64_t>(condDirs) << 8) | numCondBranches;
+        h *= 0xff51afd7ed558ccdull;
+        return h | 1;   // never zero (zero marks "no trace")
+    }
+};
+
+/** One instruction's entry in a trace line. */
+struct TraceSlot
+{
+    /** Word PC of the instruction. */
+    Addr pc = 0;
+    /** Physical issue-buffer slot assigned by the fill unit. */
+    std::uint8_t physSlot = 0;
+    /** FDRT dynamic-profile fields. */
+    ChainProfile profile;
+};
+
+/** A constructed trace line. */
+struct TraceLine
+{
+    TraceKey key;
+    /** Instructions in logical (program) order. */
+    std::vector<TraceSlot> insts;
+    /** PCs of the embedded conditional branches, in order. */
+    std::vector<Addr> condBranchPcs;
+    std::uint8_t numBlocks = 0;
+    /** Trace ends with an indirect transfer (successor unpredictable). */
+    bool endsWithIndirect = false;
+    /** Next fetch PC along the embedded path (invalid for indirect). */
+    Addr successorPc = 0;
+
+    bool valid = false;
+    std::uint64_t lastUse = 0;
+    /** Cycle the line becomes fetchable (fill-unit latency). */
+    Cycle availableAt = 0;
+
+    std::size_t size() const { return insts.size(); }
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_TRACECACHE_TRACE_LINE_HH

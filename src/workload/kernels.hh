@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Forward declarations of every workload kernel builder plus the small
+ * helpers they share. Each kernel lives in its own translation unit
+ * under spec/ or media/.
+ */
+
+#ifndef CTCPSIM_WORKLOAD_KERNELS_HH
+#define CTCPSIM_WORKLOAD_KERNELS_HH
+
+#include <bit>
+
+#include "common/random.hh"
+#include "prog/builder.hh"
+#include "prog/program.hh"
+
+namespace ctcp::workloads {
+
+// SPEC CPU2000 integer analogues.
+Program buildBzip2();
+Program buildCrafty();
+Program buildEon();
+Program buildGap();
+Program buildGcc();
+Program buildGzip();
+Program buildMcf();
+Program buildParser();
+Program buildPerlbmk();
+Program buildTwolf();
+Program buildVortex();
+Program buildVpr();
+
+// MediaBench analogues.
+Program buildAdpcmEnc();
+Program buildAdpcmDec();
+Program buildEpic();
+Program buildUnepic();
+Program buildG721Enc();
+Program buildG721Dec();
+Program buildGsmEnc();
+Program buildGsmDec();
+Program buildJpegEnc();
+Program buildJpegDec();
+Program buildMpeg2Enc();
+Program buildMpeg2Dec();
+Program buildPegwitEnc();
+Program buildPegwitDec();
+
+namespace detail {
+
+/** Outer-loop trip count: effectively unbounded at simulated budgets. */
+inline constexpr std::int64_t outerIterations = 1'000'000'000;
+
+/** Fill a data block with @p words uniform values in [0, modulo). */
+inline std::vector<std::int64_t>
+randomWords(std::uint64_t seed, std::size_t words, std::int64_t modulo)
+{
+    Rng rng(seed);
+    std::vector<std::int64_t> out(words);
+    for (auto &w : out)
+        w = static_cast<std::int64_t>(rng.below(
+            static_cast<std::uint64_t>(modulo)));
+    return out;
+}
+
+/** Fill a data block with IEEE doubles in [lo, hi). */
+inline std::vector<std::int64_t>
+randomDoubles(std::uint64_t seed, std::size_t words, double lo, double hi)
+{
+    Rng rng(seed);
+    std::vector<std::int64_t> out(words);
+    for (auto &w : out) {
+        const double v = lo + rng.uniform() * (hi - lo);
+        w = std::bit_cast<std::int64_t>(v);
+    }
+    return out;
+}
+
+} // namespace detail
+
+} // namespace ctcp::workloads
+
+#endif // CTCPSIM_WORKLOAD_KERNELS_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * adpcm_dec analogue (MediaBench rawdaudio): IMA ADPCM decoding.
+ *
+ * The decoder reconstructs samples from 4-bit codes: step-table
+ * lookup, a shift/add inverse quantizer, predictor accumulation with
+ * clamping — a tight loop-carried dependence through the predictor.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildAdpcmDec()
+{
+    using namespace detail;
+
+    constexpr Addr codes_base = 0x10000;
+    constexpr Addr step_base = 0x30000;
+    constexpr Addr out_base = 0x40000;
+    constexpr std::int64_t num_codes = 2048;
+
+    ProgramBuilder b("adpcm_dec");
+    b.data(codes_base, randomWords(0xadc30e02, num_codes, 16));
+    {
+        std::vector<std::int64_t> steps(89);
+        double s = 7.0;
+        for (auto &v : steps) {
+            v = static_cast<std::int64_t>(s);
+            s *= 1.1;
+        }
+        b.data(step_base, steps);
+    }
+
+    const RegId iter = intReg(1);
+    const RegId i = intReg(2);
+    const RegId cb = intReg(3);
+    const RegId stb = intReg(4);
+    const RegId outb = intReg(5);
+    const RegId pred = intReg(6);
+    const RegId index = intReg(7);
+    const RegId code = intReg(8);
+    const RegId step = intReg(9);
+    const RegId delta = intReg(10);
+    const RegId addr = intReg(11);
+    const RegId tmp = intReg(12);
+
+    b.movi(iter, outerIterations);
+    b.movi(i, 0);
+    b.movi(cb, codes_base);
+    b.movi(stb, step_base);
+    b.movi(outb, out_base);
+    b.movi(pred, 0);
+    b.movi(index, 0);
+
+    b.label("loop");
+    b.slli(addr, i, 3);
+    b.add(addr, addr, cb);
+    b.load(code, addr, 0);
+    b.slli(addr, index, 3);
+    b.add(addr, addr, stb);
+    b.load(step, addr, 0);
+
+    // Inverse quantizer: delta = step/8 + step/4*b0 + step/2*b1 + step*b2.
+    b.srli(delta, step, 3);
+    b.andi(tmp, code, 1);
+    b.beq(tmp, zeroReg, "no_b0");
+    b.srli(tmp, step, 2);
+    b.add(delta, delta, tmp);
+    b.label("no_b0");
+    b.andi(tmp, code, 2);
+    b.beq(tmp, zeroReg, "no_b1");
+    b.srli(tmp, step, 1);
+    b.add(delta, delta, tmp);
+    b.label("no_b1");
+    b.andi(tmp, code, 4);
+    b.beq(tmp, zeroReg, "no_b2");
+    b.add(delta, delta, step);
+    b.label("no_b2");
+    // Sign bit.
+    b.andi(tmp, code, 8);
+    b.beq(tmp, zeroReg, "pos");
+    b.sub(pred, pred, delta);
+    b.jump("clamp");
+    b.label("pos");
+    b.add(pred, pred, delta);
+    b.label("clamp");
+    b.movi(tmp, 32767);
+    b.blt(pred, tmp, "hi_ok");
+    b.mov(pred, tmp);
+    b.label("hi_ok");
+    b.movi(tmp, -32768);
+    b.bge(pred, tmp, "lo_ok");
+    b.mov(pred, tmp);
+    b.label("lo_ok");
+
+    // Index update.
+    b.andi(tmp, code, 7);
+    b.addi(tmp, tmp, -3);
+    b.add(index, index, tmp);
+    b.bge(index, zeroReg, "ilo_ok");
+    b.movi(index, 0);
+    b.label("ilo_ok");
+    b.slti(tmp, index, 88);
+    b.bne(tmp, zeroReg, "ihi_ok");
+    b.movi(index, 88);
+    b.label("ihi_ok");
+
+    b.slli(addr, i, 3);
+    b.add(addr, addr, outb);
+    b.store(pred, addr, 0);
+
+    b.addi(i, i, 1);
+    b.andi(i, i, num_codes - 1);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "loop");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * adpcm_enc analogue (MediaBench rawcaudio): IMA ADPCM encoding.
+ *
+ * Per sample: compute the prediction difference, quantize it into a
+ * 4-bit code through a chain of compare/subtract steps, update the
+ * predictor and step index with clamping — serial integer work with
+ * several data-dependent (but skewed) branches per sample.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildAdpcmEnc()
+{
+    using namespace detail;
+
+    constexpr Addr pcm_base = 0x10000;     // input samples
+    constexpr Addr step_base = 0x30000;    // 89-entry step table
+    constexpr Addr out_base = 0x40000;     // encoded nibbles
+    constexpr std::int64_t num_samples = 2048;
+
+    ProgramBuilder b("adpcm_enc");
+    b.data(pcm_base, randomWords(0xadc30e01, num_samples, 65536));
+    {
+        // The real IMA step table grows ~1.1x per entry.
+        std::vector<std::int64_t> steps(89);
+        double s = 7.0;
+        for (auto &v : steps) {
+            v = static_cast<std::int64_t>(s);
+            s *= 1.1;
+        }
+        b.data(step_base, steps);
+    }
+
+    const RegId iter = intReg(1);
+    const RegId i = intReg(2);
+    const RegId pcm = intReg(3);
+    const RegId stb = intReg(4);
+    const RegId outb = intReg(5);
+    const RegId pred = intReg(6);     // predictor (loop-carried)
+    const RegId index = intReg(7);    // step index (loop-carried)
+    const RegId sample = intReg(8);
+    const RegId diff = intReg(9);
+    const RegId step = intReg(10);
+    const RegId code = intReg(11);
+    const RegId addr = intReg(12);
+    const RegId tmp = intReg(13);
+    const RegId sign = intReg(14);
+
+    b.movi(iter, outerIterations);
+    b.movi(i, 0);
+    b.movi(pcm, pcm_base);
+    b.movi(stb, step_base);
+    b.movi(outb, out_base);
+    b.movi(pred, 0);
+    b.movi(index, 0);
+
+    b.label("loop");
+    b.slli(addr, i, 3);
+    b.add(addr, addr, pcm);
+    b.load(sample, addr, 0);
+    b.addi(sample, sample, -32768);
+    b.sub(diff, sample, pred);
+    // sign/magnitude split.
+    b.movi(sign, 0);
+    b.bge(diff, zeroReg, "positive");
+    b.sub(diff, zeroReg, diff);
+    b.movi(sign, 8);
+    b.label("positive");
+    // step = table[index]
+    b.slli(addr, index, 3);
+    b.add(addr, addr, stb);
+    b.load(step, addr, 0);
+    // Quantize: code bits from three compare/subtract stages.
+    b.movi(code, 0);
+    b.blt(diff, step, "q1");
+    b.ori(code, code, 4);
+    b.sub(diff, diff, step);
+    b.label("q1");
+    b.srli(step, step, 1);
+    b.blt(diff, step, "q2");
+    b.ori(code, code, 2);
+    b.sub(diff, diff, step);
+    b.label("q2");
+    b.srli(step, step, 1);
+    b.blt(diff, step, "q3");
+    b.ori(code, code, 1);
+    b.label("q3");
+    b.or_(code, code, sign);
+    // Predictor update: pred += stepdelta (approximate inverse).
+    b.slli(tmp, code, 2);
+    b.mul(tmp, tmp, step);
+    b.srli(tmp, tmp, 2);
+    b.beq(sign, zeroReg, "addpred");
+    b.sub(pred, pred, tmp);
+    b.jump("clamp");
+    b.label("addpred");
+    b.add(pred, pred, tmp);
+    b.label("clamp");
+    // Clamp predictor to 16-bit range.
+    b.movi(tmp, 32767);
+    b.blt(pred, tmp, "no_hi");
+    b.mov(pred, tmp);
+    b.label("no_hi");
+    b.movi(tmp, -32768);
+    b.bge(pred, tmp, "no_lo");
+    b.mov(pred, tmp);
+    b.label("no_lo");
+    // Step-index update with clamping (indexTable flavor).
+    b.andi(tmp, code, 7);
+    b.addi(tmp, tmp, -3);
+    b.add(index, index, tmp);
+    b.bge(index, zeroReg, "idx_lo_ok");
+    b.movi(index, 0);
+    b.label("idx_lo_ok");
+    b.slti(tmp, index, 88);
+    b.bne(tmp, zeroReg, "idx_hi_ok");
+    b.movi(index, 88);
+    b.label("idx_hi_ok");
+    // Store the code nibble.
+    b.slli(addr, i, 3);
+    b.add(addr, addr, outb);
+    b.store(code, addr, 0);
+
+    b.addi(i, i, 1);
+    b.andi(i, i, num_samples - 1);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "loop");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * epic analogue: wavelet (QMF) analysis filtering.
+ *
+ * EPIC's encoder convolves the image with short symmetric filters and
+ * downsamples, level by level. The kernel runs a 9-tap filter over a
+ * 1-D signal with stride-2 output — regular MAC loops over shrinking
+ * extents, exactly the pyramid shape of the original.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildEpic()
+{
+    using namespace detail;
+
+    constexpr Addr sig_base = 0x10000;    // 4096-sample signal
+    constexpr Addr filt_base = 0x40000;   // 9 filter taps
+    constexpr Addr out_base = 0x50000;
+    constexpr std::int64_t signal_len = 4096;
+
+    ProgramBuilder b("epic");
+    b.data(sig_base, randomWords(0xe91c0001, signal_len, 256));
+    b.data(filt_base, {3, -12, 19, 61, 87, 61, 19, -12, 3});
+
+    const RegId iter = intReg(1);
+    const RegId level = intReg(2);    // pyramid level (extent >>= 1)
+    const RegId extent = intReg(3);
+    const RegId sb = intReg(4);
+    const RegId fb = intReg(5);
+    const RegId ob = intReg(6);
+    const RegId i = intReg(7);
+    const RegId k = intReg(8);
+    const RegId acc = intReg(9);
+    const RegId s = intReg(10);
+    const RegId f = intReg(11);
+    const RegId addr = intReg(12);
+    const RegId tmp = intReg(13);
+    const RegId c7 = intReg(14);      // descale shift amount
+
+    b.movi(c7, 7);
+    b.movi(iter, outerIterations);
+    b.movi(sb, sig_base);
+    b.movi(fb, filt_base);
+    b.movi(ob, out_base);
+
+    b.label("outer");
+    b.movi(level, 0);
+    b.movi(extent, signal_len / 2);
+
+    b.label("levels");
+    b.movi(i, 0);
+    const RegId acc2 = intReg(15);
+    const RegId addr2 = intReg(16);
+    const RegId f2 = intReg(17);
+    const RegId s2 = intReg(18);
+    const RegId t1 = intReg(19);
+    const RegId t2 = intReg(20);
+
+    b.label("convolve");
+    // Two output points per pass with woven tap loops:
+    // acc  = sum_k f[k] * sig[2*i + k]
+    // acc2 = sum_k f[k] * sig[2*(i+1) + k]
+    b.movi(acc, 0);
+    b.movi(acc2, 0);
+    b.movi(k, 0);
+    b.slli(addr, i, 4);               // 2*i words -> *16 bytes
+    b.add(addr, addr, sb);
+    b.addi(addr2, addr, 16);
+    b.label("taps");
+    b.beginStrands(2);
+    b.strand(0);
+    b.slli(t1, k, 3);
+    b.add(f, t1, fb);
+    b.load(f, f, 0);
+    b.add(t1, t1, addr);
+    b.load(s, t1, 0);
+    b.mul(t1, f, s);
+    b.add(acc, acc, t1);
+    b.strand(1);
+    b.slli(t2, k, 3);
+    b.add(f2, t2, fb);
+    b.load(f2, f2, 0);
+    b.add(t2, t2, addr2);
+    b.load(s2, t2, 0);
+    b.mul(t2, f2, s2);
+    b.add(acc2, acc2, t2);
+    b.weave();
+    b.addi(k, k, 1);
+    b.slti(tmp, k, 9);
+    b.bne(tmp, zeroReg, "taps");
+    // Descale and write both coarse coefficients back for level reuse.
+    b.sra(acc, acc, c7);
+    b.sra(acc2, acc2, c7);
+    b.slli(tmp, i, 3);
+    b.add(tmp, tmp, sb);
+    b.store(acc, tmp, 0);
+    b.store(acc2, tmp, 8);
+    b.slli(tmp, i, 3);
+    b.add(tmp, tmp, ob);
+    b.store(acc, tmp, 0);
+    b.store(acc2, tmp, 8);
+    b.addi(i, i, 2);
+    b.slt(tmp, i, extent);
+    b.bne(tmp, zeroReg, "convolve");
+
+    b.srli(extent, extent, 1);
+    b.addi(level, level, 1);
+    b.slti(tmp, level, 4);
+    b.bne(tmp, zeroReg, "levels");
+
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

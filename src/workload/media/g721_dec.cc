@@ -1,0 +1,108 @@
+/**
+ * @file
+ * g721_dec analogue: G.721 inverse adaptive quantizer.
+ *
+ * Reconstructs differences from codes using a log-domain table, scales
+ * by the adaptive factor, and accumulates the signal estimate — serial
+ * integer dependence through the reconstruction state.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildG721Dec()
+{
+    using namespace detail;
+
+    constexpr Addr codes_base = 0x10000;
+    constexpr Addr dqln_base = 0x20000;   // 16-entry log table
+    constexpr Addr out_base = 0x30000;
+    constexpr std::int64_t num_codes = 2048;
+
+    ProgramBuilder b("g721_dec");
+    b.data(codes_base, randomWords(0x97210d01, num_codes, 16));
+    b.data(dqln_base, {-2048, 4, 135, 213, 273, 323, 373, 425,
+                       425, 373, 323, 273, 213, 135, 4, -2048});
+
+    const RegId iter = intReg(1);
+    const RegId i = intReg(2);
+    const RegId cb = intReg(3);
+    const RegId tb = intReg(4);
+    const RegId outb = intReg(5);
+    const RegId code = intReg(6);
+    const RegId dql = intReg(7);
+    const RegId dq = intReg(8);
+    const RegId se = intReg(9);       // signal estimate (loop-carried)
+    const RegId y = intReg(10);       // scale factor
+    const RegId addr = intReg(11);
+    const RegId tmp = intReg(12);
+    const RegId shift = intReg(13);
+
+    b.movi(iter, outerIterations);
+    b.movi(i, 0);
+    b.movi(cb, codes_base);
+    b.movi(tb, dqln_base);
+    b.movi(outb, out_base);
+    b.movi(se, 0);
+    b.movi(y, 544);
+
+    b.label("loop");
+    b.slli(addr, i, 3);
+    b.add(addr, addr, cb);
+    b.load(code, addr, 0);
+    b.slli(addr, code, 3);
+    b.add(addr, addr, tb);
+    b.load(dql, addr, 0);
+
+    // dq = antilog((dql + y) >> 2), approximated by a variable shift.
+    b.add(tmp, dql, y);
+    b.bge(tmp, zeroReg, "mag_ok");
+    b.movi(tmp, 0);
+    b.label("mag_ok");
+    b.srli(shift, tmp, 7);
+    b.andi(shift, shift, 15);
+    b.andi(dq, tmp, 127);
+    b.ori(dq, dq, 128);
+    b.sll(dq, dq, shift);
+    b.srli(dq, dq, 7);
+
+    // Sign from the code's top bit.
+    b.andi(tmp, code, 8);
+    b.beq(tmp, zeroReg, "plus");
+    b.sub(se, se, dq);
+    b.jump("sat");
+    b.label("plus");
+    b.add(se, se, dq);
+    b.label("sat");
+    b.movi(tmp, 32767);
+    b.blt(se, tmp, "hi_ok");
+    b.mov(se, tmp);
+    b.label("hi_ok");
+    b.movi(tmp, -32768);
+    b.bge(se, tmp, "lo_ok");
+    b.mov(se, tmp);
+    b.label("lo_ok");
+
+    // Scale-factor adaptation.
+    b.srli(tmp, y, 5);
+    b.sub(y, y, tmp);
+    b.add(y, y, dql);
+    b.bge(y, zeroReg, "y_ok");
+    b.movi(y, 1);
+    b.label("y_ok");
+
+    b.slli(addr, i, 3);
+    b.add(addr, addr, outb);
+    b.store(se, addr, 0);
+
+    b.addi(i, i, 1);
+    b.andi(i, i, num_codes - 1);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "loop");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

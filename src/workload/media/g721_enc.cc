@@ -1,0 +1,122 @@
+/**
+ * @file
+ * g721_enc analogue: G.721 ADPCM encoder predictor update.
+ *
+ * G.721's kernel updates a 2-pole/6-zero adaptive predictor per
+ * sample: a short dot product over delayed signals plus coefficient
+ * leakage updates — MAC-style integer arithmetic with one
+ * data-dependent sign branch per tap.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildG721Enc()
+{
+    using namespace detail;
+
+    constexpr Addr pcm_base = 0x10000;
+    constexpr Addr dq_base = 0x20000;     // delayed quantized diffs (6)
+    constexpr Addr bcoef_base = 0x20100;  // zero coefficients (6)
+    constexpr std::int64_t num_samples = 2048;
+
+    ProgramBuilder b("g721_enc");
+    b.data(pcm_base, randomWords(0x97210e01, num_samples, 16384));
+    b.data(dq_base, randomWords(0x97210e02, 6, 512));
+    b.data(bcoef_base, randomWords(0x97210e03, 6, 256));
+
+    const RegId iter = intReg(1);
+    const RegId i = intReg(2);
+    const RegId pcm = intReg(3);
+    const RegId dqb = intReg(4);
+    const RegId bcb = intReg(5);
+    const RegId k = intReg(6);
+    const RegId sez = intReg(7);      // zero-predictor output
+    const RegId dq = intReg(8);
+    const RegId bk = intReg(9);
+    const RegId sample = intReg(10);
+    const RegId diff = intReg(11);
+    const RegId addr = intReg(12);
+    const RegId tmp = intReg(13);
+    const RegId y = intReg(14);       // scale factor (loop-carried)
+
+    b.movi(iter, outerIterations);
+    b.movi(i, 0);
+    b.movi(pcm, pcm_base);
+    b.movi(dqb, dq_base);
+    b.movi(bcb, bcoef_base);
+    b.movi(y, 544);
+
+    b.label("loop");
+    b.slli(addr, i, 3);
+    b.add(addr, addr, pcm);
+    b.load(sample, addr, 0);
+
+    // sez = sum(bk[k] * dq[k]) >> 8 over 6 taps.
+    b.movi(sez, 0);
+    b.movi(k, 0);
+    b.label("taps");
+    b.slli(addr, k, 3);
+    b.add(tmp, addr, dqb);
+    b.load(dq, tmp, 0);
+    b.add(tmp, addr, bcb);
+    b.load(bk, tmp, 0);
+    b.mul(tmp, bk, dq);
+    b.add(sez, sez, tmp);
+    b.addi(k, k, 1);
+    b.slti(tmp, k, 6);
+    b.bne(tmp, zeroReg, "taps");
+    b.srli(sez, sez, 8);
+
+    // Quantize diff against the adaptive scale factor y.
+    b.sub(diff, sample, sez);
+    b.bge(diff, zeroReg, "dpos");
+    b.sub(diff, zeroReg, diff);
+    b.label("dpos");
+    // y adapts toward the magnitude (fast/slow leak).
+    b.sub(tmp, diff, y);
+    b.sra(tmp, tmp, k);   // k == 6 here: 1/64 leak
+    b.add(y, y, tmp);
+    b.bge(y, zeroReg, "y_ok");
+    b.movi(y, 1);
+    b.label("y_ok");
+
+    // Coefficient leakage update per tap (sign-sensitive).
+    b.movi(k, 0);
+    b.label("leak");
+    b.slli(addr, k, 3);
+    b.add(tmp, addr, bcb);
+    b.load(bk, tmp, 0);
+    b.srli(dq, bk, 5);
+    b.sub(bk, bk, dq);            // bk -= bk >> 5 (leak)
+    b.blt(diff, y, "no_boost");
+    b.addi(bk, bk, 8);            // boost on large differences
+    b.label("no_boost");
+    b.store(bk, tmp, 0);
+    b.addi(k, k, 1);
+    b.slti(tmp, k, 6);
+    b.bne(tmp, zeroReg, "leak");
+
+    // Shift the delay line: dq[i] -> dq[i+1], dq[0] = diff & 511.
+    b.movi(k, 4);
+    b.label("shift");
+    b.slli(addr, k, 3);
+    b.add(tmp, addr, dqb);
+    b.load(dq, tmp, 0);
+    b.store(dq, tmp, 8);
+    b.addi(k, k, -1);
+    b.bge(k, zeroReg, "shift");
+    b.andi(dq, diff, 511);
+    b.store(dq, dqb, 0);
+
+    b.addi(i, i, 1);
+    b.andi(i, i, num_samples - 1);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "loop");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

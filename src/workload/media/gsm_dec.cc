@@ -1,0 +1,89 @@
+/**
+ * @file
+ * gsm_dec analogue: GSM 06.10 short-term synthesis filter.
+ *
+ * The decoder runs a lattice (reflection-coefficient) filter per
+ * sample: eight serially dependent multiply/add/shift stages whose
+ * state words carry across samples — long serial chains, few branches.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildGsmDec()
+{
+    using namespace detail;
+
+    constexpr Addr res_base = 0x10000;    // residual input samples
+    constexpr Addr rc_base = 0x20000;     // 8 reflection coefficients
+    constexpr Addr v_base = 0x20100;      // 8 lattice state words
+    constexpr Addr out_base = 0x30000;
+    constexpr std::int64_t num_samples = 2048;
+
+    ProgramBuilder b("gsm_dec");
+    b.data(res_base, randomWords(0x95600d01, num_samples, 4096));
+    b.data(rc_base, randomWords(0x95600d02, 8, 16384));
+
+    const RegId iter = intReg(1);
+    const RegId i = intReg(2);
+    const RegId rb = intReg(3);
+    const RegId rcb = intReg(4);
+    const RegId vb = intReg(5);
+    const RegId outb = intReg(6);
+    const RegId k = intReg(7);
+    const RegId sri = intReg(8);      // through-signal
+    const RegId rc = intReg(9);
+    const RegId v = intReg(10);
+    const RegId addr = intReg(11);
+    const RegId tmp = intReg(12);
+    const RegId tmp2 = intReg(13);
+    const RegId c15 = intReg(14);     // Q15 shift amount
+
+    b.movi(c15, 15);
+    b.movi(iter, outerIterations);
+    b.movi(i, 0);
+    b.movi(rb, res_base);
+    b.movi(rcb, rc_base);
+    b.movi(vb, v_base);
+    b.movi(outb, out_base);
+
+    b.label("loop");
+    b.slli(addr, i, 3);
+    b.add(addr, addr, rb);
+    b.load(sri, addr, 0);
+
+    // Eight lattice stages, high index to low.
+    b.movi(k, 7);
+    b.label("stage");
+    b.slli(addr, k, 3);
+    b.add(tmp, addr, rcb);
+    b.load(rc, tmp, 0);
+    b.add(tmp2, addr, vb);
+    b.load(v, tmp2, 0);
+    // sri = sri - (rc * v >> 15); v' = v + (rc * sri >> 15)
+    b.mul(tmp, rc, v);
+    b.sra(tmp, tmp, c15);
+    b.sub(sri, sri, tmp);
+    b.mul(tmp, rc, sri);
+    b.sra(tmp, tmp, c15);
+    b.add(v, v, tmp);
+    b.store(v, tmp2, 8);              // v[k+1] = v' (delay line shift)
+    b.addi(k, k, -1);
+    b.bge(k, zeroReg, "stage");
+    b.store(sri, vb, 0);              // v[0] = output sample
+
+    b.slli(addr, i, 3);
+    b.add(addr, addr, outb);
+    b.store(sri, addr, 0);
+
+    b.addi(i, i, 1);
+    b.andi(i, i, num_samples - 1);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "loop");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * gsm_enc analogue: GSM 06.10 long-term-prediction correlation.
+ *
+ * The encoder's dominant kernel cross-correlates the current
+ * subsegment against a 3-sample-stepped history window to find the
+ * LTP lag: dense multiply-accumulate inner loops with a running
+ * maximum compare — regular, highly predictable, MAC-bound.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildGsmEnc()
+{
+    using namespace detail;
+
+    constexpr Addr hist_base = 0x10000;   // 256-sample history
+    constexpr Addr seg_base = 0x20000;    // 40-sample subsegment
+
+    ProgramBuilder b("gsm_enc");
+    b.data(hist_base, randomWords(0x95600e01, 256, 8192));
+    b.data(seg_base, randomWords(0x95600e02, 40, 8192));
+
+    const RegId iter = intReg(1);
+    const RegId lag = intReg(2);
+    const RegId hb = intReg(3);
+    const RegId sb = intReg(4);
+    const RegId k = intReg(5);
+    const RegId acc = intReg(6);
+    const RegId h = intReg(7);
+    const RegId s = intReg(8);
+    const RegId best = intReg(9);
+    const RegId bestlag = intReg(10);
+    const RegId addr = intReg(11);
+    const RegId tmp = intReg(12);
+    const RegId haddr = intReg(13);
+
+    b.movi(iter, outerIterations);
+    b.movi(hb, hist_base);
+    b.movi(sb, seg_base);
+
+    b.label("outer");
+    b.movi(best, -1);
+    b.movi(bestlag, 0);
+    b.movi(lag, 40);
+    const RegId acc2 = intReg(14);
+    const RegId haddr2 = intReg(15);
+    const RegId s2 = intReg(16);
+    const RegId h2 = intReg(17);
+    const RegId a1 = intReg(18);
+    const RegId a2 = intReg(19);
+    const RegId t1 = intReg(20);
+    const RegId t2 = intReg(21);
+
+    b.label("lags");
+    // Correlate 40 samples at two adjacent lags, woven (the real
+    // encoder's lag loop is software-pipelined the same way).
+    b.movi(acc, 0);
+    b.movi(acc2, 0);
+    b.movi(k, 0);
+    b.sub(haddr, zeroReg, lag);
+    b.slli(haddr, haddr, 3);
+    b.addi(haddr, haddr, 256 * 8);
+    b.add(haddr, haddr, hb);          // &hist[256 - lag]
+    b.addi(haddr2, haddr, -8);        // &hist[256 - lag - 1]
+    b.label("mac");
+    b.beginStrands(2);
+    b.strand(0);
+    b.slli(a1, k, 3);
+    b.add(t1, a1, sb);
+    b.load(s, t1, 0);
+    b.add(t1, a1, haddr);
+    b.load(h, t1, 0);
+    b.mul(t1, s, h);
+    b.add(acc, acc, t1);
+    b.strand(1);
+    b.slli(a2, k, 3);
+    b.add(t2, a2, sb);
+    b.load(s2, t2, 0);
+    b.add(t2, a2, haddr2);
+    b.load(h2, t2, 0);
+    b.mul(t2, s2, h2);
+    b.add(acc2, acc2, t2);
+    b.weave();
+    b.addi(k, k, 1);
+    b.slti(tmp, k, 40);
+    b.bne(tmp, zeroReg, "mac");
+    // Running maxima over both lags (rarely taken after warmup).
+    b.blt(acc, best, "no_max");
+    b.mov(best, acc);
+    b.mov(bestlag, lag);
+    b.label("no_max");
+    b.blt(acc2, best, "no_max2");
+    b.mov(best, acc2);
+    b.addi(bestlag, lag, 1);
+    b.label("no_max2");
+    b.addi(lag, lag, 3);
+    b.slti(tmp, lag, 121);
+    b.bne(tmp, zeroReg, "lags");
+
+    // Fold the winning lag back into the history (one store).
+    b.slli(addr, bestlag, 3);
+    b.add(addr, addr, hb);
+    b.store(best, addr, 0);
+
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * jpeg_dec analogue: 8x8 inverse DCT with dequantization and final
+ * saturation to pixel range.
+ *
+ * djpeg pairs the butterfly arithmetic of the encoder with a
+ * dequantization multiply per coefficient and a clamp per output
+ * pixel, adding a (predictable) pair of compare branches per sample.
+ * Each output pixel here is a weighted sum of its row's dequantized
+ * coefficients — the same load/multiply/accumulate shape as the
+ * row-pass of the real IDCT.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildJpegDec()
+{
+    using namespace detail;
+
+    constexpr Addr coef_base = 0x10000;   // 64 blocks of coefficients
+    constexpr Addr quant_base = 0x50000;  // 64-entry quant table
+    constexpr Addr pix_base = 0x60000;
+    constexpr std::int64_t num_blocks = 64;
+
+    ProgramBuilder b("jpeg_dec");
+    b.data(coef_base, randomWords(0x63e90d01, num_blocks * 64, 2048));
+    b.data(quant_base, randomWords(0x63e90d02, 64, 31));
+
+    const RegId iter = intReg(1);
+    const RegId blk = intReg(2);
+    const RegId base = intReg(3);
+    const RegId qb = intReg(4);
+    const RegId i = intReg(5);       // pixel index within block (0..63)
+    const RegId addr = intReg(6);
+    const RegId qaddr = intReg(7);
+    const RegId coef = intReg(8);
+    const RegId q = intReg(9);
+    const RegId acc = intReg(10);
+    const RegId tmp = intReg(11);
+    const RegId pb = intReg(12);
+    const RegId paddr = intReg(13);
+
+    b.movi(iter, outerIterations);
+    b.movi(blk, 0);
+    b.movi(qb, quant_base);
+    b.movi(pb, pix_base);
+
+    b.label("outer");
+    b.slli(base, blk, 9);                 // 64 words x 8 bytes per block
+    b.addi(base, base, coef_base);
+
+    b.movi(i, 0);
+    b.label("pixels");
+    b.movi(acc, 0);
+    // Row start address: (i & ~7) words into the block.
+    b.andi(addr, i, ~7ll);
+    b.slli(addr, addr, 3);
+    b.add(addr, addr, base);
+    b.andi(qaddr, i, ~7ll);
+    b.slli(qaddr, qaddr, 3);
+    b.add(qaddr, qaddr, qb);
+    // Unrolled 8-tap weighted sum with two parallel accumulators
+    // (dequantize then accumulate; merged at the end).
+    const RegId acc2 = intReg(14);
+    const RegId coef2 = intReg(15);
+    const RegId q2 = intReg(16);
+    const RegId tmp2 = intReg(17);
+    b.movi(acc2, 0);
+    for (int x = 0; x < 8; x += 2) {
+        b.load(coef, addr, x * 8);
+        b.load(coef2, addr, (x + 1) * 8);
+        b.load(q, qaddr, x * 8);
+        b.load(q2, qaddr, (x + 1) * 8);
+        b.addi(q, q, 1);                  // quant factors are 1..31
+        b.addi(q2, q2, 1);
+        b.mul(tmp, coef, q);
+        b.mul(tmp2, coef2, q2);
+        b.srli(tmp2, tmp2, 1 + ((x + 1) & 3));
+        b.add(acc, acc, tmp);
+        b.add(acc2, acc2, tmp2);
+    }
+    b.add(acc, acc, acc2);
+    // Descale and saturate to [0, 255].
+    b.srli(acc, acc, 6);
+    b.andi(acc, acc, 1023);
+    b.slti(tmp, acc, 256);
+    b.bne(tmp, zeroReg, "no_sat");
+    b.movi(acc, 255);
+    b.label("no_sat");
+    // Store the pixel.
+    b.slli(paddr, blk, 9);
+    b.add(paddr, paddr, pb);
+    b.slli(tmp, i, 3);
+    b.add(paddr, paddr, tmp);
+    b.store(acc, paddr, 0);
+
+    b.addi(i, i, 1);
+    b.slti(tmp, i, 64);
+    b.bne(tmp, zeroReg, "pixels");
+
+    b.addi(blk, blk, 1);
+    b.andi(blk, blk, num_blocks - 1);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * jpeg_enc analogue: 8x8 integer forward DCT (AAN flavor).
+ *
+ * cjpeg's hot loop runs a separable butterfly DCT over 8x8 blocks:
+ * straight-line add/sub/shift/mult butterflies over rows then columns
+ * with no data-dependent control — wide ILP, deep value reuse.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+namespace {
+
+/** Emit a 1-D 8-point butterfly over regs v0..v7 (in place). */
+void
+emitButterfly(ProgramBuilder &b, const RegId v[8], RegId t0, RegId t1,
+              RegId c)
+{
+    // Even part: sums and differences.
+    b.add(t0, v[0], v[7]);
+    b.sub(t1, v[0], v[7]);
+    b.mov(v[0], t0);
+    b.mov(v[7], t1);
+    b.add(t0, v[1], v[6]);
+    b.sub(t1, v[1], v[6]);
+    b.mov(v[1], t0);
+    b.mov(v[6], t1);
+    b.add(t0, v[2], v[5]);
+    b.sub(t1, v[2], v[5]);
+    b.mov(v[2], t0);
+    b.mov(v[5], t1);
+    b.add(t0, v[3], v[4]);
+    b.sub(t1, v[3], v[4]);
+    b.mov(v[3], t0);
+    b.mov(v[4], t1);
+    // Rotation approximations: multiply by fixed-point constants.
+    b.movi(c, 362);                   // ~sqrt(2)/2 in Q9
+    b.mul(t0, v[5], c);
+    b.srli(t0, t0, 9);
+    b.add(v[5], v[6], t0);
+    b.mul(t1, v[4], c);
+    b.srli(t1, t1, 9);
+    b.sub(v[4], v[7], t1);
+    b.movi(c, 473);                   // cos(pi/8) in Q9
+    b.mul(t0, v[2], c);
+    b.srli(t0, t0, 9);
+    b.add(v[2], v[2], t0);
+    b.mul(t1, v[1], c);
+    b.srli(t1, t1, 9);
+    b.sub(v[1], v[1], t1);
+    b.add(v[0], v[0], v[3]);
+    b.sub(v[3], v[0], v[3]);
+}
+
+} // namespace
+
+Program
+buildJpegEnc()
+{
+    using namespace detail;
+
+    constexpr Addr img_base = 0x10000;    // 64 blocks of 64 pixels
+    constexpr Addr out_base = 0x60000;
+    constexpr std::int64_t num_blocks = 64;
+
+    ProgramBuilder b("jpeg_enc");
+    b.data(img_base, randomWords(0x63e90e01, num_blocks * 64, 256));
+
+    const RegId iter = intReg(1);
+    const RegId blk = intReg(2);
+    const RegId base = intReg(3);
+    const RegId row = intReg(4);
+    const RegId addr = intReg(5);
+    const RegId t0 = intReg(6);
+    const RegId t1 = intReg(7);
+    const RegId c = intReg(8);
+    const RegId outb = intReg(9);
+    const RegId tmp = intReg(10);
+    const RegId v[8] = {intReg(20), intReg(21), intReg(22), intReg(23),
+                        intReg(24), intReg(25), intReg(26), intReg(27)};
+
+    b.movi(iter, outerIterations);
+    b.movi(blk, 0);
+    b.movi(outb, out_base);
+
+    b.label("outer");
+    // base = img + blk*64*8
+    b.slli(base, blk, 9);
+    b.addi(base, base, img_base);
+
+    // Row pass: 8 rows of 8.
+    b.movi(row, 0);
+    b.label("rows");
+    b.slli(addr, row, 6);
+    b.add(addr, addr, base);
+    for (int x = 0; x < 8; ++x)
+        b.load(v[x], addr, x * 8);
+    emitButterfly(b, v, t0, t1, c);
+    for (int x = 0; x < 8; ++x)
+        b.store(v[x], addr, x * 8);
+    b.addi(row, row, 1);
+    b.slti(tmp, row, 8);
+    b.bne(tmp, zeroReg, "rows");
+
+    // Column pass: 8 columns, strided loads.
+    b.movi(row, 0);
+    b.label("cols");
+    b.slli(addr, row, 3);
+    b.add(addr, addr, base);
+    for (int y = 0; y < 8; ++y)
+        b.load(v[y], addr, y * 64);
+    emitButterfly(b, v, t0, t1, c);
+    for (int y = 0; y < 8; ++y)
+        b.store(v[y], addr, y * 64);
+    b.addi(row, row, 1);
+    b.slti(tmp, row, 8);
+    b.bne(tmp, zeroReg, "cols");
+
+    // Write the DC coefficient to the output stream.
+    b.load(t0, base, 0);
+    b.slli(addr, blk, 3);
+    b.add(addr, addr, outb);
+    b.store(t0, addr, 0);
+
+    b.addi(blk, blk, 1);
+    b.andi(blk, blk, num_blocks - 1);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

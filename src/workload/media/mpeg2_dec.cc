@@ -1,0 +1,134 @@
+/**
+ * @file
+ * mpeg2_dec analogue: motion compensation with saturation.
+ *
+ * The decoder forms predictions by averaging two reference blocks
+ * (half-pel interpolation), adds the residual, and saturates to pixel
+ * range — load-heavy with two predictable clamp branches per pixel.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildMpeg2Dec()
+{
+    using namespace detail;
+
+    constexpr Addr ref_base = 0x10000;    // reference frame 64x64
+    constexpr Addr res_base = 0x30000;    // residuals
+    constexpr Addr out_base = 0x50000;
+    constexpr std::int64_t ref_dim = 64;
+
+    ProgramBuilder b("mpeg2_dec");
+    b.data(ref_base, randomWords(0x39e20d01, ref_dim * ref_dim, 256));
+    b.data(res_base, randomWords(0x39e20d02, ref_dim * ref_dim, 64));
+
+    const RegId iter = intReg(1);
+    const RegId blkv = intReg(2);     // motion vector selector
+    const RegId rb = intReg(3);
+    const RegId sb = intReg(4);
+    const RegId ob = intReg(5);
+    const RegId i = intReg(6);
+    const RegId p0 = intReg(7);
+    const RegId p1 = intReg(8);
+    const RegId res = intReg(9);
+    const RegId pix = intReg(10);
+    const RegId tmp = intReg(12);
+    const RegId off = intReg(13);
+    const RegId c63x = intReg(22);    // shift amount for sign masks
+
+    b.movi(c63x, 63);
+    b.movi(iter, outerIterations);
+    b.movi(blkv, 0);
+    b.movi(rb, ref_base);
+    b.movi(sb, res_base);
+    b.movi(ob, out_base);
+
+    b.label("outer");
+    // Motion offset derived from the selector.
+    b.andi(off, blkv, 63);
+
+    const RegId p2 = intReg(14);
+    const RegId p3 = intReg(15);
+    const RegId pix2 = intReg(16);
+    const RegId res2 = intReg(17);
+    const RegId a1 = intReg(18);
+    const RegId a2 = intReg(19);
+    const RegId t1 = intReg(20);
+    const RegId t2 = intReg(21);
+
+    b.movi(i, 0);
+    b.label("pixels");
+    // Two pixels per pass, woven; the second pixel saturates with a
+    // branch-free clamp while the first keeps the decoder's branchy
+    // clamp flavour.
+    b.beginStrands(2);
+    b.strand(0);
+    b.add(a1, i, off);
+    b.andi(a1, a1, ref_dim * ref_dim - 1);
+    b.slli(a1, a1, 3);
+    b.add(a1, a1, rb);
+    b.load(p0, a1, 0);
+    b.load(p1, a1, 8);
+    b.add(pix, p0, p1);
+    b.addi(pix, pix, 1);
+    b.srli(pix, pix, 1);
+    b.slli(a1, i, 3);
+    b.add(a1, a1, sb);
+    b.load(res, a1, 0);
+    b.addi(res, res, -32);
+    b.add(pix, pix, res);
+    b.strand(1);
+    b.addi(a2, i, 1);
+    b.add(a2, a2, off);
+    b.andi(a2, a2, ref_dim * ref_dim - 1);
+    b.slli(a2, a2, 3);
+    b.add(a2, a2, rb);
+    b.load(p2, a2, 0);
+    b.load(p3, a2, 8);
+    b.add(pix2, p2, p3);
+    b.addi(pix2, pix2, 1);
+    b.srli(pix2, pix2, 1);
+    b.addi(a2, i, 1);
+    b.slli(a2, a2, 3);
+    b.add(a2, a2, sb);
+    b.load(res2, a2, 0);
+    b.addi(res2, res2, -32);
+    b.add(pix2, pix2, res2);
+    // Branch-free clamp to [0, 255]: max(0, .) then min(255, .).
+    b.sra(t2, pix2, c63x);
+    b.xor_(t2, t2, pix2);
+    b.sub(pix2, t2, zeroReg);
+    b.slti(t2, pix2, 256);
+    b.addi(t2, t2, -1);               // 0 if <256, -1 otherwise
+    b.or_(pix2, pix2, t2);
+    b.andi(pix2, pix2, 255);
+    b.weave();
+    // Branchy clamp for pixel 0.
+    b.bge(pix, zeroReg, "lo_ok");
+    b.movi(pix, 0);
+    b.label("lo_ok");
+    b.slti(tmp, pix, 256);
+    b.bne(tmp, zeroReg, "hi_ok");
+    b.movi(pix, 255);
+    b.label("hi_ok");
+    // Store both pixels.
+    b.slli(t1, i, 3);
+    b.add(t1, t1, ob);
+    b.store(pix, t1, 0);
+    b.store(pix2, t1, 8);
+
+    b.addi(i, i, 2);
+    b.andi(i, i, 255);                // 256-pixel macroblock
+    b.bne(i, zeroReg, "pixels");
+
+    b.addi(blkv, blkv, 1);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

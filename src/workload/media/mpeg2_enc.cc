@@ -1,0 +1,118 @@
+/**
+ * @file
+ * mpeg2_enc analogue: block-SAD motion estimation.
+ *
+ * The encoder's dominant kernel computes sums of absolute differences
+ * between a current 16x16 block and candidate positions in the
+ * reference frame, keeping the best: dense loads, branch-free abs
+ * (sign-mask trick), an early-exit compare per row, and a running
+ * minimum across candidates.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildMpeg2Enc()
+{
+    using namespace detail;
+
+    constexpr Addr cur_base = 0x10000;   // current block 16x16
+    constexpr Addr ref_base = 0x20000;   // reference window 64x64
+    constexpr std::int64_t ref_dim = 64;
+
+    ProgramBuilder b("mpeg2_enc");
+    b.data(cur_base, randomWords(0x39e20e01, 16 * 16, 256));
+    b.data(ref_base, randomWords(0x39e20e02, ref_dim * ref_dim, 256));
+
+    const RegId iter = intReg(1);
+    const RegId cand = intReg(2);     // candidate index (0..255 -> 16x16)
+    const RegId cb = intReg(3);
+    const RegId rb = intReg(4);
+    const RegId row = intReg(5);
+    const RegId col = intReg(6);
+    const RegId sad = intReg(7);
+    const RegId best = intReg(8);
+    const RegId caddr = intReg(9);
+    const RegId raddr = intReg(10);
+    const RegId d = intReg(13);
+    const RegId tmp = intReg(14);
+    const RegId c63 = intReg(15);
+    const RegId cx = intReg(16);
+    const RegId cy = intReg(17);
+
+    b.movi(c63, 63);
+    b.movi(iter, outerIterations);
+    b.movi(cb, cur_base);
+    b.movi(rb, ref_base);
+    b.movi(best, 1 << 30);
+    b.movi(cand, 0);
+
+    b.label("outer");
+    // Candidate offset (cx, cy) in the reference window.
+    b.andi(cx, cand, 15);
+    b.srli(cy, cand, 4);
+    b.andi(cy, cy, 15);
+
+    b.movi(sad, 0);
+    b.movi(row, 0);
+    b.label("rows");
+    b.movi(col, 0);
+    // caddr = cur + row*16*8; raddr = ref + ((row+cy)*64 + cx)*8
+    b.slli(caddr, row, 7);
+    b.add(caddr, caddr, cb);
+    b.add(raddr, row, cy);
+    b.slli(raddr, raddr, 6);
+    b.add(raddr, raddr, cx);
+    b.slli(raddr, raddr, 3);
+    b.add(raddr, raddr, rb);
+    b.label("cols");
+    // Four columns per pass as interleaved branch-free strands with
+    // separate partial SADs (how mpeg2enc's dist1() unrolls).
+    b.beginStrands(4);
+    for (unsigned st = 0; st < 4; ++st) {
+        const RegId cvx = intReg(18 + st);
+        const RegId rvx = intReg(22 + st);
+        const RegId dx = intReg(26 + st);
+        b.strand(st);
+        b.load(cvx, caddr, static_cast<std::int64_t>(st) * 8);
+        b.load(rvx, raddr, static_cast<std::int64_t>(st) * 8);
+        b.sub(dx, cvx, rvx);
+        b.sra(rvx, dx, c63);
+        b.xor_(dx, dx, rvx);
+        b.sub(dx, dx, rvx);
+    }
+    b.weave();
+    b.add(d, intReg(26), intReg(27));
+    b.add(tmp, intReg(28), intReg(29));
+    b.add(d, d, tmp);
+    b.add(sad, sad, d);
+    b.addi(caddr, caddr, 32);
+    b.addi(raddr, raddr, 32);
+    b.addi(col, col, 4);
+    b.slti(tmp, col, 16);
+    b.bne(tmp, zeroReg, "cols");
+    // Early exit when this candidate already exceeds the best.
+    b.blt(sad, best, "keep_going");
+    b.jump("next_cand");
+    b.label("keep_going");
+    b.addi(row, row, 1);
+    b.slti(tmp, row, 16);
+    b.bne(tmp, zeroReg, "rows");
+    // Completed all rows with sad < best: new winner.
+    b.mov(best, sad);
+    b.label("next_cand");
+
+    b.addi(cand, cand, 1);
+    b.andi(cand, cand, 255);
+    b.bne(cand, zeroReg, "no_reset");
+    b.movi(best, 1 << 30);            // new search: reset the minimum
+    b.label("no_reset");
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

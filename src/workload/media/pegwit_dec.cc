@@ -1,0 +1,82 @@
+/**
+ * @file
+ * pegwit_dec analogue: modular reduction with table-driven unwhitening.
+ *
+ * The decoder mixes the same modular arithmetic as the encoder with
+ * an S-box-style table lookup per word, trading some complex-unit
+ * pressure for scattered loads.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildPegwitDec()
+{
+    using namespace detail;
+
+    constexpr Addr ct_base = 0x10000;     // ciphertext words
+    constexpr Addr sbox_base = 0x20000;   // 256-entry substitution table
+    constexpr Addr out_base = 0x30000;
+    constexpr std::int64_t num_words = 1024;
+    constexpr std::int64_t prime = 2147483647;
+
+    ProgramBuilder b("pegwit_dec");
+    b.data(ct_base, randomWords(0x9e9e0d01, num_words, prime));
+    b.data(sbox_base, randomWords(0x9e9e0d02, 256, prime));
+
+    const RegId iter = intReg(1);
+    const RegId i = intReg(2);
+    const RegId cb = intReg(3);
+    const RegId sbx = intReg(4);
+    const RegId ob = intReg(5);
+    const RegId c = intReg(6);
+    const RegId s = intReg(7);
+    const RegId acc = intReg(8);
+    const RegId p = intReg(9);
+    const RegId addr = intReg(10);
+    const RegId tmp = intReg(11);
+
+    b.movi(iter, outerIterations);
+    b.movi(i, 0);
+    b.movi(cb, ct_base);
+    b.movi(sbx, sbox_base);
+    b.movi(ob, out_base);
+    b.movi(p, prime);
+    b.movi(acc, 13);
+
+    b.label("loop");
+    b.slli(addr, i, 3);
+    b.add(addr, addr, cb);
+    b.load(c, addr, 0);
+
+    // S-box lookup indexed by the low byte of the accumulator.
+    b.andi(tmp, acc, 255);
+    b.slli(tmp, tmp, 3);
+    b.add(tmp, tmp, sbx);
+    b.load(s, tmp, 0);
+
+    // acc = (acc * s + c) mod p  (serial complex-unit chain).
+    b.mul(acc, acc, s);
+    b.add(acc, acc, c);
+    b.rem(acc, acc, p);
+    b.bge(acc, zeroReg, "pos");
+    b.sub(acc, zeroReg, acc);
+    b.label("pos");
+
+    // Unwhiten and emit.
+    b.xor_(tmp, c, acc);
+    b.slli(addr, i, 3);
+    b.add(addr, addr, ob);
+    b.store(tmp, addr, 0);
+
+    b.addi(i, i, 1);
+    b.andi(i, i, num_words - 1);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "loop");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

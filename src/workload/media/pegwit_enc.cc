@@ -1,0 +1,89 @@
+/**
+ * @file
+ * pegwit_enc analogue: elliptic-curve-style modular arithmetic.
+ *
+ * pegwit's cost is dominated by GF arithmetic: modular multiplication
+ * and reduction chains with complex-integer (mul/rem) operations and
+ * very long serial dependences through the accumulator — the FU-class
+ * mix that stresses the single complex unit per cluster.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildPegwitEnc()
+{
+    using namespace detail;
+
+    constexpr Addr msg_base = 0x10000;    // message words
+    constexpr Addr key_base = 0x20000;    // key schedule
+    constexpr Addr out_base = 0x30000;
+    constexpr std::int64_t num_words = 1024;
+    constexpr std::int64_t prime = 2147483647;   // 2^31 - 1
+
+    ProgramBuilder b("pegwit_enc");
+    b.data(msg_base, randomWords(0x9e9e0e01, num_words, prime));
+    b.data(key_base, randomWords(0x9e9e0e02, 64, prime));
+
+    const RegId iter = intReg(1);
+    const RegId i = intReg(2);
+    const RegId mb = intReg(3);
+    const RegId kb = intReg(4);
+    const RegId ob = intReg(5);
+    const RegId m = intReg(6);
+    const RegId k = intReg(7);
+    const RegId acc = intReg(8);      // running point accumulator
+    const RegId p = intReg(9);        // modulus
+    const RegId addr = intReg(10);
+    const RegId tmp = intReg(11);
+    const RegId round = intReg(12);
+
+    b.movi(iter, outerIterations);
+    b.movi(i, 0);
+    b.movi(mb, msg_base);
+    b.movi(kb, key_base);
+    b.movi(ob, out_base);
+    b.movi(p, prime);
+    b.movi(acc, 7);
+
+    b.label("loop");
+    b.slli(addr, i, 3);
+    b.add(addr, addr, mb);
+    b.load(m, addr, 0);
+    b.andi(tmp, i, 63);
+    b.slli(tmp, tmp, 3);
+    b.add(tmp, tmp, kb);
+    b.load(k, tmp, 0);
+
+    // Three square-and-multiply rounds mod p (serial mul/rem chain).
+    b.movi(round, 0);
+    b.label("rounds");
+    b.mul(acc, acc, acc);
+    b.rem(acc, acc, p);
+    b.andi(tmp, m, 1);
+    b.beq(tmp, zeroReg, "no_mult");
+    b.mul(acc, acc, k);
+    b.rem(acc, acc, p);
+    b.label("no_mult");
+    b.srli(m, m, 1);
+    b.addi(round, round, 1);
+    b.slti(tmp, round, 3);
+    b.bne(tmp, zeroReg, "rounds");
+
+    // Whiten with the message word and emit.
+    b.xor_(tmp, acc, m);
+    b.slli(addr, i, 3);
+    b.add(addr, addr, ob);
+    b.store(tmp, addr, 0);
+
+    b.addi(i, i, 1);
+    b.andi(i, i, num_words - 1);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "loop");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * unepic analogue: inverse wavelet reconstruction.
+ *
+ * The decoder upsamples and interpolates coarse coefficients back to
+ * full resolution: even outputs copy scaled coefficients, odd outputs
+ * average neighbours — an alternating-branch pattern plus short MAC
+ * chains, growing extents level by level.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildUnepic()
+{
+    using namespace detail;
+
+    constexpr Addr coef_base = 0x10000;
+    constexpr Addr out_base = 0x50000;
+    constexpr std::int64_t full_len = 2048;
+
+    ProgramBuilder b("unepic");
+    b.data(coef_base, randomWords(0xe91c0002, full_len, 512));
+
+    const RegId iter = intReg(1);
+    const RegId level = intReg(2);
+    const RegId extent = intReg(3);
+    const RegId cb = intReg(4);
+    const RegId ob = intReg(5);
+    const RegId i = intReg(6);
+    const RegId c0 = intReg(7);
+    const RegId c1 = intReg(8);
+    const RegId v = intReg(9);
+    const RegId addr = intReg(10);
+    const RegId tmp = intReg(11);
+
+    b.movi(iter, outerIterations);
+    b.movi(cb, coef_base);
+    b.movi(ob, out_base);
+
+    b.label("outer");
+    b.movi(level, 0);
+    b.movi(extent, 256);
+
+    b.label("levels");
+    b.movi(i, 0);
+    b.label("upsample");
+    // Load neighbouring coarse coefficients.
+    b.slli(addr, i, 3);
+    b.add(addr, addr, cb);
+    b.load(c0, addr, 0);
+    b.load(c1, addr, 8);
+    // Even sample: pass-through; odd: interpolate (i's parity).
+    b.andi(tmp, i, 1);
+    b.beq(tmp, zeroReg, "even");
+    b.add(v, c0, c1);
+    b.sra(v, v, tmp);                 // tmp == 1: average
+    b.jump("write");
+    b.label("even");
+    b.mov(v, c0);
+    b.label("write");
+    b.slli(addr, i, 4);               // stride-2 output
+    b.add(addr, addr, ob);
+    b.store(v, addr, 0);
+    b.store(v, addr, 8);
+    b.addi(i, i, 1);
+    b.slt(tmp, i, extent);
+    b.bne(tmp, zeroReg, "upsample");
+
+    b.slli(extent, extent, 1);
+    b.addi(level, level, 1);
+    b.slti(tmp, level, 3);
+    b.bne(tmp, zeroReg, "levels");
+
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,143 @@
+#include "workload/workload.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+namespace {
+
+struct Entry
+{
+    BenchmarkInfo info;
+    Program (*build)();
+};
+
+const std::vector<Entry> &
+registry()
+{
+    static const std::vector<Entry> entries = {
+        // SPEC CPU2000 integer analogues.
+        {{"bzip2", Suite::SpecInt,
+          "block-sort compression: counting sort + RLE passes"},
+         buildBzip2},
+        {{"crafty", Suite::SpecInt,
+          "chess bitboards: shift/mask move generation"}, buildCrafty},
+        {{"eon", Suite::SpecInt,
+          "probabilistic ray tracing: FP intersection kernels"}, buildEon},
+        {{"gap", Suite::SpecInt,
+          "computational group theory: bignum arithmetic"}, buildGap},
+        {{"gcc", Suite::SpecInt,
+          "compiler: many small blocks with switch dispatch"}, buildGcc},
+        {{"gzip", Suite::SpecInt,
+          "LZ77 compression: hash-chain match loops"}, buildGzip},
+        {{"mcf", Suite::SpecInt,
+          "network simplex: pointer-chasing over arcs"}, buildMcf},
+        {{"parser", Suite::SpecInt,
+          "link grammar: dictionary search and string compares"},
+         buildParser},
+        {{"perlbmk", Suite::SpecInt,
+          "perl interpreter: bytecode dispatch via indirect jumps"},
+         buildPerlbmk},
+        {{"twolf", Suite::SpecInt,
+          "place-and-route: simulated annealing accept/reject"},
+         buildTwolf},
+        {{"vortex", Suite::SpecInt,
+          "object database: call-heavy record traversal"}, buildVortex},
+        {{"vpr", Suite::SpecInt,
+          "FPGA placement: annealing over a routing cost grid"},
+         buildVpr},
+
+        // MediaBench analogues.
+        {{"adpcm_enc", Suite::Media,
+          "ADPCM speech encoder: quantize/clamp bit twiddling"},
+         buildAdpcmEnc},
+        {{"adpcm_dec", Suite::Media,
+          "ADPCM speech decoder: step-size reconstruction"},
+         buildAdpcmDec},
+        {{"epic", Suite::Media,
+          "EPIC image coder: wavelet filter pyramid"}, buildEpic},
+        {{"unepic", Suite::Media,
+          "EPIC decoder: inverse wavelet reconstruction"}, buildUnepic},
+        {{"g721_enc", Suite::Media,
+          "G.721 ADPCM encoder: adaptive predictor update"},
+         buildG721Enc},
+        {{"g721_dec", Suite::Media,
+          "G.721 ADPCM decoder: inverse quantizer"}, buildG721Dec},
+        {{"gsm_enc", Suite::Media,
+          "GSM 06.10 encoder: LTP correlation MACs"}, buildGsmEnc},
+        {{"gsm_dec", Suite::Media,
+          "GSM 06.10 decoder: short-term synthesis filter"},
+         buildGsmDec},
+        {{"jpeg_enc", Suite::Media,
+          "JPEG encoder: 8x8 integer forward DCT"}, buildJpegEnc},
+        {{"jpeg_dec", Suite::Media,
+          "JPEG decoder: 8x8 integer inverse DCT"}, buildJpegDec},
+        {{"mpeg2_enc", Suite::Media,
+          "MPEG-2 encoder: block-SAD motion estimation"}, buildMpeg2Enc},
+        {{"mpeg2_dec", Suite::Media,
+          "MPEG-2 decoder: motion compensation + saturation"},
+         buildMpeg2Dec},
+        {{"pegwit_enc", Suite::Media,
+          "Pegwit encryption: modular multiply chains"}, buildPegwitEnc},
+        {{"pegwit_dec", Suite::Media,
+          "Pegwit decryption: modular reduce + table lookups"},
+         buildPegwitDec},
+    };
+    return entries;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+all()
+{
+    static const std::vector<BenchmarkInfo> infos = [] {
+        std::vector<BenchmarkInfo> v;
+        for (const Entry &e : registry())
+            v.push_back(e.info);
+        return v;
+    }();
+    return infos;
+}
+
+std::vector<std::string>
+names(Suite suite)
+{
+    std::vector<std::string> out;
+    for (const Entry &e : registry())
+        if (e.info.suite == suite)
+            out.push_back(e.info.name);
+    return out;
+}
+
+const std::vector<std::string> &
+selectedSix()
+{
+    static const std::vector<std::string> six = {
+        "bzip2", "eon", "gzip", "perlbmk", "twolf", "vpr",
+    };
+    return six;
+}
+
+bool
+exists(const std::string &name)
+{
+    const auto &r = registry();
+    return std::any_of(r.begin(), r.end(), [&](const Entry &e) {
+        return e.info.name == name;
+    });
+}
+
+Program
+build(const std::string &name)
+{
+    for (const Entry &e : registry())
+        if (e.info.name == name)
+            return e.build();
+    ctcp_fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace ctcp::workloads

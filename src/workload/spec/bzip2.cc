@@ -1,0 +1,132 @@
+/**
+ * @file
+ * bzip2 analogue: block-sorting compression passes.
+ *
+ * bzip2 alternates a Burrows-Wheeler-style sorting phase (here a
+ * counting sort over symbol buckets with data-dependent bucket
+ * updates) with a move-to-front + run-length pass whose branches are
+ * highly data dependent. Both phases are load/store heavy with short
+ * dependence chains feeding comparisons — the signature that makes
+ * bzip2 forwarding-latency sensitive in the paper.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildBzip2()
+{
+    using namespace detail;
+
+    constexpr Addr block_base = 0x10000;    // 2048-word symbol block
+    constexpr Addr count_base = 0x30000;    // 256 symbol buckets
+    constexpr Addr mtf_base = 0x40000;      // 64-entry MTF table
+    constexpr std::int64_t block_words = 2048;
+
+    ProgramBuilder b("bzip2");
+    b.data(block_base, randomWords(0xb21b2101, block_words, 64));
+    b.data(count_base, randomWords(0xb21b2102, 256, 4));
+    b.data(mtf_base, randomWords(0xb21b2103, 64, 64));
+
+    const RegId iter = intReg(1);
+    const RegId blk = intReg(2);
+    const RegId cnt = intReg(3);
+    const RegId mtf = intReg(4);
+    const RegId i = intReg(5);
+    const RegId addr = intReg(6);
+    const RegId sym = intReg(7);
+    const RegId prev = intReg(10);
+    const RegId run = intReg(11);
+    const RegId j = intReg(12);
+    const RegId cur = intReg(13);
+    const RegId tmp = intReg(14);
+    const RegId tot = intReg(15);
+
+    b.movi(iter, outerIterations);
+    b.movi(blk, block_base);
+    b.movi(cnt, count_base);
+    b.movi(mtf, mtf_base);
+    b.movi(tot, 0);
+
+    b.label("outer");
+
+    // ---- Phase 1: counting sort over a 256-word stripe -----------------
+    // Four independent histogram streams woven together, merged into
+    // the shared bucket array (disjoint slices avoid conflicts).
+    b.movi(i, 0);
+    b.label("count");
+    b.beginStrands(4);
+    for (unsigned k = 0; k < 4; ++k) {
+        const RegId a = intReg(16 + k);
+        const RegId v = intReg(20 + k);
+        b.strand(k);
+        b.addi(a, i, static_cast<std::int64_t>(k) * 64);
+        b.slli(a, a, 3);
+        b.add(a, a, blk);
+        b.load(v, a, 0);
+        b.slli(a, v, 3);
+        b.add(a, a, cnt);
+        b.load(v, a, 0);
+        b.addi(v, v, 1);
+        b.andi(v, v, 0xffff);
+        b.store(v, a, 0);
+    }
+    b.weave();
+    b.addi(i, i, 1);
+    b.slti(tmp, i, 64);
+    b.bne(tmp, zeroReg, "count");
+
+    // ---- Phase 2: move-to-front with run-length detection ---------------
+    b.movi(prev, -1);
+    b.movi(run, 0);
+    b.movi(i, 0);
+    b.label("mtf");
+    b.slli(addr, i, 3);
+    b.add(addr, addr, blk);
+    b.load(sym, addr, 0);
+    b.beq(sym, prev, "run_extend");
+    // MTF search: walk the table until the symbol is found.
+    b.movi(j, 0);
+    b.label("search");
+    b.slli(tmp, j, 3);
+    b.add(tmp, tmp, mtf);
+    b.load(cur, tmp, 0);
+    b.beq(cur, sym, "found");
+    b.addi(j, j, 1);
+    b.slti(tmp, j, 64);
+    b.bne(tmp, zeroReg, "search");
+    b.movi(j, 63);
+    b.label("found");
+    // Swap the found entry to the front (one store each way).
+    b.load(cur, mtf, 0);
+    b.slli(tmp, j, 3);
+    b.add(tmp, tmp, mtf);
+    b.store(cur, tmp, 0);
+    b.store(sym, mtf, 0);
+    b.add(tot, tot, j);
+    b.mov(prev, sym);
+    b.movi(run, 0);
+    b.jump("mtf_next");
+    b.label("run_extend");
+    b.addi(run, run, 1);
+    b.add(tot, tot, run);
+    b.label("mtf_next");
+    b.addi(i, i, 1);
+    b.slti(tmp, i, 256);
+    b.bne(tmp, zeroReg, "mtf");
+
+    // Rotate the block origin so stripes differ between iterations.
+    b.addi(blk, blk, 8);
+    b.slti(tmp, blk, block_base + (block_words - 260) * 8);
+    b.bne(tmp, zeroReg, "no_wrap");
+    b.movi(blk, block_base);
+    b.label("no_wrap");
+
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

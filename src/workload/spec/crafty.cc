@@ -1,0 +1,118 @@
+/**
+ * @file
+ * crafty analogue: bitboard move generation.
+ *
+ * crafty manipulates 64-bit bitboards with long shift/and/or/xor
+ * chains and SWAR population counts — almost pure simple-integer work.
+ * Two squares' attack sets are generated per pass with their streams
+ * interleaved, and the branch-free SWAR popcount mirrors crafty's
+ * PopCnt().
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildCrafty()
+{
+    using namespace detail;
+
+    constexpr Addr attack_base = 0x10000;   // 256 attack masks
+
+    ProgramBuilder b("crafty");
+    {
+        Rng rng(0xc4af7701);
+        std::vector<std::int64_t> masks(256);
+        for (auto &m : masks)
+            m = static_cast<std::int64_t>(rng.next());
+        b.data(attack_base, masks);
+    }
+
+    const RegId iter = intReg(1);
+    const RegId occ = intReg(2);
+    const RegId own = intReg(3);
+    const RegId sq = intReg(4);
+    const RegId tbl = intReg(5);
+    const RegId score = intReg(6);
+    const RegId tmp = intReg(7);
+    const RegId m55 = intReg(8);    // SWAR constants
+    const RegId m33 = intReg(9);
+    const RegId m0f = intReg(10);
+    // Two attack-generation strands.
+    const RegId mask[2] = {intReg(11), intReg(12)};
+    const RegId mv[2] = {intReg(13), intReg(14)};
+    const RegId t[2] = {intReg(15), intReg(16)};
+    const RegId u[2] = {intReg(17), intReg(18)};
+
+    b.movi(iter, outerIterations);
+    b.movi(occ, 0x123456789abcdef0ll);
+    b.movi(own, 0x0f0f00ff00f0f0f0ll);
+    b.movi(tbl, attack_base);
+    b.movi(score, 0);
+    b.movi(sq, 0);
+    b.movi(m55, 0x5555555555555555ll);
+    b.movi(m33, 0x3333333333333333ll);
+    b.movi(m0f, 0x0f0f0f0f0f0f0f0fll);
+
+    b.label("outer");
+    b.beginStrands(2);
+    for (unsigned s = 0; s < 2; ++s) {
+        b.strand(s);
+        // Attack-table index from an occupancy hash of this square.
+        b.srli(t[s], occ, s ? 17 : 32);
+        b.xor_(t[s], t[s], occ);
+        b.add(t[s], t[s], sq);
+        b.andi(t[s], t[s], 255);
+        b.slli(t[s], t[s], 3);
+        b.add(t[s], t[s], tbl);
+        b.load(mask[s], t[s], 0);
+        // moves = mask & ~own
+        b.movi(u[s], -1);
+        b.xor_(u[s], own, u[s]);
+        b.and_(mv[s], mask[s], u[s]);
+        // SWAR popcount of the move set.
+        b.srli(t[s], mv[s], 1);
+        b.and_(t[s], t[s], m55);
+        b.sub(mv[s], mv[s], t[s]);
+        b.and_(t[s], mv[s], m33);
+        b.srli(u[s], mv[s], 2);
+        b.and_(u[s], u[s], m33);
+        b.add(mv[s], t[s], u[s]);
+        b.srli(t[s], mv[s], 4);
+        b.add(mv[s], mv[s], t[s]);
+        b.and_(mv[s], mv[s], m0f);
+        b.srli(t[s], mv[s], 32);
+        b.add(mv[s], mv[s], t[s]);
+        b.srli(t[s], mv[s], 16);
+        b.add(mv[s], mv[s], t[s]);
+        b.srli(t[s], mv[s], 8);
+        b.add(mv[s], mv[s], t[s]);
+        b.andi(mv[s], mv[s], 127);
+    }
+    b.weave();
+    b.add(score, score, mv[0]);
+    b.add(score, score, mv[1]);
+
+    // Evolve the board state (serial, loop-carried).
+    b.slli(tmp, occ, 1);
+    b.srli(t[0], occ, 63);
+    b.or_(occ, tmp, t[0]);
+    b.xor_(own, own, mask[0]);
+    b.and_(own, own, occ);
+
+    // A material-balance branch (data dependent, skewed).
+    b.andi(tmp, score, 31);
+    b.bne(tmp, zeroReg, "no_eval");
+    b.xor_(own, own, mask[1]);
+    b.label("no_eval");
+
+    b.addi(sq, sq, 2);
+    b.andi(sq, sq, 63);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

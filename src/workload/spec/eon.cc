@@ -1,0 +1,134 @@
+/**
+ * @file
+ * eon analogue: probabilistic ray tracing.
+ *
+ * eon is the only FP-leaning program among the paper's six: its hot
+ * path intersects rays against surfaces (dot products, a discriminant,
+ * a square root, a division) with only a few well-predicted branches.
+ * Two spheres are intersected per pass with their FP pipelines
+ * interleaved (as compiled intersection loops unroll), followed by a
+ * mostly-taken miss branch per sphere.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildEon()
+{
+    using namespace detail;
+
+    constexpr Addr rays_base = 0x10000;      // 256 rays x 6 doubles
+    constexpr Addr spheres_base = 0x30000;   // 64 spheres x 4 doubles
+    constexpr std::int64_t num_rays = 256;
+    constexpr std::int64_t num_spheres = 64;
+
+    ProgramBuilder b("eon");
+    b.data(rays_base, randomDoubles(0xe0e0e001, num_rays * 6, -1.0, 1.0));
+    b.data(spheres_base,
+           randomDoubles(0xe0e0e002, num_spheres * 4, 0.5, 4.0));
+
+    const RegId iter = intReg(1);
+    const RegId ray = intReg(2);
+    const RegId sph = intReg(3);
+    const RegId raddr = intReg(4);
+    const RegId tmp = intReg(5);
+    const RegId hit = intReg(6);
+    const RegId cmp0 = intReg(7);
+    const RegId cmp1 = intReg(8);
+    const RegId sa[2] = {intReg(9), intReg(10)};
+
+    const RegId ox = fpReg(0), oy = fpReg(1), oz = fpReg(2);
+    const RegId dx = fpReg(3), dy = fpReg(4), dz = fpReg(5);
+    const RegId fzero = fpReg(6);
+    const RegId acc = fpReg(7);
+    // Per-sphere strand FP registers.
+    const RegId lx[2] = {fpReg(8), fpReg(9)};
+    const RegId ly[2] = {fpReg(10), fpReg(11)};
+    const RegId lz[2] = {fpReg(12), fpReg(13)};
+    const RegId bq[2] = {fpReg(14), fpReg(15)};
+    const RegId cq[2] = {fpReg(16), fpReg(17)};
+    const RegId ds[2] = {fpReg(18), fpReg(19)};
+    const RegId ft[2] = {fpReg(20), fpReg(21)};
+    const RegId rt[2] = {fpReg(22), fpReg(23)};
+
+    b.movi(iter, outerIterations);
+    b.movi(ray, 0);
+    b.movi(hit, 0);
+    b.fcvtif(fzero, zeroReg);
+    b.fcvtif(acc, zeroReg);
+
+    b.label("outer");
+    b.slli(raddr, ray, 5);
+    b.slli(tmp, ray, 4);
+    b.add(raddr, raddr, tmp);
+    b.addi(raddr, raddr, rays_base);
+    b.fload(ox, raddr, 0);
+    b.fload(oy, raddr, 8);
+    b.fload(oz, raddr, 16);
+    b.fload(dx, raddr, 24);
+    b.fload(dy, raddr, 32);
+    b.fload(dz, raddr, 40);
+
+    b.movi(sph, 0);
+    b.label("spheres");
+    // Two spheres per pass, interleaved.
+    b.beginStrands(2);
+    for (unsigned s = 0; s < 2; ++s) {
+        b.strand(s);
+        b.addi(sa[s], sph, static_cast<std::int64_t>(s));
+        b.slli(sa[s], sa[s], 5);
+        b.addi(sa[s], sa[s], spheres_base);
+        b.fload(lx[s], sa[s], 0);
+        b.fload(ly[s], sa[s], 8);
+        b.fload(lz[s], sa[s], 16);
+        b.fload(ft[s], sa[s], 24);        // radius
+        b.fsub(lx[s], lx[s], ox);
+        b.fsub(ly[s], ly[s], oy);
+        b.fsub(lz[s], lz[s], oz);
+        b.fmul(bq[s], lx[s], dx);
+        b.fmul(rt[s], ly[s], dy);
+        b.fadd(bq[s], bq[s], rt[s]);
+        b.fmul(rt[s], lz[s], dz);
+        b.fadd(bq[s], bq[s], rt[s]);      // b = L . D
+        b.fmul(cq[s], lx[s], lx[s]);
+        b.fmul(rt[s], ly[s], ly[s]);
+        b.fadd(cq[s], cq[s], rt[s]);
+        b.fmul(rt[s], lz[s], lz[s]);
+        b.fadd(cq[s], cq[s], rt[s]);      // L . L
+        b.fmul(ft[s], ft[s], ft[s]);
+        b.fsub(cq[s], cq[s], ft[s]);      // c = L.L - r^2
+        b.fmul(ds[s], bq[s], bq[s]);
+        b.fsub(ds[s], ds[s], cq[s]);      // discriminant
+    }
+    b.weave();
+    b.fcmplt(cmp0, ds[0], fzero);
+    b.fcmplt(cmp1, ds[1], fzero);
+
+    b.bne(cmp0, zeroReg, "miss0");
+    b.fsqrt(rt[0], ds[0]);
+    b.fsub(ft[0], bq[0], rt[0]);
+    b.fadd(acc, acc, ft[0]);
+    b.addi(hit, hit, 1);
+    b.label("miss0");
+    b.bne(cmp1, zeroReg, "miss1");
+    b.fsqrt(rt[1], ds[1]);
+    b.fsub(ft[1], bq[1], rt[1]);
+    b.fadd(acc, acc, ft[1]);
+    b.addi(hit, hit, 1);
+    b.label("miss1");
+
+    b.addi(sph, sph, 2);
+    b.slti(tmp, sph, num_spheres);
+    b.bne(tmp, zeroReg, "spheres");
+
+    b.addi(ray, ray, 1);
+    b.andi(ray, ray, num_rays - 1);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * gap analogue: multi-precision (bignum) arithmetic.
+ *
+ * gap's group-theory computations reduce to long carry-propagating
+ * addition/multiplication loops over digit arrays: serial dependence
+ * through the carry register crossing trace boundaries every few
+ * instructions — prime territory for inter-trace chains.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildGap()
+{
+    using namespace detail;
+
+    constexpr Addr a_base = 0x10000;    // operand digits (base 2^30)
+    constexpr Addr b_base = 0x20000;
+    constexpr Addr r_base = 0x30000;
+    constexpr std::int64_t digits = 64;
+
+    ProgramBuilder b("gap");
+    b.data(a_base, randomWords(0x9a901001, digits, 1ll << 30));
+    b.data(b_base, randomWords(0x9a901002, digits, 1ll << 30));
+
+    const RegId iter = intReg(1);
+    const RegId ab = intReg(2);
+    const RegId bb = intReg(3);
+    const RegId rb = intReg(4);
+    const RegId i = intReg(5);
+    const RegId da = intReg(6);
+    const RegId dbv = intReg(7);
+    const RegId sum = intReg(8);
+    const RegId carry = intReg(9);
+    const RegId addr = intReg(10);
+    const RegId tmp = intReg(11);
+    const RegId scal = intReg(12);    // small scalar multiplier
+    const RegId prod = intReg(13);
+
+    b.movi(iter, outerIterations);
+    b.movi(ab, a_base);
+    b.movi(bb, b_base);
+    b.movi(rb, r_base);
+    b.movi(scal, 77773);
+
+    b.label("outer");
+
+    // Two independent carry-propagating adds over the digit halves,
+    // woven: each strand is strictly serial through its carry register
+    // (gap's signature), but the two halves overlap.
+    const RegId carry2 = intReg(14);
+    const RegId da2 = intReg(15);
+    const RegId db2 = intReg(16);
+    const RegId sum2 = intReg(17);
+    const RegId addr2 = intReg(18);
+    const RegId t2 = intReg(19);
+    b.movi(carry, 0);
+    b.movi(carry2, 0);
+    b.movi(i, 0);
+    b.label("addloop");
+    b.beginStrands(2);
+    b.strand(0);
+    b.slli(addr, i, 3);
+    b.add(tmp, addr, ab);
+    b.load(da, tmp, 0);
+    b.add(tmp, addr, bb);
+    b.load(dbv, tmp, 0);
+    b.add(sum, da, dbv);
+    b.add(sum, sum, carry);
+    b.srli(carry, sum, 30);
+    b.andi(sum, sum, (1ll << 30) - 1);
+    b.add(tmp, addr, rb);
+    b.store(sum, tmp, 0);
+    b.strand(1);
+    b.addi(addr2, i, digits / 2);
+    b.slli(addr2, addr2, 3);
+    b.add(t2, addr2, ab);
+    b.load(da2, t2, 0);
+    b.add(t2, addr2, bb);
+    b.load(db2, t2, 0);
+    b.add(sum2, da2, db2);
+    b.add(sum2, sum2, carry2);
+    b.srli(carry2, sum2, 30);
+    b.andi(sum2, sum2, (1ll << 30) - 1);
+    b.add(t2, addr2, rb);
+    b.store(sum2, t2, 0);
+    b.weave();
+    b.addi(i, i, 1);
+    b.slti(tmp, i, digits / 2);
+    b.bne(tmp, zeroReg, "addloop");
+
+    // a = r * scal (single-digit multiply with carry).
+    b.movi(carry, 0);
+    b.movi(i, 0);
+    b.label("mulloop");
+    b.slli(addr, i, 3);
+    b.add(tmp, addr, rb);
+    b.load(da, tmp, 0);
+    b.mul(prod, da, scal);
+    b.add(prod, prod, carry);
+    b.srli(carry, prod, 30);
+    b.andi(prod, prod, (1ll << 30) - 1);
+    b.add(tmp, addr, ab);
+    b.store(prod, tmp, 0);
+    b.addi(i, i, 1);
+    b.slti(tmp, i, digits);
+    b.bne(tmp, zeroReg, "mulloop");
+
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

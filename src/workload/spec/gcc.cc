@@ -1,0 +1,122 @@
+/**
+ * @file
+ * gcc analogue: IR walking with switch dispatch.
+ *
+ * gcc spends its time walking tree/RTL nodes and switching on node
+ * codes: many tiny basic blocks, an indirect dispatch, and field loads
+ * off a node pointer. Node codes are skewed (some cases dominate),
+ * like real IR distributions.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildGcc()
+{
+    using namespace detail;
+
+    constexpr Addr nodes_base = 0x10000;   // 1024 nodes x 4 fields
+    constexpr Addr table_base = 0x60000;   // dispatch table
+    constexpr std::int64_t num_nodes = 1024;
+
+    ProgramBuilder b("gcc");
+    {
+        // Field 0: node code 0..5 (skewed); field 1..2: operand node
+        // ids; field 3: scratch value.
+        Rng rng(0x9cc00001);
+        std::vector<std::int64_t> nodes(num_nodes * 4);
+        for (std::int64_t n = 0; n < num_nodes; ++n) {
+            const std::uint64_t r = rng.below(10);
+            nodes[n * 4 + 0] = static_cast<std::int64_t>(
+                r < 4 ? 0 : r < 7 ? 1 : r - 5);   // codes 0,1,2,3,4
+            nodes[n * 4 + 1] = static_cast<std::int64_t>(
+                rng.below(num_nodes));
+            nodes[n * 4 + 2] = static_cast<std::int64_t>(
+                rng.below(num_nodes));
+            nodes[n * 4 + 3] = static_cast<std::int64_t>(rng.below(997));
+        }
+        b.data(nodes_base, nodes);
+    }
+
+    const RegId iter = intReg(1);
+    const RegId cur = intReg(2);      // current node id
+    const RegId nb = intReg(3);
+    const RegId tb = intReg(4);
+    const RegId addr = intReg(5);
+    const RegId code = intReg(6);
+    const RegId op1 = intReg(7);
+    const RegId op2 = intReg(8);
+    const RegId val = intReg(9);
+    const RegId acc = intReg(10);
+    const RegId target = intReg(11);
+    const RegId tmp = intReg(12);
+
+    b.movi(iter, outerIterations);
+    b.movi(cur, 0);
+    b.movi(nb, nodes_base);
+    b.movi(tb, table_base);
+    b.movi(acc, 0);
+    b.jump("walk");
+
+    std::vector<std::int64_t> table;
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    b.label("case_plus");             // acc += val; descend op1
+    b.add(acc, acc, val);
+    b.mov(cur, op1);
+    b.jump("next");
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    b.label("case_reg");              // acc ^= val; descend op2
+    b.xor_(acc, acc, val);
+    b.mov(cur, op2);
+    b.jump("next");
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    b.label("case_mem");              // extra load off op1's node
+    b.slli(addr, op1, 5);
+    b.add(addr, addr, nb);
+    b.load(tmp, addr, 24);
+    b.add(acc, acc, tmp);
+    b.mov(cur, op2);
+    b.jump("next");
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    b.label("case_mult");             // complex-int work
+    b.mul(tmp, val, acc);
+    b.andi(acc, tmp, 0xfffff);
+    b.mov(cur, op1);
+    b.jump("next");
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    b.label("case_store");            // write back a folded constant
+    b.add(tmp, val, acc);
+    b.store(tmp, addr, 24);
+    b.mov(cur, op2);
+    b.jump("next");
+
+    b.data(table_base, table);
+
+    b.label("walk");
+    // Load node fields: addr = nb + cur*32.
+    b.slli(addr, cur, 5);
+    b.add(addr, addr, nb);
+    b.load(code, addr, 0);
+    b.load(op1, addr, 8);
+    b.load(op2, addr, 16);
+    b.load(val, addr, 24);
+    b.slli(tmp, code, 3);
+    b.add(tmp, tmp, tb);
+    b.load(target, tmp, 0);
+    b.jumpReg(target);
+
+    b.label("next");
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "walk");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

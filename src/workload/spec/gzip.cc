@@ -1,0 +1,114 @@
+/**
+ * @file
+ * gzip analogue: LZ77 hash-chain matching.
+ *
+ * The hot loop of gzip's deflate hashes the next three input bytes,
+ * probes the hash head table for a previous occurrence, then runs a
+ * data-dependent match-extension loop. Like compiled code scheduled
+ * for a four-wide machine, the kernel processes four independent
+ * window positions per iteration with their instruction streams
+ * interleaved (ProgramBuilder strands), then runs the branchy
+ * match-extension loop for the leading position.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildGzip()
+{
+    using namespace detail;
+
+    constexpr Addr window_base = 0x10000;   // 4096-word input window
+    constexpr Addr hash_base = 0x50000;     // 1024-entry hash head table
+    constexpr std::int64_t window_words = 4096;
+    constexpr std::int64_t hash_mask = 1023;
+    constexpr unsigned strands = 4;
+
+    ProgramBuilder b("gzip");
+    b.data(window_base, randomWords(0x675a1b01, window_words, 19));
+    b.data(hash_base,
+           randomWords(0x675a1b02, hash_mask + 1, window_words - 16));
+
+    const RegId pos = intReg(1);
+    const RegId win = intReg(2);
+    const RegId hsh = intReg(3);
+    const RegId iter = intReg(4);
+    // Per-strand working registers.
+    const RegId t[strands] = {intReg(5), intReg(6), intReg(7), intReg(8)};
+    const RegId u[strands] = {intReg(9), intReg(10), intReg(11), intReg(12)};
+    const RegId h[strands] = {intReg(13), intReg(14), intReg(15), intReg(16)};
+    const RegId c[strands] = {intReg(17), intReg(18), intReg(19), intReg(20)};
+    const RegId acc[strands] = {intReg(21), intReg(22), intReg(23),
+                                intReg(24)};
+    // Match-loop registers (reused each iteration).
+    const RegId len = intReg(25);
+    const RegId caddr = intReg(26);
+    const RegId waddr = intReg(27);
+    const RegId cw = intReg(28);
+    const RegId ww = intReg(29);
+    const RegId tmp = intReg(30);
+
+    b.movi(pos, 0);
+    b.movi(win, window_base);
+    b.movi(hsh, hash_base);
+    b.movi(iter, outerIterations);
+    for (unsigned k = 0; k < strands; ++k)
+        b.movi(acc[k], 0);
+
+    b.label("outer");
+
+    // Four hash/probe streams over positions pos, pos+512, pos+1024,
+    // pos+1536, interleaved as a scheduler would emit them.
+    b.beginStrands(strands);
+    for (unsigned k = 0; k < strands; ++k) {
+        b.strand(k);
+        b.addi(t[k], pos, static_cast<std::int64_t>(k) * 512);
+        b.andi(t[k], t[k], 2047);
+        b.slli(u[k], t[k], 3);
+        b.add(u[k], u[k], win);
+        b.load(c[k], u[k], 0);
+        b.load(h[k], u[k], 8);
+        b.slli(h[k], h[k], 3);
+        b.slli(c[k], c[k], 5);
+        b.xor_(h[k], h[k], c[k]);
+        b.load(c[k], u[k], 16);
+        b.xor_(h[k], h[k], c[k]);
+        b.andi(h[k], h[k], hash_mask);
+        b.slli(c[k], h[k], 3);
+        b.add(c[k], c[k], hsh);
+        b.load(h[k], c[k], 0);        // candidate position
+        b.store(t[k], c[k], 0);       // head[hash] = our position
+        b.add(acc[k], acc[k], h[k]);
+    }
+    b.weave();
+
+    // Match extension for the leading stream's candidate (data
+    // dependent, mispredict-prone exit).
+    b.movi(len, 0);
+    b.slli(caddr, h[0], 3);
+    b.add(caddr, caddr, win);
+    b.slli(waddr, t[0], 3);
+    b.add(waddr, waddr, win);
+    b.label("match");
+    b.load(cw, caddr, 0);
+    b.load(ww, waddr, 0);
+    b.bne(cw, ww, "match_done");
+    b.addi(len, len, 1);
+    b.addi(caddr, caddr, 8);
+    b.addi(waddr, waddr, 8);
+    b.slti(tmp, len, 8);
+    b.bne(tmp, zeroReg, "match");
+    b.label("match_done");
+    b.add(acc[0], acc[0], len);
+
+    b.addi(pos, pos, 1);
+    b.andi(pos, pos, 511);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * mcf analogue: network-simplex pointer chasing.
+ *
+ * mcf walks linked arc/node structures whose next pointers come from
+ * memory, producing serial load-load dependence chains and poor cache
+ * locality. Two independent chases run with their instruction streams
+ * interleaved — the memory-level parallelism real mcf exposes across
+ * arcs — while each chase stays strictly serial.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildMcf()
+{
+    using namespace detail;
+
+    constexpr Addr next_base = 0x10000;   // successor indices
+    constexpr Addr cost_base = 0x80000;   // per-node potentials
+    constexpr std::int64_t num_nodes = 16384;   // larger than L1D
+
+    ProgramBuilder b("mcf");
+    b.data(next_base, randomWords(0x3c0f0001, num_nodes, num_nodes));
+    b.data(cost_base, randomWords(0x3c0f0002, num_nodes, 10000));
+
+    const RegId iter = intReg(1);
+    const RegId nxtb = intReg(2);
+    const RegId cstb = intReg(3);
+    const RegId k = intReg(4);
+    const RegId tmp = intReg(5);
+    // Two chase strands.
+    const RegId node[2] = {intReg(6), intReg(7)};
+    const RegId addr[2] = {intReg(8), intReg(9)};
+    const RegId cost[2] = {intReg(10), intReg(11)};
+    const RegId acc[2] = {intReg(12), intReg(13)};
+
+    b.movi(iter, outerIterations);
+    b.movi(node[0], 1);
+    b.movi(node[1], 4097);
+    b.movi(nxtb, next_base);
+    b.movi(cstb, cost_base);
+    b.movi(acc[0], 0);
+    b.movi(acc[1], 0);
+
+    b.label("outer");
+    b.movi(k, 0);
+    b.label("chase");
+    b.beginStrands(2);
+    for (unsigned s = 0; s < 2; ++s) {
+        b.strand(s);
+        b.slli(addr[s], node[s], 3);
+        b.add(addr[s], addr[s], nxtb);
+        b.load(node[s], addr[s], 0);       // node = next[node]
+        b.slli(addr[s], node[s], 3);
+        b.add(addr[s], addr[s], cstb);
+        b.load(cost[s], addr[s], 0);
+        b.add(acc[s], acc[s], cost[s]);
+    }
+    b.weave();
+    b.addi(k, k, 1);
+    b.slti(tmp, k, 16);
+    b.bne(tmp, zeroReg, "chase");
+
+    // Occasional potential update along the first walked path.
+    b.andi(tmp, acc[0], 7);
+    b.bne(tmp, zeroReg, "no_update");
+    b.addi(cost[0], cost[0], 1);
+    b.store(cost[0], addr[0], 0);
+    b.label("no_update");
+
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

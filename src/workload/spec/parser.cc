@@ -1,0 +1,116 @@
+/**
+ * @file
+ * parser analogue: dictionary search with string comparison.
+ *
+ * parser's hot paths hash words into a dictionary and run
+ * character-compare loops with early exits — short, data-dependent
+ * inner loops and mispredict-prone exit branches.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildParser()
+{
+    using namespace detail;
+
+    constexpr Addr words_base = 0x10000;   // 512 words x 8 "chars"
+    constexpr Addr dict_base = 0x40000;    // 256 dictionary slots x 8
+    constexpr std::int64_t num_words = 512;
+
+    ProgramBuilder b("parser");
+    b.data(words_base, randomWords(0x9a25e101, num_words * 8, 26));
+    b.data(dict_base, randomWords(0x9a25e102, 256 * 8, 26));
+
+    const RegId iter = intReg(1);
+    const RegId wi = intReg(2);       // word index
+    const RegId wb = intReg(3);
+    const RegId db = intReg(4);
+    const RegId waddr = intReg(5);
+    const RegId daddr = intReg(6);
+    const RegId hash = intReg(7);
+    const RegId c1 = intReg(8);
+    const RegId c2 = intReg(9);
+    const RegId k = intReg(10);
+    const RegId tmp = intReg(11);
+    const RegId found = intReg(12);
+    const RegId probes = intReg(13);
+
+    b.movi(iter, outerIterations);
+    b.movi(wi, 0);
+    b.movi(wb, words_base);
+    b.movi(db, dict_base);
+    b.movi(found, 0);
+
+    const RegId waddr2 = intReg(14);
+    const RegId hash2 = intReg(15);
+    const RegId c3 = intReg(16);
+    const RegId c4 = intReg(17);
+
+    b.label("outer");
+    // Hash two words' leading characters as interleaved strands (the
+    // second word's hash seeds the next iteration's starting probe,
+    // giving useful lookahead work like parser's batched lookups).
+    b.beginStrands(2);
+    b.strand(0);
+    b.slli(waddr, wi, 6);
+    b.add(waddr, waddr, wb);
+    b.load(c1, waddr, 0);
+    b.load(c2, waddr, 8);
+    b.slli(hash, c1, 3);
+    b.add(hash, hash, c2);
+    b.andi(hash, hash, 255);
+    b.strand(1);
+    b.addi(waddr2, wi, 1);
+    b.andi(waddr2, waddr2, num_words - 1);
+    b.slli(waddr2, waddr2, 6);
+    b.add(waddr2, waddr2, wb);
+    b.load(c3, waddr2, 0);
+    b.load(c4, waddr2, 8);
+    b.slli(hash2, c3, 3);
+    b.add(hash2, hash2, c4);
+    b.andi(hash2, hash2, 255);
+    b.weave();
+    b.add(found, found, hash2);
+    b.andi(found, found, 0xffff);
+
+    // Probe up to 4 dictionary slots (open addressing).
+    b.movi(probes, 0);
+    b.label("probe");
+    b.slli(daddr, hash, 6);
+    b.add(daddr, daddr, db);
+    // Compare up to 8 chars with early exit.
+    b.movi(k, 0);
+    b.label("cmp");
+    b.slli(tmp, k, 3);
+    b.add(tmp, tmp, waddr);
+    b.load(c1, tmp, 0);
+    b.slli(tmp, k, 3);
+    b.add(tmp, tmp, daddr);
+    b.load(c2, tmp, 0);
+    b.bne(c1, c2, "mismatch");
+    b.addi(k, k, 1);
+    b.slti(tmp, k, 8);
+    b.bne(tmp, zeroReg, "cmp");
+    // Full match.
+    b.addi(found, found, 1);
+    b.jump("advance");
+    b.label("mismatch");
+    b.addi(hash, hash, 1);
+    b.andi(hash, hash, 255);
+    b.addi(probes, probes, 1);
+    b.slti(tmp, probes, 4);
+    b.bne(tmp, zeroReg, "probe");
+
+    b.label("advance");
+    b.addi(wi, wi, 1);
+    b.andi(wi, wi, num_words - 1);
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

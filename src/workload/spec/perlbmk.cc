@@ -1,0 +1,148 @@
+/**
+ * @file
+ * perlbmk analogue: bytecode interpreter dispatch.
+ *
+ * Perl's runloop fetches an op, indirect-jumps to its handler, runs a
+ * short handler body touching the interpreter stack, and loops. The
+ * indirect jump is the classic hard-to-predict branch, and the stack
+ * pointer / accumulator create long loop-carried (inter-trace)
+ * dependence chains — exactly the feedback FDRT chains exploit.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildPerlbmk()
+{
+    using namespace detail;
+
+    constexpr Addr bytecode_base = 0x10000;   // 512-op program, values 0..7
+    constexpr Addr stack_base = 0x30000;      // interpreter stack
+    constexpr Addr table_base = 0x50000;      // handler jump table
+    constexpr std::int64_t num_ops = 512;
+
+    ProgramBuilder b("perlbmk");
+    b.data(bytecode_base, randomWords(0x9e271001, num_ops, 8));
+    b.data(stack_base, randomWords(0x9e271002, 256, 1000));
+
+    const RegId iter = intReg(1);
+    const RegId ip = intReg(2);       // bytecode index
+    const RegId sp = intReg(3);       // stack index (0..63)
+    const RegId acc = intReg(4);      // interpreter accumulator
+    const RegId code = intReg(5);
+    const RegId tbl = intReg(6);
+    const RegId stk = intReg(7);
+    const RegId op = intReg(8);
+    const RegId target = intReg(9);
+    const RegId addr = intReg(10);
+    const RegId val = intReg(11);
+    const RegId tmp = intReg(12);
+
+    b.movi(iter, outerIterations);
+    b.movi(ip, 0);
+    b.movi(sp, 0);
+    b.movi(acc, 1);
+    b.movi(code, bytecode_base);
+    b.movi(tbl, table_base);
+    b.movi(stk, stack_base);
+    b.jump("dispatch");
+
+    // ---- Handlers (positions captured for the jump table) --------------
+    std::vector<std::int64_t> table;
+
+    auto next = [&](const char *label) {
+        b.label(label);
+    };
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    next("op_add");                       // acc += pop()
+    b.slli(addr, sp, 3);
+    b.add(addr, addr, stk);
+    b.load(val, addr, 0);
+    b.add(acc, acc, val);
+    b.jump("advance");
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    next("op_sub");                       // acc -= pop()
+    b.slli(addr, sp, 3);
+    b.add(addr, addr, stk);
+    b.load(val, addr, 0);
+    b.sub(acc, acc, val);
+    b.jump("advance");
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    next("op_push");                      // push(acc)
+    b.addi(sp, sp, 1);
+    b.andi(sp, sp, 63);
+    b.slli(addr, sp, 3);
+    b.add(addr, addr, stk);
+    b.store(acc, addr, 0);
+    b.jump("advance");
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    next("op_pop");                       // acc = pop()
+    b.slli(addr, sp, 3);
+    b.add(addr, addr, stk);
+    b.load(acc, addr, 0);
+    b.addi(sp, sp, -1);
+    b.andi(sp, sp, 63);
+    b.jump("advance");
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    next("op_mul");                       // acc = (acc * top) & mask
+    b.slli(addr, sp, 3);
+    b.add(addr, addr, stk);
+    b.load(val, addr, 0);
+    b.mul(acc, acc, val);
+    b.andi(acc, acc, 0xffffff);
+    b.jump("advance");
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    next("op_cmp");                       // acc = acc < top
+    b.slli(addr, sp, 3);
+    b.add(addr, addr, stk);
+    b.load(val, addr, 0);
+    b.slt(acc, acc, val);
+    b.jump("advance");
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    next("op_dup");                       // stack[sp+1] = stack[sp]
+    b.slli(addr, sp, 3);
+    b.add(addr, addr, stk);
+    b.load(val, addr, 0);
+    b.store(val, addr, 8);
+    b.addi(sp, sp, 1);
+    b.andi(sp, sp, 63);
+    b.jump("advance");
+
+    table.push_back(static_cast<std::int64_t>(b.here()));
+    next("op_jnz");                       // conditional skip over next op
+    b.beq(acc, zeroReg, "advance");
+    b.addi(ip, ip, 1);
+    b.jump("advance");
+
+    b.data(table_base, table);
+
+    // ---- Dispatch loop ----------------------------------------------------
+    b.label("advance");
+    b.addi(ip, ip, 1);
+    b.andi(ip, ip, num_ops - 1);
+    b.addi(iter, iter, -1);
+    b.beq(iter, zeroReg, "finish");
+    b.label("dispatch");
+    b.slli(addr, ip, 3);
+    b.add(addr, addr, code);
+    b.load(op, addr, 0);
+    b.slli(tmp, op, 3);
+    b.add(tmp, tmp, tbl);
+    b.load(target, tmp, 0);
+    b.jumpReg(target);
+
+    b.label("finish");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * twolf analogue: standard-cell placement by simulated annealing.
+ *
+ * twolf's inner loop proposes a cell swap, recomputes the wirelength
+ * delta of the nets touching both cells, and accepts or rejects based
+ * on the delta — a data-dependent branch that mispredicts often. The
+ * cost recomputation over the four net endpoints is evaluated with
+ * branch-free absolute values and the four endpoints' instruction
+ * streams interleaved, the way a list scheduler would emit them.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildTwolf()
+{
+    using namespace detail;
+
+    constexpr Addr pos_base = 0x10000;    // 1024 cell positions
+    constexpr Addr net_base = 0x30000;    // 4 net endpoints per cell
+    constexpr std::int64_t num_cells = 1024;
+    constexpr unsigned taps = 4;
+
+    ProgramBuilder b("twolf");
+    b.data(pos_base, randomWords(0x2f011701, num_cells, 4096));
+    b.data(net_base, randomWords(0x2f011702, num_cells * taps, num_cells));
+
+    const RegId iter = intReg(1);
+    const RegId seed = intReg(2);
+    const RegId posb = intReg(3);
+    const RegId netb = intReg(4);
+    const RegId ca = intReg(5);
+    const RegId cb = intReg(6);
+    const RegId pa = intReg(7);
+    const RegId pb = intReg(8);
+    const RegId aaddr = intReg(9);
+    const RegId baddr = intReg(10);
+    const RegId thresh = intReg(11);
+    const RegId c63 = intReg(12);
+    const RegId accept = intReg(13);
+    const RegId tmp = intReg(14);
+    // Per-tap strand registers.
+    const RegId np[taps] = {intReg(15), intReg(16), intReg(17), intReg(18)};
+    const RegId d1[taps] = {intReg(19), intReg(20), intReg(21), intReg(22)};
+    const RegId d2[taps] = {intReg(23), intReg(24), intReg(25), intReg(26)};
+    const RegId sg[taps] = {intReg(27), intReg(28), intReg(29), intReg(30)};
+
+    b.movi(c63, 63);
+    b.movi(iter, outerIterations);
+    b.movi(seed, 12345);
+    b.movi(posb, pos_base);
+    b.movi(netb, net_base);
+    b.movi(thresh, 64);
+
+    b.label("outer");
+    // LCG proposal (complex-int multiply feeding everything below).
+    b.movi(tmp, 1103515245);
+    b.mul(seed, seed, tmp);
+    b.addi(seed, seed, 12345);
+    b.srli(ca, seed, 8);
+    b.andi(ca, ca, num_cells - 1);
+    b.srli(cb, seed, 20);
+    b.andi(cb, cb, num_cells - 1);
+
+    b.slli(aaddr, ca, 3);
+    b.add(aaddr, aaddr, posb);
+    b.load(pa, aaddr, 0);
+    b.slli(baddr, cb, 3);
+    b.add(baddr, baddr, posb);
+    b.load(pb, baddr, 0);
+
+    // Four net endpoints, evaluated as interleaved branch-free strands:
+    // old cost |pa - np| and new cost |pb - np| per endpoint.
+    b.beginStrands(taps);
+    for (unsigned k = 0; k < taps; ++k) {
+        b.strand(k);
+        b.slli(np[k], ca, 5);                          // &net[ca][k]
+        b.add(np[k], np[k], netb);
+        b.load(np[k], np[k],
+               static_cast<std::int64_t>(k) * 8);
+        b.slli(np[k], np[k], 3);
+        b.add(np[k], np[k], posb);
+        b.load(np[k], np[k], 0);                        // neighbour pos
+        b.sub(d1[k], pa, np[k]);
+        b.sra(sg[k], d1[k], c63);
+        b.xor_(d1[k], d1[k], sg[k]);
+        b.sub(d1[k], d1[k], sg[k]);                     // |pa - np|
+        b.sub(d2[k], pb, np[k]);
+        b.sra(sg[k], d2[k], c63);
+        b.xor_(d2[k], d2[k], sg[k]);
+        b.sub(d2[k], d2[k], sg[k]);                     // |pb - np|
+        b.sub(d2[k], d2[k], d1[k]);                     // per-tap delta
+    }
+    b.weave();
+
+    // Reduce the four deltas (short tree) and run the accept test.
+    b.add(d2[0], d2[0], d2[1]);
+    b.add(d2[2], d2[2], d2[3]);
+    b.add(accept, d2[0], d2[2]);
+    b.blt(accept, thresh, "do_swap");
+    b.jump("next");
+    b.label("do_swap");
+    b.store(pb, aaddr, 0);
+    b.store(pa, baddr, 0);
+    b.label("next");
+
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * vortex analogue: object-database record traversal.
+ *
+ * vortex is call/return heavy: each transaction invokes small lookup
+ * and validation routines against object records. The kernel issues
+ * direct calls to three helper routines per transaction (exercising
+ * the return-address stack) and touches record fields with loads and
+ * stores.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+Program
+buildVortex()
+{
+    using namespace detail;
+
+    constexpr Addr recs_base = 0x10000;   // 1024 records x 4 fields
+    constexpr std::int64_t num_recs = 1024;
+
+    ProgramBuilder b("vortex");
+    b.data(recs_base, randomWords(0x40e7e201, num_recs * 4, 100000));
+
+    const RegId iter = intReg(1);
+    const RegId id = intReg(2);       // transaction record id
+    const RegId rb = intReg(3);
+    const RegId addr = intReg(4);     // record address (callee argument)
+    const RegId f0 = intReg(5);
+    const RegId f1 = intReg(6);
+    const RegId acc = intReg(7);
+    const RegId tmp = intReg(8);
+    const RegId seed = intReg(9);
+
+    b.movi(iter, outerIterations);
+    b.movi(id, 0);
+    b.movi(rb, recs_base);
+    b.movi(acc, 0);
+    b.movi(seed, 31337);
+    b.jump("main");
+
+    // ---- Subroutines ----------------------------------------------------
+    b.label("fn_hash");               // acc ^= hash(record fields)
+    b.load(f0, addr, 0);
+    b.load(f1, addr, 8);
+    b.slli(tmp, f0, 7);
+    b.xor_(tmp, tmp, f1);
+    b.xor_(acc, acc, tmp);
+    b.ret();
+
+    b.label("fn_validate");           // bounds-check two fields
+    b.load(f0, addr, 16);
+    b.slti(tmp, f0, 100000);
+    b.beq(tmp, zeroReg, "clamp");
+    b.ret();
+    b.label("clamp");
+    b.movi(f0, 99999);
+    b.store(f0, addr, 16);
+    b.ret();
+
+    b.label("fn_update");             // read-modify-write a field
+    b.load(f1, addr, 24);
+    b.add(f1, f1, acc);
+    b.andi(f1, f1, 0xfffff);
+    b.store(f1, addr, 24);
+    b.ret();
+
+    // ---- Transaction loop -------------------------------------------------
+    b.label("main");
+    b.movi(tmp, 2654435761ll);
+    b.mul(seed, seed, tmp);
+    b.addi(seed, seed, 1);
+    b.srli(id, seed, 12);
+    b.andi(id, id, num_recs - 1);
+    b.slli(addr, id, 5);
+    b.add(addr, addr, rb);
+    b.call("fn_hash");
+    b.call("fn_validate");
+    b.call("fn_update");
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "main");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * vpr analogue: FPGA placement cost evaluation.
+ *
+ * vpr's placer evaluates bounding-box routing cost over a 2-D grid:
+ * block coordinates load from two arrays, min/max folds form the
+ * half-perimeter, and the result updates a grid occupancy array. Six
+ * pseudo-net neighbours are folded two at a time with their loads and
+ * branch-free compare-selects interleaved; a couple of data-dependent
+ * branches (in-bounds check, occupancy saturation) keep vpr's branchy
+ * flavour.
+ */
+
+#include "workload/kernels.hh"
+
+namespace ctcp::workloads {
+
+namespace {
+
+/**
+ * Emit branch-free d = min(d, v) or max into the active strand.
+ * mask = (v < d) ? -1 : 0;  d = d + ((v - d) & mask)  selects v when
+ * v < d (min); for max the compare is flipped.
+ */
+void
+emitSelect(ProgramBuilder &b, RegId d, RegId v, RegId t0, RegId t1,
+           bool is_min)
+{
+    if (is_min)
+        b.slt(t0, v, d);
+    else
+        b.slt(t0, d, v);
+    b.sub(t0, zeroReg, t0);    // 0 or -1
+    b.sub(t1, v, d);
+    b.and_(t1, t1, t0);
+    b.add(d, d, t1);
+}
+
+} // namespace
+
+Program
+buildVpr()
+{
+    using namespace detail;
+
+    constexpr Addr xs_base = 0x10000;
+    constexpr Addr ys_base = 0x20000;
+    constexpr Addr grid_base = 0x30000;
+    constexpr std::int64_t num_blocks = 512;
+
+    ProgramBuilder b("vpr");
+    b.data(xs_base, randomWords(0x0f9a0001, num_blocks, 64));
+    b.data(ys_base, randomWords(0x0f9a0002, num_blocks, 64));
+    b.data(grid_base, randomWords(0x0f9a0003, 64 * 64, 3));
+
+    const RegId iter = intReg(1);
+    const RegId seed = intReg(2);
+    const RegId xsb = intReg(3);
+    const RegId ysb = intReg(4);
+    const RegId grd = intReg(5);
+    const RegId blk = intReg(6);
+    const RegId k = intReg(7);
+    const RegId x0 = intReg(8);
+    const RegId y0 = intReg(9);
+    const RegId xmin = intReg(10);
+    const RegId xmax = intReg(11);
+    const RegId ymin = intReg(12);
+    const RegId ymax = intReg(13);
+    const RegId cost = intReg(14);
+    const RegId addr = intReg(15);
+    const RegId tmp = intReg(16);
+    const RegId occ = intReg(17);
+    // Two-neighbour strand registers.
+    const RegId nx[2] = {intReg(18), intReg(19)};
+    const RegId ny[2] = {intReg(20), intReg(21)};
+    const RegId na[2] = {intReg(22), intReg(23)};
+    const RegId t0s[2] = {intReg(24), intReg(25)};
+    const RegId t1s[2] = {intReg(26), intReg(27)};
+    const RegId xmn[2] = {intReg(28), intReg(29)};
+
+    b.movi(iter, outerIterations);
+    b.movi(seed, 777);
+    b.movi(xsb, xs_base);
+    b.movi(ysb, ys_base);
+    b.movi(grd, grid_base);
+
+    b.label("outer");
+    b.movi(tmp, 6364136223846793005ll);
+    b.mul(seed, seed, tmp);
+    b.addi(seed, seed, 1442695040888963407ll);
+    b.srli(blk, seed, 17);
+    b.andi(blk, blk, num_blocks - 1);
+
+    b.slli(addr, blk, 3);
+    b.add(tmp, addr, xsb);
+    b.load(x0, tmp, 0);
+    b.add(tmp, addr, ysb);
+    b.load(y0, tmp, 0);
+    b.mov(xmin, x0);
+    b.mov(xmax, x0);
+    b.mov(ymin, y0);
+    b.mov(ymax, y0);
+    // Per-strand partial minima start at the block's own coordinates.
+    b.mov(xmn[0], x0);
+    b.mov(xmn[1], x0);
+
+    // Fold 6 neighbours, two per loop pass, as interleaved strands.
+    b.movi(k, 0);
+    b.label("bbox");
+    b.beginStrands(2);
+    for (unsigned s = 0; s < 2; ++s) {
+        b.strand(s);
+        // Neighbour id: hash of blk and (k + s).
+        b.addi(na[s], k, static_cast<std::int64_t>(s));
+        b.add(na[s], na[s], blk);
+        b.slli(t0s[s], na[s], 4);
+        b.add(na[s], na[s], t0s[s]);
+        b.addi(na[s], na[s], 13);
+        b.andi(na[s], na[s], num_blocks - 1);
+        b.slli(na[s], na[s], 3);
+        b.add(t0s[s], na[s], xsb);
+        b.load(nx[s], t0s[s], 0);
+        b.add(t1s[s], na[s], ysb);
+        b.load(ny[s], t1s[s], 0);
+        emitSelect(b, xmn[s], nx[s], t0s[s], t1s[s], true);
+        emitSelect(b, xmax, nx[s], t0s[s], t1s[s], false);
+        emitSelect(b, ymin, ny[s], t0s[s], t1s[s], true);
+        emitSelect(b, ymax, ny[s], t0s[s], t1s[s], false);
+    }
+    b.weave();
+    b.addi(k, k, 2);
+    b.slti(tmp, k, 6);
+    b.bne(tmp, zeroReg, "bbox");
+    // Merge the two xmin strands (branchy, like vpr's get_bb exit).
+    b.bge(xmn[1], xmn[0], "xmin_done");
+    b.mov(xmn[0], xmn[1]);
+    b.label("xmin_done");
+    b.mov(xmin, xmn[0]);
+
+    // Half-perimeter cost and a saturating occupancy update.
+    b.sub(cost, xmax, xmin);
+    b.sub(tmp, ymax, ymin);
+    b.add(cost, cost, tmp);
+    b.slli(addr, y0, 6);
+    b.add(addr, addr, x0);
+    b.slli(addr, addr, 3);
+    b.add(addr, addr, grd);
+    b.load(occ, addr, 0);
+    b.add(occ, occ, cost);
+    b.slti(tmp, occ, 0x10000);
+    b.bne(tmp, zeroReg, "no_sat");
+    b.movi(occ, 0);
+    b.label("no_sat");
+    b.store(occ, addr, 0);
+
+    b.addi(iter, iter, -1);
+    b.bne(iter, zeroReg, "outer");
+    b.halt();
+    return b.build();
+}
+
+} // namespace ctcp::workloads

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Synthetic workload registry.
+ *
+ * Each benchmark is a hand-written kernel in the ctcpsim ISA that
+ * mimics the dominant loop structure, dependency mix, branch behaviour
+ * and memory-access pattern of the corresponding SPEC CPU2000 integer
+ * or MediaBench program (see DESIGN.md for the substitution rationale).
+ * All workloads loop over their input for an effectively unbounded
+ * iteration count; simulations stop at the configured instruction
+ * limit, exactly like the paper's 100M-instruction methodology.
+ */
+
+#ifndef CTCPSIM_WORKLOAD_WORKLOAD_HH
+#define CTCPSIM_WORKLOAD_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "prog/program.hh"
+
+namespace ctcp::workloads {
+
+/** Which suite a benchmark belongs to. */
+enum class Suite
+{
+    SpecInt,
+    Media,
+};
+
+/** Registry entry. */
+struct BenchmarkInfo
+{
+    std::string name;
+    Suite suite;
+    /** What the kernel models (one line, for docs/tools). */
+    std::string description;
+};
+
+/** All registered benchmarks. */
+const std::vector<BenchmarkInfo> &all();
+
+/** Names in a given suite, in canonical order. */
+std::vector<std::string> names(Suite suite);
+
+/**
+ * The six SPECint benchmarks the paper selects for in-depth analysis
+ * (most sensitive to data forwarding latency).
+ */
+const std::vector<std::string> &selectedSix();
+
+/** True when @p name is registered. */
+bool exists(const std::string &name);
+
+/** Build the named benchmark program. fatal()s on unknown names. */
+Program build(const std::string &name);
+
+} // namespace ctcp::workloads
+
+#endif // CTCPSIM_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the execution cluster: reservation stations, FU pool,
+ * dispatch selection, and the interconnect distance model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hh"
+#include "cluster/interconnect.hh"
+
+namespace ctcp {
+namespace {
+
+TimedInst
+makeInst(InstSeqNum seq, Opcode op)
+{
+    TimedInst t;
+    t.dyn.seq = seq;
+    t.dyn.op = op;
+    return t;
+}
+
+TEST(Interconnect, LinearDistances)
+{
+    ClusterConfig cfg;   // 4 clusters, hop 2, linear
+    Interconnect ic(cfg);
+    EXPECT_EQ(ic.distance(0, 0), 0u);
+    EXPECT_EQ(ic.distance(0, 1), 1u);
+    EXPECT_EQ(ic.distance(0, 3), 3u);
+    EXPECT_EQ(ic.distance(3, 0), 3u);
+    EXPECT_EQ(ic.latency(0, 3), 6u);   // 3 hops x 2 cycles
+    EXPECT_TRUE(ic.adjacent(1, 2));
+    EXPECT_FALSE(ic.adjacent(0, 2));
+}
+
+TEST(Interconnect, MeshClosesTheRing)
+{
+    ClusterConfig cfg;
+    cfg.mesh = true;
+    Interconnect ic(cfg);
+    EXPECT_EQ(ic.distance(0, 3), 1u);   // end clusters adjacent
+    EXPECT_EQ(ic.distance(0, 2), 2u);
+    EXPECT_EQ(ic.latency(0, 3), 2u);
+    // A mesh of 4 never needs more than 2 hops.
+    for (ClusterId a = 0; a < 4; ++a)
+        for (ClusterId b = 0; b < 4; ++b)
+            EXPECT_LE(ic.distance(a, b), 2u);
+}
+
+TEST(Interconnect, CentralityPrefersMiddle)
+{
+    ClusterConfig cfg;
+    Interconnect ic(cfg);
+    auto order = ic.byCentrality();
+    ASSERT_EQ(order.size(), 4u);
+    // The two middle clusters come first, the ends last.
+    EXPECT_TRUE(order[0] == 1 || order[0] == 2);
+    EXPECT_TRUE(order[1] == 1 || order[1] == 2);
+    EXPECT_TRUE(order[2] == 0 || order[2] == 3);
+}
+
+TEST(Interconnect, BusUniformLatency)
+{
+    ClusterConfig cfg;
+    cfg.bus = true;
+    cfg.busLatency = 3;
+    Interconnect ic(cfg);
+    EXPECT_EQ(ic.latency(0, 0), 0u);
+    EXPECT_EQ(ic.latency(0, 1), 3u);
+    EXPECT_EQ(ic.latency(0, 3), 3u);   // uniform, not distance-scaled
+    EXPECT_EQ(ic.distance(0, 3), 1u);  // every remote cluster is one hop
+    EXPECT_EQ(ic.distance(2, 2), 0u);
+    EXPECT_TRUE(ic.isBus());
+}
+
+TEST(Interconnect, HopLatencyScales)
+{
+    ClusterConfig cfg;
+    cfg.hopLatency = 1;
+    Interconnect ic(cfg);
+    EXPECT_EQ(ic.latency(0, 2), 2u);
+}
+
+TEST(ReservationStation, CapacityAndPorts)
+{
+    ReservationStation rs(4, 2);
+    TimedInst a = makeInst(1, Opcode::Add);
+    TimedInst b = makeInst(2, Opcode::Add);
+    TimedInst c = makeInst(3, Opcode::Add);
+
+    EXPECT_TRUE(rs.tryInsert(&a, 10));
+    EXPECT_TRUE(rs.tryInsert(&b, 10));
+    EXPECT_FALSE(rs.tryInsert(&c, 10));   // out of write ports
+    EXPECT_TRUE(rs.canInsert(11));
+    EXPECT_TRUE(rs.tryInsert(&c, 11));    // new cycle, new ports
+    EXPECT_EQ(rs.occupancy(), 3u);
+}
+
+TEST(ReservationStation, FullStopsInsertion)
+{
+    ReservationStation rs(2, 2);
+    TimedInst a = makeInst(1, Opcode::Add);
+    TimedInst b = makeInst(2, Opcode::Add);
+    TimedInst c = makeInst(3, Opcode::Add);
+    EXPECT_TRUE(rs.tryInsert(&a, 1));
+    EXPECT_TRUE(rs.tryInsert(&b, 1));
+    EXPECT_FALSE(rs.tryInsert(&c, 2));
+    EXPECT_FALSE(rs.canInsert(2));
+    rs.remove(&a);
+    EXPECT_TRUE(rs.canInsert(2));
+}
+
+TEST(FuPool, SpecialPurposeCounts)
+{
+    FuPool pool;
+    // Two simple integer units...
+    EXPECT_TRUE(pool.available(FuKind::IntAlu, 0));
+    pool.reserve(FuKind::IntAlu, 0, 1);
+    EXPECT_TRUE(pool.available(FuKind::IntAlu, 0));
+    pool.reserve(FuKind::IntAlu, 0, 1);
+    EXPECT_FALSE(pool.available(FuKind::IntAlu, 0));
+    // ...free again next cycle.
+    EXPECT_TRUE(pool.available(FuKind::IntAlu, 1));
+    // One complex unit with a long issue latency.
+    pool.reserve(FuKind::IntComplex, 0, 19);
+    EXPECT_FALSE(pool.available(FuKind::IntComplex, 18));
+    EXPECT_TRUE(pool.available(FuKind::IntComplex, 19));
+}
+
+TEST(StationRouting, FuToStationMap)
+{
+    EXPECT_EQ(stationFor(FuKind::IntMem), StationKind::Mem);
+    EXPECT_EQ(stationFor(FuKind::FpMem), StationKind::Mem);
+    EXPECT_EQ(stationFor(FuKind::Branch), StationKind::Branch);
+    EXPECT_EQ(stationFor(FuKind::IntComplex), StationKind::Complex);
+    EXPECT_EQ(stationFor(FuKind::FpComplex), StationKind::Complex);
+    EXPECT_EQ(stationFor(FuKind::IntAlu), StationKind::Simple0);
+    EXPECT_EQ(stationFor(FuKind::FpBasic), StationKind::Simple0);
+}
+
+class ClusterTest : public ::testing::Test
+{
+  protected:
+    ClusterConfig cfg_;
+    Cluster cluster_{0, cfg_};
+
+    DispatchHooks
+    alwaysReady()
+    {
+        DispatchHooks hooks;
+        hooks.ready = [](const TimedInst &, Cycle) { return true; };
+        hooks.execute = [](TimedInst &, Cycle now) { return now + 1; };
+        return hooks;
+    }
+};
+
+TEST_F(ClusterTest, SimpleOpsSplitAcrossTwoStations)
+{
+    // Four ALU inserts in one cycle succeed (2 ports x 2 stations).
+    std::vector<TimedInst> insts;
+    for (int i = 0; i < 5; ++i)
+        insts.push_back(makeInst(static_cast<InstSeqNum>(i), Opcode::Add));
+    unsigned accepted = 0;
+    for (auto &inst : insts)
+        accepted += cluster_.issue(&inst, 7) ? 1 : 0;
+    EXPECT_EQ(accepted, 4u);
+}
+
+TEST_F(ClusterTest, DispatchOldestFirstUpToWidth)
+{
+    std::vector<TimedInst> insts;
+    for (int i = 0; i < 6; ++i)
+        insts.push_back(makeInst(static_cast<InstSeqNum>(10 - i),
+                                 Opcode::Add));
+    Cycle cycle = 0;
+    for (auto &inst : insts)
+        cluster_.issue(&inst, cycle++);
+
+    auto done = cluster_.dispatch(100, alwaysReady());
+    // Width 4, but only 2 ALUs: ALU issue latency 1 means both ALUs
+    // can start one op each -> 2 dispatches this cycle.
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_LT(done[0]->dyn.seq, done[1]->dyn.seq);
+    EXPECT_EQ(done[0]->dyn.seq, 5u);   // oldest (10-5)
+}
+
+TEST_F(ClusterTest, DispatchHonorsReadiness)
+{
+    TimedInst a = makeInst(1, Opcode::Add);
+    TimedInst b = makeInst(2, Opcode::Add);
+    cluster_.issue(&a, 0);
+    cluster_.issue(&b, 0);
+
+    DispatchHooks hooks;
+    hooks.ready = [&](const TimedInst &inst, Cycle) {
+        return inst.dyn.seq == 2;   // only b is ready
+    };
+    hooks.execute = [](TimedInst &, Cycle now) { return now + 1; };
+    auto done = cluster_.dispatch(1, hooks);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0]->dyn.seq, 2u);
+    EXPECT_EQ(cluster_.occupancy(), 1u);
+}
+
+TEST_F(ClusterTest, MixedKindsDispatchInParallel)
+{
+    TimedInst alu = makeInst(1, Opcode::Add);
+    TimedInst mem = makeInst(2, Opcode::Load);
+    TimedInst br = makeInst(3, Opcode::Beq);
+    TimedInst cpx = makeInst(4, Opcode::Mul);
+    TimedInst extra = makeInst(5, Opcode::Sub);
+    for (TimedInst *inst : {&alu, &mem, &br, &cpx, &extra})
+        ASSERT_TRUE(cluster_.issue(inst, 0));
+
+    auto done = cluster_.dispatch(1, alwaysReady());
+    // Width caps at 4 even though 5 could structurally go.
+    EXPECT_EQ(done.size(), 4u);
+}
+
+TEST_F(ClusterTest, ComplexIssueLatencyBlocksBackToBack)
+{
+    TimedInst d1 = makeInst(1, Opcode::Div);
+    TimedInst d2 = makeInst(2, Opcode::Div);
+    cluster_.issue(&d1, 0);
+    cluster_.issue(&d2, 0);
+    EXPECT_EQ(cluster_.dispatch(1, alwaysReady()).size(), 1u);
+    // The single divider is busy for issueLatency (19) cycles.
+    EXPECT_EQ(cluster_.dispatch(2, alwaysReady()).size(), 0u);
+    EXPECT_EQ(cluster_.dispatch(19, alwaysReady()).size(), 0u);
+    EXPECT_EQ(cluster_.dispatch(20, alwaysReady()).size(), 1u);
+}
+
+TEST(TimedInst, CompletionPushFillsWaiters)
+{
+    TimedInst producer = makeInst(1, Opcode::Add);
+    producer.cluster = 2;
+    TimedInst consumer = makeInst(2, Opcode::Add);
+    consumer.ops[0].valid = true;
+    consumer.ops[0].fromRF = false;
+    consumer.ops[0].producerSeq = 1;
+    producer.waiters.push_back(&consumer);
+
+    producer.completeAt = 55;
+    producer.pushCompletion();
+    EXPECT_TRUE(consumer.ops[0].producerComplete);
+    EXPECT_EQ(consumer.ops[0].rawReady, 55u);
+    EXPECT_EQ(consumer.ops[0].producerCluster, 2);
+    EXPECT_TRUE(producer.waiters.empty());
+}
+
+TEST(ChainProfile, Membership)
+{
+    ChainProfile p;
+    EXPECT_FALSE(p.isMember());
+    p.role = ChainRole::Leader;
+    EXPECT_FALSE(p.isMember());   // no cluster yet
+    p.chainCluster = 2;
+    EXPECT_TRUE(p.isMember());
+}
+
+} // namespace
+} // namespace ctcp

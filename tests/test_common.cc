@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Unit tests for src/common: bit utilities, RNG determinism, the
+ * circular queue, and the stats helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+#include "common/circular_queue.hh"
+#include "common/random.hh"
+#include "stats/stats.hh"
+#include "stats/table.hh"
+
+namespace ctcp {
+namespace {
+
+TEST(BitUtil, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(BitUtil, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1023), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+}
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffull);
+    EXPECT_EQ(bits(0xabcd, 0, 4), 0xdull);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+}
+
+TEST(BitUtil, FoldAddress)
+{
+    // Folding is XOR of fixed-width chunks.
+    EXPECT_EQ(foldAddress(0x1234, 16), 0x1234ull);
+    EXPECT_EQ(foldAddress(0x0001'0001, 16), 0ull);
+    EXPECT_EQ(foldAddress(0x0003'0001, 16), 2ull);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(CircularQueue, FifoOrder)
+{
+    CircularQueue<int> q(4);
+    q.pushBack(1);
+    q.pushBack(2);
+    q.pushBack(3);
+    EXPECT_EQ(q.front(), 1);
+    q.popFront();
+    EXPECT_EQ(q.front(), 2);
+    q.pushBack(4);
+    q.pushBack(5);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.back(), 5);
+    EXPECT_EQ(q.at(0), 2);
+    EXPECT_EQ(q.at(3), 5);
+}
+
+TEST(CircularQueue, WrapsAround)
+{
+    CircularQueue<int> q(3);
+    for (int round = 0; round < 10; ++round) {
+        q.pushBack(round);
+        EXPECT_EQ(q.front(), round);
+        q.popFront();
+        EXPECT_TRUE(q.empty());
+    }
+}
+
+TEST(CircularQueue, PopBackSquashes)
+{
+    CircularQueue<int> q(8);
+    for (int i = 0; i < 6; ++i)
+        q.pushBack(i);
+    q.popBack(4);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.back(), 1);
+}
+
+TEST(Stats, Percent)
+{
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(percent(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percent(5, 5), 100.0);
+}
+
+TEST(Stats, HarmonicMean)
+{
+    EXPECT_DOUBLE_EQ(harmonicMean({1.0, 1.0}), 1.0);
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(harmonicMean({}), 0.0);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    Histogram h(4, 10);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    h.sample(40);    // overflow bucket
+    h.sample(1000);  // overflow bucket
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.samples(), 6u);
+}
+
+TEST(Stats, HistogramMean)
+{
+    Histogram h(4, 10);
+    h.sample(10, 3);
+    h.sample(20, 1);
+    EXPECT_DOUBLE_EQ(h.mean(), 12.5);
+}
+
+TEST(Table, RendersAligned)
+{
+    TextTable t({"bench", "value"});
+    t.row("gzip").cell(1.5, 1);
+    t.row("a-very-long-name").percentCell(33.333, 2);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("gzip"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("33.33%"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Counter, Accumulates)
+{
+    Counter c;
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+} // namespace
+} // namespace ctcp

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for the fetch engine: I-cache group formation, stopping
+ * at taken branches, mispredict gating and resumption, trace-cache
+ * line delivery with carried FDRT profiles, and RAS integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/presets.hh"
+#include "core/fetch.hh"
+#include "prog/builder.hh"
+
+namespace ctcp {
+namespace {
+
+class FetchTest : public ::testing::Test
+{
+  protected:
+    void
+    init(Program &&program)
+    {
+        program_ = std::make_unique<Program>(std::move(program));
+        cfg_ = baseConfig();
+        exec_ = std::make_unique<Executor>(*program_);
+        dmem_ = std::make_unique<DataMemorySystem>(cfg_.mem);
+        imem_ = std::make_unique<InstMemory>(cfg_.frontEnd, *dmem_);
+        bpred_ = std::make_unique<BranchPredictor>(cfg_.bpred);
+        tc_ = std::make_unique<TraceCache>(cfg_.frontEnd.traceCache);
+        fetch_ = std::make_unique<FetchEngine>(cfg_, *tc_, *imem_, *bpred_,
+                                               *exec_);
+    }
+
+    SimConfig cfg_;
+    std::unique_ptr<Program> program_;
+    std::unique_ptr<Executor> exec_;
+    std::unique_ptr<DataMemorySystem> dmem_;
+    std::unique_ptr<InstMemory> imem_;
+    std::unique_ptr<BranchPredictor> bpred_;
+    std::unique_ptr<TraceCache> tc_;
+    std::unique_ptr<FetchEngine> fetch_;
+};
+
+Program
+straightLine(int n)
+{
+    ProgramBuilder b("straight");
+    for (int i = 0; i < n; ++i)
+        b.addi(intReg(1), intReg(1), 1);
+    b.halt();
+    return b.build();
+}
+
+TEST_F(FetchTest, IcacheGroupsLimitedToWidth)
+{
+    init(straightLine(10));
+    auto g1 = fetch_->fetchCycle(0);
+    ASSERT_TRUE(g1.has_value());
+    EXPECT_FALSE(g1->fromTraceCache);
+    EXPECT_EQ(g1->insts.size(), cfg_.frontEnd.icacheFetchWidth);
+    // Slot indices are sequential buffer positions.
+    for (std::size_t i = 0; i < g1->insts.size(); ++i)
+        EXPECT_EQ(g1->insts[i]->slotIndex, static_cast<int>(i));
+    // Cold I-cache: the group is delayed past the fetch stages.
+    EXPECT_GT(g1->readyAt, Cycle{0} + cfg_.frontEnd.fetchStages);
+
+    auto g2 = fetch_->fetchCycle(1);
+    ASSERT_TRUE(g2.has_value());
+    EXPECT_EQ(g2->insts[0]->dyn.pc, 4u);
+    // Same I-cache line now hits: only the pipelined fetch latency.
+    EXPECT_EQ(g2->readyAt, Cycle{1} + cfg_.frontEnd.fetchStages);
+}
+
+TEST_F(FetchTest, StopsAfterPredictedTakenBranch)
+{
+    ProgramBuilder b("jumpy");
+    b.addi(intReg(1), intReg(1), 1);    // 0
+    b.jump("target");                    // 1: unconditional taken
+    b.nop();                             // 2 (never executed)
+    b.label("target");
+    b.addi(intReg(1), intReg(1), 1);    // 3
+    b.halt();                            // 4
+    init(b.build());
+
+    auto g = fetch_->fetchCycle(0);
+    ASSERT_TRUE(g.has_value());
+    // Cannot fetch past a taken transfer within one cycle.
+    ASSERT_EQ(g->insts.size(), 2u);
+    EXPECT_EQ(g->insts[1]->dyn.op, Opcode::Jump);
+    EXPECT_FALSE(g->insts[1]->mispredicted);   // direct target, no gate
+
+    auto g2 = fetch_->fetchCycle(1);
+    ASSERT_TRUE(g2.has_value());
+    EXPECT_EQ(g2->insts[0]->dyn.pc, 3u);   // resumed at the target
+}
+
+TEST_F(FetchTest, MispredictGatesUntilResolved)
+{
+    // A forward conditional that is never taken: the untrained
+    // predictor (weakly-taken counters) predicts taken -> mispredict.
+    ProgramBuilder b("nt");
+    b.movi(intReg(1), 1);
+    b.beq(intReg(1), zeroReg, "skip");   // never taken
+    b.addi(intReg(2), intReg(2), 1);
+    b.label("skip");
+    b.halt();
+    init(b.build());
+
+    auto g = fetch_->fetchCycle(0);
+    ASSERT_TRUE(g.has_value());
+    const TimedInst *branch = nullptr;
+    for (const auto &ti : g->insts)
+        if (ti->dyn.isCondBranch())
+            branch = ti.get();
+    ASSERT_NE(branch, nullptr);
+    EXPECT_TRUE(branch->mispredicted);
+    EXPECT_EQ(fetch_->gatingBranch(), branch->dyn.seq);
+
+    // Fetch is gated until the branch resolves.
+    EXPECT_FALSE(fetch_->fetchCycle(1).has_value());
+    EXPECT_FALSE(fetch_->fetchCycle(5).has_value());
+    fetch_->resolveGate(branch->dyn.seq, 10);
+    EXPECT_FALSE(fetch_->fetchCycle(9).has_value());   // not yet
+    auto g2 = fetch_->fetchCycle(10);
+    ASSERT_TRUE(g2.has_value());
+    EXPECT_EQ(g2->insts[0]->dyn.pc, 2u);   // correct-path continuation
+}
+
+TEST_F(FetchTest, ResolveIgnoresWrongSeq)
+{
+    ProgramBuilder b("nt2");
+    b.movi(intReg(1), 1);
+    b.beq(intReg(1), zeroReg, "skip");
+    b.label("skip");
+    b.halt();
+    init(b.build());
+    auto g = fetch_->fetchCycle(0);
+    ASSERT_TRUE(g.has_value());
+    const InstSeqNum gate = fetch_->gatingBranch();
+    ASSERT_NE(gate, invalidSeqNum);
+    fetch_->resolveGate(gate + 17, 1);   // not the gating branch
+    EXPECT_FALSE(fetch_->fetchCycle(2).has_value());
+    fetch_->resolveGate(gate, 3);
+    EXPECT_TRUE(fetch_->fetchCycle(3).has_value());
+}
+
+TEST_F(FetchTest, TraceCacheLineDeliversProfilesAndSlots)
+{
+    init(straightLine(8));
+
+    // Hand-build a resident trace line covering PCs 0..5 with a
+    // shuffled physical order and one FDRT profile.
+    TraceLine line;
+    line.key.startPc = 0;
+    for (int i = 0; i < 6; ++i) {
+        TraceSlot slot;
+        slot.pc = static_cast<Addr>(i);
+        slot.physSlot = static_cast<std::uint8_t>(5 - i);   // reversed
+        line.insts.push_back(slot);
+    }
+    line.insts[2].profile.role = ChainRole::Leader;
+    line.insts[2].profile.chainCluster = 3;
+    tc_->insert(line);
+
+    auto g = fetch_->fetchCycle(0);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_TRUE(g->fromTraceCache);
+    ASSERT_EQ(g->insts.size(), 6u);
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_EQ(g->insts[static_cast<std::size_t>(i)]->logicalIndex, i);
+        EXPECT_EQ(g->insts[static_cast<std::size_t>(i)]->slotIndex, 5 - i);
+        EXPECT_EQ(g->insts[static_cast<std::size_t>(i)]->traceKey,
+                  line.key.hash());
+    }
+    EXPECT_EQ(g->insts[2]->profile.role, ChainRole::Leader);
+    EXPECT_EQ(g->insts[2]->profile.chainCluster, 3);
+    // All instructions of one line share a trace instance.
+    EXPECT_EQ(g->insts[0]->traceInstance, g->insts[5]->traceInstance);
+
+    // The next fetch starts after the line and is a different instance.
+    auto g2 = fetch_->fetchCycle(1);
+    ASSERT_TRUE(g2.has_value());
+    EXPECT_EQ(g2->insts[0]->dyn.pc, 6u);
+    EXPECT_NE(g2->insts[0]->traceInstance, g->insts[0]->traceInstance);
+}
+
+TEST_F(FetchTest, ReturnUsesRasWithoutGating)
+{
+    ProgramBuilder b("callret");
+    b.jump("main");          // 0
+    b.label("fn");
+    b.addi(intReg(1), intReg(1), 1);   // 1
+    b.ret();                            // 2
+    b.label("main");
+    b.call("fn");            // 3
+    b.addi(intReg(2), intReg(2), 1);   // 4
+    b.halt();                // 5
+    init(b.build());
+
+    // Group 1: jump (stops the group).
+    auto g1 = fetch_->fetchCycle(0);
+    ASSERT_TRUE(g1.has_value());
+    // Group 2: call at pc 3 (stops, pushes RAS).
+    auto g2 = fetch_->fetchCycle(1);
+    ASSERT_TRUE(g2.has_value());
+    EXPECT_TRUE(g2->insts.back()->dyn.isCallOp());
+    // Group 3: fn body; the ret pops the RAS and predicts pc 4.
+    auto g3 = fetch_->fetchCycle(2);
+    ASSERT_TRUE(g3.has_value());
+    const TimedInst *ret = g3->insts.back().get();
+    EXPECT_TRUE(ret->dyn.isReturnOp());
+    EXPECT_FALSE(ret->mispredicted);
+    EXPECT_EQ(ret->predictedTarget, 4u);
+    EXPECT_EQ(fetch_->gatingBranch(), invalidSeqNum);
+}
+
+TEST_F(FetchTest, StreamEndsAfterHalt)
+{
+    init(straightLine(2));
+    EXPECT_FALSE(fetch_->streamEnded());
+    (void)fetch_->fetchCycle(0);   // 2 addi + halt fit in one group
+    EXPECT_TRUE(fetch_->streamEnded());
+    EXPECT_FALSE(fetch_->fetchCycle(1).has_value());
+}
+
+TEST_F(FetchTest, CountsBySource)
+{
+    init(straightLine(10));
+    (void)fetch_->fetchCycle(0);
+    EXPECT_EQ(fetch_->instsFromIC(), 4u);
+    EXPECT_EQ(fetch_->instsFromTC(), 0u);
+}
+
+} // namespace
+} // namespace ctcp

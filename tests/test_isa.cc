@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode metadata, predicates, register
+ * helpers and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcodes.hh"
+
+namespace ctcp {
+namespace {
+
+TEST(OpcodeInfo, SimpleIntegerLatencies)
+{
+    // Table 7: simple integer 1/1.
+    for (Opcode op : {Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or,
+                      Opcode::Xor, Opcode::Sll, Opcode::Slt}) {
+        EXPECT_EQ(opcodeInfo(op).execLatency, 1) << opcodeInfo(op).mnemonic;
+        EXPECT_EQ(opcodeInfo(op).issueLatency, 1);
+        EXPECT_EQ(opcodeInfo(op).fu, FuKind::IntAlu);
+    }
+}
+
+TEST(OpcodeInfo, ComplexIntegerLatencies)
+{
+    // Table 7: mul 3/1, div 20/19.
+    EXPECT_EQ(opcodeInfo(Opcode::Mul).execLatency, 3);
+    EXPECT_EQ(opcodeInfo(Opcode::Mul).issueLatency, 1);
+    EXPECT_EQ(opcodeInfo(Opcode::Div).execLatency, 20);
+    EXPECT_EQ(opcodeInfo(Opcode::Div).issueLatency, 19);
+    EXPECT_EQ(opcodeInfo(Opcode::Div).fu, FuKind::IntComplex);
+}
+
+TEST(OpcodeInfo, FpLatencies)
+{
+    // Table 7: FP mul 3/1, div 12/12, sqrt 24/24.
+    EXPECT_EQ(opcodeInfo(Opcode::FMul).execLatency, 3);
+    EXPECT_EQ(opcodeInfo(Opcode::FDiv).execLatency, 12);
+    EXPECT_EQ(opcodeInfo(Opcode::FDiv).issueLatency, 12);
+    EXPECT_EQ(opcodeInfo(Opcode::FSqrt).execLatency, 24);
+    EXPECT_EQ(opcodeInfo(Opcode::FSqrt).issueLatency, 24);
+    EXPECT_EQ(opcodeInfo(Opcode::FSqrt).fu, FuKind::FpComplex);
+}
+
+TEST(OpcodeInfo, OperandFlags)
+{
+    EXPECT_TRUE(opcodeInfo(Opcode::Add).readsSrc1);
+    EXPECT_TRUE(opcodeInfo(Opcode::Add).readsSrc2);
+    EXPECT_TRUE(opcodeInfo(Opcode::Add).writesDst);
+    EXPECT_FALSE(opcodeInfo(Opcode::Add).hasImmediate);
+
+    EXPECT_TRUE(opcodeInfo(Opcode::AddI).hasImmediate);
+    EXPECT_FALSE(opcodeInfo(Opcode::AddI).readsSrc2);
+
+    EXPECT_FALSE(opcodeInfo(Opcode::MovI).readsSrc1);
+    EXPECT_FALSE(opcodeInfo(Opcode::Store).writesDst);
+    EXPECT_TRUE(opcodeInfo(Opcode::Store).readsSrc2);   // store data
+    EXPECT_FALSE(opcodeInfo(Opcode::Beq).writesDst);
+    EXPECT_TRUE(opcodeInfo(Opcode::Call).writesDst);    // link register
+}
+
+TEST(OpcodePredicates, BranchClassification)
+{
+    EXPECT_TRUE(isBranch(Opcode::Beq));
+    EXPECT_TRUE(isBranch(Opcode::Jump));
+    EXPECT_TRUE(isBranch(Opcode::JumpReg));
+    EXPECT_TRUE(isBranch(Opcode::Call));
+    EXPECT_TRUE(isBranch(Opcode::Ret));
+    EXPECT_FALSE(isBranch(Opcode::Add));
+
+    EXPECT_TRUE(isConditionalBranch(Opcode::Bne));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Jump));
+
+    EXPECT_TRUE(isIndirect(Opcode::JumpReg));
+    EXPECT_TRUE(isIndirect(Opcode::Ret));
+    EXPECT_FALSE(isIndirect(Opcode::Call));
+
+    EXPECT_TRUE(isCall(Opcode::Call));
+    EXPECT_TRUE(isReturn(Opcode::Ret));
+}
+
+TEST(OpcodePredicates, MemoryClassification)
+{
+    EXPECT_TRUE(isLoad(Opcode::Load));
+    EXPECT_TRUE(isLoad(Opcode::FLoad));
+    EXPECT_TRUE(isStore(Opcode::Store));
+    EXPECT_TRUE(isStore(Opcode::FStore));
+    EXPECT_TRUE(isMemOp(Opcode::Load));
+    EXPECT_TRUE(isMemOp(Opcode::FStore));
+    EXPECT_FALSE(isMemOp(Opcode::Add));
+    EXPECT_EQ(opcodeInfo(Opcode::Load).fu, FuKind::IntMem);
+    EXPECT_EQ(opcodeInfo(Opcode::FLoad).fu, FuKind::FpMem);
+}
+
+TEST(OpcodeInfo, EveryOpcodeHasAName)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NumOpcodes); ++i) {
+        const OpcodeInfo &info = opcodeInfo(static_cast<Opcode>(i));
+        EXPECT_FALSE(info.mnemonic.empty());
+    }
+}
+
+TEST(FuKindName, AllNamed)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(FuKind::NumKinds); ++i)
+        EXPECT_FALSE(fuKindName(static_cast<FuKind>(i)).empty());
+}
+
+TEST(Registers, FlatIdSpace)
+{
+    EXPECT_EQ(intReg(0), zeroReg);
+    EXPECT_EQ(intReg(31), linkReg);
+    EXPECT_EQ(fpReg(0), numIntRegs);
+    EXPECT_EQ(fpReg(31), numArchRegs - 1);
+}
+
+TEST(Instruction, SourcePredicatesIgnoreZeroAndInvalid)
+{
+    Instruction inst;
+    inst.op = Opcode::Add;
+    inst.dst = zeroReg;
+    inst.src1 = intReg(1);
+    inst.src2 = invalidReg;
+    EXPECT_FALSE(inst.hasDst());     // writes to r0 are discarded
+    EXPECT_TRUE(inst.hasSrc1());
+    EXPECT_FALSE(inst.hasSrc2());
+}
+
+TEST(Disassemble, Formats)
+{
+    Instruction add{Opcode::Add, intReg(3), intReg(1), intReg(2), 0};
+    EXPECT_EQ(disassemble(add), "add r3, r1, r2");
+
+    Instruction ld{Opcode::Load, intReg(4), intReg(5), invalidReg, 16};
+    EXPECT_EQ(disassemble(ld), "ld r4, r5, 16");
+
+    Instruction fml{Opcode::FMul, fpReg(1), fpReg(2), fpReg(3), 0};
+    EXPECT_EQ(disassemble(fml), "fmul f1, f2, f3");
+
+    Instruction j{Opcode::Jump, invalidReg, invalidReg, invalidReg, 42};
+    EXPECT_EQ(disassemble(j), "j 42");
+}
+
+} // namespace
+} // namespace ctcp

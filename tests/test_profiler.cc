@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the Profiler's metric bookkeeping: criticality
+ * distributions, dependency accounting, producer-repeat tracking and
+ * cluster-migration detection, driven with hand-built TimedInsts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hh"
+
+namespace ctcp {
+namespace {
+
+TimedInst
+consumer(Addr pc, int critical_src, bool forwarded, bool inter_trace,
+         Addr producer_pc, unsigned distance)
+{
+    TimedInst t;
+    t.dyn.pc = pc;
+    t.dyn.op = Opcode::Add;
+    t.dyn.src1 = intReg(1);
+    t.dyn.src2 = intReg(2);
+    t.ops[0].valid = true;
+    t.ops[1].valid = true;
+    t.ops[0].fromRF = true;
+    t.ops[1].fromRF = true;
+    if (forwarded && critical_src >= 1) {
+        OperandState &op = t.ops[critical_src - 1];
+        op.fromRF = false;
+        op.producerPc = producer_pc;
+    }
+    t.criticalSrc = critical_src;
+    t.criticalForwarded = forwarded;
+    t.criticalInterTrace = inter_trace;
+    t.criticalDistance = distance;
+    t.criticalProducerPc = producer_pc;
+    return t;
+}
+
+TEST(Profiler, CriticalSourceDistribution)
+{
+    Profiler prof;
+    prof.onExecute(consumer(1, 0, false, false, 0, 0));   // RF critical
+    prof.onExecute(consumer(2, 1, true, false, 100, 0));  // RS1
+    prof.onExecute(consumer(3, 2, true, false, 100, 0));  // RS2
+    prof.onExecute(consumer(4, 1, true, false, 100, 0));  // RS1
+    EXPECT_DOUBLE_EQ(prof.pctCriticalFromRF(), 25.0);
+    EXPECT_DOUBLE_EQ(prof.pctCriticalFromRs1(), 50.0);
+    EXPECT_DOUBLE_EQ(prof.pctCriticalFromRs2(), 25.0);
+}
+
+TEST(Profiler, ForwardingDistanceAndIntraCluster)
+{
+    Profiler prof;
+    prof.onExecute(consumer(1, 1, true, false, 100, 0));
+    prof.onExecute(consumer(2, 1, true, false, 100, 2));
+    prof.onExecute(consumer(3, 1, true, true, 100, 1));
+    EXPECT_DOUBLE_EQ(prof.meanForwardingDistance(), 1.0);
+    EXPECT_NEAR(prof.pctIntraClusterForwarding(), 100.0 / 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(prof.meanInterTraceDistance(), 1.0);
+    EXPECT_DOUBLE_EQ(prof.meanIntraTraceDistance(), 1.0);
+    EXPECT_DOUBLE_EQ(prof.pctInterTraceIntraCluster(), 0.0);
+}
+
+TEST(Profiler, CriticalDependencyShares)
+{
+    Profiler prof;
+    // Two forwarded operands, only src1 critical: 1 of 2 deps critical.
+    TimedInst t = consumer(1, 1, true, true, 100, 0);
+    t.ops[1].fromRF = false;
+    t.ops[1].producerPc = 200;
+    prof.onExecute(t);
+    EXPECT_DOUBLE_EQ(prof.pctDepsCritical(), 50.0);
+    EXPECT_DOUBLE_EQ(prof.pctCriticalInterTrace(), 100.0);
+}
+
+TEST(Profiler, ProducerRepeatTracking)
+{
+    Profiler prof;
+    prof.onExecute(consumer(10, 1, true, false, 100, 0));
+    prof.onExecute(consumer(10, 1, true, false, 100, 0));   // repeat
+    prof.onExecute(consumer(10, 1, true, false, 300, 0));   // change
+    prof.onExecute(consumer(10, 1, true, false, 300, 0));   // repeat
+    // 4 forwarded events, 2 of them repeats (the denominator includes
+    // the history-less first event, negligible at real run lengths).
+    EXPECT_DOUBLE_EQ(prof.repeatRs1(), 50.0);
+}
+
+TEST(Profiler, RepeatIsPerConsumerPc)
+{
+    Profiler prof;
+    // Different consumers tracking the same producer don't interfere.
+    prof.onExecute(consumer(10, 1, true, false, 100, 0));
+    prof.onExecute(consumer(20, 1, true, false, 100, 0));
+    prof.onExecute(consumer(10, 1, true, false, 100, 0));
+    prof.onExecute(consumer(20, 1, true, false, 100, 0));
+    EXPECT_DOUBLE_EQ(prof.repeatRs1(), 100.0 * 2.0 / 4.0);
+}
+
+TEST(Profiler, MigrationDetection)
+{
+    Profiler prof;
+    TimedInst a;
+    a.dyn.pc = 50;
+    a.cluster = 1;
+    prof.onRetire(a);           // first visit: no revisit counted
+    prof.onRetire(a);           // same cluster: revisit, no migration
+    a.cluster = 2;
+    prof.onRetire(a);           // migrated
+    EXPECT_DOUBLE_EQ(prof.migrationAllPct(), 50.0);
+    EXPECT_DOUBLE_EQ(prof.migrationChainPct(), 0.0);   // not a member
+}
+
+TEST(Profiler, ChainMigrationSubset)
+{
+    Profiler prof;
+    TimedInst a;
+    a.dyn.pc = 60;
+    a.cluster = 0;
+    a.profile.role = ChainRole::Follower;
+    a.profile.chainCluster = 0;
+    prof.onRetire(a);
+    a.cluster = 3;
+    prof.onRetire(a);
+    EXPECT_DOUBLE_EQ(prof.migrationChainPct(), 100.0);
+}
+
+TEST(Profiler, TraceCacheShare)
+{
+    Profiler prof;
+    TimedInst a;
+    a.dyn.pc = 1;
+    a.fromTraceCache = true;
+    prof.onRetire(a);
+    a.dyn.pc = 2;
+    a.fromTraceCache = false;
+    prof.onRetire(a);
+    EXPECT_DOUBLE_EQ(prof.pctFromTraceCache(), 50.0);
+    EXPECT_EQ(prof.retired(), 2u);
+}
+
+TEST(Profiler, InstructionsWithoutInputsExcluded)
+{
+    Profiler prof;
+    TimedInst none;
+    none.dyn.pc = 5;
+    none.dyn.op = Opcode::MovI;   // no register inputs
+    prof.onExecute(none);
+    prof.onExecute(consumer(6, 0, false, false, 0, 0));
+    // Only the consumer counts toward the Figure 4 denominator.
+    EXPECT_DOUBLE_EQ(prof.pctCriticalFromRF(), 100.0);
+}
+
+TEST(Profiler, DumpContainsEveryMetric)
+{
+    Profiler prof;
+    prof.onExecute(consumer(1, 1, true, true, 100, 2));
+    prof.onRetire(consumer(1, 1, true, true, 100, 2));
+    StatDump dump;
+    prof.dumpStats(dump);
+    const std::string text = dump.render();
+    for (const char *key :
+         {"prof.retired", "prof.pct_from_tc", "prof.pct_crit_rs1",
+          "prof.pct_deps_critical", "prof.repeat_rs1",
+          "prof.pct_intra_cluster_fwd", "prof.mean_fwd_distance",
+          "prof.migration_all_pct"})
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+}
+
+} // namespace
+} // namespace ctcp

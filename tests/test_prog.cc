@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the program builder: label resolution, emission
+ * helpers, data blocks, and strand weaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prog/builder.hh"
+#include "prog/program.hh"
+
+namespace ctcp {
+namespace {
+
+TEST(Builder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b("labels");
+    b.movi(intReg(1), 0);               // 0
+    b.label("top");                      // index 1
+    b.addi(intReg(1), intReg(1), 1);     // 1
+    b.beq(intReg(1), zeroReg, "done");   // 2 -> forward
+    b.jump("top");                       // 3 -> backward
+    b.label("done");
+    b.halt();                            // 4
+    Program p = b.build();
+
+    EXPECT_EQ(p.size(), 5u);
+    EXPECT_EQ(p.fetch(2).imm, 4);   // "done"
+    EXPECT_EQ(p.fetch(3).imm, 1);   // "top"
+}
+
+TEST(Builder, CallEncodesLinkAndTarget)
+{
+    ProgramBuilder b("calls");
+    b.jump("main");
+    b.label("fn");
+    b.ret();
+    b.label("main");
+    b.call("fn");
+    b.halt();
+    Program p = b.build();
+
+    const Instruction &call = p.fetch(2);
+    EXPECT_EQ(call.op, Opcode::Call);
+    EXPECT_EQ(call.dst, linkReg);
+    EXPECT_EQ(call.imm, 1);   // "fn"
+    const Instruction &ret = p.fetch(1);
+    EXPECT_EQ(ret.op, Opcode::Ret);
+    EXPECT_EQ(ret.src1, linkReg);
+}
+
+TEST(Builder, StoreOperandLayout)
+{
+    ProgramBuilder b("stores");
+    b.store(intReg(5), intReg(6), 24);
+    b.halt();
+    Program p = b.build();
+    const Instruction &st = p.fetch(0);
+    EXPECT_EQ(st.src1, intReg(6));   // address base
+    EXPECT_EQ(st.src2, intReg(5));   // data
+    EXPECT_EQ(st.imm, 24);
+}
+
+TEST(Builder, DataBlocksCarried)
+{
+    ProgramBuilder b("data");
+    b.data(0x1000, {1, 2, 3});
+    b.data(0x2000, {42});
+    b.halt();
+    Program p = b.build();
+    ASSERT_EQ(p.data().size(), 2u);
+    EXPECT_EQ(p.data()[0].base, 0x1000u);
+    EXPECT_EQ(p.data()[0].words.size(), 3u);
+    EXPECT_EQ(p.data()[1].words[0], 42);
+}
+
+TEST(Builder, HereTracksPosition)
+{
+    ProgramBuilder b("here");
+    EXPECT_EQ(b.here(), 0u);
+    b.nop();
+    b.nop();
+    EXPECT_EQ(b.here(), 2u);
+}
+
+TEST(Builder, WeaveInterleavesRoundRobin)
+{
+    ProgramBuilder b("weave");
+    b.beginStrands(2);
+    b.strand(0);
+    b.movi(intReg(1), 10);
+    b.movi(intReg(2), 11);
+    b.strand(1);
+    b.movi(intReg(3), 20);
+    b.movi(intReg(4), 21);
+    b.movi(intReg(5), 22);
+    b.weave();
+    b.halt();
+    Program p = b.build();
+
+    // Round robin: s0[0], s1[0], s0[1], s1[1], s1[2].
+    ASSERT_EQ(p.size(), 6u);
+    EXPECT_EQ(p.fetch(0).dst, intReg(1));
+    EXPECT_EQ(p.fetch(1).dst, intReg(3));
+    EXPECT_EQ(p.fetch(2).dst, intReg(2));
+    EXPECT_EQ(p.fetch(3).dst, intReg(4));
+    EXPECT_EQ(p.fetch(4).dst, intReg(5));
+}
+
+TEST(Builder, WeaveUnevenStrands)
+{
+    ProgramBuilder b("uneven");
+    b.beginStrands(3);
+    b.strand(0).movi(intReg(1), 1);
+    b.strand(2).movi(intReg(3), 3).movi(intReg(4), 4);
+    b.weave();
+    b.halt();
+    Program p = b.build();
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.fetch(0).dst, intReg(1));
+    EXPECT_EQ(p.fetch(1).dst, intReg(3));
+    EXPECT_EQ(p.fetch(2).dst, intReg(4));
+}
+
+TEST(Builder, BranchTargetsResolveAcrossWeave)
+{
+    ProgramBuilder b("mix");
+    b.label("top");
+    b.beginStrands(2);
+    b.strand(0).addi(intReg(1), intReg(1), 1);
+    b.strand(1).addi(intReg(2), intReg(2), 1);
+    b.weave();
+    b.bne(intReg(1), intReg(2), "top");
+    b.halt();
+    Program p = b.build();
+    EXPECT_EQ(p.fetch(2).imm, 0);
+}
+
+using BuilderDeath = ::testing::Test;
+
+TEST(BuilderDeath, BranchInStrandAborts)
+{
+    ProgramBuilder b("bad");
+    b.beginStrands(2);
+    EXPECT_DEATH(b.jump("x"), "strand");
+}
+
+TEST(BuilderDeath, LabelInStrandAborts)
+{
+    ProgramBuilder b("bad2");
+    b.beginStrands(2);
+    EXPECT_DEATH(b.label("x"), "strand");
+}
+
+TEST(Program, FetchBoundsChecked)
+{
+    ProgramBuilder b("bounds");
+    b.halt();
+    Program p = b.build();
+    EXPECT_DEATH(p.fetch(1), "fetch past program end");
+}
+
+TEST(Program, ByteAddr)
+{
+    EXPECT_EQ(Program::byteAddr(0), 0u);
+    EXPECT_EQ(Program::byteAddr(3), 12u);
+}
+
+} // namespace
+} // namespace ctcp

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * ctcpsim — command-line driver for the clustered trace cache
+ * processor simulator.
+ *
+ * Runs one benchmark under one machine configuration and prints the
+ * full statistics dump. Every Table 7 parameter that the paper varies
+ * is exposed as a flag.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "config/presets.hh"
+#include "core/simulator.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "workload:\n"
+        "  --bench NAME          benchmark to run (default gzip)\n"
+        "  --list                list available benchmarks and exit\n"
+        "  --instructions N      instruction budget (default 2000000)\n"
+        "\n"
+        "cluster assignment:\n"
+        "  --strategy S          base | friendly | fdrt | issue-time\n"
+        "  --issue-latency N     extra front-end stages for issue-time\n"
+        "  --no-pinning          FDRT: do not pin chain leaders\n"
+        "  --no-chains           FDRT: intra-trace heuristics only\n"
+        "  --middle-bias         Friendly: bias toward middle clusters\n"
+        "\n"
+        "machine:\n"
+        "  --clusters N          number of clusters (default 4)\n"
+        "  --hop-latency N       cycles per cluster hop (default 2)\n"
+        "  --mesh                end clusters connected directly\n"
+        "  --bus                 shared broadcast bus interconnect\n"
+        "  --preset P            base | mesh | onecycle | twocluster |\n"
+        "                        bus | eightcluster\n"
+        "\n"
+        "output:\n"
+        "  --json                print headline metrics as JSON\n"
+        "  --trace FILE          write a pipeline trace of the first\n"
+        "  --trace-cycles N      N cycles (default 1000) to FILE\n"
+        "\n"
+        "ablations (Figure 5):\n"
+        "  --zero-fwd            no inter-cluster forwarding latency\n"
+        "  --zero-crit-fwd       critical input forwards with no latency\n"
+        "  --zero-intra-fwd      intra-trace forwards with no latency\n"
+        "  --zero-inter-fwd      inter-trace forwards with no latency\n"
+        "  --zero-rf             no register-file read latency\n",
+        prog);
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "ctcpsim: %s (try --help)\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ctcp;
+
+    std::string bench = "gzip";
+    std::string preset = "base";
+    SimConfig cfg = baseConfig();
+    std::uint64_t instructions = 2'000'000;
+    bool clusters_set = false;
+    bool json = false;
+    unsigned clusters = 4;
+
+    auto next_arg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            die(std::string("missing value for ") + argv[i]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--list") {
+            for (const auto &info : workloads::all())
+                std::printf("%-12s %-8s %s\n", info.name.c_str(),
+                            info.suite == workloads::Suite::SpecInt
+                                ? "specint" : "media",
+                            info.description.c_str());
+            return 0;
+        } else if (arg == "--bench") {
+            bench = next_arg(i);
+        } else if (arg == "--instructions") {
+            instructions = std::strtoull(next_arg(i), nullptr, 10);
+        } else if (arg == "--strategy") {
+            const std::string s = next_arg(i);
+            if (s == "base")
+                cfg.assign.strategy = AssignStrategy::BaseSlotOrder;
+            else if (s == "friendly")
+                cfg.assign.strategy = AssignStrategy::Friendly;
+            else if (s == "fdrt")
+                cfg.assign.strategy = AssignStrategy::Fdrt;
+            else if (s == "issue-time")
+                cfg.assign.strategy = AssignStrategy::IssueTime;
+            else
+                die("unknown strategy '" + s + "'");
+        } else if (arg == "--issue-latency") {
+            cfg.assign.issueTimeLatency = static_cast<unsigned>(
+                std::strtoul(next_arg(i), nullptr, 10));
+        } else if (arg == "--no-pinning") {
+            cfg.assign.fdrtPinning = false;
+        } else if (arg == "--no-chains") {
+            cfg.assign.fdrtChains = false;
+        } else if (arg == "--middle-bias") {
+            cfg.assign.friendlyMiddleBias = true;
+        } else if (arg == "--clusters") {
+            clusters = static_cast<unsigned>(
+                std::strtoul(next_arg(i), nullptr, 10));
+            clusters_set = true;
+        } else if (arg == "--hop-latency") {
+            cfg.cluster.hopLatency = static_cast<unsigned>(
+                std::strtoul(next_arg(i), nullptr, 10));
+        } else if (arg == "--mesh") {
+            cfg.cluster.mesh = true;
+        } else if (arg == "--bus") {
+            cfg.cluster.bus = true;
+        } else if (arg == "--preset") {
+            preset = next_arg(i);
+            AssignConfig keep = cfg.assign;
+            if (preset == "base")
+                cfg = baseConfig();
+            else if (preset == "mesh")
+                cfg = meshConfig();
+            else if (preset == "onecycle")
+                cfg = oneCycleForwardConfig();
+            else if (preset == "twocluster")
+                cfg = twoClusterConfig();
+            else if (preset == "bus")
+                cfg = busConfig();
+            else if (preset == "eightcluster")
+                cfg = eightClusterConfig();
+            else
+                die("unknown preset '" + preset + "'");
+            cfg.assign.strategy = keep.strategy;
+            cfg.assign.fdrtPinning = keep.fdrtPinning;
+            cfg.assign.fdrtChains = keep.fdrtChains;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--trace") {
+            cfg.debug.pipelineTracePath = next_arg(i);
+        } else if (arg == "--trace-cycles") {
+            cfg.debug.traceCycles =
+                std::strtoull(next_arg(i), nullptr, 10);
+        } else if (arg == "--zero-fwd") {
+            cfg.ablation.zeroAllForwardLatency = true;
+        } else if (arg == "--zero-crit-fwd") {
+            cfg.ablation.zeroCriticalForwardLatency = true;
+        } else if (arg == "--zero-intra-fwd") {
+            cfg.ablation.zeroIntraTraceForwardLatency = true;
+        } else if (arg == "--zero-inter-fwd") {
+            cfg.ablation.zeroInterTraceForwardLatency = true;
+        } else if (arg == "--zero-rf") {
+            cfg.ablation.zeroRegisterFileLatency = true;
+        } else {
+            die("unknown option '" + arg + "'");
+        }
+    }
+
+    if (clusters_set) {
+        cfg.cluster.numClusters = clusters;
+        cfg.frontEnd.fetchWidth = clusters * cfg.cluster.clusterWidth;
+        cfg.frontEnd.traceCache.maxInsts = cfg.frontEnd.fetchWidth;
+        cfg.core.decodeWidth = cfg.frontEnd.fetchWidth;
+        cfg.core.issueWidth = cfg.frontEnd.fetchWidth;
+        cfg.core.retireWidth = cfg.frontEnd.fetchWidth;
+    }
+    cfg.instructionLimit = instructions;
+
+    if (!workloads::exists(bench))
+        die("unknown benchmark '" + bench + "' (see --list)");
+    cfg.validate();
+
+    Program prog = workloads::build(bench);
+    CtcpSimulator sim(cfg, prog);
+    SimResult r = sim.run();
+    if (json)
+        std::printf("%s", r.toJson().c_str());
+    else
+        std::printf("%s", r.statsText.c_str());
+    return 0;
+}

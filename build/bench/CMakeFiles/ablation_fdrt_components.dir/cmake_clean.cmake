@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fdrt_components.dir/ablation_fdrt_components.cc.o"
+  "CMakeFiles/ablation_fdrt_components.dir/ablation_fdrt_components.cc.o.d"
+  "ablation_fdrt_components"
+  "ablation_fdrt_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fdrt_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

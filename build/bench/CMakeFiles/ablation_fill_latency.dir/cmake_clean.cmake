@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fill_latency.dir/ablation_fill_latency.cc.o"
+  "CMakeFiles/ablation_fill_latency.dir/ablation_fill_latency.cc.o.d"
+  "ablation_fill_latency"
+  "ablation_fill_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fill_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

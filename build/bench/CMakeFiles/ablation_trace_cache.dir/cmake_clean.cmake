@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trace_cache.dir/ablation_trace_cache.cc.o"
+  "CMakeFiles/ablation_trace_cache.dir/ablation_trace_cache.cc.o.d"
+  "ablation_trace_cache"
+  "ablation_trace_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trace_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

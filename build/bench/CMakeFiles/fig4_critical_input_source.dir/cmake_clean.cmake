@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_critical_input_source.dir/fig4_critical_input_source.cc.o"
+  "CMakeFiles/fig4_critical_input_source.dir/fig4_critical_input_source.cc.o.d"
+  "fig4_critical_input_source"
+  "fig4_critical_input_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_critical_input_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_critical_input_source.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_latency_ablation.dir/fig5_latency_ablation.cc.o"
+  "CMakeFiles/fig5_latency_ablation.dir/fig5_latency_ablation.cc.o.d"
+  "fig5_latency_ablation"
+  "fig5_latency_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_latency_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

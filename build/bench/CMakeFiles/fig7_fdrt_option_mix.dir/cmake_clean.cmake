@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_fdrt_option_mix.dir/fig7_fdrt_option_mix.cc.o"
+  "CMakeFiles/fig7_fdrt_option_mix.dir/fig7_fdrt_option_mix.cc.o.d"
+  "fig7_fdrt_option_mix"
+  "fig7_fdrt_option_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_fdrt_option_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_other_configs.dir/fig8_other_configs.cc.o"
+  "CMakeFiles/fig8_other_configs.dir/fig8_other_configs.cc.o.d"
+  "fig8_other_configs"
+  "fig8_other_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_other_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

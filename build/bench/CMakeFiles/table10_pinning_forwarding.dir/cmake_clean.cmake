@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_pinning_forwarding.dir/table10_pinning_forwarding.cc.o"
+  "CMakeFiles/table10_pinning_forwarding.dir/table10_pinning_forwarding.cc.o.d"
+  "table10_pinning_forwarding"
+  "table10_pinning_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_pinning_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_critical_deps.dir/table2_critical_deps.cc.o"
+  "CMakeFiles/table2_critical_deps.dir/table2_critical_deps.cc.o.d"
+  "table2_critical_deps"
+  "table2_critical_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_critical_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_producer_stability.dir/table3_producer_stability.cc.o"
+  "CMakeFiles/table3_producer_stability.dir/table3_producer_stability.cc.o.d"
+  "table3_producer_stability"
+  "table3_producer_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_producer_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

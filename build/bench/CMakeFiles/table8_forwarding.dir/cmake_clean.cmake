@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_forwarding.dir/table8_forwarding.cc.o"
+  "CMakeFiles/table8_forwarding.dir/table8_forwarding.cc.o.d"
+  "table8_forwarding"
+  "table8_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

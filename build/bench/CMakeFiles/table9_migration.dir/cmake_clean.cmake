@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_migration.dir/table9_migration.cc.o"
+  "CMakeFiles/table9_migration.dir/table9_migration.cc.o.d"
+  "table9_migration"
+  "table9_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_shootout.dir/strategy_shootout.cpp.o"
+  "CMakeFiles/strategy_shootout.dir/strategy_shootout.cpp.o.d"
+  "strategy_shootout"
+  "strategy_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("config")
+subdirs("isa")
+subdirs("prog")
+subdirs("func")
+subdirs("workload")
+subdirs("mem")
+subdirs("bpred")
+subdirs("tracecache")
+subdirs("cluster")
+subdirs("assign")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcp_assign.dir/fdrt_assignment.cc.o"
+  "CMakeFiles/ctcp_assign.dir/fdrt_assignment.cc.o.d"
+  "CMakeFiles/ctcp_assign.dir/friendly_assignment.cc.o"
+  "CMakeFiles/ctcp_assign.dir/friendly_assignment.cc.o.d"
+  "libctcp_assign.a"
+  "libctcp_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcp_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcp_bpred.dir/predictor.cc.o"
+  "CMakeFiles/ctcp_bpred.dir/predictor.cc.o.d"
+  "libctcp_bpred.a"
+  "libctcp_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcp_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

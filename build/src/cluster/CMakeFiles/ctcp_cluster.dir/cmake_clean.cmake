@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcp_cluster.dir/cluster.cc.o"
+  "CMakeFiles/ctcp_cluster.dir/cluster.cc.o.d"
+  "libctcp_cluster.a"
+  "libctcp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

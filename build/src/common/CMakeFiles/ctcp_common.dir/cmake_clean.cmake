@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcp_common.dir/logging.cc.o"
+  "CMakeFiles/ctcp_common.dir/logging.cc.o.d"
+  "libctcp_common.a"
+  "libctcp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcp_config.dir/presets.cc.o"
+  "CMakeFiles/ctcp_config.dir/presets.cc.o.d"
+  "CMakeFiles/ctcp_config.dir/sim_config.cc.o"
+  "CMakeFiles/ctcp_config.dir/sim_config.cc.o.d"
+  "libctcp_config.a"
+  "libctcp_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcp_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

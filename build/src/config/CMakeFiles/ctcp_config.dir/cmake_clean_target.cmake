@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctcp_config.a"
+)

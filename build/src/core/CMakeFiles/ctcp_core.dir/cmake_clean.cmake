@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcp_core.dir/fetch.cc.o"
+  "CMakeFiles/ctcp_core.dir/fetch.cc.o.d"
+  "CMakeFiles/ctcp_core.dir/profiler.cc.o"
+  "CMakeFiles/ctcp_core.dir/profiler.cc.o.d"
+  "CMakeFiles/ctcp_core.dir/sim_result.cc.o"
+  "CMakeFiles/ctcp_core.dir/sim_result.cc.o.d"
+  "CMakeFiles/ctcp_core.dir/simulator.cc.o"
+  "CMakeFiles/ctcp_core.dir/simulator.cc.o.d"
+  "libctcp_core.a"
+  "libctcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcp_func.dir/executor.cc.o"
+  "CMakeFiles/ctcp_func.dir/executor.cc.o.d"
+  "libctcp_func.a"
+  "libctcp_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcp_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

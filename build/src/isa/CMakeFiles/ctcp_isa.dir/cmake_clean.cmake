@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcp_isa.dir/instruction.cc.o"
+  "CMakeFiles/ctcp_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/ctcp_isa.dir/opcodes.cc.o"
+  "CMakeFiles/ctcp_isa.dir/opcodes.cc.o.d"
+  "libctcp_isa.a"
+  "libctcp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcp_mem.dir/cache.cc.o"
+  "CMakeFiles/ctcp_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ctcp_mem.dir/dmem.cc.o"
+  "CMakeFiles/ctcp_mem.dir/dmem.cc.o.d"
+  "CMakeFiles/ctcp_mem.dir/mshr.cc.o"
+  "CMakeFiles/ctcp_mem.dir/mshr.cc.o.d"
+  "libctcp_mem.a"
+  "libctcp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcp_prog.dir/builder.cc.o"
+  "CMakeFiles/ctcp_prog.dir/builder.cc.o.d"
+  "libctcp_prog.a"
+  "libctcp_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcp_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcp_stats.dir/stats.cc.o"
+  "CMakeFiles/ctcp_stats.dir/stats.cc.o.d"
+  "CMakeFiles/ctcp_stats.dir/table.cc.o"
+  "CMakeFiles/ctcp_stats.dir/table.cc.o.d"
+  "libctcp_stats.a"
+  "libctcp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcp_tracecache.dir/fill_unit.cc.o"
+  "CMakeFiles/ctcp_tracecache.dir/fill_unit.cc.o.d"
+  "CMakeFiles/ctcp_tracecache.dir/trace_cache.cc.o"
+  "CMakeFiles/ctcp_tracecache.dir/trace_cache.cc.o.d"
+  "libctcp_tracecache.a"
+  "libctcp_tracecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcp_tracecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

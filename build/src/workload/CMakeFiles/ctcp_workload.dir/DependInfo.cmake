@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/media/adpcm_dec.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/adpcm_dec.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/adpcm_dec.cc.o.d"
+  "/root/repo/src/workload/media/adpcm_enc.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/adpcm_enc.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/adpcm_enc.cc.o.d"
+  "/root/repo/src/workload/media/epic.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/epic.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/epic.cc.o.d"
+  "/root/repo/src/workload/media/g721_dec.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/g721_dec.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/g721_dec.cc.o.d"
+  "/root/repo/src/workload/media/g721_enc.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/g721_enc.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/g721_enc.cc.o.d"
+  "/root/repo/src/workload/media/gsm_dec.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/gsm_dec.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/gsm_dec.cc.o.d"
+  "/root/repo/src/workload/media/gsm_enc.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/gsm_enc.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/gsm_enc.cc.o.d"
+  "/root/repo/src/workload/media/jpeg_dec.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/jpeg_dec.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/jpeg_dec.cc.o.d"
+  "/root/repo/src/workload/media/jpeg_enc.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/jpeg_enc.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/jpeg_enc.cc.o.d"
+  "/root/repo/src/workload/media/mpeg2_dec.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/mpeg2_dec.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/mpeg2_dec.cc.o.d"
+  "/root/repo/src/workload/media/mpeg2_enc.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/mpeg2_enc.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/mpeg2_enc.cc.o.d"
+  "/root/repo/src/workload/media/pegwit_dec.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/pegwit_dec.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/pegwit_dec.cc.o.d"
+  "/root/repo/src/workload/media/pegwit_enc.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/pegwit_enc.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/pegwit_enc.cc.o.d"
+  "/root/repo/src/workload/media/unepic.cc" "src/workload/CMakeFiles/ctcp_workload.dir/media/unepic.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/media/unepic.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/workload/CMakeFiles/ctcp_workload.dir/registry.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/registry.cc.o.d"
+  "/root/repo/src/workload/spec/bzip2.cc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/bzip2.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/bzip2.cc.o.d"
+  "/root/repo/src/workload/spec/crafty.cc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/crafty.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/crafty.cc.o.d"
+  "/root/repo/src/workload/spec/eon.cc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/eon.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/eon.cc.o.d"
+  "/root/repo/src/workload/spec/gap.cc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/gap.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/gap.cc.o.d"
+  "/root/repo/src/workload/spec/gcc.cc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/gcc.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/gcc.cc.o.d"
+  "/root/repo/src/workload/spec/gzip.cc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/gzip.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/gzip.cc.o.d"
+  "/root/repo/src/workload/spec/mcf.cc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/mcf.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/mcf.cc.o.d"
+  "/root/repo/src/workload/spec/parser.cc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/parser.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/parser.cc.o.d"
+  "/root/repo/src/workload/spec/perlbmk.cc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/perlbmk.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/perlbmk.cc.o.d"
+  "/root/repo/src/workload/spec/twolf.cc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/twolf.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/twolf.cc.o.d"
+  "/root/repo/src/workload/spec/vortex.cc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/vortex.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/vortex.cc.o.d"
+  "/root/repo/src/workload/spec/vpr.cc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/vpr.cc.o" "gcc" "src/workload/CMakeFiles/ctcp_workload.dir/spec/vpr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prog/CMakeFiles/ctcp_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ctcp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

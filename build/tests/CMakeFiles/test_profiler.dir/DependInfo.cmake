@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_profiler.cc" "tests/CMakeFiles/test_profiler.dir/test_profiler.cc.o" "gcc" "tests/CMakeFiles/test_profiler.dir/test_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ctcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ctcp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/ctcp_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracecache/CMakeFiles/ctcp_tracecache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ctcp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/ctcp_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ctcp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/func/CMakeFiles/ctcp_func.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/ctcp_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ctcp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/ctcp_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ctcp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ctcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

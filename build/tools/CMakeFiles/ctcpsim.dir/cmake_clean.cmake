@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctcpsim.dir/ctcpsim_main.cc.o"
+  "CMakeFiles/ctcpsim.dir/ctcpsim_main.cc.o.d"
+  "ctcpsim"
+  "ctcpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctcpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ctcpsim.
+# This may be replaced when dependencies are built.

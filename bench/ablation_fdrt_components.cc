@@ -50,6 +50,17 @@ main(int argc, char **argv)
          [](SimConfig &c) { c.assign.strategy = AssignStrategy::Fdrt; }},
     };
 
+    MatrixHarness runs(budget, jobsFromArgs(argc, argv));
+    for (const std::string &bench : selectedSix()) {
+        runs.add(bench, baseConfig(), "base");
+        for (const Mode &m : modes) {
+            SimConfig cfg = baseConfig();
+            m.apply(cfg);
+            runs.add(bench, cfg, m.label);
+        }
+    }
+    runs.run();
+
     std::vector<std::string> headers = {"benchmark"};
     for (const Mode &m : modes)
         headers.push_back(m.label);
@@ -57,12 +68,10 @@ main(int argc, char **argv)
 
     std::vector<std::vector<double>> speedups(modes.size());
     for (const std::string &bench : selectedSix()) {
-        const SimResult base = simulate(bench, baseConfig(), budget);
+        const SimResult &base = runs.at(bench, "base");
         table.row(bench);
         for (std::size_t m = 0; m < modes.size(); ++m) {
-            SimConfig cfg = baseConfig();
-            modes[m].apply(cfg);
-            const SimResult r = simulate(bench, cfg, budget);
+            const SimResult &r = runs.at(bench, modes[m].label);
             const double speedup = static_cast<double>(base.cycles) /
                 static_cast<double>(r.cycles);
             table.cell(speedup, 3);

@@ -26,16 +26,27 @@ main(int argc, char **argv)
            "even 1000 cycles of fill latency barely matters (Section 4)",
            budget);
 
-    TextTable table({"fill latency", "mean FDRT IPC", "vs 0-latency",
-                     "% from TC"});
-    double ref_ipc = 0.0;
-    for (unsigned latency : {0u, 10u, 100u, 1000u, 10000u}) {
-        double ipc = 0, pct = 0;
+    const std::vector<unsigned> latencies = {0u, 10u, 100u, 1000u,
+                                             10000u};
+    MatrixHarness runs(budget, jobsFromArgs(argc, argv));
+    for (unsigned latency : latencies) {
         for (const std::string &bench : selectedSix()) {
             SimConfig cfg = baseConfig();
             cfg.assign.strategy = AssignStrategy::Fdrt;
             cfg.frontEnd.traceCache.fillLatency = latency;
-            const SimResult r = simulate(bench, cfg, budget);
+            runs.add(bench, cfg, std::to_string(latency));
+        }
+    }
+    runs.run();
+
+    TextTable table({"fill latency", "mean FDRT IPC", "vs 0-latency",
+                     "% from TC"});
+    double ref_ipc = 0.0;
+    for (unsigned latency : latencies) {
+        double ipc = 0, pct = 0;
+        for (const std::string &bench : selectedSix()) {
+            const SimResult &r =
+                runs.at(bench, std::to_string(latency));
             ipc += r.ipc();
             pct += r.pctFromTraceCache;
         }

@@ -35,6 +35,17 @@ main(int argc, char **argv)
         {"shared bus", busConfig},
     };
 
+    MatrixHarness runs(budget, jobsFromArgs(argc, argv));
+    for (const std::string &bench : selectedSix()) {
+        for (const Net &net : nets) {
+            runs.add(bench, net.make(), std::string(net.label) + "/base");
+            SimConfig fdrt = net.make();
+            fdrt.assign.strategy = AssignStrategy::Fdrt;
+            runs.add(bench, fdrt, std::string(net.label) + "/fdrt");
+        }
+    }
+    runs.run();
+
     TextTable table({"benchmark", "linear IPC", "mesh IPC", "bus IPC",
                      "linear+fdrt", "mesh+fdrt", "bus+fdrt"});
     std::vector<double> base_ipc(3, 0.0), fdrt_ipc(3, 0.0);
@@ -42,10 +53,10 @@ main(int argc, char **argv)
         table.row(bench);
         double ipc[3], fipc[3];
         for (std::size_t n = 0; n < nets.size(); ++n) {
-            const SimResult rb = simulate(bench, nets[n].make(), budget);
-            SimConfig fdrt = nets[n].make();
-            fdrt.assign.strategy = AssignStrategy::Fdrt;
-            const SimResult rf = simulate(bench, fdrt, budget);
+            const SimResult &rb =
+                runs.at(bench, std::string(nets[n].label) + "/base");
+            const SimResult &rf =
+                runs.at(bench, std::string(nets[n].label) + "/fdrt");
             ipc[n] = rb.ipc();
             fipc[n] = rf.ipc();
             base_ipc[n] += rb.ipc();

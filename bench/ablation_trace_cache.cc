@@ -24,17 +24,30 @@ main(int argc, char **argv)
            "fits",
            budget);
 
-    TextTable table({"entries", "% from TC", "fetched trace size",
-                     "base IPC", "FDRT IPC", "FDRT speedup"});
-    for (unsigned entries : {64u, 128u, 256u, 512u, 1024u, 2048u}) {
-        double pct = 0, size = 0, bipc = 0, fipc = 0, speedup = 0;
+    const std::vector<unsigned> capacities = {64u, 128u, 256u, 512u,
+                                              1024u, 2048u};
+    MatrixHarness runs(budget, jobsFromArgs(argc, argv));
+    for (unsigned entries : capacities) {
         for (const std::string &bench : selectedSix()) {
             SimConfig base = baseConfig();
             base.frontEnd.traceCache.entries = entries;
             SimConfig fdrt = base;
             fdrt.assign.strategy = AssignStrategy::Fdrt;
-            const SimResult rb = simulate(bench, base, budget);
-            const SimResult rf = simulate(bench, fdrt, budget);
+            runs.add(bench, base, std::to_string(entries) + "/base");
+            runs.add(bench, fdrt, std::to_string(entries) + "/fdrt");
+        }
+    }
+    runs.run();
+
+    TextTable table({"entries", "% from TC", "fetched trace size",
+                     "base IPC", "FDRT IPC", "FDRT speedup"});
+    for (unsigned entries : capacities) {
+        double pct = 0, size = 0, bipc = 0, fipc = 0, speedup = 0;
+        for (const std::string &bench : selectedSix()) {
+            const SimResult &rb =
+                runs.at(bench, std::to_string(entries) + "/base");
+            const SimResult &rf =
+                runs.at(bench, std::to_string(entries) + "/fdrt");
             pct += rf.pctFromTraceCache;
             size += rf.meanTraceSize;
             bipc += rb.ipc();

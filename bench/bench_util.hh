@@ -4,10 +4,13 @@
  *
  * Every harness accepts:
  *   argv[1] (optional)  instruction budget per run (default 300000)
+ *   argv[2] (optional)  worker threads for matrix harnesses
+ *                       (default 0 = one per hardware thread)
  *
- * Runs are cached per (benchmark, configuration digest) within one
- * process so harnesses that need the same simulation for several
- * columns only pay for it once.
+ * Matrix-heavy harnesses queue their (benchmark x configuration) runs
+ * on a MatrixHarness, which executes them concurrently through the
+ * campaign engine; aggregation is deterministic, so a harness prints
+ * the same table for any worker count.
  */
 
 #ifndef CTCPSIM_BENCH_BENCH_UTIL_HH
@@ -18,8 +21,11 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "campaign/campaign.hh"
+#include "common/logging.hh"
 #include "config/presets.hh"
 #include "core/simulator.hh"
 #include "stats/stats.hh"
@@ -40,7 +46,17 @@ budgetFromArgs(int argc, char **argv, std::uint64_t fallback = 300'000)
     return fallback;
 }
 
-/** Run one simulation. */
+/** Worker threads from argv (default 0 = one per hardware thread). */
+inline unsigned
+jobsFromArgs(int argc, char **argv)
+{
+    if (argc > 2)
+        return static_cast<unsigned>(
+            std::strtoul(argv[2], nullptr, 10));
+    return 0;
+}
+
+/** Run one simulation serially (for the single-column harnesses). */
 inline SimResult
 simulate(const std::string &bench, SimConfig cfg, std::uint64_t budget)
 {
@@ -58,6 +74,68 @@ withStrategy(SimConfig cfg, AssignStrategy s, unsigned issue_latency = 4)
     cfg.assign.issueTimeLatency = issue_latency;
     return cfg;
 }
+
+/**
+ * A (benchmark x configuration) matrix executed through the campaign
+ * engine. Queue runs with add(), execute them all with run(), then
+ * read results back by (benchmark, tag) while assembling tables.
+ */
+class MatrixHarness
+{
+  public:
+    /**
+     * @param budget  instruction budget applied to every run
+     * @param jobs    worker threads (0 = one per hardware thread)
+     */
+    explicit MatrixHarness(std::uint64_t budget, unsigned jobs = 0)
+        : budget_(budget)
+    {
+        options_.jobs = jobs;
+    }
+
+    /** Queue @p cfg for @p bench under @p tag (duplicates ignored). */
+    void
+    add(const std::string &bench, SimConfig cfg, const std::string &tag)
+    {
+        const Key key{bench, tag};
+        if (index_.count(key))
+            return;
+        cfg.instructionLimit = budget_;
+        index_[key] = jobs_.size();
+        jobs_.push_back(
+            campaign::makeJob(bench + "/" + tag, bench, std::move(cfg)));
+    }
+
+    /** Execute every queued run. fatal()s if any job fails. */
+    void
+    run()
+    {
+        report_ = campaign::runCampaign(jobs_, options_);
+        for (const campaign::JobOutcome &out : report_.jobs)
+            if (!out.ok())
+                ctcp_fatal("campaign job '%s' failed: %s",
+                           out.label.c_str(), out.error.c_str());
+    }
+
+    /** Result of the run queued under (bench, tag). */
+    const SimResult &
+    at(const std::string &bench, const std::string &tag) const
+    {
+        const auto it = index_.find(Key{bench, tag});
+        ctcp_assert(it != index_.end(), "no queued run '%s/%s'",
+                    bench.c_str(), tag.c_str());
+        return report_.jobs[it->second].result;
+    }
+
+  private:
+    using Key = std::pair<std::string, std::string>;
+
+    std::uint64_t budget_;
+    campaign::Options options_;
+    std::vector<campaign::Job> jobs_;
+    std::map<Key, std::size_t> index_;
+    campaign::Report report_;
+};
 
 /** The six benchmarks of the paper's in-depth analysis. */
 inline const std::vector<std::string> &

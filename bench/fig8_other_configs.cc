@@ -36,23 +36,37 @@ main(int argc, char **argv)
         {"Eight-wide, Two-cluster", twoClusterConfig},
     };
 
+    const AssignStrategy strategies[3] = {
+        AssignStrategy::Fdrt, AssignStrategy::Friendly,
+        AssignStrategy::IssueTime};
+    const char *strategy_tags[3] = {"fdrt", "friendly", "issue-time"};
+
+    MatrixHarness runs(budget, jobsFromArgs(argc, argv));
+    for (const Variant &v : variants) {
+        for (const std::string &bench : selectedSix()) {
+            runs.add(bench, v.make(), std::string(v.label) + "/base");
+            for (int m = 0; m < 3; ++m) {
+                SimConfig cfg = v.make();
+                cfg.assign.strategy = strategies[m];
+                // twoClusterConfig already sets issueTimeLatency = 2.
+                runs.add(bench, cfg,
+                         std::string(v.label) + "/" + strategy_tags[m]);
+            }
+        }
+    }
+    runs.run();
+
     for (const Variant &v : variants) {
         std::printf("-- %s --\n", v.label);
         TextTable table({"benchmark", "FDRT", "Friendly", "Issue-time"});
         std::vector<std::vector<double>> speedups(3);
         for (const std::string &bench : selectedSix()) {
-            SimConfig base_cfg = v.make();
-            const SimResult base = simulate(bench, base_cfg, budget);
+            const SimResult &base =
+                runs.at(bench, std::string(v.label) + "/base");
             table.row(bench);
-
-            const AssignStrategy strategies[3] = {
-                AssignStrategy::Fdrt, AssignStrategy::Friendly,
-                AssignStrategy::IssueTime};
             for (int m = 0; m < 3; ++m) {
-                SimConfig cfg = v.make();
-                cfg.assign.strategy = strategies[m];
-                // twoClusterConfig already sets issueTimeLatency = 2.
-                const SimResult r = simulate(bench, cfg, budget);
+                const SimResult &r = runs.at(
+                    bench, std::string(v.label) + "/" + strategy_tags[m]);
                 const double speedup = static_cast<double>(base.cycles) /
                     static_cast<double>(r.cycles);
                 table.cell(speedup, 3);

@@ -38,6 +38,19 @@ main(int argc, char **argv)
         {"Friendly", AssignStrategy::Friendly, 0},
     };
 
+    MatrixHarness runs(budget, jobsFromArgs(argc, argv));
+    for (auto suite : {workloads::Suite::SpecInt, workloads::Suite::Media}) {
+        for (const std::string &bench : workloads::names(suite)) {
+            runs.add(bench, baseConfig(), "base");
+            for (const Mode &m : modes)
+                runs.add(bench,
+                         withStrategy(baseConfig(), m.strategy,
+                                      m.issueLatency),
+                         m.label);
+        }
+    }
+    runs.run();
+
     for (auto suite : {workloads::Suite::SpecInt, workloads::Suite::Media}) {
         const char *suite_name =
             suite == workloads::Suite::SpecInt ? "All SPECint2000"
@@ -47,14 +60,10 @@ main(int argc, char **argv)
                          "Friendly"});
         std::vector<std::vector<double>> speedups(modes.size());
         for (const std::string &bench : workloads::names(suite)) {
-            const SimResult base = simulate(bench, baseConfig(), budget);
+            const SimResult &base = runs.at(bench, "base");
             table.row(bench);
             for (std::size_t m = 0; m < modes.size(); ++m) {
-                const SimResult r = simulate(
-                    bench,
-                    withStrategy(baseConfig(), modes[m].strategy,
-                                 modes[m].issueLatency),
-                    budget);
+                const SimResult &r = runs.at(bench, modes[m].label);
                 const double speedup = static_cast<double>(base.cycles) /
                     static_cast<double>(r.cycles);
                 table.cell(speedup, 3);

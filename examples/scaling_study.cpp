@@ -10,15 +10,21 @@
  * analyzed instructions and watching the strategies diverge with
  * width.
  *
- * Usage: scaling_study [benchmark] [instructions]
+ * All twelve runs (three machine widths x four assignment modes) are
+ * submitted as one campaign and executed concurrently; aggregation is
+ * deterministic, so the printed table is identical for any worker
+ * count.
+ *
+ * Usage: scaling_study [benchmark] [instructions] [jobs]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "campaign/campaign.hh"
 #include "config/presets.hh"
-#include "core/simulator.hh"
 #include "stats/table.hh"
 #include "workload/workload.hh"
 
@@ -30,11 +36,13 @@ main(int argc, char **argv)
     const std::string bench = argc > 1 ? argv[1] : "gzip";
     const std::uint64_t insts =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200'000;
+    const unsigned jobs =
+        argc > 3 ? static_cast<unsigned>(std::strtoul(argv[3], nullptr, 10))
+                 : 0;
     if (!workloads::exists(bench)) {
         std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
         return 1;
     }
-    Program prog = workloads::build(bench);
 
     auto machine = [&](unsigned clusters) {
         SimConfig cfg;
@@ -47,31 +55,55 @@ main(int argc, char **argv)
         return cfg;
     };
 
-    std::printf("scaling study on '%s'\n\n", bench.c_str());
-    TextTable table({"clusters", "width", "base IPC", "FDRT", "Friendly",
-                     "issue-time (scaled lat)"});
-    for (unsigned clusters : {2u, 4u, 8u}) {
-        SimConfig base = machine(clusters);
-        const double base_cycles =
-            static_cast<double>(CtcpSimulator(base, prog).run().cycles);
-
-        auto speedup = [&](AssignStrategy s, unsigned issue_lat) {
-            SimConfig cfg = machine(clusters);
-            cfg.assign.strategy = s;
-            cfg.assign.issueTimeLatency = issue_lat;
-            return base_cycles /
-                static_cast<double>(CtcpSimulator(cfg, prog).run().cycles);
-        };
-
+    const std::vector<unsigned> widths = {2u, 4u, 8u};
+    std::vector<campaign::Job> queue;
+    auto enqueue = [&](unsigned clusters, const std::string &tag,
+                       AssignStrategy s, unsigned issue_lat) {
+        SimConfig cfg = machine(clusters);
+        cfg.assign.strategy = s;
+        cfg.assign.issueTimeLatency = issue_lat;
+        queue.push_back(campaign::makeJob(
+            std::to_string(clusters) + "/" + tag, bench, cfg));
+    };
+    for (unsigned clusters : widths) {
         // Issue-time analysis latency grows with the number of
         // instructions analyzed per cycle: one stage per four.
         const unsigned issue_lat = machine(clusters).machineWidth() / 4;
+        enqueue(clusters, "base", AssignStrategy::BaseSlotOrder, 4);
+        enqueue(clusters, "fdrt", AssignStrategy::Fdrt, 0);
+        enqueue(clusters, "friendly", AssignStrategy::Friendly, 0);
+        enqueue(clusters, "issue-time", AssignStrategy::IssueTime,
+                issue_lat);
+    }
+
+    campaign::Options options;
+    options.jobs = jobs;
+    const campaign::Report report = campaign::runCampaign(queue, options);
+    if (report.failed() > 0) {
+        for (const campaign::JobOutcome &out : report.jobs)
+            if (!out.ok())
+                std::fprintf(stderr, "job '%s' failed: %s\n",
+                             out.label.c_str(), out.error.c_str());
+        return 1;
+    }
+
+    std::printf("scaling study on '%s'\n\n", bench.c_str());
+    TextTable table({"clusters", "width", "base IPC", "FDRT", "Friendly",
+                     "issue-time (scaled lat)"});
+    for (unsigned clusters : widths) {
+        const std::string prefix = std::to_string(clusters) + "/";
+        const double base_cycles = static_cast<double>(
+            report.at(prefix + "base").result.cycles);
+        auto speedup = [&](const std::string &tag) {
+            return base_cycles /
+                static_cast<double>(report.at(prefix + tag).result.cycles);
+        };
         table.row(std::to_string(clusters))
             .cell(std::to_string(machine(clusters).machineWidth()))
             .cell(static_cast<double>(insts) / base_cycles, 3)
-            .cell(speedup(AssignStrategy::Fdrt, 0), 3)
-            .cell(speedup(AssignStrategy::Friendly, 0), 3)
-            .cell(speedup(AssignStrategy::IssueTime, issue_lat), 3);
+            .cell(speedup("fdrt"), 3)
+            .cell(speedup("friendly"), 3)
+            .cell(speedup("issue-time"), 3);
     }
     std::printf("%s", table.render().c_str());
     return 0;

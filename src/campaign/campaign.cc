@@ -1,0 +1,234 @@
+#include "campaign/campaign.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+
+#include "campaign/work_queue.hh"
+#include "common/logging.hh"
+#include "core/simulator.hh"
+#include "workload/workload.hh"
+
+namespace ctcp::campaign {
+
+namespace {
+
+/** JSON string escaping (quotes, backslashes, control characters). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Re-indent an embedded JSON block: prefix every line but the first. */
+std::string
+indentBlock(std::string block, const std::string &indent)
+{
+    while (!block.empty() &&
+           (block.back() == '\n' || block.back() == ' '))
+        block.pop_back();
+    std::string out;
+    out.reserve(block.size());
+    for (const char c : block) {
+        out += c;
+        if (c == '\n')
+            out += indent;
+    }
+    return out;
+}
+
+/** CSV field quoting: wrap when the text contains , " or newline. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+csvDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+} // namespace
+
+Job
+makeJob(std::string label, std::string benchmark, SimConfig config)
+{
+    Job job;
+    job.label = std::move(label);
+    job.benchmark = std::move(benchmark);
+    job.config = std::move(config);
+    job.builder = [name = job.benchmark] {
+        // workloads::build() fatal()s on unknown names, which would
+        // kill the whole campaign; throw instead so only this job
+        // fails.
+        if (!workloads::exists(name))
+            throw std::invalid_argument("unknown benchmark '" + name +
+                                        "'");
+        return workloads::build(name);
+    };
+    return job;
+}
+
+std::size_t
+Report::failed() const
+{
+    std::size_t n = 0;
+    for (const JobOutcome &out : jobs)
+        if (!out.ok())
+            ++n;
+    return n;
+}
+
+const JobOutcome &
+Report::at(const std::string &label) const
+{
+    for (const JobOutcome &out : jobs)
+        if (out.label == label)
+            return out;
+    ctcp_fatal("no campaign job labelled '%s'", label.c_str());
+}
+
+std::string
+Report::toJson() const
+{
+    std::string out = "{\n";
+    out += "  \"campaign\": {\n";
+    out += "    \"jobs\": " + std::to_string(jobs.size()) + ",\n";
+    out += "    \"failed\": " + std::to_string(failed()) + "\n";
+    out += "  },\n";
+    out += "  \"results\": [";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const JobOutcome &job = jobs[i];
+        out += i ? ",\n" : "\n";
+        out += "    {\n";
+        out += "      \"label\": \"" + jsonEscape(job.label) + "\",\n";
+        out += "      \"benchmark\": \"" + jsonEscape(job.benchmark) +
+               "\",\n";
+        if (job.ok()) {
+            out += "      \"status\": \"ok\",\n";
+            out += "      \"metrics\": " +
+                   indentBlock(job.result.toJson(), "      ") + "\n";
+        } else {
+            out += "      \"status\": \"failed\",\n";
+            out += "      \"error\": \"" + jsonEscape(job.error) +
+                   "\"\n";
+        }
+        out += "    }";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+std::string
+Report::toCsv() const
+{
+    std::string out =
+        "label,benchmark,strategy,status,error,cycles,instructions,ipc,"
+        "pct_from_trace_cache,tc_hit_rate,pct_intra_cluster_fwd,"
+        "mean_fwd_distance,bpred_accuracy,mispredicts\n";
+    for (const JobOutcome &job : jobs) {
+        out += csvField(job.label) + ',' + csvField(job.benchmark) + ',';
+        if (job.ok()) {
+            const SimResult &r = job.result;
+            out += csvField(r.strategy) + ",ok,,";
+            out += std::to_string(r.cycles) + ',';
+            out += std::to_string(r.instructions) + ',';
+            out += csvDouble(r.ipc()) + ',';
+            out += csvDouble(r.pctFromTraceCache) + ',';
+            out += csvDouble(r.tcHitRate) + ',';
+            out += csvDouble(r.pctIntraClusterFwd) + ',';
+            out += csvDouble(r.meanFwdDistance) + ',';
+            out += csvDouble(r.bpredAccuracy) + ',';
+            out += std::to_string(r.mispredicts);
+        } else {
+            out += ",failed," + csvField(job.error) + ",,,,,,,,,";
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+progressToStderr(const std::string &line)
+{
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+Report
+runCampaign(const std::vector<Job> &jobs, const Options &options)
+{
+    Report report;
+    report.jobs.resize(jobs.size());
+
+    std::atomic<std::size_t> finished{0};
+    std::mutex progress_mutex;
+
+    WorkStealingPool pool(options.jobs);
+    pool.run(jobs.size(), [&](std::size_t i) {
+        const Job &job = jobs[i];
+        JobOutcome &out = report.jobs[i];
+        out.label = job.label;
+        out.benchmark = job.benchmark;
+        try {
+            // The Program is built inside the worker: builders seed
+            // their own Rng locally, so jobs share no RNG state.
+            Program program = job.builder
+                ? job.builder()
+                : workloads::build(job.benchmark);
+            CtcpSimulator sim(job.config, program);
+            out.result = sim.run();
+            out.status = JobStatus::Ok;
+        } catch (const std::exception &e) {
+            out.status = JobStatus::Failed;
+            out.error = e.what();
+        } catch (...) {
+            out.status = JobStatus::Failed;
+            out.error = "unknown exception";
+        }
+        const std::size_t done =
+            finished.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (options.progress) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            options.progress(
+                "[" + std::to_string(done) + "/" +
+                std::to_string(jobs.size()) + "] " + out.label + ": " +
+                (out.ok() ? "ok" : "FAILED (" + out.error + ")"));
+        }
+    });
+    return report;
+}
+
+} // namespace ctcp::campaign

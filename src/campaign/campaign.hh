@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Campaign engine: run an arbitrary matrix of independent
+ * (workload x configuration) simulations across a work-stealing thread
+ * pool with deterministic aggregation.
+ *
+ * Guarantees:
+ *  - Determinism: every job builds its own Program inside its worker
+ *    (workload builders seed their own Rng locally, so no RNG state is
+ *    shared between jobs) and runs its own CtcpSimulator. Results are
+ *    written into a slot preassigned by submission index, so the
+ *    aggregated report — including its JSON/CSV serializations — is
+ *    byte-identical for any worker count.
+ *  - Failure isolation: a job whose builder or simulation throws is
+ *    recorded as a per-job error in the report; the remaining jobs
+ *    still run to completion.
+ */
+
+#ifndef CTCPSIM_CAMPAIGN_CAMPAIGN_HH
+#define CTCPSIM_CAMPAIGN_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "config/sim_config.hh"
+#include "core/sim_result.hh"
+#include "prog/program.hh"
+
+namespace ctcp::campaign {
+
+/** One independent simulation in a campaign. */
+struct Job
+{
+    /** Display label, e.g. "gzip/fdrt". Used in reports and exports. */
+    std::string label;
+    /** Workload name (informational; echoed into the report). */
+    std::string benchmark;
+    /** Machine configuration (instructionLimit included). */
+    SimConfig config;
+    /**
+     * Builds the job's Program inside the worker thread. When empty,
+     * the engine uses workloads::build(benchmark). A throwing builder
+     * fails this job only.
+     */
+    std::function<Program()> builder;
+};
+
+/** Convenience: a job that simulates a registered benchmark. */
+Job makeJob(std::string label, std::string benchmark, SimConfig config);
+
+/** Terminal state of one job. */
+enum class JobStatus : std::uint8_t
+{
+    Ok,
+    Failed,
+};
+
+/** Per-job outcome, in submission order. */
+struct JobOutcome
+{
+    std::string label;
+    std::string benchmark;
+    JobStatus status = JobStatus::Failed;
+    /** Valid when status == Ok. */
+    SimResult result;
+    /** Diagnostic when status == Failed. */
+    std::string error;
+
+    bool ok() const { return status == JobStatus::Ok; }
+};
+
+/** Aggregated results of a campaign, in submission order. */
+struct Report
+{
+    std::vector<JobOutcome> jobs;
+
+    std::size_t failed() const;
+
+    /** Outcome for @p label; fatal()s when no such job exists. */
+    const JobOutcome &at(const std::string &label) const;
+
+    /**
+     * JSON array of per-job objects (label, benchmark, status, error,
+     * and the headline metrics of successful runs). Byte-identical
+     * across worker counts.
+     */
+    std::string toJson() const;
+
+    /** CSV with one row per job (headline metrics; empty on failure). */
+    std::string toCsv() const;
+};
+
+/** Execution knobs for runCampaign(). */
+struct Options
+{
+    /** Worker threads; 0 = one per hardware thread. */
+    unsigned jobs = 0;
+    /**
+     * Progress callback, invoked from worker threads as jobs finish
+     * ("[done/total] label: ok|FAILED"). Completion order is
+     * scheduling-dependent — progress is observability, not output.
+     * Invocations are serialized; null disables reporting.
+     */
+    std::function<void(const std::string &line)> progress;
+};
+
+/** Write "[k/n] label: ok" lines to stderr (an Options::progress). */
+void progressToStderr(const std::string &line);
+
+/** Run every job and aggregate the outcomes in submission order. */
+Report runCampaign(const std::vector<Job> &jobs,
+                   const Options &options = {});
+
+} // namespace ctcp::campaign
+
+#endif // CTCPSIM_CAMPAIGN_CAMPAIGN_HH

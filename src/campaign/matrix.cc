@@ -1,0 +1,223 @@
+#include "campaign/matrix.hh"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "config/presets.hh"
+#include "workload/workload.hh"
+
+namespace ctcp::campaign {
+
+namespace {
+
+[[noreturn]] void
+bad(const std::string &msg)
+{
+    throw std::invalid_argument("campaign matrix: " + msg);
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t end = text.find(sep, start);
+        if (end == std::string::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+std::vector<std::string>
+expandBenches(const std::vector<std::string> &values)
+{
+    std::vector<std::string> out;
+    auto append = [&](const std::vector<std::string> &names) {
+        out.insert(out.end(), names.begin(), names.end());
+    };
+    for (const std::string &v : values) {
+        if (v == "six") {
+            append(workloads::selectedSix());
+        } else if (v == "specint") {
+            append(workloads::names(workloads::Suite::SpecInt));
+        } else if (v == "media") {
+            append(workloads::names(workloads::Suite::Media));
+        } else if (v == "all") {
+            append(workloads::names(workloads::Suite::SpecInt));
+            append(workloads::names(workloads::Suite::Media));
+        } else if (workloads::exists(v)) {
+            out.push_back(v);
+        } else {
+            bad("unknown benchmark or group '" + v + "'");
+        }
+    }
+    return out;
+}
+
+struct StrategySpec
+{
+    std::string label;
+    AssignStrategy strategy;
+    bool latencySet = false;
+    unsigned latency = 0;
+};
+
+StrategySpec
+parseStrategy(const std::string &value)
+{
+    StrategySpec spec;
+    spec.label = value;
+    std::string name = value;
+    const std::size_t colon = value.find(':');
+    if (colon != std::string::npos) {
+        name = value.substr(0, colon);
+        const std::string lat = value.substr(colon + 1);
+        if (lat.empty() ||
+            lat.find_first_not_of("0123456789") != std::string::npos)
+            bad("bad issue-time latency in '" + value + "'");
+        spec.latencySet = true;
+        spec.latency = static_cast<unsigned>(
+            std::strtoul(lat.c_str(), nullptr, 10));
+    }
+    if (name == "base")
+        spec.strategy = AssignStrategy::BaseSlotOrder;
+    else if (name == "friendly")
+        spec.strategy = AssignStrategy::Friendly;
+    else if (name == "fdrt")
+        spec.strategy = AssignStrategy::Fdrt;
+    else if (name == "issue-time")
+        spec.strategy = AssignStrategy::IssueTime;
+    else
+        bad("unknown strategy '" + name + "'");
+    return spec;
+}
+
+struct PresetSpec
+{
+    std::string label;
+    SimConfig (*make)();
+};
+
+PresetSpec
+parsePreset(const std::string &value)
+{
+    if (value == "base")
+        return {value, baseConfig};
+    if (value == "mesh")
+        return {value, meshConfig};
+    if (value == "onecycle")
+        return {value, oneCycleForwardConfig};
+    if (value == "twocluster")
+        return {value, twoClusterConfig};
+    if (value == "bus")
+        return {value, busConfig};
+    if (value == "eightcluster")
+        return {value, eightClusterConfig};
+    bad("unknown preset '" + value + "'");
+}
+
+std::uint64_t
+parseBudget(const std::string &value)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        bad("bad instruction budget '" + value + "'");
+    const std::uint64_t budget =
+        std::strtoull(value.c_str(), nullptr, 10);
+    if (budget == 0)
+        bad("instruction budget must be positive");
+    return budget;
+}
+
+} // namespace
+
+std::vector<Job>
+parseMatrix(const std::string &spec)
+{
+    std::vector<std::string> bench_values = {"six"};
+    std::vector<std::string> strategy_values = {"base"};
+    std::vector<std::string> preset_values = {"base"};
+    std::vector<std::string> budget_values = {"300000"};
+
+    for (const std::string &clause : split(spec, ';')) {
+        if (clause.empty())
+            continue;
+        const std::size_t eq = clause.find('=');
+        if (eq == std::string::npos)
+            bad("expected key=v1,v2,... in '" + clause + "'");
+        const std::string key = clause.substr(0, eq);
+        const std::vector<std::string> values =
+            split(clause.substr(eq + 1), ',');
+        if (values.empty() || values.front().empty())
+            bad("empty value list for '" + key + "'");
+        if (key == "bench")
+            bench_values = values;
+        else if (key == "strategy")
+            strategy_values = values;
+        else if (key == "preset")
+            preset_values = values;
+        else if (key == "budget")
+            budget_values = values;
+        else
+            bad("unknown key '" + key +
+                "' (expected bench, strategy, preset or budget)");
+    }
+
+    const std::vector<std::string> benches = expandBenches(bench_values);
+    std::vector<StrategySpec> strategies;
+    for (const std::string &v : strategy_values)
+        strategies.push_back(parseStrategy(v));
+    std::vector<PresetSpec> presets;
+    for (const std::string &v : preset_values)
+        presets.push_back(parsePreset(v));
+    std::vector<std::uint64_t> budgets;
+    for (const std::string &v : budget_values)
+        budgets.push_back(parseBudget(v));
+
+    std::vector<Job> jobs;
+    jobs.reserve(benches.size() * presets.size() * strategies.size() *
+                 budgets.size());
+    for (const std::string &bench : benches) {
+        for (const PresetSpec &preset : presets) {
+            for (const StrategySpec &strategy : strategies) {
+                for (const std::uint64_t budget : budgets) {
+                    SimConfig cfg = preset.make();
+                    cfg.assign.strategy = strategy.strategy;
+                    if (strategy.latencySet)
+                        cfg.assign.issueTimeLatency = strategy.latency;
+                    cfg.instructionLimit = budget;
+                    std::string label = bench + "/" + preset.label +
+                                        "/" + strategy.label;
+                    if (budgets.size() > 1)
+                        label += "@" + std::to_string(budget);
+                    jobs.push_back(makeJob(std::move(label), bench,
+                                           std::move(cfg)));
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+const char *
+matrixSyntaxHelp()
+{
+    return
+        "MATRIX is a semicolon-separated list of key=v1,v2,... clauses;\n"
+        "the campaign is the cross product of all dimensions:\n"
+        "  bench=...     names and/or groups six|specint|media|all\n"
+        "                (default six)\n"
+        "  strategy=...  base|friendly|fdrt|issue-time[:LAT]\n"
+        "                (default base)\n"
+        "  preset=...    base|mesh|onecycle|twocluster|bus|eightcluster\n"
+        "                (default base)\n"
+        "  budget=...    instructions per run (default 300000)\n"
+        "example: --campaign \"bench=gzip,twolf;strategy=base,fdrt\"";
+}
+
+} // namespace ctcp::campaign

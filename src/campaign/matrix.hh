@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Textual campaign-matrix specifications.
+ *
+ * A matrix spec is a semicolon-separated list of `key=v1,v2,...`
+ * clauses; the campaign is the full cross product of the listed
+ * dimensions, submitted bench-major (bench, then preset, then
+ * strategy, then budget) so job order — and therefore the aggregated
+ * report — is independent of how the spec is executed.
+ *
+ *   bench     benchmark names, and/or the groups
+ *             six | specint | media | all        (default: six)
+ *   strategy  base | friendly | fdrt | issue-time[:LAT]
+ *             (LAT overrides the extra issue-time front-end stages;
+ *             default list: base)
+ *   preset    base | mesh | onecycle | twocluster | bus | eightcluster
+ *             (default: base)
+ *   budget    instruction budgets per run (default: 300000)
+ *
+ * Example: "bench=gzip,twolf;strategy=base,fdrt,issue-time:0;budget=200000"
+ * expands to 6 jobs labelled "<bench>/<preset>/<strategy>".
+ */
+
+#ifndef CTCPSIM_CAMPAIGN_MATRIX_HH
+#define CTCPSIM_CAMPAIGN_MATRIX_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+
+namespace ctcp::campaign {
+
+/**
+ * Expand @p spec into the cross product of its dimensions.
+ * @throws std::invalid_argument on syntax errors, unknown keys,
+ *         benchmarks, strategies or presets.
+ */
+std::vector<Job> parseMatrix(const std::string &spec);
+
+/** One-paragraph syntax reference for CLI help text. */
+const char *matrixSyntaxHelp();
+
+} // namespace ctcp::campaign
+
+#endif // CTCPSIM_CAMPAIGN_MATRIX_HH

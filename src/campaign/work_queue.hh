@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Work-stealing scheduler for independent, indexed jobs.
+ *
+ * Job indices are dealt round-robin onto one deque per worker; each
+ * worker drains its own deque from the front and steals from the back
+ * of a victim's deque when it runs dry. Scheduling order is therefore
+ * nondeterministic, which is why the campaign layer above writes every
+ * result into a slot preassigned by submission index: aggregated output
+ * never depends on which worker ran a job or when it finished.
+ */
+
+#ifndef CTCPSIM_CAMPAIGN_WORK_QUEUE_HH
+#define CTCPSIM_CAMPAIGN_WORK_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ctcp::campaign {
+
+/** Worker count to use when the caller passes 0 ("auto"). */
+inline unsigned
+hardwareWorkers()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+/**
+ * Run @p body(i) for every i in [0, njobs) across @p workers threads
+ * (0 = one per hardware thread). Blocks until every job has finished.
+ *
+ * @p body must not throw: jobs are independent and a failure in one
+ * must not tear down its worker, so callers (the campaign engine)
+ * catch per job and record the error instead.
+ */
+class WorkStealingPool
+{
+  public:
+    explicit WorkStealingPool(unsigned workers = 0)
+        : workers_(workers ? workers : hardwareWorkers())
+    {}
+
+    unsigned workers() const { return workers_; }
+
+    void
+    run(std::size_t njobs, const std::function<void(std::size_t)> &body)
+    {
+        if (njobs == 0)
+            return;
+        const unsigned nw =
+            static_cast<unsigned>(std::min<std::size_t>(workers_, njobs));
+        if (nw <= 1) {
+            // Serial fast path: no threads, identical job order.
+            for (std::size_t i = 0; i < njobs; ++i)
+                body(i);
+            return;
+        }
+
+        std::vector<Shard> shards(nw);
+        for (std::size_t i = 0; i < njobs; ++i)
+            shards[i % nw].jobs.push_back(i);
+        std::atomic<std::size_t> remaining{njobs};
+
+        auto worker = [&](unsigned self) {
+            while (remaining.load(std::memory_order_acquire) > 0) {
+                std::size_t job;
+                if (popOwn(shards[self], job) ||
+                    steal(shards, self, job)) {
+                    body(job);
+                    remaining.fetch_sub(1, std::memory_order_acq_rel);
+                } else {
+                    // Everything is claimed but still in flight.
+                    std::this_thread::yield();
+                }
+            }
+        };
+
+        std::vector<std::thread> threads;
+        threads.reserve(nw - 1);
+        for (unsigned w = 1; w < nw; ++w)
+            threads.emplace_back(worker, w);
+        worker(0);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+  private:
+    struct Shard
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> jobs;
+    };
+
+    static bool
+    popOwn(Shard &shard, std::size_t &job)
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (shard.jobs.empty())
+            return false;
+        job = shard.jobs.front();
+        shard.jobs.pop_front();
+        return true;
+    }
+
+    static bool
+    steal(std::vector<Shard> &shards, unsigned self, std::size_t &job)
+    {
+        const std::size_t nw = shards.size();
+        for (std::size_t k = 1; k < nw; ++k) {
+            Shard &victim = shards[(self + k) % nw];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.jobs.empty()) {
+                job = victim.jobs.back();
+                victim.jobs.pop_back();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    unsigned workers_;
+};
+
+} // namespace ctcp::campaign
+
+#endif // CTCPSIM_CAMPAIGN_WORK_QUEUE_HH

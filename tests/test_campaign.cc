@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Campaign-engine tests: work-stealing pool correctness, bit-identical
+ * determinism of repeated runs, worker-count independence of the
+ * aggregated report, per-job failure isolation, and matrix-spec
+ * parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/matrix.hh"
+#include "campaign/work_queue.hh"
+#include "config/presets.hh"
+#include "prog/builder.hh"
+
+namespace ctcp {
+namespace {
+
+SimConfig
+quickConfig(std::uint64_t budget = 20'000)
+{
+    SimConfig cfg = baseConfig();
+    cfg.instructionLimit = budget;
+    return cfg;
+}
+
+/** A tiny self-contained program for builder-injection tests. */
+Program
+tinyProgram()
+{
+    ProgramBuilder b("tiny");
+    b.movi(intReg(1), 5000);
+    b.label("top");
+    b.addi(intReg(2), intReg(2), 1);
+    b.addi(intReg(1), intReg(1), -1);
+    b.bne(intReg(1), zeroReg, "top");
+    b.halt();
+    return b.build();
+}
+
+TEST(WorkStealingPool, RunsEveryJobExactlyOnce)
+{
+    constexpr std::size_t njobs = 64;
+    std::vector<std::atomic<int>> hits(njobs);
+    for (auto &h : hits)
+        h = 0;
+    campaign::WorkStealingPool pool(4);
+    pool.run(njobs, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < njobs; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+}
+
+TEST(WorkStealingPool, MoreWorkersThanJobs)
+{
+    std::vector<std::atomic<int>> hits(3);
+    for (auto &h : hits)
+        h = 0;
+    campaign::WorkStealingPool pool(16);
+    pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(WorkStealingPool, SerialPathPreservesSubmissionOrder)
+{
+    std::vector<std::size_t> order;
+    campaign::WorkStealingPool pool(1);
+    pool.run(8, [&](std::size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 8u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(WorkStealingPool, ZeroJobsIsANoop)
+{
+    campaign::WorkStealingPool pool(4);
+    pool.run(0, [](std::size_t) { FAIL() << "no job should run"; });
+}
+
+TEST(Campaign, SameRunTwiceIsBitIdentical)
+{
+    // The determinism contract underlying every cached or parallel
+    // result: identical (config, workload, budget) => identical full
+    // stat dump, not just headline numbers.
+    const std::vector<campaign::Job> jobs = {
+        campaign::makeJob("a", "gzip", quickConfig()),
+        campaign::makeJob("b", "gzip", quickConfig()),
+    };
+    const campaign::Report report = campaign::runCampaign(jobs);
+    ASSERT_EQ(report.failed(), 0u);
+    const SimResult &a = report.at("a").result;
+    const SimResult &b = report.at("b").result;
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.toJson(), b.toJson());
+    EXPECT_EQ(a.statsText, b.statsText);
+    EXPECT_FALSE(a.statsText.empty());
+}
+
+TEST(Campaign, AggregationIndependentOfWorkerCount)
+{
+    // A 3-workload x 2-strategy campaign must aggregate to
+    // byte-identical JSON and CSV whether run on 1 worker or 4.
+    std::vector<campaign::Job> jobs;
+    for (const char *bench : {"gzip", "twolf", "adpcm_enc"}) {
+        for (AssignStrategy s :
+             {AssignStrategy::BaseSlotOrder, AssignStrategy::Fdrt}) {
+            SimConfig cfg = quickConfig();
+            cfg.assign.strategy = s;
+            jobs.push_back(campaign::makeJob(
+                std::string(bench) + "/" + assignStrategyName(s), bench,
+                cfg));
+        }
+    }
+
+    campaign::Options serial;
+    serial.jobs = 1;
+    campaign::Options parallel;
+    parallel.jobs = 4;
+    const campaign::Report r1 = campaign::runCampaign(jobs, serial);
+    const campaign::Report r4 = campaign::runCampaign(jobs, parallel);
+
+    ASSERT_EQ(r1.failed(), 0u);
+    ASSERT_EQ(r4.failed(), 0u);
+    EXPECT_EQ(r1.toJson(), r4.toJson());
+    EXPECT_EQ(r1.toCsv(), r4.toCsv());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(r1.jobs[i].label, jobs[i].label);
+        EXPECT_EQ(r1.jobs[i].result.statsText,
+                  r4.jobs[i].result.statsText);
+    }
+}
+
+TEST(Campaign, ThrowingBuilderFailsOnlyItsJob)
+{
+    std::vector<campaign::Job> jobs;
+    jobs.push_back(campaign::makeJob("ok-1", "gzip", quickConfig()));
+    campaign::Job bomb;
+    bomb.label = "bomb";
+    bomb.benchmark = "synthetic";
+    bomb.config = quickConfig();
+    bomb.builder = []() -> Program {
+        throw std::runtime_error("workload builder exploded");
+    };
+    jobs.push_back(bomb);
+    jobs.push_back(campaign::makeJob("ok-2", "twolf", quickConfig()));
+
+    const campaign::Report report = campaign::runCampaign(jobs);
+    ASSERT_EQ(report.jobs.size(), 3u);
+    EXPECT_EQ(report.failed(), 1u);
+    EXPECT_TRUE(report.at("ok-1").ok());
+    EXPECT_TRUE(report.at("ok-2").ok());
+    EXPECT_GT(report.at("ok-1").result.instructions, 0u);
+    EXPECT_GT(report.at("ok-2").result.instructions, 0u);
+
+    const campaign::JobOutcome &failed = report.at("bomb");
+    EXPECT_FALSE(failed.ok());
+    EXPECT_NE(failed.error.find("workload builder exploded"),
+              std::string::npos);
+
+    // The failure is visible in both export formats.
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos);
+    EXPECT_NE(json.find("workload builder exploded"), std::string::npos);
+    EXPECT_NE(json.find("\"failed\": 1"), std::string::npos);
+    const std::string csv = report.toCsv();
+    EXPECT_NE(csv.find("bomb,synthetic,,failed,workload builder "
+                       "exploded"),
+              std::string::npos);
+}
+
+TEST(Campaign, UnknownBenchmarkFailsJobNotProcess)
+{
+    const std::vector<campaign::Job> jobs = {
+        campaign::makeJob("bad", "no_such_bench", quickConfig()),
+        campaign::makeJob("good", "gzip", quickConfig()),
+    };
+    const campaign::Report report = campaign::runCampaign(jobs);
+    EXPECT_EQ(report.failed(), 1u);
+    EXPECT_FALSE(report.at("bad").ok());
+    EXPECT_NE(report.at("bad").error.find("no_such_bench"),
+              std::string::npos);
+    EXPECT_TRUE(report.at("good").ok());
+}
+
+TEST(Campaign, CustomBuilderRunsInsideWorker)
+{
+    campaign::Job job;
+    job.label = "tiny";
+    job.benchmark = "tiny";
+    job.config = quickConfig(0);   // run to Halt
+    job.builder = tinyProgram;
+
+    campaign::Options options;
+    options.jobs = 2;
+    const campaign::Report report =
+        campaign::runCampaign({job, job}, options);
+    ASSERT_EQ(report.failed(), 0u);
+    EXPECT_EQ(report.jobs[0].result.instructions,
+              report.jobs[1].result.instructions);
+    EXPECT_GT(report.jobs[0].result.instructions, 10'000u);
+}
+
+TEST(Campaign, ProgressReportsEveryJob)
+{
+    std::vector<campaign::Job> jobs = {
+        campaign::makeJob("a", "gzip", quickConfig(5'000)),
+        campaign::makeJob("b", "twolf", quickConfig(5'000)),
+    };
+    campaign::Options options;
+    options.jobs = 2;
+    std::vector<std::string> lines;
+    std::mutex mutex;
+    options.progress = [&](const std::string &line) {
+        std::lock_guard<std::mutex> lock(mutex);
+        lines.push_back(line);
+    };
+    campaign::runCampaign(jobs, options);
+    ASSERT_EQ(lines.size(), 2u);
+    // The final line always reports full completion.
+    bool saw_final = false;
+    for (const std::string &line : lines)
+        if (line.find("[2/2]") != std::string::npos)
+            saw_final = true;
+    EXPECT_TRUE(saw_final);
+}
+
+TEST(CampaignMatrix, CrossProductAndLabels)
+{
+    const std::vector<campaign::Job> jobs = campaign::parseMatrix(
+        "bench=gzip,twolf;strategy=base,fdrt;budget=1000");
+    ASSERT_EQ(jobs.size(), 4u);
+    EXPECT_EQ(jobs[0].label, "gzip/base/base");
+    EXPECT_EQ(jobs[1].label, "gzip/base/fdrt");
+    EXPECT_EQ(jobs[2].label, "twolf/base/base");
+    EXPECT_EQ(jobs[3].label, "twolf/base/fdrt");
+    EXPECT_EQ(jobs[1].config.assign.strategy, AssignStrategy::Fdrt);
+    EXPECT_EQ(jobs[0].config.instructionLimit, 1000u);
+}
+
+TEST(CampaignMatrix, GroupsAndDefaultsExpand)
+{
+    // Defaults: bench=six, strategy=base, preset=base, budget=300000.
+    const std::vector<campaign::Job> defaults = campaign::parseMatrix("");
+    EXPECT_EQ(defaults.size(), 6u);
+    EXPECT_EQ(defaults[0].config.instructionLimit, 300'000u);
+
+    const std::vector<campaign::Job> media =
+        campaign::parseMatrix("bench=media");
+    EXPECT_EQ(media.size(), 14u);
+
+    const std::vector<campaign::Job> all =
+        campaign::parseMatrix("bench=all");
+    EXPECT_EQ(all.size(), 26u);
+}
+
+TEST(CampaignMatrix, IssueTimeLatencySuffix)
+{
+    const std::vector<campaign::Job> jobs = campaign::parseMatrix(
+        "bench=gzip;strategy=issue-time:0,issue-time:4");
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].config.assign.strategy, AssignStrategy::IssueTime);
+    EXPECT_EQ(jobs[0].config.assign.issueTimeLatency, 0u);
+    EXPECT_EQ(jobs[1].config.assign.issueTimeLatency, 4u);
+    EXPECT_EQ(jobs[0].label, "gzip/base/issue-time:0");
+}
+
+TEST(CampaignMatrix, PresetDimension)
+{
+    const std::vector<campaign::Job> jobs = campaign::parseMatrix(
+        "bench=gzip;preset=base,mesh,twocluster");
+    ASSERT_EQ(jobs.size(), 3u);
+    EXPECT_TRUE(jobs[1].config.cluster.mesh);
+    EXPECT_EQ(jobs[2].config.cluster.numClusters, 2u);
+}
+
+TEST(CampaignMatrix, MultipleBudgetsGetLabelSuffix)
+{
+    const std::vector<campaign::Job> jobs = campaign::parseMatrix(
+        "bench=gzip;budget=1000,2000");
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].label, "gzip/base/base@1000");
+    EXPECT_EQ(jobs[1].label, "gzip/base/base@2000");
+}
+
+TEST(CampaignMatrix, RejectsBadSpecs)
+{
+    EXPECT_THROW(campaign::parseMatrix("bench=not_a_bench"),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::parseMatrix("strategy=warp-speed"),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::parseMatrix("preset=hypercube"),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::parseMatrix("budget=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::parseMatrix("budget=soon"),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::parseMatrix("colour=red"),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::parseMatrix("bench"),
+                 std::invalid_argument);
+}
+
+TEST(CampaignMatrix, ParsedJobsActuallyRun)
+{
+    const std::vector<campaign::Job> jobs = campaign::parseMatrix(
+        "bench=gzip;strategy=base,fdrt;budget=10000");
+    const campaign::Report report = campaign::runCampaign(jobs);
+    EXPECT_EQ(report.failed(), 0u);
+    EXPECT_EQ(report.at("gzip/base/fdrt").result.strategy, "fdrt");
+}
+
+TEST(CampaignReport, CsvQuotesAwkwardFields)
+{
+    campaign::Job bomb;
+    bomb.label = "a,\"b\"";
+    bomb.benchmark = "x";
+    bomb.config = quickConfig(1'000);
+    bomb.builder = []() -> Program {
+        throw std::runtime_error("line1\nline2, with comma");
+    };
+    const campaign::Report report = campaign::runCampaign({bomb});
+    const std::string csv = report.toCsv();
+    EXPECT_NE(csv.find("\"a,\"\"b\"\"\""), std::string::npos);
+    EXPECT_NE(csv.find("\"line1\nline2, with comma\""),
+              std::string::npos);
+    // JSON escapes the newline instead.
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("line1\\nline2"), std::string::npos);
+}
+
+} // namespace
+} // namespace ctcp

@@ -11,10 +11,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
+#include "campaign/campaign.hh"
+#include "campaign/matrix.hh"
 #include "config/presets.hh"
 #include "core/simulator.hh"
+#include "stats/table.hh"
 #include "workload/workload.hh"
 
 namespace {
@@ -50,13 +54,25 @@ usage(const char *prog)
         "  --trace FILE          write a pipeline trace of the first\n"
         "  --trace-cycles N      N cycles (default 1000) to FILE\n"
         "\n"
+        "campaign mode (runs a workload x config matrix instead):\n"
+        "  --campaign MATRIX     submit the matrix to the concurrent\n"
+        "                        campaign engine (see below)\n"
+        "  --jobs N              worker threads (default: one per\n"
+        "                        hardware thread); results do not\n"
+        "                        depend on N\n"
+        "  --out FILE            write aggregated results to FILE\n"
+        "                        (CSV when FILE ends in .csv, else\n"
+        "                        JSON)\n"
+        "\n"
         "ablations (Figure 5):\n"
         "  --zero-fwd            no inter-cluster forwarding latency\n"
         "  --zero-crit-fwd       critical input forwards with no latency\n"
         "  --zero-intra-fwd      intra-trace forwards with no latency\n"
         "  --zero-inter-fwd      inter-trace forwards with no latency\n"
-        "  --zero-rf             no register-file read latency\n",
-        prog);
+        "  --zero-rf             no register-file read latency\n"
+        "\n"
+        "%s\n",
+        prog, ctcp::campaign::matrixSyntaxHelp());
 }
 
 [[noreturn]] void
@@ -64,6 +80,58 @@ die(const std::string &msg)
 {
     std::fprintf(stderr, "ctcpsim: %s (try --help)\n", msg.c_str());
     std::exit(1);
+}
+
+/** Run a --campaign matrix and export/print the aggregated report. */
+int
+runCampaignMode(const std::string &matrix, unsigned jobs,
+                const std::string &out_path)
+{
+    using namespace ctcp;
+
+    std::vector<campaign::Job> queue;
+    try {
+        queue = campaign::parseMatrix(matrix);
+    } catch (const std::invalid_argument &e) {
+        die(e.what());
+    }
+
+    campaign::Options options;
+    options.jobs = jobs;
+    options.progress = campaign::progressToStderr;
+    const campaign::Report report = campaign::runCampaign(queue, options);
+
+    TextTable table({"job", "status", "cycles", "IPC", "% from TC"});
+    for (const campaign::JobOutcome &job : report.jobs) {
+        table.row(job.label);
+        if (job.ok()) {
+            table.cell("ok")
+                .cell(std::to_string(job.result.cycles))
+                .cell(job.result.ipc(), 3)
+                .percentCell(job.result.pctFromTraceCache);
+        } else {
+            table.cell("FAILED: " + job.error).cell("-").cell("-")
+                .cell("-");
+        }
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\n%zu jobs, %zu failed\n", report.jobs.size(),
+                report.failed());
+
+    if (!out_path.empty()) {
+        const bool csv = out_path.size() >= 4 &&
+            out_path.compare(out_path.size() - 4, 4, ".csv") == 0;
+        const std::string payload =
+            csv ? report.toCsv() : report.toJson();
+        std::FILE *f = std::fopen(out_path.c_str(), "w");
+        if (!f)
+            die("cannot open '" + out_path + "' for writing");
+        std::fwrite(payload.data(), 1, payload.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "wrote %s results to %s\n",
+                     csv ? "CSV" : "JSON", out_path.c_str());
+    }
+    return report.failed() ? 1 : 0;
 }
 
 } // namespace
@@ -80,6 +148,10 @@ main(int argc, char **argv)
     bool clusters_set = false;
     bool json = false;
     unsigned clusters = 4;
+    std::string campaign_matrix;
+    bool campaign_set = false;
+    unsigned campaign_jobs = 0;
+    std::string out_path;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -155,6 +227,14 @@ main(int argc, char **argv)
             cfg.assign.strategy = keep.strategy;
             cfg.assign.fdrtPinning = keep.fdrtPinning;
             cfg.assign.fdrtChains = keep.fdrtChains;
+        } else if (arg == "--campaign") {
+            campaign_matrix = next_arg(i);
+            campaign_set = true;
+        } else if (arg == "--jobs") {
+            campaign_jobs = static_cast<unsigned>(
+                std::strtoul(next_arg(i), nullptr, 10));
+        } else if (arg == "--out") {
+            out_path = next_arg(i);
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--trace") {
@@ -176,6 +256,9 @@ main(int argc, char **argv)
             die("unknown option '" + arg + "'");
         }
     }
+
+    if (campaign_set)
+        return runCampaignMode(campaign_matrix, campaign_jobs, out_path);
 
     if (clusters_set) {
         cfg.cluster.numClusters = clusters;

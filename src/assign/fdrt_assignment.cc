@@ -2,6 +2,7 @@
 
 #include "assign/friendly_assignment.hh"
 #include "common/logging.hh"
+#include "obs/sink.hh"
 #include "tracecache/trace_cache.hh"
 
 namespace ctcp {
@@ -237,6 +238,20 @@ FdrtAssignment::assign(TraceDraft &draft)
 
     for ([[maybe_unused]] const DraftInst &d : draft.insts)
         ctcp_assert(d.physSlot >= 0, "FDRT left an instruction unplaced");
+
+    // One assignment-decision event per instruction, recording which
+    // Table-5 option drove the placement and the cluster chosen.
+    if (obs_ && obs_->enabled(ObsKind::Assign)) {
+        for (const DraftInst &d : draft.insts) {
+            ObsEvent ev;
+            ev.cycle = obsCycle_;
+            ev.kind = ObsKind::Assign;
+            ev.pc = d.pc;
+            ev.opt = d.fdrtOption;
+            ev.cluster = draft.clusterOfSlot(d.physSlot);
+            obs_->record(ev);
+        }
+    }
 }
 
 } // namespace ctcp

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 
 #include "campaign/work_queue.hh"
 #include "common/logging.hh"
@@ -82,6 +83,44 @@ csvDouble(double v)
 }
 
 } // namespace
+
+unsigned
+parseWorkerCount(const std::string &text)
+{
+    std::size_t pos = 0;
+    long long value = 0;
+    try {
+        value = std::stoll(text, &pos);
+    } catch (const std::exception &) {
+        throw std::invalid_argument("invalid worker count '" + text +
+                                    "' (expected a non-negative integer)");
+    }
+    if (pos != text.size())
+        throw std::invalid_argument("invalid worker count '" + text +
+                                    "' (expected a non-negative integer)");
+    if (value < 0)
+        throw std::invalid_argument(
+            "worker count must be >= 0 (0 = one per hardware thread), "
+            "got " + text);
+    if (value > 4096)
+        throw std::invalid_argument("worker count " + text +
+                                    " is unreasonably large (max 4096)");
+    return static_cast<unsigned>(value);
+}
+
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (const char c : label) {
+        const bool safe = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+            c == '-' || c == '.' || c == '_';
+        out += safe ? c : '_';
+    }
+    return out.empty() ? "job" : out;
+}
 
 Job
 makeJob(std::string label, std::string benchmark, SimConfig config)
@@ -208,7 +247,26 @@ runCampaign(const std::vector<Job> &jobs, const Options &options)
             Program program = job.builder
                 ? job.builder()
                 : workloads::build(job.benchmark);
-            CtcpSimulator sim(job.config, program);
+            // Per-job telemetry: overlay the campaign-wide output
+            // directories onto the job's own config (which wins when
+            // it already names a path).
+            SimConfig config = job.config;
+            const std::string stem = sanitizeLabel(job.label);
+            if (!options.traceEventsDir.empty() &&
+                config.obs.traceEventsPath.empty()) {
+                config.obs.traceEventsPath =
+                    options.traceEventsDir + "/" + stem + ".trace.json";
+                if (config.obs.traceFilter.empty())
+                    config.obs.traceFilter = options.traceFilter;
+            }
+            if (!options.intervalDir.empty() &&
+                options.intervalCycles > 0 &&
+                config.obs.intervalPath.empty()) {
+                config.obs.intervalPath =
+                    options.intervalDir + "/" + stem + ".intervals.csv";
+                config.obs.intervalCycles = options.intervalCycles;
+            }
+            CtcpSimulator sim(config, program);
             out.result = sim.run();
             out.status = JobStatus::Ok;
         } catch (const std::exception &e) {

@@ -104,7 +104,35 @@ struct Options
      * Invocations are serialized; null disables reporting.
      */
     std::function<void(const std::string &line)> progress;
+
+    // ---- Per-job telemetry (src/obs) -----------------------------------
+    /**
+     * When non-empty, every job additionally writes Chrome trace_event
+     * JSON to <traceEventsDir>/<sanitized-label>.trace.json. A job
+     * whose config already names a trace path keeps it.
+     */
+    std::string traceEventsDir;
+    /** Event-kind filter applied with traceEventsDir (see ObsSink). */
+    std::string traceFilter;
+    /**
+     * When non-empty (and intervalCycles > 0), every job writes an
+     * interval CSV to <intervalDir>/<sanitized-label>.intervals.csv.
+     */
+    std::string intervalDir;
+    /** Interval sampling period for intervalDir output. */
+    std::uint64_t intervalCycles = 0;
 };
+
+/**
+ * Parse and validate a worker-count argument. Accepts positive
+ * integers and 0 ("one worker per hardware thread"); rejects negative
+ * values, junk, and counts above 4096.
+ * @throws std::invalid_argument with a usable message
+ */
+unsigned parseWorkerCount(const std::string &text);
+
+/** Filesystem-safe form of a job label ('/' and friends become '_'). */
+std::string sanitizeLabel(const std::string &label);
 
 /** Write "[k/n] label: ok" lines to stderr (an Options::progress). */
 void progressToStderr(const std::string &line);

@@ -3,8 +3,31 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/sink.hh"
 
 namespace ctcp {
+
+namespace {
+
+// Out of line so the dispatch loop carries only the obs_ guard branch,
+// not the event-construction code.
+[[gnu::noinline]] [[gnu::cold]] void
+recordExecuteEvent(ObsSink &obs, Cycle now, const TimedInst &inst,
+                   ClusterId cluster)
+{
+    ObsEvent ev;
+    ev.cycle = now;
+    ev.kind = ObsKind::Execute;
+    ev.seq = inst.dyn.seq;
+    ev.pc = inst.dyn.pc;
+    ev.cluster = cluster;
+    ev.begin = now;
+    ev.dur = inst.completeAt - now;
+    ev.label = inst.dyn.info().mnemonic;
+    obs.record(ev);
+}
+
+} // namespace
 
 bool
 ReservationStation::tryInsert(TimedInst *inst, Cycle now)
@@ -157,6 +180,8 @@ Cluster::dispatch(Cycle now, const DispatchHooks &hooks)
         inst->dispatched = true;
         inst->dispatchAt = now;
         inst->completeAt = hooks.execute(*inst, now);
+        if (obs_ && obs_->enabled(ObsKind::Execute))
+            recordExecuteEvent(*obs_, now, *inst, id_);
         // Remove from whichever station holds it.
         for (ReservationStation &st : stations_) {
             const auto &es = st.entries();

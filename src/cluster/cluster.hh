@@ -30,6 +30,8 @@
 
 namespace ctcp {
 
+class ObsSink;
+
 /** Reservation-station classes within a cluster. */
 enum class StationKind : std::uint8_t
 {
@@ -149,6 +151,9 @@ class Cluster
 
     std::uint64_t dispatched() const { return dispatchCount_.value(); }
 
+    /** Attach an observability sink (null = off, the default). */
+    void setObs(ObsSink *obs) { obs_ = obs; }
+
   private:
     ReservationStation &station(StationKind k)
     {
@@ -164,6 +169,7 @@ class Cluster
     std::vector<ReservationStation> stations_;
     FuPool fus_;
     Counter dispatchCount_;
+    ObsSink *obs_ = nullptr;
 };
 
 } // namespace ctcp

@@ -184,6 +184,41 @@ struct DebugConfig
     std::uint64_t traceCycles = 1000;
 };
 
+/**
+ * Observability subsystem configuration (src/obs). All paths default
+ * empty = off; a simulator with observability off carries a null
+ * ObsSink pointer and pays one branch per instrumented site.
+ */
+struct ObsConfig
+{
+    /** Chrome trace_event JSON output path ("" = off). */
+    std::string traceEventsPath;
+    /** Compact per-event text output path ("" = off). */
+    std::string traceTextPath;
+    /** Event-kind filter spec for ObsSink::parseFilter ("" = all). */
+    std::string traceFilter;
+    /** Interval time-series output path ("" = off; .json for JSON). */
+    std::string intervalPath;
+    /** Interval sampling period in cycles (0 = off). */
+    std::uint64_t intervalCycles = 0;
+    /** Events staged in the sink ring between writer drains. */
+    std::size_t ringCapacity = 8192;
+
+    /** Is any event tracing requested? */
+    bool
+    tracingEnabled() const
+    {
+        return !traceEventsPath.empty() || !traceTextPath.empty();
+    }
+
+    /** Is interval recording requested? */
+    bool
+    intervalEnabled() const
+    {
+        return !intervalPath.empty() && intervalCycles > 0;
+    }
+};
+
 /** Top-level simulation configuration. */
 struct SimConfig
 {
@@ -195,6 +230,7 @@ struct SimConfig
     AssignConfig assign;
     AblationConfig ablation;
     DebugConfig debug;
+    ObsConfig obs;
 
     /** Stop after this many committed instructions (0 = run to Halt). */
     std::uint64_t instructionLimit = 2'000'000;

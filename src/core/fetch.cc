@@ -1,8 +1,28 @@
 #include "core/fetch.hh"
 
 #include "common/logging.hh"
+#include "obs/sink.hh"
 
 namespace ctcp {
+
+namespace {
+
+// Out of line so the per-instruction fetch path carries only the
+// obs_ guard branch, not the event-construction code.
+[[gnu::noinline]] [[gnu::cold]] void
+recordFetchEvent(ObsSink &obs, Cycle now, const DynInst &dyn, bool from_tc)
+{
+    ObsEvent ev;
+    ev.cycle = now;
+    ev.kind = ObsKind::Fetch;
+    ev.seq = dyn.seq;
+    ev.pc = dyn.pc;
+    ev.arg0 = from_tc ? 1 : 0;
+    ev.label = dyn.info().mnemonic;
+    obs.record(ev);
+}
+
+} // namespace
 
 FetchEngine::FetchEngine(const SimConfig &cfg, TraceCache &tc,
                          InstMemory &imem, BranchPredictor &bpred,
@@ -64,6 +84,8 @@ FetchEngine::makeInst(const DynInst &dyn, Cycle now, bool from_tc,
         ++fromTC_;
     else
         ++fromIC_;
+    if (obs_ && obs_->enabled(ObsKind::Fetch))
+        recordFetchEvent(*obs_, now, dyn, from_tc);
     return ti;
 }
 

@@ -35,6 +35,8 @@
 
 namespace ctcp {
 
+class ObsSink;
+
 /** One group of instructions fetched in a single cycle. */
 struct FetchGroup
 {
@@ -82,6 +84,9 @@ class FetchEngine
 
     void dumpStats(StatDump &out) const;
 
+    /** Attach an observability sink (null = off, the default). */
+    void setObs(ObsSink *obs) { obs_ = obs; }
+
   private:
     /** Peek the k-th not-yet-fetched committed instruction. */
     const DynInst *peek(std::size_t k);
@@ -115,6 +120,8 @@ class FetchEngine
     Cycle resumeAt_ = 0;
 
     std::uint64_t nextInstance_ = 1;
+
+    ObsSink *obs_ = nullptr;
 
     Counter fromTC_;
     Counter fromIC_;

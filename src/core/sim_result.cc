@@ -54,7 +54,19 @@ SimResult::toJson() const
     field(out, "fdrt_option_c_pct", pctOptionC);
     field(out, "fdrt_option_d_pct", pctOptionD);
     field(out, "fdrt_option_e_pct", pctOptionE);
-    field(out, "fdrt_skipped_pct", pctSkipped, true);
+    field(out, "fdrt_skipped_pct", pctSkipped, metrics.empty());
+    if (!metrics.empty()) {
+        out += "  \"metrics\": {\n";
+        std::size_t i = 0;
+        for (const auto &[name, value] : metrics) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf), "    \"%s\": %.6f%s\n",
+                          name.c_str(), value,
+                          ++i < metrics.size() ? "," : "");
+            out += buf;
+        }
+        out += "  }\n";
+    }
     out += "}\n";
     return out;
 }

@@ -8,6 +8,7 @@
 #define CTCPSIM_CORE_SIM_RESULT_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 namespace ctcp {
@@ -71,6 +72,13 @@ struct SimResult
 
     /** Full aligned-text dump of every component's statistics. */
     std::string statsText;
+
+    /**
+     * Structured run telemetry: every named metric the run produced,
+     * beyond the fixed headline fields above (event counts, forward
+     * totals, occupancies...). Ordered, so JSON output is stable.
+     */
+    std::map<std::string, double> metrics;
 
     /** Headline metrics as a flat JSON object (machine consumption). */
     std::string toJson() const;

@@ -6,8 +6,62 @@
 #include "assign/fdrt_assignment.hh"
 #include "assign/friendly_assignment.hh"
 #include "common/logging.hh"
+#include "obs/sink.hh"
+#include "obs/writers.hh"
+#include "stats/interval.hh"
 
 namespace ctcp {
+
+namespace {
+
+// Event construction is kept out of line so the pipeline loops carry
+// only the `obs_ && enabled()` branch; inlining these bodies measurably
+// slows the untraced simulator (register pressure + code bloat in the
+// per-instruction loops).
+
+[[gnu::noinline]] [[gnu::cold]] void
+recordInstEvent(ObsSink &obs, ObsKind kind, Cycle cycle,
+                const TimedInst &inst)
+{
+    ObsEvent ev;
+    ev.cycle = cycle;
+    ev.kind = kind;
+    ev.seq = inst.dyn.seq;
+    ev.pc = inst.dyn.pc;
+    ev.cluster = inst.cluster;
+    obs.record(ev);
+}
+
+[[gnu::noinline]] [[gnu::cold]] void
+recordFlushEvent(ObsSink &obs, Cycle cycle, const TimedInst &inst,
+                 Cycle resume)
+{
+    ObsEvent ev;
+    ev.cycle = cycle;
+    ev.kind = ObsKind::Flush;
+    ev.seq = inst.dyn.seq;
+    ev.pc = inst.dyn.pc;
+    ev.cluster = inst.cluster;
+    ev.arg0 = static_cast<std::int64_t>(resume);
+    obs.record(ev);
+}
+
+[[gnu::noinline]] [[gnu::cold]] void
+recordForwardEvent(ObsSink &obs, Cycle cycle, const TimedInst &inst,
+                   unsigned hops, ClusterId producer)
+{
+    ObsEvent ev;
+    ev.cycle = cycle;
+    ev.kind = ObsKind::Forward;
+    ev.seq = inst.dyn.seq;
+    ev.pc = inst.dyn.pc;
+    ev.cluster = inst.cluster;
+    ev.arg0 = hops;
+    ev.arg1 = producer;
+    obs.record(ev);
+}
+
+} // namespace
 
 CtcpSimulator::CtcpSimulator(const SimConfig &cfg, const Program &program)
     : cfg_(cfg), program_(program), exec_(program), dmem_(cfg.mem),
@@ -67,6 +121,52 @@ CtcpSimulator::CtcpSimulator(const SimConfig &cfg, const Program &program)
                        cfg_.debug.pipelineTracePath.c_str());
         std::fprintf(traceFile_,
                      "# cycle stage seq pc cluster slot detail\n");
+    }
+
+    setupObservability();
+}
+
+void
+CtcpSimulator::setupObservability()
+{
+    const ObsConfig &oc = cfg_.obs;
+    if (oc.tracingEnabled()) {
+        obs_ = std::make_unique<ObsSink>(oc.ringCapacity);
+        obs_->setFilter(ObsSink::parseFilter(oc.traceFilter));
+        if (!oc.traceEventsPath.empty())
+            obs_->addWriter(
+                std::make_unique<ChromeTraceWriter>(oc.traceEventsPath));
+        if (!oc.traceTextPath.empty())
+            obs_->addWriter(
+                std::make_unique<ObsTextWriter>(oc.traceTextPath));
+
+        ObsSink *sink = obs_.get();
+        fetch_->setObs(sink);
+        tc_->setObs(sink);
+        fillUnit_->setObs(sink);
+        policy_->setObs(sink);
+        dmem_.setObs(sink);
+        for (Cluster &cluster : clusters_)
+            cluster.setObs(sink);
+    }
+    if (oc.intervalEnabled()) {
+        interval_ = std::make_unique<IntervalRecorder>(oc.intervalCycles);
+        interval_->addRate("ipc",
+            [this] { return static_cast<double>(retired_); });
+        interval_->addRatio("tc_hit_rate",
+            [this] { return static_cast<double>(tc_->hits()); },
+            [this] {
+                return static_cast<double>(tc_->hits() + tc_->misses());
+            });
+        interval_->addRatio("inter_cluster_fwd_per_instr",
+            [this] { return static_cast<double>(fwdInterCluster_.value()); },
+            [this] { return static_cast<double>(retired_); });
+        for (std::size_t c = 0; c < clusters_.size(); ++c)
+            interval_->addGauge(
+                "cluster" + std::to_string(c) + "_occupancy",
+                [this, c] {
+                    return static_cast<double>(clusters_[c].occupancy());
+                });
     }
 }
 
@@ -259,6 +359,25 @@ CtcpSimulator::executeInst(TimedInst &inst, Cycle now_cycle)
     if (inst.criticalForwarded && inst.criticalInterTrace)
         policy_->noteCriticalForward(inst, *tc_);
 
+    // Count forwarded (bypassed) operand deliveries and emit one
+    // Forward event per bypass, with the interconnect hop count.
+    for (int i = 0; i < 2; ++i) {
+        const OperandState &op = inst.ops[i];
+        if (!op.valid || op.fromRF)
+            continue;
+        ++fwdTotal_;
+        // distance() == 0 iff same cluster in every topology, so the
+        // counter needs only the comparison; the hop count itself is
+        // computed on the traced path.
+        if (op.producerCluster != inst.cluster)
+            ++fwdInterCluster_;
+        if (obs_ && obs_->enabled(ObsKind::Forward))
+            recordForwardEvent(*obs_, now_cycle, inst,
+                               interconnect_.distance(op.producerCluster,
+                                                      inst.cluster),
+                               op.producerCluster);
+    }
+
     Cycle complete = now_cycle + inst.dyn.info().execLatency;
     if (inst.dyn.isLoadOp()) {
         if (const TimedInst *st = forwardingStore(inst)) {
@@ -286,6 +405,8 @@ CtcpSimulator::doCompletions()
         inst->completed = true;
         if (tracing())
             traceEvent("complete", *inst);
+        if (obs_ && obs_->enabled(ObsKind::Complete))
+            recordInstEvent(*obs_, ObsKind::Complete, cycle_, *inst);
         if (interconnect_.isBus() && inst->dyn.hasDst()) {
             // Reserve a broadcast slot on the shared result bus.
             const Cycle slot = busSchedule_->reserve(inst->completeAt);
@@ -307,8 +428,11 @@ CtcpSimulator::doCompletions()
                 if (inst->mispredicted)
                     ++indirectMispredicted_;
             }
-            if (inst->mispredicted)
+            if (inst->mispredicted) {
                 fetch_->resolveGate(inst->dyn.seq, cycle_ + 1);
+                if (obs_ && obs_->enabled(ObsKind::Flush))
+                    recordFlushEvent(*obs_, cycle_, *inst, cycle_ + 1);
+            }
         }
     }
 }
@@ -333,6 +457,9 @@ CtcpSimulator::doRetire()
 
         if (tracing())
             traceEvent("retire", *head);
+
+        if (obs_ && obs_->enabled(ObsKind::Retire))
+            recordInstEvent(*obs_, ObsKind::Retire, cycle_, *head);
 
         fillUnit_->retire(*head, cycle_);
         profiler_.onRetire(*head);
@@ -402,6 +529,8 @@ CtcpSimulator::doIssue()
             inst->issueAt = cycle_;
             if (tracing())
                 traceEvent("issue", *inst);
+            if (obs_ && obs_->enabled(ObsKind::Issue))
+                recordInstEvent(*obs_, ObsKind::Issue, cycle_, *inst);
             issueQueue_.erase(issueQueue_.begin() +
                               static_cast<std::ptrdiff_t>(index));
             ++issued;
@@ -432,6 +561,8 @@ CtcpSimulator::doIssue()
             inst->issueAt = cycle_;
             if (tracing())
                 traceEvent("issue", *inst);
+            if (obs_ && obs_->enabled(ObsKind::Issue))
+                recordInstEvent(*obs_, ObsKind::Issue, cycle_, *inst);
             queue.pop_front();
         }
     }
@@ -494,6 +625,8 @@ CtcpSimulator::doRename()
         inst->renameAt = cycle_;
         if (tracing())
             traceEvent("rename", *inst);
+        if (obs_ && obs_->enabled(ObsKind::Rename))
+            recordInstEvent(*obs_, ObsKind::Rename, cycle_, *inst);
 
         rob_.pushBack(std::move(group.insts[frontGroupPos_]));
         if (steering_)
@@ -536,6 +669,8 @@ CtcpSimulator::step()
     doRename();
     doFetch();
     ++cycle_;
+    if (interval_ && interval_->due(cycle_))
+        interval_->sample(cycle_);
 }
 
 bool
@@ -636,12 +771,57 @@ CtcpSimulator::assemble()
         dump.scalar("fdrt.pins", static_cast<std::uint64_t>(
             fdrt_->pinCount()));
     }
+    dump.scalar("fwd.total", fwdTotal_.value());
+    dump.scalar("fwd.inter_cluster", fwdInterCluster_.value());
     profiler_.dumpStats(dump);
     fetch_->dumpStats(dump);
     tc_->dumpStats(dump);
     fillUnit_->dumpStats(dump);
     bpred_->dumpStats(dump);
     dmem_.dumpStats(dump);
+
+    // ---- Structured run telemetry (SimResult::metrics) -----------------
+    r.metrics["fwd.total"] = static_cast<double>(fwdTotal_.value());
+    r.metrics["fwd.inter_cluster"] =
+        static_cast<double>(fwdInterCluster_.value());
+    r.metrics["fwd.inter_cluster_per_instr"] =
+        ratio(fwdInterCluster_.value(), retired_);
+    r.metrics["fetch.from_tc"] =
+        static_cast<double>(fetch_->instsFromTC());
+    r.metrics["fetch.from_ic"] =
+        static_cast<double>(fetch_->instsFromIC());
+    r.metrics["tc.hits"] = static_cast<double>(tc_->hits());
+    r.metrics["tc.misses"] = static_cast<double>(tc_->misses());
+    r.metrics["fill.traces_built"] =
+        static_cast<double>(fillUnit_->tracesBuilt());
+    r.metrics["dmem.loads"] = static_cast<double>(dmem_.loads());
+    r.metrics["dmem.stores"] = static_cast<double>(dmem_.stores());
+    r.metrics["rob_stalls"] = static_cast<double>(robStalls_.value());
+    r.metrics["issue_stalls"] = static_cast<double>(issueStalls_.value());
+    for (std::size_t c = 0; c < clusters_.size(); ++c)
+        r.metrics["cluster" + std::to_string(c) + ".dispatched"] =
+            static_cast<double>(clusters_[c].dispatched());
+
+    // ---- Observability wrap-up -----------------------------------------
+    if (interval_) {
+        // Trailing partial interval: a run of C cycles sampled every N
+        // dumps exactly ceil(C / N) rows (sample() dedups the boundary
+        // case where C is a multiple of N).
+        interval_->sample(cycle_);
+        interval_->writeFile(cfg_.obs.intervalPath);
+        r.metrics["interval.rows"] =
+            static_cast<double>(interval_->rows());
+    }
+    if (obs_) {
+        obs_->finish();
+        dump.scalar("obs.events", obs_->recorded());
+        for (unsigned k = 0; k < numObsKinds; ++k) {
+            const auto kind = static_cast<ObsKind>(k);
+            r.metrics[std::string("obs.events.") + obsKindName(kind)] =
+                static_cast<double>(obs_->recorded(kind));
+        }
+    }
+
     r.statsText = dump.render();
     return r;
 }

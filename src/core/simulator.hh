@@ -44,6 +44,8 @@
 namespace ctcp {
 
 class FdrtAssignment;
+class IntervalRecorder;
+class ObsSink;
 
 /** Cycle-level clustered trace cache processor simulator. */
 class CtcpSimulator
@@ -75,7 +77,14 @@ class CtcpSimulator
     const TraceCache &traceCache() const { return *tc_; }
     const BranchPredictor &branchPredictor() const { return *bpred_; }
 
+    /** The event sink, when cfg.obs enables tracing (else null). */
+    const ObsSink *obs() const { return obs_.get(); }
+
   private:
+    /** Build the ObsSink / IntervalRecorder from cfg_.obs and wire
+     *  every instrumented component. Throws std::runtime_error on an
+     *  unwritable output path (campaign jobs fail in isolation). */
+    void setupObservability();
     void doCompletions();
     void doRetire();
     void doDispatch();
@@ -161,6 +170,10 @@ class CtcpSimulator
     std::uint64_t retired_ = 0;
     unsigned issueExtraStages_ = 0;
 
+    // Observability (src/obs): null unless cfg.obs requests output.
+    std::unique_ptr<ObsSink> obs_;
+    std::unique_ptr<IntervalRecorder> interval_;
+
     // Pipeline tracing (DebugConfig): one line per pipeline event for
     // the first debug.traceCycles cycles.
     FILE *traceFile_ = nullptr;
@@ -178,6 +191,10 @@ class CtcpSimulator
     Counter robStalls_;
     Counter issueStalls_;
     Counter storeRetireStalls_;
+    /** Forwarded (bypassed) operand deliveries observed at dispatch. */
+    Counter fwdTotal_;
+    /** Subset that crossed a cluster boundary. */
+    Counter fwdInterCluster_;
 
     SimResult assemble();
 };

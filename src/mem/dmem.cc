@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "obs/sink.hh"
+
 namespace ctcp {
+
+namespace {
+
+/** Mem-event payload: the level that serviced the load. */
+std::int64_t
+serviceLevel(const DataMemorySystem::LoadResult &res)
+{
+    if (res.forwarded)
+        return 0;
+    if (res.l1Hit)
+        return 1;
+    if (res.l2Hit)
+        return 2;
+    return 3;
+}
+
+} // namespace
 
 Cycle
 PortSchedule::reserve(Cycle now)
@@ -96,6 +115,8 @@ DataMemorySystem::load(Addr addr, Cycle now)
             ++forwards_;
             res.ready = start + 1;
             loadQueue_.push_back(res.ready);
+            if (obs_ && obs_->enabled(ObsKind::Mem))
+                recordLoad(addr, now, res);
             return res;
         }
     }
@@ -139,7 +160,22 @@ DataMemorySystem::load(Addr addr, Cycle now)
         }
     }
     loadQueue_.push_back(res.ready);
+    if (obs_ && obs_->enabled(ObsKind::Mem))
+        recordLoad(addr, now, res);
     return res;
+}
+
+void
+DataMemorySystem::recordLoad(Addr addr, Cycle now,
+                             const LoadResult &res) const
+{
+    ObsEvent ev;
+    ev.cycle = now;
+    ev.kind = ObsKind::Mem;
+    ev.arg0 = static_cast<std::int64_t>(addr);
+    ev.arg1 = serviceLevel(res);
+    ev.dur = res.ready - now;
+    obs_->record(ev);
 }
 
 bool

@@ -25,6 +25,8 @@
 
 namespace ctcp {
 
+class ObsSink;
+
 /** Arbitrates a fixed number of access ports per cycle. */
 class PortSchedule
 {
@@ -81,6 +83,9 @@ class DataMemorySystem
     /** Per-level statistics. */
     void dumpStats(StatDump &out) const;
 
+    /** Attach an observability sink (null = off, the default). */
+    void setObs(ObsSink *obs) { obs_ = obs; }
+
     std::uint64_t loads() const { return loads_.value(); }
     std::uint64_t stores() const { return stores_.value(); }
     std::uint64_t forwards() const { return forwards_.value(); }
@@ -95,6 +100,9 @@ class DataMemorySystem
   private:
     void drainStores(Cycle now);
     void expireLoads(Cycle now);
+    /** Cold path: caller checks obs_ && enabled(ObsKind::Mem) first. */
+    [[gnu::noinline]] [[gnu::cold]] void
+    recordLoad(Addr addr, Cycle now, const LoadResult &res) const;
 
     MemConfig cfg_;
     SetAssocCache l1d_;
@@ -102,6 +110,7 @@ class DataMemorySystem
     SetAssocCache dtlb_;   ///< indexed by page number
     MshrFile mshrs_;
     PortSchedule ports_;
+    ObsSink *obs_ = nullptr;
 
     struct PendingStore
     {

@@ -1,0 +1,109 @@
+#include "obs/sink.hh"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ctcp {
+
+const char *
+obsKindName(ObsKind kind)
+{
+    switch (kind) {
+      case ObsKind::Fetch:      return "fetch";
+      case ObsKind::TcHit:      return "tc-hit";
+      case ObsKind::TcMiss:     return "tc-miss";
+      case ObsKind::TraceBuild: return "trace-build";
+      case ObsKind::Assign:     return "assign";
+      case ObsKind::Rename:     return "rename";
+      case ObsKind::Issue:      return "issue";
+      case ObsKind::Execute:    return "execute";
+      case ObsKind::Forward:    return "forward";
+      case ObsKind::Complete:   return "complete";
+      case ObsKind::Retire:     return "retire";
+      case ObsKind::Flush:      return "flush";
+      case ObsKind::Mem:        return "mem";
+      case ObsKind::NumKinds:   break;
+    }
+    return "unknown";
+}
+
+ObsSink::ObsSink(std::size_t ring_capacity)
+    : capacity_(ring_capacity ? ring_capacity : 1)
+{
+    ring_.reserve(capacity_);
+}
+
+ObsSink::~ObsSink()
+{
+    finish();
+}
+
+void
+ObsSink::addWriter(std::unique_ptr<ObsWriter> writer)
+{
+    writer->begin();
+    writers_.push_back(std::move(writer));
+}
+
+std::uint32_t
+ObsSink::parseFilter(const std::string &spec)
+{
+    if (spec.empty() || spec == "all")
+        return allKinds();
+    std::uint32_t mask = 0;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t end = spec.find(',', start);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string name = spec.substr(start, end - start);
+        bool found = false;
+        for (unsigned k = 0; k < numObsKinds; ++k) {
+            if (name == obsKindName(static_cast<ObsKind>(k))) {
+                mask |= 1u << k;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            throw std::invalid_argument(
+                "unknown trace event kind '" + name +
+                "' (kinds: fetch, tc-hit, tc-miss, trace-build, assign, "
+                "rename, issue, execute, forward, complete, retire, "
+                "flush, mem)");
+        start = end + 1;
+        if (end == spec.size())
+            break;
+    }
+    return mask;
+}
+
+void
+ObsSink::flush()
+{
+    for (const ObsEvent &event : ring_)
+        for (const auto &writer : writers_)
+            writer->write(event);
+    ring_.clear();
+}
+
+void
+ObsSink::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    flush();
+    for (const auto &writer : writers_)
+        writer->end();
+}
+
+std::uint64_t
+ObsSink::recorded() const
+{
+    return std::accumulate(recordedPerKind_,
+                           recordedPerKind_ + numObsKinds,
+                           std::uint64_t{0});
+}
+
+} // namespace ctcp

@@ -1,0 +1,231 @@
+#include "obs/writers.hh"
+
+#include <cinttypes>
+#include <stdexcept>
+
+namespace ctcp {
+
+namespace {
+
+std::FILE *
+openOrThrow(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        throw std::runtime_error("cannot open trace output '" + path + "'");
+    return file;
+}
+
+/** Chrome trace track for an event kind. */
+int
+tidFor(const ObsEvent &event)
+{
+    switch (event.kind) {
+      case ObsKind::Complete:
+      case ObsKind::Retire:
+        return 1;
+      case ObsKind::Mem:
+        return 2;
+      case ObsKind::Issue:
+      case ObsKind::Execute:
+      case ObsKind::Forward:
+        return event.cluster == invalidCluster
+            ? 0 : 10 + static_cast<int>(event.cluster);
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(const std::string &path)
+    : file_(openOrThrow(path))
+{
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    end();
+}
+
+void
+ChromeTraceWriter::begin()
+{
+    std::fputs("{\"traceEvents\":[\n", file_);
+    std::fputs("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+               "\"args\":{\"name\":\"ctcpsim\"}}", file_);
+    first_ = false;
+}
+
+void
+ChromeTraceWriter::nameThread(int tid, const char *name)
+{
+    if (!namedTids_.insert(tid).second)
+        return;
+    std::fprintf(file_,
+                 ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                 "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                 tid, name);
+    // Sort tracks in pipeline order rather than alphabetically.
+    std::fprintf(file_,
+                 ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                 "\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%d}}",
+                 tid, tid);
+}
+
+void
+ChromeTraceWriter::write(const ObsEvent &event)
+{
+    const int tid = tidFor(event);
+    if (tid == 0) {
+        nameThread(0, "frontend");
+    } else if (tid == 1) {
+        nameThread(1, "commit");
+    } else if (tid == 2) {
+        nameThread(2, "memory");
+    } else {
+        char name[32];
+        std::snprintf(name, sizeof(name), "cluster %d", tid - 10);
+        nameThread(tid, name);
+    }
+
+    const char *kind = obsKindName(event.kind);
+    if (event.kind == ObsKind::Execute) {
+        // Duration slice: one "X" event spanning dispatch..complete.
+        std::fprintf(file_,
+                     ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,"
+                     "\"ts\":%" PRIu64 ",\"dur\":%" PRIu64
+                     ",\"name\":\"%.*s\",\"cat\":\"%s\"",
+                     tid, event.begin, event.dur ? event.dur : 1,
+                     static_cast<int>(event.label.size()),
+                     event.label.data(), kind);
+    } else {
+        std::fprintf(file_,
+                     ",\n{\"ph\":\"i\",\"pid\":1,\"tid\":%d,"
+                     "\"ts\":%" PRIu64 ",\"s\":\"t\",\"name\":\"%s\","
+                     "\"cat\":\"%s\"",
+                     tid, event.cycle, kind, kind);
+    }
+
+    std::fputs(",\"args\":{", file_);
+    const char *sep = "";
+    if (event.seq != invalidSeqNum) {
+        std::fprintf(file_, "\"seq\":%" PRIu64, event.seq);
+        sep = ",";
+    }
+    if (event.pc) {
+        std::fprintf(file_, "%s\"pc\":%" PRIu64, sep, event.pc);
+        sep = ",";
+    }
+    if (event.cluster != invalidCluster) {
+        std::fprintf(file_, "%s\"cluster\":%d", sep,
+                     static_cast<int>(event.cluster));
+        sep = ",";
+    }
+    if (event.opt) {
+        std::fprintf(file_, "%s\"option\":\"%c\"", sep, event.opt);
+        sep = ",";
+    }
+    if (event.arg0) {
+        std::fprintf(file_, "%s\"arg0\":%" PRId64, sep, event.arg0);
+        sep = ",";
+    }
+    if (event.arg1) {
+        std::fprintf(file_, "%s\"arg1\":%" PRId64, sep, event.arg1);
+        sep = ",";
+    }
+    if (!event.label.empty() && event.kind != ObsKind::Execute)
+        std::fprintf(file_, "%s\"op\":\"%.*s\"", sep,
+                     static_cast<int>(event.label.size()),
+                     event.label.data());
+    std::fputs("}}", file_);
+}
+
+void
+ChromeTraceWriter::end()
+{
+    if (ended_)
+        return;
+    ended_ = true;
+    std::fputs("\n]}\n", file_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+ObsTextWriter::ObsTextWriter(const std::string &path)
+    : file_(openOrThrow(path))
+{
+}
+
+ObsTextWriter::~ObsTextWriter()
+{
+    end();
+}
+
+void
+ObsTextWriter::begin()
+{
+}
+
+void
+ObsTextWriter::write(const ObsEvent &event)
+{
+    std::fprintf(file_, "%" PRIu64 " %s", event.cycle,
+                 obsKindName(event.kind));
+    if (event.seq != invalidSeqNum)
+        std::fprintf(file_, " seq=%" PRIu64, event.seq);
+    if (event.pc)
+        std::fprintf(file_, " pc=0x%" PRIx64, event.pc);
+    if (event.cluster != invalidCluster)
+        std::fprintf(file_, " cl=%d", static_cast<int>(event.cluster));
+    if (event.opt)
+        std::fprintf(file_, " opt=%c", event.opt);
+    if (!event.label.empty())
+        std::fprintf(file_, " op=%.*s",
+                     static_cast<int>(event.label.size()),
+                     event.label.data());
+    switch (event.kind) {
+      case ObsKind::Fetch:
+        if (event.arg0)
+            std::fputs(" from=tc", file_);
+        break;
+      case ObsKind::TcHit:
+      case ObsKind::TraceBuild:
+        std::fprintf(file_, " insts=%" PRId64, event.arg0);
+        if (event.kind == ObsKind::TraceBuild)
+            std::fprintf(file_, " blocks=%" PRId64, event.arg1);
+        break;
+      case ObsKind::Execute:
+        std::fprintf(file_, " begin=%" PRIu64 " dur=%" PRIu64,
+                     event.begin, event.dur);
+        break;
+      case ObsKind::Forward:
+        std::fprintf(file_, " hops=%" PRId64 " from_cl=%" PRId64,
+                     event.arg0, event.arg1);
+        break;
+      case ObsKind::Flush:
+        std::fprintf(file_, " resume=%" PRId64, event.arg0);
+        break;
+      case ObsKind::Mem:
+        std::fprintf(file_,
+                     " addr=0x%" PRIx64 " level=%" PRId64 " lat=%" PRIu64,
+                     static_cast<std::uint64_t>(event.arg0), event.arg1,
+                     event.dur);
+        break;
+      default:
+        break;
+    }
+    std::fputc('\n', file_);
+}
+
+void
+ObsTextWriter::end()
+{
+    if (ended_)
+        return;
+    ended_ = true;
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+} // namespace ctcp

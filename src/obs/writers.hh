@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Standard event writers.
+ *
+ * ChromeTraceWriter emits the Chrome trace_event JSON array format
+ * (one event object per line inside "traceEvents"), loadable in
+ * chrome://tracing and Perfetto. Track layout: tid 0 is the front end
+ * (fetch, trace cache, fill unit, assignment, rename, flush), tid 1 is
+ * commit (complete/retire), tid 2 is the data memory system, and tid
+ * 10+c is execution cluster c (issue/execute/forward). Execute events
+ * are duration ("X") slices; everything else is an instant.
+ *
+ * ObsTextWriter emits one compact line per event:
+ *
+ *     <cycle> <kind> seq=<n> pc=<n> cl=<c> <kind-specific fields>
+ *
+ * Both open their file on construction and throw std::runtime_error on
+ * failure (a campaign job with an unwritable telemetry path fails in
+ * isolation instead of killing the process).
+ */
+
+#ifndef CTCPSIM_OBS_WRITERS_HH
+#define CTCPSIM_OBS_WRITERS_HH
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "obs/sink.hh"
+
+namespace ctcp {
+
+/** Chrome trace_event JSON ("traceEvents" array) writer. */
+class ChromeTraceWriter : public ObsWriter
+{
+  public:
+    explicit ChromeTraceWriter(const std::string &path);
+    ~ChromeTraceWriter() override;
+
+    void begin() override;
+    void write(const ObsEvent &event) override;
+    void end() override;
+
+  private:
+    void nameThread(int tid, const char *name);
+
+    std::FILE *file_;
+    bool first_ = true;
+    bool ended_ = false;
+    std::set<int> namedTids_;
+};
+
+/** Compact one-line-per-event text writer. */
+class ObsTextWriter : public ObsWriter
+{
+  public:
+    explicit ObsTextWriter(const std::string &path);
+    ~ObsTextWriter() override;
+
+    void begin() override;
+    void write(const ObsEvent &event) override;
+    void end() override;
+
+  private:
+    std::FILE *file_;
+    bool ended_ = false;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_OBS_WRITERS_HH

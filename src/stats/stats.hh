@@ -14,6 +14,7 @@
 #define CTCPSIM_STATS_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -133,6 +134,44 @@ class StatDump
         std::string value;
     };
     std::vector<Entry> entries_;
+};
+
+/**
+ * A named collection of registered statistics that dumps with a common
+ * prefix. Stats remain owned by the model that increments them; the
+ * group only holds pointers, so registration costs nothing on the hot
+ * path. Histograms render as samples/mean/overflow and are safe to
+ * render while empty.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(const std::string &name, const Counter &counter);
+    void addHistogram(const std::string &name, const Histogram &histogram);
+    /** Derived value computed at dump time (e.g. a hit rate). */
+    void addFormula(const std::string &name, std::function<double()> formula);
+
+    const std::string &name() const { return name_; }
+
+    /** Append every registered stat to @p out as "<group>.<stat>". */
+    void dump(StatDump &out) const;
+
+    /** Convenience: dump into a fresh StatDump and render it. */
+    std::string render() const;
+
+  private:
+    struct Item
+    {
+        std::string name;
+        const Counter *counter = nullptr;
+        const Histogram *histogram = nullptr;
+        std::function<double()> formula;
+    };
+
+    std::string name_;
+    std::vector<Item> items_;
 };
 
 } // namespace ctcp

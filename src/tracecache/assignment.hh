@@ -20,6 +20,7 @@
 
 namespace ctcp {
 
+class ObsSink;
 class TraceCache;
 
 /** Per-instruction input/output record for retire-time assignment. */
@@ -99,6 +100,21 @@ class RetireAssignmentPolicy
     }
 
     virtual const char *name() const = 0;
+
+    /** Attach an observability sink (null = off, the default). */
+    void setObs(ObsSink *obs) { obs_ = obs; }
+
+    /**
+     * Current cycle for events emitted inside assign(). The fill unit
+     * sets this before each assign() call; assignment itself is not a
+     * timed pipeline stage, so the policy cannot know the cycle
+     * otherwise.
+     */
+    void setObsCycle(Cycle now) { obsCycle_ = now; }
+
+  protected:
+    ObsSink *obs_ = nullptr;
+    Cycle obsCycle_ = 0;
 };
 
 } // namespace ctcp

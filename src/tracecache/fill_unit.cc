@@ -1,6 +1,7 @@
 #include "tracecache/fill_unit.hh"
 
 #include "common/logging.hh"
+#include "obs/sink.hh"
 
 namespace ctcp {
 
@@ -117,6 +118,7 @@ FillUnit::finalize(Cycle now)
         draft.insts.push_back(p.draft);
 
     analyzeIntraTrace(draft);
+    policy_.setObsCycle(now);
     policy_.assign(draft);
 
     TraceLine line;
@@ -155,6 +157,15 @@ FillUnit::finalize(Cycle now)
 
     if (observer_)
         observer_->onTraceConstructed(draft, line);
+    if (obs_ && obs_->enabled(ObsKind::TraceBuild)) {
+        ObsEvent ev;
+        ev.cycle = now;
+        ev.kind = ObsKind::TraceBuild;
+        ev.pc = line.key.startPc;
+        ev.arg0 = static_cast<std::int64_t>(draft.insts.size());
+        ev.arg1 = line.numBlocks;
+        obs_->record(ev);
+    }
 
     ++traces_;
     instsInTraces_ += pending_.size();

@@ -58,6 +58,9 @@ class FillUnit
     /** Attach an instrumentation observer (not owned; may be null). */
     void setObserver(FillUnitObserver *observer) { observer_ = observer; }
 
+    /** Attach an observability sink (null = off, the default). */
+    void setObs(ObsSink *obs) { obs_ = obs; }
+
     std::uint64_t tracesBuilt() const { return traces_.value(); }
 
     /** Mean instructions per constructed trace. */
@@ -87,6 +90,7 @@ class FillUnit
     TraceCache &tc_;
     RetireAssignmentPolicy &policy_;
     FillUnitObserver *observer_ = nullptr;
+    ObsSink *obs_ = nullptr;
 
     std::vector<PendingInst> pending_;
     unsigned blocks_ = 0;

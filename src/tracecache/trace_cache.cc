@@ -4,8 +4,26 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "obs/sink.hh"
 
 namespace ctcp {
+
+namespace {
+
+// Out of line so the lookup path carries only the obs_ guard branch.
+[[gnu::noinline]] [[gnu::cold]] void
+recordTcEvent(ObsSink &obs, ObsKind kind, Cycle now, Addr start_pc,
+              std::int64_t insts)
+{
+    ObsEvent ev;
+    ev.cycle = now;
+    ev.kind = kind;
+    ev.pc = start_pc;
+    ev.arg0 = insts;
+    obs.record(ev);
+}
+
+} // namespace
 
 TraceCache::TraceCache(const TraceCacheConfig &cfg)
     : sets_(cfg.entries / cfg.assoc), assoc_(cfg.assoc)
@@ -35,10 +53,20 @@ TraceCache::lookup(Addr start_pc, const DirPredictFn &predict, Cycle now)
         if (match) {
             line.lastUse = ++useClock_;
             ++hits_;
+            // Probe lookups (tests, fill unit) pass neverCycle; only
+            // real fetch-path lookups are timestamped events.
+            if (obs_ && now != neverCycle &&
+                obs_->enabled(ObsKind::TcHit)) {
+                recordTcEvent(*obs_, ObsKind::TcHit, now, start_pc,
+                              static_cast<std::int64_t>(
+                                  line.insts.size()));
+            }
             return &line;
         }
     }
     ++misses_;
+    if (obs_ && now != neverCycle && obs_->enabled(ObsKind::TcMiss))
+        recordTcEvent(*obs_, ObsKind::TcMiss, now, start_pc, 0);
     return nullptr;
 }
 

@@ -17,6 +17,8 @@
 
 namespace ctcp {
 
+class ObsSink;
+
 /**
  * Direction oracle used during lookup: returns the predicted direction
  * for the @p index-th embedded conditional branch (at @p branch_pc) of
@@ -62,6 +64,9 @@ class TraceCache
 
     void dumpStats(StatDump &out) const;
 
+    /** Attach an observability sink (null = off, the default). */
+    void setObs(ObsSink *obs) { obs_ = obs; }
+
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
     std::uint64_t insertions() const { return inserts_.value(); }
@@ -78,6 +83,7 @@ class TraceCache
     unsigned assoc_;
     std::vector<TraceLine> lines_;
     std::uint64_t useClock_ = 0;
+    ObsSink *obs_ = nullptr;
 
     Counter hits_;
     Counter misses_;

@@ -316,6 +316,27 @@ TEST(CampaignMatrix, ParsedJobsActuallyRun)
     EXPECT_EQ(report.at("gzip/base/fdrt").result.strategy, "fdrt");
 }
 
+TEST(CampaignWorkers, ParseWorkerCountAcceptsValidValues)
+{
+    EXPECT_EQ(campaign::parseWorkerCount("0"), 0u);   // hardware threads
+    EXPECT_EQ(campaign::parseWorkerCount("1"), 1u);
+    EXPECT_EQ(campaign::parseWorkerCount("4"), 4u);
+    EXPECT_EQ(campaign::parseWorkerCount("4096"), 4096u);
+}
+
+TEST(CampaignWorkers, ParseWorkerCountRejectsBadValues)
+{
+    EXPECT_THROW(campaign::parseWorkerCount("-1"), std::invalid_argument);
+    EXPECT_THROW(campaign::parseWorkerCount("-4"), std::invalid_argument);
+    EXPECT_THROW(campaign::parseWorkerCount(""), std::invalid_argument);
+    EXPECT_THROW(campaign::parseWorkerCount("four"), std::invalid_argument);
+    EXPECT_THROW(campaign::parseWorkerCount("4x"), std::invalid_argument);
+    EXPECT_THROW(campaign::parseWorkerCount("4.5"), std::invalid_argument);
+    EXPECT_THROW(campaign::parseWorkerCount("4097"), std::invalid_argument);
+    EXPECT_THROW(campaign::parseWorkerCount("999999999999999999999"),
+                 std::invalid_argument);
+}
+
 TEST(CampaignReport, CsvQuotesAwkwardFields)
 {
     campaign::Job bomb;

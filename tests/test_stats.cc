@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Statistics package tests: Histogram edge cases (overflow bucket,
+ * zero-width geometry rejection), StatGroup rendering — including a
+ * group holding a histogram that never received a sample — and the
+ * IntervalRecorder time-series maths and serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "stats/interval.hh"
+#include "stats/stats.hh"
+
+namespace ctcp {
+namespace {
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+TEST(Histogram, BucketsValuesByWidth)
+{
+    Histogram h(4, 10);
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(39);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.samples(), 4u);
+}
+
+TEST(Histogram, OutOfRangeSamplesLandInOverflowBucket)
+{
+    Histogram h(4, 10);
+    h.sample(40);              // first value past the last bucket
+    h.sample(41);
+    h.sample(1'000'000);       // far past the last bucket
+    h.sample(55, 5);           // weighted overflow
+    EXPECT_EQ(h.overflow(), 8u);
+    EXPECT_EQ(h.samples(), 8u);
+    for (std::size_t i = 0; i < h.buckets(); ++i)
+        EXPECT_EQ(h.bucketCount(i), 0u) << "bucket " << i;
+    // Overflow samples still contribute their true value to the mean.
+    EXPECT_DOUBLE_EQ(h.mean(), (40.0 + 41.0 + 1'000'000.0 + 55.0 * 5) / 8.0);
+}
+
+TEST(Histogram, BoundaryValueGoesToOverflowNotLastBucket)
+{
+    Histogram h(2, 5);         // regular buckets cover [0,5) and [5,10)
+    h.sample(9);
+    h.sample(10);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(HistogramDeathTest, RejectsZeroWidthBuckets)
+{
+    EXPECT_DEATH(Histogram(4, 0), "positive geometry");
+}
+
+TEST(HistogramDeathTest, RejectsZeroBucketCount)
+{
+    EXPECT_DEATH(Histogram(0, 10), "positive geometry");
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(2, 10);
+    h.sample(5);
+    h.sample(100);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// StatGroup
+// ---------------------------------------------------------------------
+
+TEST(StatGroup, DumpsWithGroupPrefix)
+{
+    Counter hits;
+    Counter misses;
+    ++hits;
+    ++hits;
+    ++misses;
+    StatGroup group("tc");
+    group.addCounter("hits", hits);
+    group.addCounter("misses", misses);
+    group.addFormula("hit_rate", [&] {
+        return ratio(hits.value(), hits.value() + misses.value());
+    });
+
+    const std::string text = group.render();
+    EXPECT_NE(text.find("tc.hits"), std::string::npos);
+    EXPECT_NE(text.find("tc.misses"), std::string::npos);
+    EXPECT_NE(text.find("tc.hit_rate"), std::string::npos);
+    EXPECT_NE(text.find("2"), std::string::npos);
+}
+
+TEST(StatGroup, FormulasEvaluateAtDumpTime)
+{
+    Counter c;
+    StatGroup group("g");
+    group.addFormula("doubled", [&] { return 2.0 * c.value(); });
+    c += 21;
+    StatDump dump;
+    group.dump(dump);
+    EXPECT_NE(dump.render().find("42"), std::string::npos);
+}
+
+TEST(StatGroup, RendersEmptyHistogramSafely)
+{
+    // A histogram that never sampled anything must render (as zero
+    // samples / zero mean / zero overflow) rather than divide by zero.
+    Histogram empty(8, 4);
+    StatGroup group("fwd");
+    group.addHistogram("distance", empty);
+    const std::string text = group.render();
+    EXPECT_NE(text.find("fwd.distance.samples"), std::string::npos);
+    EXPECT_NE(text.find("fwd.distance.mean"), std::string::npos);
+    EXPECT_NE(text.find("fwd.distance.overflow"), std::string::npos);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+}
+
+TEST(StatGroup, MixedGroupWithPopulatedHistogram)
+{
+    Counter forwards;
+    forwards += 3;
+    Histogram distance(4, 1);
+    distance.sample(1);
+    distance.sample(1);
+    distance.sample(2);
+    StatGroup group("net");
+    group.addCounter("forwards", forwards);
+    group.addHistogram("hops", distance);
+    StatDump dump;
+    group.dump(dump);
+    const std::string text = dump.render();
+    EXPECT_NE(text.find("net.forwards"), std::string::npos);
+    EXPECT_NE(text.find("net.hops.samples"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// IntervalRecorder
+// ---------------------------------------------------------------------
+
+TEST(IntervalRecorderDeathTest, RejectsZeroInterval)
+{
+    EXPECT_DEATH(IntervalRecorder(0), "positive interval");
+}
+
+TEST(IntervalRecorder, GaugeRateAndRatioMaths)
+{
+    double instructions = 0.0;
+    double hits = 0.0;
+    double lookups = 0.0;
+    double occupancy = 0.0;
+    IntervalRecorder rec(100);
+    rec.addRate("ipc", [&] { return instructions; });
+    rec.addRatio("hit_rate", [&] { return hits; }, [&] { return lookups; });
+    rec.addGauge("occupancy", [&] { return occupancy; });
+
+    instructions = 150;
+    hits = 30;
+    lookups = 40;
+    occupancy = 7;
+    rec.sample(100);
+
+    instructions = 250;   // +100 over 100 cycles -> rate 1.0
+    hits = 30;            // flat ratio -> 0
+    lookups = 40;
+    occupancy = 3;
+    rec.sample(200);
+
+    ASSERT_EQ(rec.rows(), 2u);
+    const std::string csv = rec.toCsv();
+    EXPECT_EQ(csv.rfind("cycle,ipc,hit_rate,occupancy\n", 0), 0u);
+    EXPECT_NE(csv.find("\n100,1.500000,0.750000,7.000000\n"),
+              std::string::npos);
+    EXPECT_NE(csv.find("\n200,1.000000,0.000000,3.000000\n"),
+              std::string::npos);
+}
+
+TEST(IntervalRecorder, DueEveryNCycles)
+{
+    IntervalRecorder rec(250);
+    EXPECT_FALSE(rec.due(1));
+    EXPECT_FALSE(rec.due(249));
+    EXPECT_TRUE(rec.due(250));
+    EXPECT_TRUE(rec.due(500));
+    EXPECT_FALSE(rec.due(501));
+}
+
+TEST(IntervalRecorder, TrailingSampleNeverDoubleCounts)
+{
+    // End-of-run flushing re-samples the final cycle; when the run
+    // length is an exact multiple of the interval that cycle was
+    // already recorded and the duplicate must be dropped.
+    double v = 0.0;
+    IntervalRecorder rec(10);
+    rec.addGauge("v", [&] { return v; });
+    v = 1;
+    rec.sample(10);
+    v = 2;
+    rec.sample(20);
+    rec.sample(20);   // duplicate trailing sample
+    EXPECT_EQ(rec.rows(), 2u);
+    rec.sample(23);   // genuine trailing partial interval
+    EXPECT_EQ(rec.rows(), 3u);
+}
+
+TEST(IntervalRecorder, JsonShape)
+{
+    double v = 0.0;
+    IntervalRecorder rec(50);
+    rec.addGauge("v", [&] { return v; });
+    v = 4;
+    rec.sample(50);
+    const std::string json = rec.toJson();
+    EXPECT_NE(json.find("\"interval\": 50"), std::string::npos);
+    EXPECT_NE(json.find("\"columns\": [\"cycle\", \"v\"]"),
+              std::string::npos);
+    EXPECT_NE(json.find("[50, 4.000000]"), std::string::npos);
+}
+
+TEST(IntervalRecorder, WriteFileRejectsUnwritablePath)
+{
+    IntervalRecorder rec(10);
+    rec.addGauge("v", [] { return 0.0; });
+    rec.sample(10);
+    EXPECT_THROW(rec.writeFile("/no-such-dir-ctcp/out.csv"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace ctcp

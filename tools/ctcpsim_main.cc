@@ -18,6 +18,7 @@
 #include "campaign/matrix.hh"
 #include "config/presets.hh"
 #include "core/simulator.hh"
+#include "obs/sink.hh"
 #include "stats/table.hh"
 #include "workload/workload.hh"
 
@@ -54,6 +55,24 @@ usage(const char *prog)
         "  --trace FILE          write a pipeline trace of the first\n"
         "  --trace-cycles N      N cycles (default 1000) to FILE\n"
         "\n"
+        "observability (src/obs):\n"
+        "  --trace-events FILE   write Chrome trace_event JSON (open in\n"
+        "                        chrome://tracing or Perfetto); in\n"
+        "                        campaign mode FILE is a directory and\n"
+        "                        each job writes <label>.trace.json\n"
+        "  --trace-text FILE     compact one-line-per-event text trace\n"
+        "  --trace-filter KINDS  comma-separated event kinds to record\n"
+        "                        (fetch, tc-hit, tc-miss, trace-build,\n"
+        "                        assign, rename, issue, execute,\n"
+        "                        forward, complete, retire, flush, mem;\n"
+        "                        default all)\n"
+        "  --interval-stats FILE interval time series (CSV, or JSON\n"
+        "                        when FILE ends in .json); in campaign\n"
+        "                        mode FILE is a directory and each job\n"
+        "                        writes <label>.intervals.csv\n"
+        "  --interval N          sampling period in cycles for\n"
+        "                        --interval-stats (default 10000)\n"
+        "\n"
         "campaign mode (runs a workload x config matrix instead):\n"
         "  --campaign MATRIX     submit the matrix to the concurrent\n"
         "                        campaign engine (see below)\n"
@@ -84,7 +103,7 @@ die(const std::string &msg)
 
 /** Run a --campaign matrix and export/print the aggregated report. */
 int
-runCampaignMode(const std::string &matrix, unsigned jobs,
+runCampaignMode(const std::string &matrix, ctcp::campaign::Options options,
                 const std::string &out_path)
 {
     using namespace ctcp;
@@ -96,8 +115,6 @@ runCampaignMode(const std::string &matrix, unsigned jobs,
         die(e.what());
     }
 
-    campaign::Options options;
-    options.jobs = jobs;
     options.progress = campaign::progressToStderr;
     const campaign::Report report = campaign::runCampaign(queue, options);
 
@@ -152,6 +169,11 @@ main(int argc, char **argv)
     bool campaign_set = false;
     unsigned campaign_jobs = 0;
     std::string out_path;
+    std::string trace_events;
+    std::string trace_text;
+    std::string trace_filter;
+    std::string interval_stats;
+    std::uint64_t interval_cycles = 10'000;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -231,8 +253,11 @@ main(int argc, char **argv)
             campaign_matrix = next_arg(i);
             campaign_set = true;
         } else if (arg == "--jobs") {
-            campaign_jobs = static_cast<unsigned>(
-                std::strtoul(next_arg(i), nullptr, 10));
+            try {
+                campaign_jobs = campaign::parseWorkerCount(next_arg(i));
+            } catch (const std::invalid_argument &e) {
+                die(e.what());
+            }
         } else if (arg == "--out") {
             out_path = next_arg(i);
         } else if (arg == "--json") {
@@ -242,6 +267,23 @@ main(int argc, char **argv)
         } else if (arg == "--trace-cycles") {
             cfg.debug.traceCycles =
                 std::strtoull(next_arg(i), nullptr, 10);
+        } else if (arg == "--trace-events") {
+            trace_events = next_arg(i);
+        } else if (arg == "--trace-text") {
+            trace_text = next_arg(i);
+        } else if (arg == "--trace-filter") {
+            trace_filter = next_arg(i);
+            try {
+                ObsSink::parseFilter(trace_filter);   // fail fast
+            } catch (const std::invalid_argument &e) {
+                die(e.what());
+            }
+        } else if (arg == "--interval-stats") {
+            interval_stats = next_arg(i);
+        } else if (arg == "--interval") {
+            interval_cycles = std::strtoull(next_arg(i), nullptr, 10);
+            if (interval_cycles == 0)
+                die("--interval must be positive");
         } else if (arg == "--zero-fwd") {
             cfg.ablation.zeroAllForwardLatency = true;
         } else if (arg == "--zero-crit-fwd") {
@@ -257,8 +299,16 @@ main(int argc, char **argv)
         }
     }
 
-    if (campaign_set)
-        return runCampaignMode(campaign_matrix, campaign_jobs, out_path);
+    if (campaign_set) {
+        campaign::Options options;
+        options.jobs = campaign_jobs;
+        options.traceEventsDir = trace_events;
+        options.traceFilter = trace_filter;
+        options.intervalDir = interval_stats;
+        if (!interval_stats.empty())
+            options.intervalCycles = interval_cycles;
+        return runCampaignMode(campaign_matrix, options, out_path);
+    }
 
     if (clusters_set) {
         cfg.cluster.numClusters = clusters;
@@ -269,17 +319,27 @@ main(int argc, char **argv)
         cfg.core.retireWidth = cfg.frontEnd.fetchWidth;
     }
     cfg.instructionLimit = instructions;
+    cfg.obs.traceEventsPath = trace_events;
+    cfg.obs.traceTextPath = trace_text;
+    cfg.obs.traceFilter = trace_filter;
+    cfg.obs.intervalPath = interval_stats;
+    if (!interval_stats.empty())
+        cfg.obs.intervalCycles = interval_cycles;
 
     if (!workloads::exists(bench))
         die("unknown benchmark '" + bench + "' (see --list)");
     cfg.validate();
 
     Program prog = workloads::build(bench);
-    CtcpSimulator sim(cfg, prog);
-    SimResult r = sim.run();
-    if (json)
-        std::printf("%s", r.toJson().c_str());
-    else
-        std::printf("%s", r.statsText.c_str());
+    try {
+        CtcpSimulator sim(cfg, prog);
+        SimResult r = sim.run();
+        if (json)
+            std::printf("%s", r.toJson().c_str());
+        else
+            std::printf("%s", r.statsText.c_str());
+    } catch (const std::exception &e) {
+        die(e.what());
+    }
     return 0;
 }

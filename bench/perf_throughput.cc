@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Simulator throughput harness: measures host-side performance of the
+ * simulator itself (not the simulated machine) on the Figure 6
+ * workload mix — six benchmarks x five cluster-assignment configs —
+ * and writes BENCH_throughput.json so successive PRs can track the
+ * perf trajectory.
+ *
+ * Two modes are measured:
+ *   tracing_off       — the default experiment configuration
+ *   tracing_filtered  — observability tracing enabled with a
+ *                       retire-only filter (the cheap always-on shape)
+ *
+ * Usage: perf_throughput [budget] [jobs] [out.json]
+ *   budget  instructions per run (default 300000)
+ *   jobs    campaign workers (default 1: serial, the stable number)
+ *   out     output path (default BENCH_throughput.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace ctcp;
+using namespace ctcp::bench;
+
+std::vector<campaign::Job>
+fig6Jobs(std::uint64_t budget)
+{
+    struct Mode
+    {
+        const char *label;
+        AssignStrategy strategy;
+        unsigned issueLatency;
+    };
+    const std::vector<Mode> modes = {
+        {"base", AssignStrategy::BaseSlotOrder, 0},
+        {"no-lat-issue", AssignStrategy::IssueTime, 0},
+        {"issue-time", AssignStrategy::IssueTime, 4},
+        {"fdrt", AssignStrategy::Fdrt, 0},
+        {"friendly", AssignStrategy::Friendly, 0},
+    };
+    std::vector<campaign::Job> jobs;
+    for (const std::string &bench : selectedSix()) {
+        for (const Mode &m : modes) {
+            SimConfig cfg = withStrategy(baseConfig(), m.strategy,
+                                         m.issueLatency);
+            cfg.instructionLimit = budget;
+            jobs.push_back(campaign::makeJob(
+                bench + "/" + std::string(m.label), bench,
+                std::move(cfg)));
+        }
+    }
+    return jobs;
+}
+
+struct ModeResult
+{
+    std::string name;
+    std::size_t runs = 0;
+    std::uint64_t simInstructions = 0;
+    /** Wall seconds for the whole campaign (what a user waits for). */
+    double wallSeconds = 0.0;
+    /** Sum of per-job host seconds (robust to worker count). */
+    double jobHostSeconds = 0.0;
+
+    double
+    instsPerSecond() const
+    {
+        return jobHostSeconds > 0.0
+            ? static_cast<double>(simInstructions) / jobHostSeconds
+            : 0.0;
+    }
+};
+
+ModeResult
+runMode(const std::string &name, std::uint64_t budget,
+        const campaign::Options &options)
+{
+    const std::vector<campaign::Job> matrix = fig6Jobs(budget);
+    const auto start = std::chrono::steady_clock::now();
+    const campaign::Report report = campaign::runCampaign(matrix, options);
+    const double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+
+    ModeResult mode;
+    mode.name = name;
+    mode.wallSeconds = wall;
+    for (const campaign::JobOutcome &out : report.jobs) {
+        if (!out.ok())
+            ctcp_fatal("perf job '%s' failed: %s", out.label.c_str(),
+                       out.error.c_str());
+        ++mode.runs;
+        mode.simInstructions += out.result.instructions;
+        mode.jobHostSeconds += out.result.hostSeconds;
+    }
+    std::printf("%-16s %3zu runs  %9llu insts  %7.3fs wall  "
+                "%7.3fs jobs  %10.0f insts/s\n",
+                name.c_str(), mode.runs,
+                static_cast<unsigned long long>(mode.simInstructions),
+                mode.wallSeconds, mode.jobHostSeconds,
+                mode.instsPerSecond());
+    return mode;
+}
+
+std::string
+modeJson(const ModeResult &m, bool last)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\n"
+                  "      \"name\": \"%s\",\n"
+                  "      \"runs\": %zu,\n"
+                  "      \"sim_instructions\": %llu,\n"
+                  "      \"wall_seconds\": %.6f,\n"
+                  "      \"job_host_seconds\": %.6f,\n"
+                  "      \"sim_insts_per_host_second\": %.1f\n"
+                  "    }%s\n",
+                  m.name.c_str(), m.runs,
+                  static_cast<unsigned long long>(m.simInstructions),
+                  m.wallSeconds, m.jobHostSeconds, m.instsPerSecond(),
+                  last ? "" : ",");
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t budget = budgetFromArgs(argc, argv);
+    // Serial by default: throughput numbers should not depend on how
+    // many cores the measuring machine happens to have.
+    unsigned jobs = 1;
+    if (argc > 2)
+        jobs = static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10));
+    if (jobs == 0)
+        jobs = 1;
+    const std::string out_path =
+        argc > 3 ? argv[3] : "BENCH_throughput.json";
+
+    banner("Simulator throughput (host-side)",
+           "fig6 workload mix; sim-insts per host second", budget);
+
+    campaign::Options plain;
+    plain.jobs = jobs;
+    const ModeResult off = runMode("tracing_off", budget, plain);
+
+    // Tracing on, filtered down to retire events: the configuration a
+    // user keeps enabled while still caring about simulator speed.
+    namespace fs = std::filesystem;
+    const fs::path trace_dir = fs::temp_directory_path() /
+        ("ctcp_perf_traces_" + std::to_string(
+            static_cast<unsigned long long>(budget)));
+    fs::create_directories(trace_dir);
+    campaign::Options traced = plain;
+    traced.traceEventsDir = trace_dir.string();
+    traced.traceFilter = "retire";
+    const ModeResult filtered =
+        runMode("tracing_filtered", budget, traced);
+    fs::remove_all(trace_dir);
+
+    std::string json = "{\n";
+    json += "  \"harness\": \"perf_throughput\",\n";
+    json += "  \"workload\": \"fig6-mix\",\n";
+    json += "  \"budget_per_run\": " + std::to_string(budget) + ",\n";
+    json += "  \"jobs\": " + std::to_string(jobs) + ",\n";
+    json += "  \"modes\": [\n";
+    json += modeJson(off, false);
+    json += modeJson(filtered, true);
+    json += "  ]\n}\n";
+
+    FILE *f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr)
+        ctcp_fatal("cannot write '%s'", out_path.c_str());
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+    return 0;
+}

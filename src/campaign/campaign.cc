@@ -161,7 +161,7 @@ Report::at(const std::string &label) const
 }
 
 std::string
-Report::toJson() const
+Report::toJson(bool include_host_timing) const
 {
     std::string out = "{\n";
     out += "  \"campaign\": {\n";
@@ -179,7 +179,8 @@ Report::toJson() const
         if (job.ok()) {
             out += "      \"status\": \"ok\",\n";
             out += "      \"metrics\": " +
-                   indentBlock(job.result.toJson(), "      ") + "\n";
+                   indentBlock(job.result.toJson(include_host_timing),
+                               "      ") + "\n";
         } else {
             out += "      \"status\": \"failed\",\n";
             out += "      \"error\": \"" + jsonEscape(job.error) +

@@ -84,9 +84,11 @@ struct Report
     /**
      * JSON array of per-job objects (label, benchmark, status, error,
      * and the headline metrics of successful runs). Byte-identical
-     * across worker counts.
+     * across worker counts. Pass @p include_host_timing to also export
+     * each job's "host." wall-clock metrics — those vary run to run,
+     * so they are off by default (determinism/golden contract).
      */
-    std::string toJson() const;
+    std::string toJson(bool include_host_timing = false) const;
 
     /** CSV with one row per job (headline metrics; empty on failure). */
     std::string toCsv() const;

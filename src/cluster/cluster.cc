@@ -1,7 +1,5 @@
 #include "cluster/cluster.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 #include "obs/sink.hh"
 
@@ -41,7 +39,8 @@ ReservationStation::tryInsert(TimedInst *inst, Cycle now)
     if (portsUsed_ >= writePorts_)
         return false;
     ++portsUsed_;
-    entries_.push_back(inst);
+    ++size_;
+    inst->station = this;
     return true;
 }
 
@@ -56,9 +55,10 @@ ReservationStation::canInsert(Cycle now) const
 void
 ReservationStation::remove(TimedInst *inst)
 {
-    auto it = std::find(entries_.begin(), entries_.end(), inst);
-    ctcp_assert(it != entries_.end(), "removing instruction not in station");
-    entries_.erase(it);
+    ctcp_assert(inst->station == this && size_ > 0,
+                "removing instruction not in station");
+    --size_;
+    inst->station = nullptr;
 }
 
 FuPool::FuPool()
@@ -76,26 +76,17 @@ FuPool::FuPool()
     setCount(FuKind::FpMem, 1);
 }
 
-bool
-FuPool::available(FuKind kind, Cycle now) const
+FuPool::Slot
+FuPool::tryReserve(FuKind kind, Cycle now)
 {
-    for (Cycle busy_until : units_[static_cast<std::size_t>(kind)])
-        if (busy_until <= now)
-            return true;
-    return false;
-}
-
-void
-FuPool::reserve(FuKind kind, Cycle now, unsigned issue_latency)
-{
+    Slot slot;
     for (Cycle &busy_until : units_[static_cast<std::size_t>(kind)]) {
         if (busy_until <= now) {
-            busy_until = now + issue_latency;
-            return;
+            slot.busyUntil_ = &busy_until;
+            break;
         }
     }
-    ctcp_panic("reserve on a %s unit with none available",
-               std::string(fuKindName(kind)).c_str());
+    return slot;
 }
 
 StationKind
@@ -119,6 +110,59 @@ stationFor(FuKind kind)
     }
 }
 
+void
+SchedList::pushBack(TimedInst *inst)
+{
+    inst->schedPrev = tail;
+    inst->schedNext = nullptr;
+    if (tail != nullptr)
+        tail->schedNext = inst;
+    else
+        head = inst;
+    tail = inst;
+}
+
+void
+SchedList::insertByAge(TimedInst *inst)
+{
+    TimedInst *after = tail;
+    while (after != nullptr && after->dyn.seq > inst->dyn.seq)
+        after = after->schedPrev;
+    if (after == nullptr) {
+        // Oldest resident: new head.
+        inst->schedPrev = nullptr;
+        inst->schedNext = head;
+        if (head != nullptr)
+            head->schedPrev = inst;
+        else
+            tail = inst;
+        head = inst;
+        return;
+    }
+    inst->schedPrev = after;
+    inst->schedNext = after->schedNext;
+    if (after->schedNext != nullptr)
+        after->schedNext->schedPrev = inst;
+    else
+        tail = inst;
+    after->schedNext = inst;
+}
+
+void
+SchedList::unlink(TimedInst *inst)
+{
+    if (inst->schedPrev != nullptr)
+        inst->schedPrev->schedNext = inst->schedNext;
+    else
+        head = inst->schedNext;
+    if (inst->schedNext != nullptr)
+        inst->schedNext->schedPrev = inst->schedPrev;
+    else
+        tail = inst->schedPrev;
+    inst->schedPrev = nullptr;
+    inst->schedNext = nullptr;
+}
+
 Cluster::Cluster(ClusterId id, const ClusterConfig &cfg)
     : id_(id), width_(cfg.clusterWidth)
 {
@@ -130,6 +174,7 @@ bool
 Cluster::issue(TimedInst *inst, Cycle now)
 {
     StationKind kind = stationFor(inst->dyn.fu());
+    bool inserted;
     if (kind == StationKind::Simple0) {
         // Pick the emptier of the two simple stations; on a tie or
         // failure, try the other as well.
@@ -138,9 +183,20 @@ Cluster::issue(TimedInst *inst, Cycle now)
         ReservationStation &first =
             s1.freeEntries() > s0.freeEntries() ? s1 : s0;
         ReservationStation &second = &first == &s0 ? s1 : s0;
-        return first.tryInsert(inst, now) || second.tryInsert(inst, now);
+        inserted = first.tryInsert(inst, now) || second.tryInsert(inst, now);
+    } else {
+        inserted = station(kind).tryInsert(inst, now);
     }
-    return station(kind).tryInsert(inst, now);
+    if (!inserted)
+        return false;
+    // Park behind outstanding producers, or straight onto the
+    // schedulable list. Issue can happen out of seq order (steering
+    // skips), so keep the schedulable list age-ordered.
+    if (inst->pendingProducers > 0)
+        waiting_.pushBack(inst);
+    else
+        ready_.insertByAge(inst);
+    return true;
 }
 
 bool
@@ -154,46 +210,22 @@ Cluster::canAccept(const TimedInst &inst, Cycle now) const
     return station(kind).canInsert(now);
 }
 
-std::vector<TimedInst *>
-Cluster::dispatch(Cycle now, const DispatchHooks &hooks)
+void
+Cluster::wake(TimedInst *inst)
 {
-    // Gather all resident instructions oldest-first across stations.
-    std::vector<TimedInst *> candidates;
-    for (const ReservationStation &st : stations_)
-        candidates.insert(candidates.end(), st.entries().begin(),
-                          st.entries().end());
-    std::sort(candidates.begin(), candidates.end(),
-              [](const TimedInst *a, const TimedInst *b) {
-                  return a->dyn.seq < b->dyn.seq;
-              });
+    ctcp_assert(inst->pendingProducers == 0, "waking a non-ready inst");
+    waiting_.unlink(inst);
+    ready_.insertByAge(inst);
+}
 
-    std::vector<TimedInst *> done;
-    for (TimedInst *inst : candidates) {
-        if (done.size() >= width_)
-            break;
-        const FuKind fu = inst->dyn.fu();
-        if (!fus_.available(fu, now))
-            continue;
-        if (!hooks.ready(*inst, now))
-            continue;
-        fus_.reserve(fu, now, inst->dyn.info().issueLatency);
-        inst->dispatched = true;
-        inst->dispatchAt = now;
-        inst->completeAt = hooks.execute(*inst, now);
-        if (obs_ && obs_->enabled(ObsKind::Execute))
-            recordExecuteEvent(*obs_, now, *inst, id_);
-        // Remove from whichever station holds it.
-        for (ReservationStation &st : stations_) {
-            const auto &es = st.entries();
-            if (std::find(es.begin(), es.end(), inst) != es.end()) {
-                st.remove(inst);
-                break;
-            }
-        }
-        ++dispatchCount_;
-        done.push_back(inst);
-    }
-    return done;
+void
+Cluster::finishDispatch(TimedInst *inst, Cycle now)
+{
+    if (obs_ && obs_->enabled(ObsKind::Execute))
+        recordExecuteEvent(*obs_, now, *inst, id_);
+    ready_.unlink(inst);
+    inst->station->remove(inst);
+    ++dispatchCount_;
 }
 
 std::size_t

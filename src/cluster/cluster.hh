@@ -14,13 +14,20 @@
  * 1x complex integer, 1x basic FP, 1x complex FP, 1x FP memory.
  * Reservation stations accept at most rsWritePorts new instructions
  * per cycle and select ready instructions out of order (oldest first).
+ *
+ * Scheduling is event-driven: resident instructions live on one of two
+ * intrusive lists. Instructions with an outstanding producer sit on a
+ * waiting list the dispatch loop never touches; the producer's
+ * completion push wakes them onto the age-ordered schedulable list,
+ * where selection is a single integer compare against the cached
+ * TimedInst::readyAt. Stations track occupancy by count only — an
+ * instruction records its station, so removal at dispatch is O(1).
  */
 
 #ifndef CTCPSIM_CLUSTER_CLUSTER_HH
 #define CTCPSIM_CLUSTER_CLUSTER_HH
 
 #include <array>
-#include <functional>
 #include <vector>
 
 #include "cluster/timed_inst.hh"
@@ -46,7 +53,11 @@ enum class StationKind : std::uint8_t
 inline constexpr unsigned numStations =
     static_cast<unsigned>(StationKind::NumStations);
 
-/** One out-of-order-selectable reservation station. */
+/**
+ * One out-of-order-selectable reservation station. Tracks occupancy
+ * and per-cycle write ports by count; residency itself lives on the
+ * owning cluster's scheduler lists.
+ */
 class ReservationStation
 {
   public:
@@ -55,25 +66,20 @@ class ReservationStation
     {}
 
     /** Free entries right now. */
-    unsigned freeEntries() const
-    {
-        return capacity_ - static_cast<unsigned>(entries_.size());
-    }
+    unsigned freeEntries() const { return capacity_ - size_; }
 
-    bool full() const { return entries_.size() >= capacity_; }
-    std::size_t occupancy() const { return entries_.size(); }
+    bool full() const { return size_ >= capacity_; }
+    std::size_t occupancy() const { return size_; }
 
     /**
      * Try to insert @p inst during cycle @p now, respecting capacity
-     * and per-cycle write-port limits.
+     * and per-cycle write-port limits. Records the station on the
+     * instruction so removal is O(1).
      */
     bool tryInsert(TimedInst *inst, Cycle now);
 
     /** Would tryInsert succeed at @p now (capacity and ports)? */
     bool canInsert(Cycle now) const;
-
-    /** All resident instructions (selection order handled by caller). */
-    const std::vector<TimedInst *> &entries() const { return entries_; }
 
     /** Remove a dispatched instruction. */
     void remove(TimedInst *inst);
@@ -81,7 +87,7 @@ class ReservationStation
   private:
     unsigned capacity_;
     unsigned writePorts_;
-    std::vector<TimedInst *> entries_;
+    unsigned size_ = 0;
     Cycle portCycle_ = neverCycle;
     unsigned portsUsed_ = 0;
 };
@@ -92,11 +98,35 @@ class FuPool
   public:
     FuPool();
 
-    /** A unit of @p kind can start a new op at @p now. */
-    bool available(FuKind kind, Cycle now) const;
+    /**
+     * A claimed-but-not-yet-booked functional unit. Produced by
+     * tryReserve(); discarding it leaves the pool untouched, commit()
+     * books the unit. Lets the dispatch loop locate a unit in one scan
+     * and still back out when the instruction turns out not to be
+     * dispatchable this cycle.
+     */
+    class Slot
+    {
+      public:
+        explicit operator bool() const { return busyUntil_ != nullptr; }
 
-    /** Reserve a unit for an op with the given issue latency. */
-    void reserve(FuKind kind, Cycle now, unsigned issue_latency);
+        /** Book the claimed unit until @p now + @p issue_latency. */
+        void
+        commit(Cycle now, unsigned issue_latency)
+        {
+            *busyUntil_ = now + issue_latency;
+        }
+
+      private:
+        friend class FuPool;
+        Cycle *busyUntil_ = nullptr;
+    };
+
+    /**
+     * Single-scan reserve: locate a unit of @p kind free at @p now.
+     * @return a falsy Slot when every unit is busy.
+     */
+    Slot tryReserve(FuKind kind, Cycle now);
 
   private:
     /** busy-until cycle per unit, grouped by kind. */
@@ -107,16 +137,27 @@ class FuPool
 /** Routing from functional-unit class to reservation-station class. */
 StationKind stationFor(FuKind kind);
 
-/** Hooks the core supplies to the structural dispatch loop. */
-struct DispatchHooks
+/**
+ * Intrusive doubly-linked list of resident instructions (linkage lives
+ * in TimedInst::schedPrev/schedNext). An instruction is on at most one
+ * SchedList at a time.
+ */
+struct SchedList
 {
-    /** All data/memory constraints satisfied at @p now? */
-    std::function<bool(const TimedInst &, Cycle)> ready;
+    TimedInst *head = nullptr;
+    TimedInst *tail = nullptr;
+
+    bool empty() const { return head == nullptr; }
+
+    void pushBack(TimedInst *inst);
+
     /**
-     * Perform the dispatch: compute and return the completion cycle
-     * (memory latency included for loads).
+     * Insert keeping ascending dyn.seq order, walking from the tail —
+     * O(1) for the common in-order arrival, short walk otherwise.
      */
-    std::function<Cycle(TimedInst &, Cycle)> execute;
+    void insertByAge(TimedInst *inst);
+
+    void unlink(TimedInst *inst);
 };
 
 /** One execution cluster. */
@@ -130,6 +171,8 @@ class Cluster
     /**
      * Issue @p inst into the appropriate reservation station.
      * Simple operations pick the emptier of the two simple stations.
+     * The caller must have set inst->readyAt (neverCycle while a
+     * producer is outstanding): it selects the scheduler list.
      *
      * @return false when the station is full or out of write ports.
      */
@@ -139,12 +182,50 @@ class Cluster
     bool canAccept(const TimedInst &inst, Cycle now) const;
 
     /**
-     * Select and dispatch ready instructions, oldest first, up to the
-     * cluster width, honoring FU availability.
-     *
-     * @return instructions dispatched this cycle.
+     * Producer completion resolved @p inst's last outstanding operand:
+     * move it from the waiting list onto the schedulable list. The
+     * caller must have refreshed inst->readyAt first.
      */
-    std::vector<TimedInst *> dispatch(Cycle now, const DispatchHooks &hooks);
+    void wake(TimedInst *inst);
+
+    /**
+     * Select and dispatch ready instructions, oldest first, up to the
+     * cluster width, honoring FU availability. Appends the dispatched
+     * instructions to @p out in selection order.
+     *
+     * @p hooks supplies `bool ready(const TimedInst &, Cycle)` — the
+     * core-side constraints beyond operand readiness (memory ordering,
+     * load-queue space) — and `Cycle execute(TimedInst &, Cycle)`,
+     * which performs the dispatch and returns the completion cycle.
+     * The hooks type is a template parameter so the per-instruction
+     * calls compile to direct (inlinable) calls in the hot loop.
+     */
+    template <typename Hooks>
+    void
+    dispatch(Cycle now, Hooks &&hooks, std::vector<TimedInst *> &out)
+    {
+        unsigned dispatched = 0;
+        TimedInst *next = nullptr;
+        for (TimedInst *inst = ready_.head; inst != nullptr; inst = next) {
+            if (dispatched >= width_)
+                break;
+            next = inst->schedNext;
+            if (inst->readyAt > now)
+                continue;
+            FuPool::Slot unit = fus_.tryReserve(inst->dyn.fu(), now);
+            if (!unit)
+                continue;
+            if (!hooks.ready(*inst, now))
+                continue;
+            unit.commit(now, inst->dyn.info().issueLatency);
+            inst->dispatched = true;
+            inst->dispatchAt = now;
+            inst->completeAt = hooks.execute(*inst, now);
+            finishDispatch(inst, now);
+            out.push_back(inst);
+            ++dispatched;
+        }
+    }
 
     /** Total instructions currently waiting in this cluster's stations. */
     std::size_t occupancy() const;
@@ -155,6 +236,9 @@ class Cluster
     void setObs(ObsSink *obs) { obs_ = obs; }
 
   private:
+    /** Record/unlink/count bookkeeping after a successful dispatch. */
+    void finishDispatch(TimedInst *inst, Cycle now);
+
     ReservationStation &station(StationKind k)
     {
         return stations_[static_cast<std::size_t>(k)];
@@ -168,6 +252,10 @@ class Cluster
     unsigned width_;
     std::vector<ReservationStation> stations_;
     FuPool fus_;
+    /** Operands resolved: schedulable, ascending dyn.seq. */
+    SchedList ready_;
+    /** Producer outstanding: parked until the completion push wakes it. */
+    SchedList waiting_;
     Counter dispatchCount_;
     ObsSink *obs_ = nullptr;
 };

@@ -19,12 +19,14 @@
 #define CTCPSIM_CLUSTER_TIMED_INST_HH
 
 #include <cstdint>
-#include <vector>
 
+#include "common/small_vec.hh"
 #include "common/types.hh"
 #include "func/dyninst.hh"
 
 namespace ctcp {
+
+class ReservationStation;
 
 /** FDRT leader/follower states stored in trace-cache profile fields. */
 enum class ChainRole : std::uint8_t
@@ -127,7 +129,29 @@ struct TimedInst
     // ---- Operand provenance -------------------------------------------
     OperandState ops[2];
     /** Consumers waiting for our completion push. */
-    std::vector<TimedInst *> waiters;
+    SmallVec<TimedInst *, 4> waiters;
+
+    // ---- Event-driven scheduler state ----------------------------------
+    /**
+     * Outstanding waiter registrations on still-incomplete producers
+     * (one per source operand renamed against an in-flight producer).
+     * Decremented by the producer's completion push; operand readiness
+     * is only computable — and constant — once it reaches zero.
+     */
+    unsigned pendingProducers = 0;
+    /**
+     * Cached cycle at which every source operand is available at this
+     * instruction's cluster (forwarding latency included), filled by
+     * the core at issue and on the last producer's completion push.
+     * neverCycle while a producer is outstanding. The dispatch loop
+     * compares this integer instead of re-deriving readiness.
+     */
+    Cycle readyAt = 0;
+    /** Reservation station currently holding us (null outside one). */
+    ReservationStation *station = nullptr;
+    /** Intrusive linkage for the cluster's scheduler lists. */
+    TimedInst *schedPrev = nullptr;
+    TimedInst *schedNext = nullptr;
 
     // ---- Criticality analysis (filled at dispatch) ----------------------
     /** 0 = register file, 1 = src1 producer, 2 = src2 producer. */
@@ -144,9 +168,17 @@ struct TimedInst
     /** TC line the critical producer was fetched from (0 = I-cache). */
     std::uint64_t criticalProducerTraceKey = 0;
 
-    /** Notify waiters that the result exists at @p cluster_id. */
+    /**
+     * Notify waiters that the result exists at this cluster.
+     *
+     * @p on_ready is invoked for each waiter whose last outstanding
+     * producer this was (pendingProducers reached zero) — the wakeup
+     * hook the event-driven scheduler uses to move the consumer onto
+     * its cluster's schedulable list.
+     */
+    template <typename OnReady>
     void
-    pushCompletion()
+    pushCompletion(OnReady &&on_ready)
     {
         for (TimedInst *w : waiters) {
             for (OperandState &op : w->ops) {
@@ -158,8 +190,16 @@ struct TimedInst
                     op.producerComplete = true;
                 }
             }
+            if (w->pendingProducers > 0 && --w->pendingProducers == 0)
+                on_ready(w);
         }
         waiters.clear();
+    }
+
+    void
+    pushCompletion()
+    {
+        pushCompletion([](TimedInst *) {});
     }
 };
 

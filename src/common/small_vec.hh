@@ -1,0 +1,148 @@
+/**
+ * @file
+ * SmallVec — a vector with inline storage for the first N elements.
+ *
+ * Designed for the simulator's per-instruction bookkeeping (e.g. the
+ * completion-waiter lists), where the common case holds one or two
+ * pointers and a std::vector would pay one heap allocation per
+ * instruction. Elements must be trivially copyable; growth past N
+ * falls back to a heap buffer, and clear() keeps whatever capacity has
+ * been acquired so a reused object stays allocation-free.
+ */
+
+#ifndef CTCPSIM_COMMON_SMALL_VEC_HH
+#define CTCPSIM_COMMON_SMALL_VEC_HH
+
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace ctcp {
+
+/** Vector with inline storage for the first @p N elements. */
+template <typename T, unsigned N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVec holds trivially copyable elements only");
+    static_assert(N > 0, "SmallVec needs at least one inline slot");
+
+  public:
+    SmallVec() = default;
+
+    SmallVec(const SmallVec &other) { assign(other); }
+
+    SmallVec(SmallVec &&other) noexcept { steal(other); }
+
+    SmallVec &
+    operator=(const SmallVec &other)
+    {
+        if (this != &other) {
+            size_ = 0;
+            assign(other);
+        }
+        return *this;
+    }
+
+    SmallVec &
+    operator=(SmallVec &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            steal(other);
+        }
+        return *this;
+    }
+
+    ~SmallVec() { release(); }
+
+    void
+    push_back(T value)
+    {
+        if (size_ == capacity_)
+            grow();
+        data_[size_++] = value;
+    }
+
+    /** Drop all elements; keeps the acquired capacity for reuse. */
+    void clear() { size_ = 0; }
+
+    unsigned size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    unsigned capacity() const { return capacity_; }
+    /** Elements still live in the inline buffer (no heap allocation). */
+    bool inlined() const { return data_ == inline_; }
+
+    T &operator[](unsigned i) { return data_[i]; }
+    const T &operator[](unsigned i) const { return data_[i]; }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+
+  private:
+    void
+    grow()
+    {
+        const unsigned cap = capacity_ * 2;
+        T *heap = new T[cap];
+        std::memcpy(heap, data_, size_ * sizeof(T));
+        if (data_ != inline_)
+            delete[] data_;
+        data_ = heap;
+        capacity_ = cap;
+    }
+
+    void
+    assign(const SmallVec &other)
+    {
+        if (other.size_ > capacity_) {
+            T *heap = new T[other.size_];
+            if (data_ != inline_)
+                delete[] data_;
+            data_ = heap;
+            capacity_ = other.size_;
+        }
+        std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+        size_ = other.size_;
+    }
+
+    /** Take @p other's heap buffer (or copy its inline one); empties it. */
+    void
+    steal(SmallVec &other) noexcept
+    {
+        if (other.data_ != other.inline_) {
+            data_ = other.data_;
+            capacity_ = other.capacity_;
+            size_ = other.size_;
+            other.data_ = other.inline_;
+            other.capacity_ = N;
+        } else {
+            data_ = inline_;
+            capacity_ = N;
+            size_ = other.size_;
+            std::memcpy(data_, other.data_, size_ * sizeof(T));
+        }
+        other.size_ = 0;
+    }
+
+    void
+    release()
+    {
+        if (data_ != inline_) {
+            delete[] data_;
+            data_ = inline_;
+            capacity_ = N;
+        }
+    }
+
+    T inline_[N];
+    T *data_ = inline_;
+    unsigned size_ = 0;
+    unsigned capacity_ = N;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_COMMON_SMALL_VEC_HH

@@ -26,9 +26,26 @@ field(std::string &out, const char *key, std::uint64_t value)
 
 } // namespace
 
-std::string
-SimResult::toJson() const
+namespace {
+
+bool
+isHostMetric(const std::string &name)
 {
+    return name.rfind("host.", 0) == 0;
+}
+
+} // namespace
+
+std::string
+SimResult::toJson(bool include_host_timing) const
+{
+    std::size_t included = 0;
+    for (const auto &[name, value] : metrics) {
+        (void)value;
+        if (include_host_timing || !isHostMetric(name))
+            ++included;
+    }
+
     std::string out = "{\n";
     out += "  \"benchmark\": \"" + benchmark + "\",\n";
     out += "  \"strategy\": \"" + strategy + "\",\n";
@@ -54,15 +71,17 @@ SimResult::toJson() const
     field(out, "fdrt_option_c_pct", pctOptionC);
     field(out, "fdrt_option_d_pct", pctOptionD);
     field(out, "fdrt_option_e_pct", pctOptionE);
-    field(out, "fdrt_skipped_pct", pctSkipped, metrics.empty());
-    if (!metrics.empty()) {
+    field(out, "fdrt_skipped_pct", pctSkipped, included == 0);
+    if (included > 0) {
         out += "  \"metrics\": {\n";
         std::size_t i = 0;
         for (const auto &[name, value] : metrics) {
+            if (!include_host_timing && isHostMetric(name))
+                continue;
             char buf[160];
             std::snprintf(buf, sizeof(buf), "    \"%s\": %.6f%s\n",
                           name.c_str(), value,
-                          ++i < metrics.size() ? "," : "");
+                          ++i < included ? "," : "");
             out += buf;
         }
         out += "  }\n";

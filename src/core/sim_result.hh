@@ -70,6 +70,18 @@ struct SimResult
     double tcHitRate = 0.0;
     std::uint64_t mispredicts = 0;
 
+    // ---- Host-side throughput ---------------------------------------------
+    /** Host wall-clock seconds the run took (0 when not measured). */
+    double hostSeconds = 0.0;
+
+    /** Simulated instructions retired per host second (0 if unknown). */
+    double
+    simInstsPerHostSecond() const
+    {
+        return hostSeconds > 0.0
+            ? static_cast<double>(instructions) / hostSeconds : 0.0;
+    }
+
     /** Full aligned-text dump of every component's statistics. */
     std::string statsText;
 
@@ -77,11 +89,18 @@ struct SimResult
      * Structured run telemetry: every named metric the run produced,
      * beyond the fixed headline fields above (event counts, forward
      * totals, occupancies...). Ordered, so JSON output is stable.
+     * Keys prefixed "host." carry wall-clock measurements and are
+     * non-deterministic across runs.
      */
     std::map<std::string, double> metrics;
 
-    /** Headline metrics as a flat JSON object (machine consumption). */
-    std::string toJson() const;
+    /**
+     * Headline metrics as a flat JSON object (machine consumption).
+     * "host."-prefixed metrics are omitted unless @p include_host_timing
+     * is set: they differ run to run, and this serialization is the
+     * byte-identical golden-stats / determinism contract.
+     */
+    std::string toJson(bool include_host_timing = false) const;
 };
 
 } // namespace ctcp

@@ -1,6 +1,7 @@
 #include "core/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "assign/base_assignment.hh"
 #include "assign/fdrt_assignment.hh"
@@ -302,48 +303,18 @@ CtcpSimulator::recordCriticality(TimedInst &inst)
 }
 
 // ---------------------------------------------------------------------
-// Memory-dependence helpers
-// ---------------------------------------------------------------------
-
-bool
-CtcpSimulator::olderStoresDispatched(const TimedInst &load) const
-{
-    // No speculative disambiguation (Table 7): a load waits until the
-    // addresses of all older stores are resolved.
-    for (const TimedInst *st : storeWindow_) {
-        if (st->dyn.seq >= load.dyn.seq)
-            break;
-        if (!st->dispatched)
-            return false;
-    }
-    return true;
-}
-
-const TimedInst *
-CtcpSimulator::forwardingStore(const TimedInst &load) const
-{
-    const Addr word = load.dyn.effAddr >> 3;
-    const TimedInst *best = nullptr;
-    for (const TimedInst *st : storeWindow_) {
-        if (st->dyn.seq >= load.dyn.seq)
-            break;
-        if ((st->dyn.effAddr >> 3) == word)
-            best = st;   // youngest older store wins
-    }
-    return best;
-}
-
-// ---------------------------------------------------------------------
 // Dispatch hooks
 // ---------------------------------------------------------------------
 
 bool
 CtcpSimulator::readyToDispatch(const TimedInst &inst, Cycle now_cycle)
 {
-    if (operandReadiness(inst).ready > now_cycle)
-        return false;
+    // Operand readiness is pre-checked by the cluster scheduler against
+    // the cached TimedInst::readyAt; only the memory-ordering
+    // constraints remain. No speculative disambiguation (Table 7): a
+    // load waits until the addresses of all older stores are resolved.
     if (inst.dyn.isLoadOp()) {
-        if (!olderStoresDispatched(inst))
+        if (!storeWindow_.olderStoresDispatched(inst))
             return false;
         if (dmem_.loadQueueFull(now_cycle))
             return false;
@@ -380,7 +351,7 @@ CtcpSimulator::executeInst(TimedInst &inst, Cycle now_cycle)
 
     Cycle complete = now_cycle + inst.dyn.info().execLatency;
     if (inst.dyn.isLoadOp()) {
-        if (const TimedInst *st = forwardingStore(inst)) {
+        if (const TimedInst *st = storeWindow_.forwardingStore(inst)) {
             // In-flight store-to-load forwarding: one extra cycle past
             // the store's address/data availability.
             complete = std::max(complete, st->completeAt + 1);
@@ -412,7 +383,15 @@ CtcpSimulator::doCompletions()
             const Cycle slot = busSchedule_->reserve(inst->completeAt);
             inst->busReadyAt = slot + cfg_.cluster.busLatency;
         }
-        inst->pushCompletion();
+        // Wake consumers whose last outstanding producer this was:
+        // their operands are final, so the cached readiness becomes
+        // exact and they move onto their cluster's schedulable list.
+        inst->pushCompletion([this](TimedInst *w) {
+            if (!w->issued)
+                return;   // readiness is computed at issue instead
+            w->readyAt = operandReadiness(*w).ready;
+            clusters_[static_cast<std::size_t>(w->cluster)].wake(w);
+        });
 
         if (inst->dyn.isBranchOp()) {
             // Resolution (redirect timing) happens here; predictor
@@ -468,8 +447,7 @@ CtcpSimulator::doRetire()
             renameTable_[head->dyn.dst] == head) {
             renameTable_[head->dyn.dst] = nullptr;
         }
-        if (!storeWindow_.empty() && storeWindow_.front() == head)
-            storeWindow_.pop_front();
+        storeWindow_.retire(head);
 
         ++retired_;
         rob_.popFront();
@@ -479,15 +457,11 @@ CtcpSimulator::doRetire()
 void
 CtcpSimulator::doDispatch()
 {
-    DispatchHooks hooks;
-    hooks.ready = [this](const TimedInst &inst, Cycle now_cycle) {
-        return readyToDispatch(inst, now_cycle);
-    };
-    hooks.execute = [this](TimedInst &inst, Cycle now_cycle) {
-        return executeInst(inst, now_cycle);
-    };
+    const DispatchClient client{*this};
     for (Cluster &cluster : clusters_) {
-        for (TimedInst *inst : cluster.dispatch(cycle_, hooks)) {
+        dispatchScratch_.clear();
+        cluster.dispatch(cycle_, client, dispatchScratch_);
+        for (TimedInst *inst : dispatchScratch_) {
             if (tracing())
                 traceEvent("dispatch", *inst);
             completions_.push(inst);
@@ -503,13 +477,21 @@ CtcpSimulator::doIssue()
         // issue buffer (one machine width of instructions) in
         // parallel, so a blocked instruction does not prevent younger
         // ones from being routed to other clusters this cycle.
+        //
+        // Issued entries are null-marked and the queue compacted once
+        // at the end of the cycle, instead of paying an O(n) erase per
+        // issued instruction. The walk visits the same instructions in
+        // the same order as erase-as-you-go: `failed` counts the
+        // entries left buffered (what `index` used to count) and the
+        // cursor position is always failed + issued.
         steering_->newCycle(cycle_);
         unsigned issued = 0;
-        std::size_t index = 0;
-        while (index < issueQueue_.size() &&
-               index < cfg_.core.issueWidth &&
+        std::size_t failed = 0;
+        std::size_t pos = 0;
+        while (pos < issueQueue_.size() &&
+               failed < cfg_.core.issueWidth &&
                issued < cfg_.core.issueWidth) {
-            TimedInst *inst = issueQueue_[index];
+            TimedInst *inst = issueQueue_[pos];
             const Cycle issue_ready = inst->renameAt +
                 cfg_.frontEnd.renameStages + issueExtraStages_;
             if (issue_ready > cycle_)
@@ -517,10 +499,13 @@ CtcpSimulator::doIssue()
             const ClusterId cluster = steering_->pick(*inst, clusters_);
             if (cluster == invalidCluster) {
                 ++issueStalls_;
-                ++index;   // leave it buffered; examine the next slot
+                ++failed;
+                ++pos;   // leave it buffered; examine the next slot
                 continue;
             }
             inst->cluster = cluster;
+            inst->readyAt = inst->pendingProducers > 0
+                ? neverCycle : operandReadiness(*inst).ready;
             const bool ok =
                 clusters_[static_cast<std::size_t>(cluster)].issue(inst,
                                                                    cycle_);
@@ -531,9 +516,14 @@ CtcpSimulator::doIssue()
                 traceEvent("issue", *inst);
             if (obs_ && obs_->enabled(ObsKind::Issue))
                 recordInstEvent(*obs_, ObsKind::Issue, cycle_, *inst);
-            issueQueue_.erase(issueQueue_.begin() +
-                              static_cast<std::ptrdiff_t>(index));
+            issueQueue_[pos] = nullptr;
+            ++pos;
             ++issued;
+        }
+        if (issued > 0) {
+            issueQueue_.erase(std::remove(issueQueue_.begin(),
+                                          issueQueue_.end(), nullptr),
+                              issueQueue_.end());
         }
         return;
     }
@@ -552,6 +542,8 @@ CtcpSimulator::doIssue()
             if (issue_ready > cycle_)
                 break;
             inst->cluster = static_cast<ClusterId>(c);
+            inst->readyAt = inst->pendingProducers > 0
+                ? neverCycle : operandReadiness(*inst).ready;
             if (!cluster.issue(inst, cycle_)) {
                 inst->cluster = invalidCluster;
                 ++issueStalls_;
@@ -598,6 +590,7 @@ CtcpSimulator::renameOperand(TimedInst &inst, int index, RegId reg)
         op.producerCluster = producer->cluster;
     } else {
         producer->waiters.push_back(&inst);
+        ++inst.pendingProducers;
     }
 }
 
@@ -635,7 +628,7 @@ CtcpSimulator::doRename()
             clusterQueues_[static_cast<std::size_t>(slotCluster(*inst))]
                 .push_back(inst);
         if (inst->dyn.isStoreOp())
-            storeWindow_.push_back(inst);
+            storeWindow_.insert(inst);
 
         if (++frontGroupPos_ >= group.insts.size()) {
             fetchQueue_.pop_front();
@@ -684,6 +677,7 @@ CtcpSimulator::done()
 SimResult
 CtcpSimulator::run()
 {
+    const auto host_start = std::chrono::steady_clock::now();
     // Generous watchdog: any real run retires far faster than this.
     const Cycle max_cycles = 1000ull +
         200ull * (cfg_.instructionLimit ? cfg_.instructionLimit
@@ -695,6 +689,8 @@ CtcpSimulator::run()
                        static_cast<unsigned long long>(cycle_),
                        static_cast<unsigned long long>(retired_));
     }
+    hostSeconds_ = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - host_start).count();
     return assemble();
 }
 
@@ -801,6 +797,13 @@ CtcpSimulator::assemble()
     for (std::size_t c = 0; c < clusters_.size(); ++c)
         r.metrics["cluster" + std::to_string(c) + ".dispatched"] =
             static_cast<double>(clusters_[c].dispatched());
+
+    // Host-side throughput. Non-deterministic by nature, so these are
+    // excluded from the default JSON serialization (the golden-stats
+    // contract) and only exported when explicitly requested.
+    r.hostSeconds = hostSeconds_;
+    r.metrics["host.seconds"] = hostSeconds_;
+    r.metrics["host.sim_insts_per_sec"] = r.simInstsPerHostSecond();
 
     // ---- Observability wrap-up -----------------------------------------
     if (interval_) {

@@ -35,6 +35,7 @@
 #include "core/fetch.hh"
 #include "core/profiler.hh"
 #include "core/sim_result.hh"
+#include "core/store_window.hh"
 #include "func/executor.hh"
 #include "mem/dmem.hh"
 #include "prog/program.hh"
@@ -111,8 +112,27 @@ class CtcpSimulator
     Cycle executeInst(TimedInst &inst, Cycle now_cycle);
     void recordCriticality(TimedInst &inst);
 
-    bool olderStoresDispatched(const TimedInst &load) const;
-    const TimedInst *forwardingStore(const TimedInst &load) const;
+    /**
+     * Dispatch callbacks handed to Cluster::dispatch. A concrete type
+     * (not std::function) so the per-instruction ready/execute calls
+     * are direct, inlinable calls in the scheduling hot loop.
+     */
+    struct DispatchClient
+    {
+        CtcpSimulator &sim;
+
+        bool
+        ready(const TimedInst &inst, Cycle now_cycle) const
+        {
+            return sim.readyToDispatch(inst, now_cycle);
+        }
+
+        Cycle
+        execute(TimedInst &inst, Cycle now_cycle) const
+        {
+            return sim.executeInst(inst, now_cycle);
+        }
+    };
 
     SimConfig cfg_;
     const Program &program_;
@@ -151,7 +171,10 @@ class CtcpSimulator
      */
     std::vector<std::deque<TimedInst *>> clusterQueues_;
     std::vector<TimedInst *> renameTable_;
-    std::deque<TimedInst *> storeWindow_;
+    /** In-flight stores with disambiguation/forwarding indexes. */
+    StoreWindow storeWindow_;
+    /** Per-cycle dispatch output, reused across cycles and clusters. */
+    std::vector<TimedInst *> dispatchScratch_;
 
     struct CompareComplete
     {
@@ -169,6 +192,8 @@ class CtcpSimulator
     Cycle cycle_ = 0;
     std::uint64_t retired_ = 0;
     unsigned issueExtraStages_ = 0;
+    /** Host wall-clock seconds spent inside run() (0 until it ends). */
+    double hostSeconds_ = 0.0;
 
     // Observability (src/obs): null unless cfg.obs requests output.
     std::unique_ptr<ObsSink> obs_;

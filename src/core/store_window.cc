@@ -1,0 +1,63 @@
+#include "core/store_window.hh"
+
+#include "common/logging.hh"
+
+namespace ctcp {
+
+void
+StoreWindow::insert(TimedInst *st)
+{
+    ctcp_assert(window_.empty() || window_.back()->dyn.seq < st->dyn.seq,
+                "store window insert out of program order");
+    window_.push_back(st);
+    byWord_[wordOf(st->dyn.effAddr)].push_back(st);
+}
+
+void
+StoreWindow::retire(const TimedInst *head)
+{
+    if (window_.empty() || window_.front() != head)
+        return;
+    auto it = byWord_.find(wordOf(head->dyn.effAddr));
+    ctcp_assert(it != byWord_.end() && it->second.front() == head,
+                "store window word index out of sync at retire");
+    // The retiring store is the globally oldest, so it is also the
+    // oldest in its word bucket.
+    it->second.erase(it->second.begin());
+    if (it->second.empty())
+        byWord_.erase(it);
+    window_.pop_front();
+    if (resolvedPrefix_ > 0)
+        --resolvedPrefix_;
+}
+
+bool
+StoreWindow::olderStoresDispatched(const TimedInst &load)
+{
+    while (resolvedPrefix_ < window_.size() &&
+           window_[resolvedPrefix_]->dispatched) {
+        ++resolvedPrefix_;
+    }
+    // Everything before the cursor is dispatched; the store at the
+    // cursor is the oldest unresolved one, so it alone decides.
+    return resolvedPrefix_ == window_.size() ||
+           window_[resolvedPrefix_]->dyn.seq >= load.dyn.seq;
+}
+
+const TimedInst *
+StoreWindow::forwardingStore(const TimedInst &load) const
+{
+    auto it = byWord_.find(wordOf(load.dyn.effAddr));
+    if (it == byWord_.end())
+        return nullptr;
+    // Buckets are in program order: walk from the youngest down to the
+    // first store older than the load.
+    const std::vector<TimedInst *> &bucket = it->second;
+    for (auto rit = bucket.rbegin(); rit != bucket.rend(); ++rit) {
+        if ((*rit)->dyn.seq < load.dyn.seq)
+            return *rit;
+    }
+    return nullptr;
+}
+
+} // namespace ctcp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * StoreWindow — the in-flight store bookkeeping used for memory
+ * disambiguation and store-to-load forwarding.
+ *
+ * The window holds every renamed-but-not-retired store in program
+ * order. Loads ask two questions per dispatch attempt:
+ *
+ *  - olderStoresDispatched(): have all older stores resolved their
+ *    addresses? (No speculative disambiguation, Table 7 of the paper.)
+ *    Answered with a lazily advanced resolved-prefix cursor — stores
+ *    only ever transition to dispatched, so the prefix of the window
+ *    that is fully dispatched can only grow, and the first undispatched
+ *    store decides the answer for every load.
+ *
+ *  - forwardingStore(): the youngest older store to the same 8-byte
+ *    word, if any. Answered from a per-word map of in-flight stores,
+ *    each bucket kept in program order.
+ *
+ * Both replace full-window scans with amortized O(1) / O(bucket)
+ * lookups while returning bit-identical answers.
+ */
+
+#ifndef CTCPSIM_CORE_STORE_WINDOW_HH
+#define CTCPSIM_CORE_STORE_WINDOW_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/timed_inst.hh"
+#include "common/types.hh"
+
+namespace ctcp {
+
+/** In-flight store window with dispatch-prefix and address indexes. */
+class StoreWindow
+{
+  public:
+    /** Word granularity used for store-to-load forwarding matches. */
+    static Addr wordOf(Addr addr) { return addr >> 3; }
+
+    /** Append a renamed store (called in program order). */
+    void insert(TimedInst *st);
+
+    /**
+     * The ROB head is retiring: drop it from the window if it is the
+     * oldest in-flight store (no-op otherwise, matching the original
+     * front-check-and-pop).
+     */
+    void retire(const TimedInst *head);
+
+    /**
+     * All stores older than @p load have resolved (dispatched).
+     * Advances the resolved-prefix cursor as a side effect, hence
+     * non-const; the answer is identical to a full window scan.
+     */
+    bool olderStoresDispatched(const TimedInst &load);
+
+    /** Youngest store older than @p load to the same word, or null. */
+    const TimedInst *forwardingStore(const TimedInst &load) const;
+
+    bool empty() const { return window_.empty(); }
+    std::size_t size() const { return window_.size(); }
+
+  private:
+    /** All in-flight stores, ascending dyn.seq. */
+    std::deque<TimedInst *> window_;
+    /** window_[0 .. resolvedPrefix_) are known dispatched. */
+    std::size_t resolvedPrefix_ = 0;
+    /** Same stores bucketed by 8-byte word, program order per bucket. */
+    std::unordered_map<Addr, std::vector<TimedInst *>> byWord_;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_CORE_STORE_WINDOW_HH

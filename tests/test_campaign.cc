@@ -105,14 +105,18 @@ TEST(Campaign, SameRunTwiceIsBitIdentical)
 
 TEST(Campaign, AggregationIndependentOfWorkerCount)
 {
-    // A 3-workload x 2-strategy campaign must aggregate to
-    // byte-identical JSON and CSV whether run on 1 worker or 4.
+    // A 3-workload x 4-strategy campaign (every scheduler path,
+    // including issue-time steering) must aggregate to byte-identical
+    // JSON and CSV whether run on 1 worker or 4.
     std::vector<campaign::Job> jobs;
     for (const char *bench : {"gzip", "twolf", "adpcm_enc"}) {
         for (AssignStrategy s :
-             {AssignStrategy::BaseSlotOrder, AssignStrategy::Fdrt}) {
+             {AssignStrategy::BaseSlotOrder, AssignStrategy::Fdrt,
+              AssignStrategy::Friendly, AssignStrategy::IssueTime}) {
             SimConfig cfg = quickConfig();
             cfg.assign.strategy = s;
+            if (s == AssignStrategy::IssueTime)
+                cfg.assign.issueTimeLatency = 4;
             jobs.push_back(campaign::makeJob(
                 std::string(bench) + "/" + assignStrategyName(s), bench,
                 cfg));
@@ -135,6 +139,32 @@ TEST(Campaign, AggregationIndependentOfWorkerCount)
         EXPECT_EQ(r1.jobs[i].result.statsText,
                   r4.jobs[i].result.statsText);
     }
+}
+
+TEST(Campaign, HostTimingExcludedFromDefaultExport)
+{
+    // Host wall-clock metrics vary run to run; they must stay out of
+    // the default (determinism-contract) JSON and only appear when
+    // explicitly requested.
+    std::vector<campaign::Job> jobs;
+    jobs.push_back(campaign::makeJob("gzip/base", "gzip", quickConfig()));
+    campaign::Options serial;
+    serial.jobs = 1;
+    const campaign::Report report = campaign::runCampaign(jobs, serial);
+    ASSERT_EQ(report.failed(), 0u);
+
+    const SimResult &r = report.jobs[0].result;
+    EXPECT_GT(r.hostSeconds, 0.0);
+    EXPECT_GT(r.simInstsPerHostSecond(), 0.0);
+    ASSERT_TRUE(r.metrics.count("host.seconds"));
+    ASSERT_TRUE(r.metrics.count("host.sim_insts_per_sec"));
+
+    EXPECT_EQ(report.toJson().find("host."), std::string::npos);
+    EXPECT_EQ(r.toJson().find("host."), std::string::npos);
+    EXPECT_NE(report.toJson(true).find("host.seconds"),
+              std::string::npos);
+    EXPECT_NE(r.toJson(true).find("host.sim_insts_per_sec"),
+              std::string::npos);
 }
 
 TEST(Campaign, ThrowingBuilderFailsOnlyItsJob)

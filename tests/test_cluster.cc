@@ -6,11 +6,39 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <vector>
+
 #include "cluster/cluster.hh"
 #include "cluster/interconnect.hh"
 
 namespace ctcp {
 namespace {
+
+/**
+ * Test stand-in for the simulator's DispatchClient: same concrete
+ * interface Cluster::dispatch expects, backed by std::function so
+ * individual tests can swap behavior.
+ */
+struct TestHooks
+{
+    std::function<bool(const TimedInst &, Cycle)> readyFn =
+        [](const TimedInst &, Cycle) { return true; };
+    std::function<Cycle(TimedInst &, Cycle)> executeFn =
+        [](TimedInst &, Cycle now) { return now + 1; };
+
+    bool
+    ready(const TimedInst &inst, Cycle now) const
+    {
+        return readyFn(inst, now);
+    }
+
+    Cycle
+    execute(TimedInst &inst, Cycle now) const
+    {
+        return executeFn(inst, now);
+    }
+};
 
 TimedInst
 makeInst(InstSeqNum seq, Opcode op)
@@ -115,17 +143,34 @@ TEST(FuPool, SpecialPurposeCounts)
 {
     FuPool pool;
     // Two simple integer units...
-    EXPECT_TRUE(pool.available(FuKind::IntAlu, 0));
-    pool.reserve(FuKind::IntAlu, 0, 1);
-    EXPECT_TRUE(pool.available(FuKind::IntAlu, 0));
-    pool.reserve(FuKind::IntAlu, 0, 1);
-    EXPECT_FALSE(pool.available(FuKind::IntAlu, 0));
+    FuPool::Slot alu0 = pool.tryReserve(FuKind::IntAlu, 0);
+    ASSERT_TRUE(static_cast<bool>(alu0));
+    alu0.commit(0, 1);
+    FuPool::Slot alu1 = pool.tryReserve(FuKind::IntAlu, 0);
+    ASSERT_TRUE(static_cast<bool>(alu1));
+    alu1.commit(0, 1);
+    EXPECT_FALSE(static_cast<bool>(pool.tryReserve(FuKind::IntAlu, 0)));
     // ...free again next cycle.
-    EXPECT_TRUE(pool.available(FuKind::IntAlu, 1));
+    EXPECT_TRUE(static_cast<bool>(pool.tryReserve(FuKind::IntAlu, 1)));
     // One complex unit with a long issue latency.
-    pool.reserve(FuKind::IntComplex, 0, 19);
-    EXPECT_FALSE(pool.available(FuKind::IntComplex, 18));
-    EXPECT_TRUE(pool.available(FuKind::IntComplex, 19));
+    FuPool::Slot cpx = pool.tryReserve(FuKind::IntComplex, 0);
+    ASSERT_TRUE(static_cast<bool>(cpx));
+    cpx.commit(0, 19);
+    EXPECT_FALSE(static_cast<bool>(pool.tryReserve(FuKind::IntComplex, 18)));
+    EXPECT_TRUE(static_cast<bool>(pool.tryReserve(FuKind::IntComplex, 19)));
+}
+
+TEST(FuPool, UncommittedSlotLeavesUnitFree)
+{
+    FuPool pool;
+    {
+        // Claim without commit: the dispatch loop backing out (the
+        // instruction failed its ready check) must not book the unit.
+        FuPool::Slot slot = pool.tryReserve(FuKind::IntComplex, 5);
+        ASSERT_TRUE(static_cast<bool>(slot));
+    }
+    FuPool::Slot again = pool.tryReserve(FuKind::IntComplex, 5);
+    EXPECT_TRUE(static_cast<bool>(again));
 }
 
 TEST(StationRouting, FuToStationMap)
@@ -145,13 +190,12 @@ class ClusterTest : public ::testing::Test
     ClusterConfig cfg_;
     Cluster cluster_{0, cfg_};
 
-    DispatchHooks
-    alwaysReady()
+    std::vector<TimedInst *>
+    dispatch(Cycle now, const TestHooks &hooks = {})
     {
-        DispatchHooks hooks;
-        hooks.ready = [](const TimedInst &, Cycle) { return true; };
-        hooks.execute = [](TimedInst &, Cycle now) { return now + 1; };
-        return hooks;
+        std::vector<TimedInst *> out;
+        cluster_.dispatch(now, hooks, out);
+        return out;
     }
 };
 
@@ -177,7 +221,7 @@ TEST_F(ClusterTest, DispatchOldestFirstUpToWidth)
     for (auto &inst : insts)
         cluster_.issue(&inst, cycle++);
 
-    auto done = cluster_.dispatch(100, alwaysReady());
+    auto done = dispatch(100);
     // Width 4, but only 2 ALUs: ALU issue latency 1 means both ALUs
     // can start one op each -> 2 dispatches this cycle.
     ASSERT_EQ(done.size(), 2u);
@@ -192,12 +236,11 @@ TEST_F(ClusterTest, DispatchHonorsReadiness)
     cluster_.issue(&a, 0);
     cluster_.issue(&b, 0);
 
-    DispatchHooks hooks;
-    hooks.ready = [&](const TimedInst &inst, Cycle) {
+    TestHooks hooks;
+    hooks.readyFn = [](const TimedInst &inst, Cycle) {
         return inst.dyn.seq == 2;   // only b is ready
     };
-    hooks.execute = [](TimedInst &, Cycle now) { return now + 1; };
-    auto done = cluster_.dispatch(1, hooks);
+    auto done = dispatch(1, hooks);
     ASSERT_EQ(done.size(), 1u);
     EXPECT_EQ(done[0]->dyn.seq, 2u);
     EXPECT_EQ(cluster_.occupancy(), 1u);
@@ -213,7 +256,7 @@ TEST_F(ClusterTest, MixedKindsDispatchInParallel)
     for (TimedInst *inst : {&alu, &mem, &br, &cpx, &extra})
         ASSERT_TRUE(cluster_.issue(inst, 0));
 
-    auto done = cluster_.dispatch(1, alwaysReady());
+    auto done = dispatch(1);
     // Width caps at 4 even though 5 could structurally go.
     EXPECT_EQ(done.size(), 4u);
 }
@@ -224,11 +267,11 @@ TEST_F(ClusterTest, ComplexIssueLatencyBlocksBackToBack)
     TimedInst d2 = makeInst(2, Opcode::Div);
     cluster_.issue(&d1, 0);
     cluster_.issue(&d2, 0);
-    EXPECT_EQ(cluster_.dispatch(1, alwaysReady()).size(), 1u);
+    EXPECT_EQ(dispatch(1).size(), 1u);
     // The single divider is busy for issueLatency (19) cycles.
-    EXPECT_EQ(cluster_.dispatch(2, alwaysReady()).size(), 0u);
-    EXPECT_EQ(cluster_.dispatch(19, alwaysReady()).size(), 0u);
-    EXPECT_EQ(cluster_.dispatch(20, alwaysReady()).size(), 1u);
+    EXPECT_EQ(dispatch(2).size(), 0u);
+    EXPECT_EQ(dispatch(19).size(), 0u);
+    EXPECT_EQ(dispatch(20).size(), 1u);
 }
 
 TEST(TimedInst, CompletionPushFillsWaiters)
@@ -247,6 +290,85 @@ TEST(TimedInst, CompletionPushFillsWaiters)
     EXPECT_EQ(consumer.ops[0].rawReady, 55u);
     EXPECT_EQ(consumer.ops[0].producerCluster, 2);
     EXPECT_TRUE(producer.waiters.empty());
+}
+
+TEST_F(ClusterTest, DispatchOrderOldestReadyFirstAcrossStations)
+{
+    // Instructions spread across every station class, issued in
+    // scrambled seq order (as issue-time steering can produce), with
+    // one old instruction not yet operand-ready. Selection must visit
+    // ready instructions in ascending seq regardless of station.
+    TimedInst br = makeInst(7, Opcode::Beq);
+    TimedInst mem = makeInst(3, Opcode::Load);
+    TimedInst alu = makeInst(9, Opcode::Add);
+    TimedInst cpx = makeInst(5, Opcode::Mul);
+    TimedInst stale = makeInst(1, Opcode::Sub);
+    stale.readyAt = 100;   // oldest, but operands arrive much later
+
+    Cycle cycle = 0;
+    for (TimedInst *inst : {&br, &mem, &alu, &cpx, &stale})
+        ASSERT_TRUE(cluster_.issue(inst, cycle++));
+
+    auto done = dispatch(10);
+    // Width 4: the four ready ones go, oldest first; `stale` stays.
+    ASSERT_EQ(done.size(), 4u);
+    EXPECT_EQ(done[0]->dyn.seq, 3u);
+    EXPECT_EQ(done[1]->dyn.seq, 5u);
+    EXPECT_EQ(done[2]->dyn.seq, 7u);
+    EXPECT_EQ(done[3]->dyn.seq, 9u);
+    EXPECT_EQ(cluster_.occupancy(), 1u);
+
+    // Once its operands arrive, the old instruction dispatches.
+    EXPECT_EQ(dispatch(99).size(), 0u);
+    auto late = dispatch(100);
+    ASSERT_EQ(late.size(), 1u);
+    EXPECT_EQ(late[0]->dyn.seq, 1u);
+    EXPECT_EQ(cluster_.occupancy(), 0u);
+}
+
+TEST_F(ClusterTest, WakeMovesWaiterOntoSchedulableList)
+{
+    // A consumer with an outstanding producer is parked: the dispatch
+    // loop must never select it, however many cycles pass.
+    TimedInst consumer = makeInst(4, Opcode::Add);
+    consumer.pendingProducers = 1;
+    consumer.readyAt = neverCycle;
+    ASSERT_TRUE(cluster_.issue(&consumer, 0));
+    EXPECT_EQ(dispatch(50).size(), 0u);
+    EXPECT_EQ(cluster_.occupancy(), 1u);
+
+    // Producer completes: the core refreshes readyAt and wakes it.
+    consumer.pendingProducers = 0;
+    consumer.readyAt = 60;
+    cluster_.wake(&consumer);
+    EXPECT_EQ(dispatch(59).size(), 0u);   // forwarding not done yet
+    auto done = dispatch(60);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0]->dyn.seq, 4u);
+}
+
+TEST(SchedList, InsertByAgeKeepsSeqOrder)
+{
+    SchedList list;
+    TimedInst a = makeInst(10, Opcode::Add);
+    TimedInst b = makeInst(20, Opcode::Add);
+    TimedInst c = makeInst(15, Opcode::Add);
+    TimedInst d = makeInst(5, Opcode::Add);
+    for (TimedInst *inst : {&a, &b, &c, &d})
+        list.insertByAge(inst);
+
+    std::vector<InstSeqNum> seqs;
+    for (TimedInst *it = list.head; it != nullptr; it = it->schedNext)
+        seqs.push_back(it->dyn.seq);
+    EXPECT_EQ(seqs, (std::vector<InstSeqNum>{5, 10, 15, 20}));
+
+    list.unlink(&c);                      // middle
+    list.unlink(&d);                      // head
+    list.unlink(&b);                      // tail
+    EXPECT_EQ(list.head, &a);
+    EXPECT_EQ(list.tail, &a);
+    list.unlink(&a);
+    EXPECT_TRUE(list.empty());
 }
 
 TEST(ChainProfile, Membership)

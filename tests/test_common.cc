@@ -9,6 +9,7 @@
 #include "common/bitutil.hh"
 #include "common/circular_queue.hh"
 #include "common/random.hh"
+#include "common/small_vec.hh"
 #include "stats/stats.hh"
 #include "stats/table.hh"
 
@@ -145,6 +146,87 @@ TEST(CircularQueue, PopBackSquashes)
     q.popBack(4);
     EXPECT_EQ(q.size(), 2u);
     EXPECT_EQ(q.back(), 1);
+}
+
+TEST(SmallVec, StaysInlineUpToN)
+{
+    SmallVec<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    for (int i = 0; i < 4; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 4u);
+    EXPECT_TRUE(v.inlined());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(v[static_cast<unsigned>(i)], i);
+}
+
+TEST(SmallVec, SpillsToHeapAndKeepsContents)
+{
+    SmallVec<int, 2> v;
+    for (int i = 0; i < 9; ++i)
+        v.push_back(i * 10);
+    EXPECT_EQ(v.size(), 9u);
+    EXPECT_FALSE(v.inlined());
+    for (int i = 0; i < 9; ++i)
+        EXPECT_EQ(v[static_cast<unsigned>(i)], i * 10);
+}
+
+TEST(SmallVec, ClearKeepsCapacityForReuse)
+{
+    SmallVec<int, 2> v;
+    for (int i = 0; i < 8; ++i)
+        v.push_back(i);
+    const unsigned cap = v.capacity();
+    EXPECT_GE(cap, 8u);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.capacity(), cap);   // no reallocation on refill
+    for (int i = 0; i < 8; ++i)
+        v.push_back(i + 100);
+    EXPECT_EQ(v.capacity(), cap);
+    EXPECT_EQ(v[7], 107);
+}
+
+TEST(SmallVec, CopyAndMovePreserveElements)
+{
+    SmallVec<int, 2> heap;
+    for (int i = 0; i < 5; ++i)
+        heap.push_back(i);
+
+    SmallVec<int, 2> copy(heap);
+    ASSERT_EQ(copy.size(), 5u);
+    EXPECT_EQ(copy[4], 4);
+    copy.push_back(99);
+    EXPECT_EQ(heap.size(), 5u);   // copies are independent
+
+    SmallVec<int, 2> moved(std::move(heap));
+    ASSERT_EQ(moved.size(), 5u);
+    EXPECT_EQ(moved[0], 0);
+    EXPECT_TRUE(heap.empty());    // moved-from is reusable
+    heap.push_back(7);
+    EXPECT_EQ(heap[0], 7);
+
+    SmallVec<int, 2> inline_src;
+    inline_src.push_back(42);
+    SmallVec<int, 2> inline_moved(std::move(inline_src));
+    ASSERT_EQ(inline_moved.size(), 1u);
+    EXPECT_EQ(inline_moved[0], 42);
+
+    SmallVec<int, 2> assigned;
+    assigned = inline_moved;
+    ASSERT_EQ(assigned.size(), 1u);
+    EXPECT_EQ(assigned[0], 42);
+}
+
+TEST(SmallVec, RangeForIteration)
+{
+    SmallVec<int, 3> v;
+    for (int i = 1; i <= 6; ++i)
+        v.push_back(i);
+    int sum = 0;
+    for (int x : v)
+        sum += x;
+    EXPECT_EQ(sum, 21);
 }
 
 TEST(Stats, Percent)

@@ -52,6 +52,9 @@ usage(const char *prog)
         "\n"
         "output:\n"
         "  --json                print headline metrics as JSON\n"
+        "  --host-timing         include host wall-clock metrics\n"
+        "                        (host.*) in JSON output; off by\n"
+        "                        default because they vary run to run\n"
         "  --trace FILE          write a pipeline trace of the first\n"
         "  --trace-cycles N      N cycles (default 1000) to FILE\n"
         "\n"
@@ -104,7 +107,7 @@ die(const std::string &msg)
 /** Run a --campaign matrix and export/print the aggregated report. */
 int
 runCampaignMode(const std::string &matrix, ctcp::campaign::Options options,
-                const std::string &out_path)
+                const std::string &out_path, bool host_timing)
 {
     using namespace ctcp;
 
@@ -139,7 +142,7 @@ runCampaignMode(const std::string &matrix, ctcp::campaign::Options options,
         const bool csv = out_path.size() >= 4 &&
             out_path.compare(out_path.size() - 4, 4, ".csv") == 0;
         const std::string payload =
-            csv ? report.toCsv() : report.toJson();
+            csv ? report.toCsv() : report.toJson(host_timing);
         std::FILE *f = std::fopen(out_path.c_str(), "w");
         if (!f)
             die("cannot open '" + out_path + "' for writing");
@@ -164,6 +167,7 @@ main(int argc, char **argv)
     std::uint64_t instructions = 2'000'000;
     bool clusters_set = false;
     bool json = false;
+    bool host_timing = false;
     unsigned clusters = 4;
     std::string campaign_matrix;
     bool campaign_set = false;
@@ -262,6 +266,8 @@ main(int argc, char **argv)
             out_path = next_arg(i);
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--host-timing") {
+            host_timing = true;
         } else if (arg == "--trace") {
             cfg.debug.pipelineTracePath = next_arg(i);
         } else if (arg == "--trace-cycles") {
@@ -307,7 +313,8 @@ main(int argc, char **argv)
         options.intervalDir = interval_stats;
         if (!interval_stats.empty())
             options.intervalCycles = interval_cycles;
-        return runCampaignMode(campaign_matrix, options, out_path);
+        return runCampaignMode(campaign_matrix, options, out_path,
+                               host_timing);
     }
 
     if (clusters_set) {
@@ -335,9 +342,13 @@ main(int argc, char **argv)
         CtcpSimulator sim(cfg, prog);
         SimResult r = sim.run();
         if (json)
-            std::printf("%s", r.toJson().c_str());
+            std::printf("%s", r.toJson(host_timing).c_str());
         else
             std::printf("%s", r.statsText.c_str());
+        if (host_timing && !json)
+            std::fprintf(stderr,
+                         "host: %.3fs, %.0f sim insts/s\n",
+                         r.hostSeconds, r.simInstsPerHostSecond());
     } catch (const std::exception &e) {
         die(e.what());
     }

@@ -3,9 +3,12 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <vector>
 
+#include "campaign/journal.hh"
 #include "campaign/work_queue.hh"
 #include "common/logging.hh"
 #include "core/simulator.hh"
@@ -122,6 +125,12 @@ sanitizeLabel(const std::string &label)
     return out.empty() ? "job" : out;
 }
 
+std::string
+jobFileStem(const std::string &label, std::size_t index)
+{
+    return sanitizeLabel(label) + "-" + std::to_string(index);
+}
+
 Job
 makeJob(std::string label, std::string benchmark, SimConfig config)
 {
@@ -178,11 +187,22 @@ Report::toJson(bool include_host_timing) const
                "\",\n";
         if (job.ok()) {
             out += "      \"status\": \"ok\",\n";
+            // Only emitted when a retry happened: first-try successes
+            // keep the exact bytes of the pre-retry format (the
+            // golden-stats contract).
+            if (job.attempts > 1)
+                out += "      \"attempts\": " +
+                       std::to_string(job.attempts) + ",\n";
             out += "      \"metrics\": " +
                    indentBlock(job.result.toJson(include_host_timing),
                                "      ") + "\n";
         } else {
             out += "      \"status\": \"failed\",\n";
+            out += "      \"category\": \"";
+            out += errorCategoryName(job.category);
+            out += "\",\n";
+            out += "      \"attempts\": " +
+                   std::to_string(job.attempts) + ",\n";
             out += "      \"error\": \"" + jsonEscape(job.error) +
                    "\"\n";
         }
@@ -227,11 +247,99 @@ progressToStderr(const std::string &line)
     std::fprintf(stderr, "%s\n", line.c_str());
 }
 
+namespace {
+
+/** One simulation attempt; fills @p out with the outcome. */
+void
+runAttempt(const Job &job, std::size_t index, const Options &options,
+           JobOutcome &out)
+{
+    // "Building" distinguishes workload faults (bad benchmark, a
+    // throwing builder) from simulator faults when a generic
+    // exception carries no category of its own.
+    bool building = true;
+    try {
+        // The Program is built inside the worker — and rebuilt on
+        // every retry: builders seed their own Rng locally, so jobs
+        // share no RNG state and an attempt starts from scratch.
+        Program program = job.builder
+            ? job.builder()
+            : workloads::build(job.benchmark);
+        building = false;
+        // Per-job telemetry: overlay the campaign-wide output
+        // directories onto the job's own config (which wins when
+        // it already names a path).
+        SimConfig config = job.config;
+        const std::string stem = jobFileStem(job.label, index);
+        if (!options.traceEventsDir.empty() &&
+            config.obs.traceEventsPath.empty()) {
+            config.obs.traceEventsPath =
+                options.traceEventsDir + "/" + stem + ".trace.json";
+            if (config.obs.traceFilter.empty())
+                config.obs.traceFilter = options.traceFilter;
+        }
+        if (!options.intervalDir.empty() &&
+            options.intervalCycles > 0 &&
+            config.obs.intervalPath.empty()) {
+            config.obs.intervalPath =
+                options.intervalDir + "/" + stem + ".intervals.csv";
+            config.obs.intervalCycles = options.intervalCycles;
+        }
+        // Campaign-wide deadline; a job-level deadline wins.
+        if (config.deadlineSeconds <= 0.0 &&
+            options.jobDeadlineSeconds > 0.0)
+            config.deadlineSeconds = options.jobDeadlineSeconds;
+        CtcpSimulator sim(config, program);
+        out.result = sim.run();
+        out.status = JobStatus::Ok;
+        out.error.clear();
+    } catch (const SimError &e) {
+        out.status = JobStatus::Failed;
+        out.category = e.category();
+        out.error = e.what();
+    } catch (const std::exception &e) {
+        out.status = JobStatus::Failed;
+        out.category = building ? ErrorCategory::Workload
+                                : ErrorCategory::Internal;
+        out.error = e.what();
+    } catch (...) {
+        out.status = JobStatus::Failed;
+        out.category = building ? ErrorCategory::Workload
+                                : ErrorCategory::Internal;
+        out.error = "unknown exception";
+    }
+}
+
+} // namespace
+
 Report
 runCampaign(const std::vector<Job> &jobs, const Options &options)
 {
     Report report;
     report.jobs.resize(jobs.size());
+
+    // Checkpoint/resume: replay outcomes an earlier (killed) run of
+    // the same campaign already journalled, then append new ones.
+    std::vector<char> replayed(jobs.size(), 0);
+    std::unique_ptr<JournalWriter> journal;
+    if (!options.journalPath.empty()) {
+        for (JournalRecord &rec : loadJournal(options.journalPath)) {
+            if (rec.index >= jobs.size() ||
+                rec.outcome.label != jobs[rec.index].label) {
+                ctcp_warn("journal %s: record '%s' (index %zu) does "
+                          "not match this campaign; ignored",
+                          options.journalPath.c_str(),
+                          rec.outcome.label.c_str(), rec.index);
+                continue;
+            }
+            report.jobs[rec.index] = std::move(rec.outcome);
+            replayed[rec.index] = 1;
+        }
+        journal = std::make_unique<JournalWriter>(options.journalPath);
+    }
+
+    const unsigned max_attempts = options.maxAttempts ?
+        options.maxAttempts : 1;
 
     std::atomic<std::size_t> finished{0};
     std::mutex progress_mutex;
@@ -240,42 +348,19 @@ runCampaign(const std::vector<Job> &jobs, const Options &options)
     pool.run(jobs.size(), [&](std::size_t i) {
         const Job &job = jobs[i];
         JobOutcome &out = report.jobs[i];
-        out.label = job.label;
-        out.benchmark = job.benchmark;
-        try {
-            // The Program is built inside the worker: builders seed
-            // their own Rng locally, so jobs share no RNG state.
-            Program program = job.builder
-                ? job.builder()
-                : workloads::build(job.benchmark);
-            // Per-job telemetry: overlay the campaign-wide output
-            // directories onto the job's own config (which wins when
-            // it already names a path).
-            SimConfig config = job.config;
-            const std::string stem = sanitizeLabel(job.label);
-            if (!options.traceEventsDir.empty() &&
-                config.obs.traceEventsPath.empty()) {
-                config.obs.traceEventsPath =
-                    options.traceEventsDir + "/" + stem + ".trace.json";
-                if (config.obs.traceFilter.empty())
-                    config.obs.traceFilter = options.traceFilter;
+        const bool from_journal = replayed[i];
+        if (!from_journal) {
+            out.label = job.label;
+            out.benchmark = job.benchmark;
+            for (unsigned attempt = 1; ; ++attempt) {
+                out.attempts = attempt;
+                runAttempt(job, i, options, out);
+                if (out.ok() || attempt >= max_attempts ||
+                    !errorCategoryRetryable(out.category))
+                    break;
             }
-            if (!options.intervalDir.empty() &&
-                options.intervalCycles > 0 &&
-                config.obs.intervalPath.empty()) {
-                config.obs.intervalPath =
-                    options.intervalDir + "/" + stem + ".intervals.csv";
-                config.obs.intervalCycles = options.intervalCycles;
-            }
-            CtcpSimulator sim(config, program);
-            out.result = sim.run();
-            out.status = JobStatus::Ok;
-        } catch (const std::exception &e) {
-            out.status = JobStatus::Failed;
-            out.error = e.what();
-        } catch (...) {
-            out.status = JobStatus::Failed;
-            out.error = "unknown exception";
+            if (journal)
+                journal->append(i, out);
         }
         const std::size_t done =
             finished.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -284,7 +369,9 @@ runCampaign(const std::vector<Job> &jobs, const Options &options)
             options.progress(
                 "[" + std::to_string(done) + "/" +
                 std::to_string(jobs.size()) + "] " + out.label + ": " +
-                (out.ok() ? "ok" : "FAILED (" + out.error + ")"));
+                (out.ok()
+                     ? (from_journal ? "ok (journal)" : "ok")
+                     : "FAILED (" + out.error + ")"));
         }
     });
     return report;

@@ -13,7 +13,12 @@
  *    byte-identical for any worker count.
  *  - Failure isolation: a job whose builder or simulation throws is
  *    recorded as a per-job error in the report; the remaining jobs
- *    still run to completion.
+ *    still run to completion. Failures carry an ErrorCategory, and
+ *    retryable ones can be re-attempted (Options::maxAttempts).
+ *  - Crash safety: with Options::journalPath set, completed outcomes
+ *    are checkpointed to an append-only journal and replayed on
+ *    restart (campaign/journal.hh), so a killed campaign resumes
+ *    without re-running finished jobs.
  */
 
 #ifndef CTCPSIM_CAMPAIGN_CAMPAIGN_HH
@@ -24,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_error.hh"
 #include "config/sim_config.hh"
 #include "core/sim_result.hh"
 #include "prog/program.hh"
@@ -67,6 +73,10 @@ struct JobOutcome
     SimResult result;
     /** Diagnostic when status == Failed. */
     std::string error;
+    /** Failure taxonomy bucket (meaningful when status == Failed). */
+    ErrorCategory category = ErrorCategory::Internal;
+    /** How many times the job ran (> 1 after a retried failure). */
+    unsigned attempts = 1;
 
     bool ok() const { return status == JobStatus::Ok; }
 };
@@ -110,19 +120,40 @@ struct Options
     // ---- Per-job telemetry (src/obs) -----------------------------------
     /**
      * When non-empty, every job additionally writes Chrome trace_event
-     * JSON to <traceEventsDir>/<sanitized-label>.trace.json. A job
-     * whose config already names a trace path keeps it.
+     * JSON to <traceEventsDir>/<jobFileStem>.trace.json. A job whose
+     * config already names a trace path keeps it.
      */
     std::string traceEventsDir;
     /** Event-kind filter applied with traceEventsDir (see ObsSink). */
     std::string traceFilter;
     /**
      * When non-empty (and intervalCycles > 0), every job writes an
-     * interval CSV to <intervalDir>/<sanitized-label>.intervals.csv.
+     * interval CSV to <intervalDir>/<jobFileStem>.intervals.csv.
      */
     std::string intervalDir;
     /** Interval sampling period for intervalDir output. */
     std::uint64_t intervalCycles = 0;
+
+    // ---- Robustness ----------------------------------------------------
+    /**
+     * Cooperative per-job wall-clock deadline in seconds (0 = none).
+     * Applied to jobs whose config sets no deadline of its own; an
+     * overrunning job fails with category Timeout.
+     */
+    double jobDeadlineSeconds = 0.0;
+    /**
+     * Total attempts per job (>= 1). A job that fails with a
+     * retryable category (see errorCategoryRetryable) is re-run —
+     * with a freshly built Program — up to this many times; the
+     * report records the last outcome and the attempt count.
+     */
+    unsigned maxAttempts = 1;
+    /**
+     * When non-empty, completed outcomes are appended to this JSONL
+     * journal as they finish, and outcomes already recorded there are
+     * replayed (their jobs skipped) on start — see campaign/journal.hh.
+     */
+    std::string journalPath;
 };
 
 /**
@@ -135,6 +166,14 @@ unsigned parseWorkerCount(const std::string &text);
 
 /** Filesystem-safe form of a job label ('/' and friends become '_'). */
 std::string sanitizeLabel(const std::string &label);
+
+/**
+ * Per-job output-file stem: the sanitized label suffixed with the
+ * submission index. Distinct jobs always get distinct stems, even
+ * when sanitization makes their labels collide (e.g. "gzip/fdrt" and
+ * "gzip_fdrt" both sanitize to "gzip_fdrt").
+ */
+std::string jobFileStem(const std::string &label, std::size_t index);
 
 /** Write "[k/n] label: ok" lines to stderr (an Options::progress). */
 void progressToStderr(const std::string &line);

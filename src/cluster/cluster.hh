@@ -39,6 +39,11 @@ namespace ctcp {
 
 class ObsSink;
 
+namespace verify {
+class FaultInjector;
+class InvariantChecker;
+} // namespace verify
+
 /** Reservation-station classes within a cluster. */
 enum class StationKind : std::uint8_t
 {
@@ -236,6 +241,11 @@ class Cluster
     void setObs(ObsSink *obs) { obs_ = obs; }
 
   private:
+    // The invariant checker walks the scheduler lists read-only; the
+    // fault injector corrupts resident instructions in tests.
+    friend class verify::InvariantChecker;
+    friend class verify::FaultInjector;
+
     /** Record/unlink/count bookkeeping after a successful dispatch. */
     void finishDispatch(TimedInst *inst, Cycle now);
 

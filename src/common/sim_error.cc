@@ -1,0 +1,30 @@
+#include "common/sim_error.hh"
+
+namespace ctcp {
+
+const char *
+errorCategoryName(ErrorCategory category)
+{
+    switch (category) {
+      case ErrorCategory::Config:    return "config";
+      case ErrorCategory::Workload:  return "workload";
+      case ErrorCategory::Timeout:   return "timeout";
+      case ErrorCategory::Hang:      return "hang";
+      case ErrorCategory::Invariant: return "invariant";
+      case ErrorCategory::Internal:  return "internal";
+    }
+    return "internal";
+}
+
+ErrorCategory
+errorCategoryFromName(const std::string &name)
+{
+    if (name == "config")    return ErrorCategory::Config;
+    if (name == "workload")  return ErrorCategory::Workload;
+    if (name == "timeout")   return ErrorCategory::Timeout;
+    if (name == "hang")      return ErrorCategory::Hang;
+    if (name == "invariant") return ErrorCategory::Invariant;
+    return ErrorCategory::Internal;
+}
+
+} // namespace ctcp

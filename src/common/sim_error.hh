@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Structured simulation errors.
+ *
+ * Everything that can go wrong in a run or a campaign job is classified
+ * into a small taxonomy so callers (the campaign retry policy, the
+ * journal, the CLI exit code) can react by category instead of string
+ * matching:
+ *
+ *   Config    — the machine configuration is invalid. Not retryable;
+ *               rerunning the same setup fails identically.
+ *   Workload  — the workload could not be built (unknown benchmark,
+ *               throwing builder). Retryable: builders may touch
+ *               external state.
+ *   Timeout   — the job exceeded its cooperative wall-clock deadline.
+ *               Retryable (the host may simply have been loaded).
+ *   Hang      — the forward-progress watchdog fired: no instruction
+ *               retired for the configured number of cycles. Retryable
+ *               in the campaign sense, though a deterministic hang will
+ *               recur.
+ *   Invariant — the invariant checker caught derived state (cached
+ *               readyAt, scheduler lists, store window, trace-line
+ *               permutations...) diverging from first principles. A
+ *               simulator bug; never retried, so the report keeps the
+ *               first observed corruption.
+ *   Internal  — any other exception escaping the simulation proper.
+ */
+
+#ifndef CTCPSIM_COMMON_SIM_ERROR_HH
+#define CTCPSIM_COMMON_SIM_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ctcp {
+
+/** Failure taxonomy for runs and campaign jobs. */
+enum class ErrorCategory : std::uint8_t
+{
+    Config = 0,
+    Workload,
+    Timeout,
+    Hang,
+    Invariant,
+    Internal,
+};
+
+/** Stable lower-case name ("config", "workload", ...). */
+const char *errorCategoryName(ErrorCategory category);
+
+/**
+ * Parse a category name back (journal replay). Returns Internal for
+ * unrecognized text, so a journal from a newer build still loads.
+ */
+ErrorCategory errorCategoryFromName(const std::string &name);
+
+/** Is a failure of this category worth retrying (Options::maxAttempts)? */
+constexpr bool
+errorCategoryRetryable(ErrorCategory category)
+{
+    return category != ErrorCategory::Config &&
+           category != ErrorCategory::Invariant;
+}
+
+/** An error with a failure category attached. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorCategory category, const std::string &what)
+        : std::runtime_error(what), category_(category)
+    {}
+
+    ErrorCategory category() const { return category_; }
+
+  private:
+    ErrorCategory category_;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_COMMON_SIM_ERROR_HH

@@ -2,6 +2,7 @@
 
 #include "common/bitutil.hh"
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 
 namespace ctcp {
 
@@ -17,42 +18,50 @@ assignStrategyName(AssignStrategy s)
     return "unknown";
 }
 
+// Configuration errors throw (SimError, category Config) instead of
+// exiting: a campaign job with a bad config must fail in isolation, and
+// the CLI maps the category to exit code 2.
+#define config_error(...) \
+    throw SimError(ErrorCategory::Config, ::ctcp::detail::format(__VA_ARGS__))
+
 void
 SimConfig::validate() const
 {
     if (cluster.numClusters == 0 || cluster.numClusters > 8)
-        ctcp_fatal("numClusters must be in 1..8 (got %u)",
-                   cluster.numClusters);
+        config_error("numClusters must be in 1..8 (got %u)",
+                     cluster.numClusters);
     if (cluster.clusterWidth == 0)
-        ctcp_fatal("clusterWidth must be positive");
+        config_error("clusterWidth must be positive");
     if (cluster.rsEntries == 0 || cluster.rsWritePorts == 0)
-        ctcp_fatal("reservation stations need entries and write ports");
+        config_error("reservation stations need entries and write ports");
     if (cluster.bus && cluster.busBandwidth == 0)
-        ctcp_fatal("bus interconnect needs bandwidth of at least one");
+        config_error("bus interconnect needs bandwidth of at least one");
     if (cluster.bus && cluster.mesh)
-        ctcp_fatal("bus and mesh interconnects are mutually exclusive");
+        config_error("bus and mesh interconnects are mutually exclusive");
     if (frontEnd.fetchWidth != machineWidth())
-        ctcp_fatal("fetchWidth (%u) must equal numClusters*clusterWidth (%u)",
-                   frontEnd.fetchWidth, machineWidth());
+        config_error("fetchWidth (%u) must equal numClusters*clusterWidth (%u)",
+                     frontEnd.fetchWidth, machineWidth());
     if (frontEnd.traceCache.maxInsts != frontEnd.fetchWidth)
-        ctcp_fatal("trace line size (%u) must equal fetchWidth (%u)",
-                   frontEnd.traceCache.maxInsts, frontEnd.fetchWidth);
+        config_error("trace line size (%u) must equal fetchWidth (%u)",
+                     frontEnd.traceCache.maxInsts, frontEnd.fetchWidth);
     if (!isPowerOfTwo(frontEnd.traceCache.entries) ||
         frontEnd.traceCache.assoc == 0 ||
         frontEnd.traceCache.entries % frontEnd.traceCache.assoc != 0)
-        ctcp_fatal("trace cache geometry invalid");
+        config_error("trace cache geometry invalid");
     if (!isPowerOfTwo(mem.l1dSets) || !isPowerOfTwo(mem.l2Sets))
-        ctcp_fatal("cache set counts must be powers of two");
+        config_error("cache set counts must be powers of two");
     if (!isPowerOfTwo(bpred.gshareEntries) ||
         !isPowerOfTwo(bpred.bimodalEntries) ||
         !isPowerOfTwo(bpred.chooserEntries))
-        ctcp_fatal("predictor table sizes must be powers of two");
+        config_error("predictor table sizes must be powers of two");
     if (core.robEntries == 0 || core.retireWidth == 0)
-        ctcp_fatal("ROB and retire width must be positive");
+        config_error("ROB and retire width must be positive");
     if (mem.storeBufferEntries == 0 || mem.loadQueueEntries == 0)
-        ctcp_fatal("store buffer and load queue must be non-empty");
+        config_error("store buffer and load queue must be non-empty");
     if (frontEnd.traceCache.maxBlocks == 0)
-        ctcp_fatal("trace lines must allow at least one basic block");
+        config_error("trace lines must allow at least one basic block");
+    if (deadlineSeconds < 0.0)
+        config_error("deadlineSeconds must be non-negative");
 }
 
 } // namespace ctcp

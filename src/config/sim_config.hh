@@ -235,7 +235,31 @@ struct SimConfig
     /** Stop after this many committed instructions (0 = run to Halt). */
     std::uint64_t instructionLimit = 2'000'000;
 
-    /** Consistency-check the configuration; fatal()s on invalid setups. */
+    /**
+     * Invariant-checker level (src/verify): 0 = off (no per-cycle cost
+     * beyond one null-pointer test), >= 1 = revalidate the scheduler's
+     * derived state against first principles every cycle and throw
+     * SimError(Invariant) on the first divergence.
+     */
+    unsigned checkLevel = 0;
+
+    /**
+     * Forward-progress watchdog: if no instruction retires for this
+     * many cycles, the run dumps a pipeline snapshot and throws
+     * SimError(Hang). 0 disables the watchdog entirely.
+     */
+    std::uint64_t watchdogCycles = 1'000'000;
+
+    /**
+     * Cooperative wall-clock deadline for one run, checked at cycle
+     * boundaries; exceeding it throws SimError(Timeout). 0 = none.
+     */
+    double deadlineSeconds = 0.0;
+
+    /**
+     * Consistency-check the configuration.
+     * @throws SimError (category Config) on invalid setups
+     */
     void validate() const;
 
     /** Total issue slots per cycle (numClusters * clusterWidth). */

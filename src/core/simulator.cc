@@ -7,9 +7,11 @@
 #include "assign/fdrt_assignment.hh"
 #include "assign/friendly_assignment.hh"
 #include "common/logging.hh"
+#include "common/sim_error.hh"
 #include "obs/sink.hh"
 #include "obs/writers.hh"
 #include "stats/interval.hh"
+#include "verify/invariant_checker.hh"
 
 namespace ctcp {
 
@@ -122,6 +124,15 @@ CtcpSimulator::CtcpSimulator(const SimConfig &cfg, const Program &program)
                        cfg_.debug.pipelineTracePath.c_str());
         std::fprintf(traceFile_,
                      "# cycle stage seq pc cluster slot detail\n");
+    }
+
+    if (cfg_.checkLevel > 0) {
+        checker_ = std::make_unique<verify::InvariantChecker>(
+            cfg_.checkLevel, cfg_.cluster.numClusters,
+            cfg_.cluster.clusterWidth);
+        // Also validate every trace line's slot permutation as the
+        // fill unit constructs it.
+        fillUnit_->setObserver(checker_.get());
     }
 
     setupObservability();
@@ -419,6 +430,8 @@ CtcpSimulator::doCompletions()
 void
 CtcpSimulator::doRetire()
 {
+    if (faultStallRetire_)
+        return;   // injected retirement stall (watchdog tests)
     for (unsigned n = 0; n < cfg_.core.retireWidth && !rob_.empty(); ++n) {
         TimedInst *head = rob_.front().get();
         if (!head->completed)
@@ -664,6 +677,8 @@ CtcpSimulator::step()
     ++cycle_;
     if (interval_ && interval_->due(cycle_))
         interval_->sample(cycle_);
+    if (checker_)
+        checker_->checkCycle(*this);
 }
 
 bool
@@ -674,20 +689,101 @@ CtcpSimulator::done()
     return fetch_->streamEnded() && fetchQueue_.empty() && rob_.empty();
 }
 
+void
+CtcpSimulator::dumpPipelineSnapshot(const char *reason)
+{
+    ctcp_warn("pipeline snapshot (%s): cycle %llu, %llu retired, "
+              "rob %zu/%zu, fetch queue %zu groups, %zu in-flight "
+              "stores, %zu pending completions", reason,
+              static_cast<unsigned long long>(cycle_),
+              static_cast<unsigned long long>(retired_),
+              rob_.size(), rob_.capacity(), fetchQueue_.size(),
+              storeWindow_.size(), completions_.size());
+    if (!rob_.empty()) {
+        const TimedInst &head = *rob_.front();
+        ctcp_warn("  rob head: seq %llu pc %llu cluster %d "
+                  "issued=%d dispatched=%d completed=%d readyAt=%llu "
+                  "pendingProducers=%u",
+                  static_cast<unsigned long long>(head.dyn.seq),
+                  static_cast<unsigned long long>(head.dyn.pc),
+                  static_cast<int>(head.cluster), head.issued ? 1 : 0,
+                  head.dispatched ? 1 : 0, head.completed ? 1 : 0,
+                  static_cast<unsigned long long>(head.readyAt),
+                  head.pendingProducers);
+    }
+    for (std::size_t c = 0; c < clusters_.size(); ++c)
+        ctcp_warn("  cluster %zu: occupancy %zu", c,
+                  clusters_[c].occupancy());
+
+    if (!obs_)
+        return;
+    // The same snapshot as events, so a --trace-events file of a hung
+    // run ends with the pipeline state that stopped retiring.
+    auto snap = [this](const char *label, std::int64_t occupancy,
+                       std::int64_t detail) {
+        ObsEvent ev;
+        ev.cycle = cycle_;
+        ev.kind = ObsKind::Snapshot;
+        ev.label = label;
+        ev.arg0 = occupancy;
+        ev.arg1 = detail;
+        obs_->record(ev);
+    };
+    snap("rob", static_cast<std::int64_t>(rob_.size()),
+         rob_.empty() ? 0
+                      : static_cast<std::int64_t>(rob_.front()->dyn.seq));
+    snap("retired", static_cast<std::int64_t>(retired_), 0);
+    snap("fetch-queue", static_cast<std::int64_t>(fetchQueue_.size()), 0);
+    snap("store-window", static_cast<std::int64_t>(storeWindow_.size()),
+         0);
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        ObsEvent ev;
+        ev.cycle = cycle_;
+        ev.kind = ObsKind::Snapshot;
+        ev.label = "cluster-occupancy";
+        ev.cluster = static_cast<ClusterId>(c);
+        ev.arg0 = static_cast<std::int64_t>(clusters_[c].occupancy());
+        obs_->record(ev);
+    }
+    obs_->flush();
+}
+
 SimResult
 CtcpSimulator::run()
 {
     const auto host_start = std::chrono::steady_clock::now();
-    // Generous watchdog: any real run retires far faster than this.
-    const Cycle max_cycles = 1000ull +
-        200ull * (cfg_.instructionLimit ? cfg_.instructionLimit
-                                        : 100'000'000ull);
+    const Cycle watchdog = cfg_.watchdogCycles;
+    std::uint64_t last_retired = retired_;
+    Cycle last_progress = cycle_;
     while (!done()) {
         step();
-        if (cycle_ > max_cycles)
-            ctcp_panic("simulation wedged: %llu cycles, %llu retired",
-                       static_cast<unsigned long long>(cycle_),
-                       static_cast<unsigned long long>(retired_));
+        // Forward-progress watchdog: a pipeline that stops retiring is
+        // wedged (a deadlocked dependence, a scheduler bug); abort with
+        // a diagnosable snapshot instead of spinning forever.
+        if (retired_ != last_retired) {
+            last_retired = retired_;
+            last_progress = cycle_;
+        } else if (watchdog > 0 && cycle_ - last_progress >= watchdog) {
+            dumpPipelineSnapshot("watchdog");
+            throw SimError(ErrorCategory::Hang, detail::format(
+                "no instruction retired for %llu cycles (cycle %llu, "
+                "%llu retired)",
+                static_cast<unsigned long long>(watchdog),
+                static_cast<unsigned long long>(cycle_),
+                static_cast<unsigned long long>(retired_)));
+        }
+        // Cooperative deadline, checked every 4096 cycles so the
+        // steady-clock read stays off the per-cycle path.
+        if (cfg_.deadlineSeconds > 0.0 && (cycle_ & 4095u) == 0) {
+            const double elapsed = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - host_start).count();
+            if (elapsed > cfg_.deadlineSeconds)
+                throw SimError(ErrorCategory::Timeout, detail::format(
+                    "run exceeded its %.3fs deadline (%.3fs elapsed, "
+                    "cycle %llu, %llu retired)", cfg_.deadlineSeconds,
+                    elapsed, static_cast<unsigned long long>(cycle_),
+                    static_cast<unsigned long long>(retired_)));
+        }
     }
     hostSeconds_ = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - host_start).count();

@@ -48,6 +48,11 @@ class FdrtAssignment;
 class IntervalRecorder;
 class ObsSink;
 
+namespace verify {
+class FaultInjector;
+class InvariantChecker;
+} // namespace verify
+
 /** Cycle-level clustered trace cache processor simulator. */
 class CtcpSimulator
 {
@@ -82,6 +87,11 @@ class CtcpSimulator
     const ObsSink *obs() const { return obs_.get(); }
 
   private:
+    // The invariant checker revalidates private derived state against
+    // first principles; the fault injector corrupts it in tests.
+    friend class verify::InvariantChecker;
+    friend class verify::FaultInjector;
+
     /** Build the ObsSink / IntervalRecorder from cfg_.obs and wire
      *  every instrumented component. Throws std::runtime_error on an
      *  unwritable output path (campaign jobs fail in isolation). */
@@ -198,6 +208,18 @@ class CtcpSimulator
     // Observability (src/obs): null unless cfg.obs requests output.
     std::unique_ptr<ObsSink> obs_;
     std::unique_ptr<IntervalRecorder> interval_;
+
+    // Robustness (src/verify): null unless cfg.checkLevel > 0.
+    std::unique_ptr<verify::InvariantChecker> checker_;
+    /** Test-only fault: doRetire() retires nothing while set. */
+    bool faultStallRetire_ = false;
+
+    /**
+     * Describe the stuck pipeline (ROB head, cluster occupancies, fetch
+     * queue, store window) to stderr and — when tracing is on — as
+     * Snapshot events through the obs sink, before a Hang abort.
+     */
+    void dumpPipelineSnapshot(const char *reason);
 
     // Pipeline tracing (DebugConfig): one line per pipeline event for
     // the first debug.traceCycles cycles.

@@ -33,6 +33,10 @@
 
 namespace ctcp {
 
+namespace verify {
+class InvariantChecker;
+} // namespace verify
+
 /** In-flight store window with dispatch-prefix and address indexes. */
 class StoreWindow
 {
@@ -64,6 +68,9 @@ class StoreWindow
     std::size_t size() const { return window_.size(); }
 
   private:
+    /** Read-only cursor/index revalidation (src/verify). */
+    friend class verify::InvariantChecker;
+
     /** All in-flight stores, ascending dyn.seq. */
     std::deque<TimedInst *> window_;
     /** window_[0 .. resolvedPrefix_) are known dispatched. */

@@ -25,6 +25,9 @@
  *   Flush       seq/pc of the mispredicted branch; arg0 = fetch resume cycle
  *   Mem         arg0 = byte address; arg1 = service level (0 = store
  *               forward, 1 = L1, 2 = L2, 3 = memory); dur = load latency
+ *   Snapshot    pipeline-state dump before a watchdog abort; label names
+ *               the structure ("rob", "fetch-queue", ...), arg0 = its
+ *               occupancy, arg1 = structure-specific detail
  */
 
 #ifndef CTCPSIM_OBS_EVENT_HH
@@ -53,6 +56,7 @@ enum class ObsKind : std::uint8_t
     Retire,
     Flush,
     Mem,
+    Snapshot,
     NumKinds,
 };
 

@@ -22,6 +22,7 @@ obsKindName(ObsKind kind)
       case ObsKind::Retire:     return "retire";
       case ObsKind::Flush:      return "flush";
       case ObsKind::Mem:        return "mem";
+      case ObsKind::Snapshot:   return "snapshot";
       case ObsKind::NumKinds:   break;
     }
     return "unknown";
@@ -70,7 +71,7 @@ ObsSink::parseFilter(const std::string &spec)
                 "unknown trace event kind '" + name +
                 "' (kinds: fetch, tc-hit, tc-miss, trace-build, assign, "
                 "rename, issue, execute, forward, complete, retire, "
-                "flush, mem)");
+                "flush, mem, snapshot)");
         start = end + 1;
         if (end == spec.size())
             break;

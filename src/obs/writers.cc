@@ -7,15 +7,6 @@ namespace ctcp {
 
 namespace {
 
-std::FILE *
-openOrThrow(const std::string &path)
-{
-    std::FILE *file = std::fopen(path.c_str(), "w");
-    if (!file)
-        throw std::runtime_error("cannot open trace output '" + path + "'");
-    return file;
-}
-
 /** Chrome trace track for an event kind. */
 int
 tidFor(const ObsEvent &event)
@@ -39,13 +30,21 @@ tidFor(const ObsEvent &event)
 } // namespace
 
 ChromeTraceWriter::ChromeTraceWriter(const std::string &path)
-    : file_(openOrThrow(path))
+    : out_(path), file_(out_.stream())
 {
 }
 
 ChromeTraceWriter::~ChromeTraceWriter()
 {
-    end();
+    // Publish the trace even when the simulation threw: end() writes
+    // the trailer first, so the committed file is always well-formed.
+    // Only an unclean process death (SIGKILL, crash) skips this, and
+    // then the uncommitted .tmp leaves the old target untouched.
+    try {
+        end();
+    } catch (...) {
+        // Commit failure during unwind: keep the previous trace.
+    }
 }
 
 void
@@ -148,18 +147,22 @@ ChromeTraceWriter::end()
         return;
     ended_ = true;
     std::fputs("\n]}\n", file_);
-    std::fclose(file_);
     file_ = nullptr;
+    out_.commit();
 }
 
 ObsTextWriter::ObsTextWriter(const std::string &path)
-    : file_(openOrThrow(path))
+    : out_(path), file_(out_.stream())
 {
 }
 
 ObsTextWriter::~ObsTextWriter()
 {
-    end();
+    try {
+        end();
+    } catch (...) {
+        // Commit failure during unwind: keep the previous trace.
+    }
 }
 
 void
@@ -224,8 +227,8 @@ ObsTextWriter::end()
     if (ended_)
         return;
     ended_ = true;
-    std::fclose(file_);
     file_ = nullptr;
+    out_.commit();
 }
 
 } // namespace ctcp

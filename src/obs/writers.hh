@@ -17,6 +17,11 @@
  * Both open their file on construction and throw std::runtime_error on
  * failure (a campaign job with an unwritable telemetry path fails in
  * isolation instead of killing the process).
+ *
+ * Output is crash-safe: events are staged in "<path>.tmp" and the
+ * file is renamed over the target only when end() finishes writing
+ * the trailer. A process killed mid-run leaves any previous trace at
+ * the target path intact instead of a truncated, unloadable one.
  */
 
 #ifndef CTCPSIM_OBS_WRITERS_HH
@@ -26,6 +31,7 @@
 #include <set>
 #include <string>
 
+#include "common/atomic_file.hh"
 #include "obs/sink.hh"
 
 namespace ctcp {
@@ -44,7 +50,8 @@ class ChromeTraceWriter : public ObsWriter
   private:
     void nameThread(int tid, const char *name);
 
-    std::FILE *file_;
+    AtomicFile out_;
+    std::FILE *file_; ///< out_'s staging stream
     bool first_ = true;
     bool ended_ = false;
     std::set<int> namedTids_;
@@ -62,7 +69,8 @@ class ObsTextWriter : public ObsWriter
     void end() override;
 
   private:
-    std::FILE *file_;
+    AtomicFile out_;
+    std::FILE *file_; ///< out_'s staging stream
     bool ended_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "common/atomic_file.hh"
 #include "common/logging.hh"
 
 namespace ctcp {
@@ -123,15 +124,11 @@ IntervalRecorder::toJson() const
 void
 IntervalRecorder::writeFile(const std::string &path) const
 {
-    std::FILE *file = std::fopen(path.c_str(), "w");
-    if (!file)
-        throw std::runtime_error(
-            "cannot open interval stats output '" + path + "'");
     const bool json = path.size() >= 5 &&
         path.compare(path.size() - 5, 5, ".json") == 0;
-    const std::string body = json ? toJson() : toCsv();
-    std::fwrite(body.data(), 1, body.size(), file);
-    std::fclose(file);
+    // Staged + renamed: an interrupted run never leaves a truncated
+    // stats file at the target path.
+    atomicWriteFile(path, json ? toJson() : toCsv());
 }
 
 } // namespace ctcp

@@ -19,6 +19,10 @@ namespace ctcp {
 
 class ObsSink;
 
+namespace verify {
+class FaultInjector;
+} // namespace verify
+
 /**
  * Direction oracle used during lookup: returns the predicted direction
  * for the @p index-th embedded conditional branch (at @p branch_pc) of
@@ -73,6 +77,9 @@ class TraceCache
     std::uint64_t evictions() const { return evicts_.value(); }
 
   private:
+    /** Corrupts resident lines for the robustness tests (src/verify). */
+    friend class verify::FaultInjector;
+
     unsigned setOf(Addr start_pc) const { return start_pc & (sets_ - 1); }
     TraceLine *wayArray(unsigned set)
     {

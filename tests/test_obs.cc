@@ -420,6 +420,8 @@ TEST(ObsTrace, EveryEventKindAppears)
     const std::string json = readFile(run.jsonPath);
     for (unsigned k = 0; k < numObsKinds; ++k) {
         const ObsKind kind = static_cast<ObsKind>(k);
+        if (kind == ObsKind::Snapshot)
+            continue; // only emitted by watchdog pipeline-state dumps
         const std::string cat =
             std::string("\"cat\":\"") + obsKindName(kind) + "\"";
         EXPECT_NE(json.find(cat), std::string::npos) << obsKindName(kind);
@@ -634,7 +636,9 @@ TEST(ObsCampaign, UnwritableTelemetryPathFailsJobInIsolation)
     const campaign::Report report = campaign::runCampaign(jobs);
     EXPECT_EQ(report.failed(), 1u);
     EXPECT_FALSE(report.at("bad").ok());
-    EXPECT_NE(report.at("bad").error.find("cannot open trace output"),
+    EXPECT_NE(report.at("bad").error.find("cannot open"),
+              std::string::npos);
+    EXPECT_NE(report.at("bad").error.find("/no-such-dir-ctcp/"),
               std::string::npos);
     EXPECT_TRUE(report.at("good").ok());
 }

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/sim_error.hh"
 #include "config/presets.hh"
 #include "core/simulator.hh"
 #include "prog/builder.hh"
@@ -318,11 +319,11 @@ TEST(ConfigValidation, RejectsInconsistentGeometry)
 {
     SimConfig cfg = baseConfig();
     cfg.frontEnd.fetchWidth = 8;   // != numClusters * clusterWidth
-    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "fetchWidth");
+    EXPECT_THROW(cfg.validate(), SimError);
 
     SimConfig cfg2 = baseConfig();
     cfg2.frontEnd.traceCache.entries = 1000;   // not a power of two / assoc
-    EXPECT_EXIT(cfg2.validate(), ::testing::ExitedWithCode(1), "");
+    EXPECT_THROW(cfg2.validate(), SimError);
 }
 
 TEST(ConfigValidation, PresetsAreValid)
@@ -345,7 +346,7 @@ TEST(ConfigValidation, BusAndMeshAreExclusive)
 {
     SimConfig cfg = busConfig();
     cfg.cluster.mesh = true;
-    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+    EXPECT_THROW(cfg.validate(), SimError);
 }
 
 TEST(Simulator, BusSerializesBroadcasts)

@@ -16,6 +16,8 @@
 
 #include "campaign/campaign.hh"
 #include "campaign/matrix.hh"
+#include "common/atomic_file.hh"
+#include "common/sim_error.hh"
 #include "config/presets.hh"
 #include "core/simulator.hh"
 #include "obs/sink.hh"
@@ -86,6 +88,26 @@ usage(const char *prog)
         "                        (CSV when FILE ends in .csv, else\n"
         "                        JSON)\n"
         "\n"
+        "robustness:\n"
+        "  --check-invariants    revalidate pipeline invariants every\n"
+        "                        cycle (scheduler readiness, ROB order,\n"
+        "                        store window, trace lines); a\n"
+        "                        violation aborts the run. Slow; for\n"
+        "                        debugging and CI\n"
+        "  --watchdog N          abort (with a pipeline-state dump) if\n"
+        "                        no instruction retires for N cycles\n"
+        "                        (default 1000000; 0 disables)\n"
+        "  --deadline SECS       per-run wall-clock budget; overruns\n"
+        "                        fail with a timeout error (campaign\n"
+        "                        mode: applies to each job)\n"
+        "  --max-attempts N      campaign mode: re-run a job that\n"
+        "                        fails retryably up to N times\n"
+        "                        (default 1)\n"
+        "  --journal FILE        campaign mode: checkpoint finished\n"
+        "                        jobs to an append-only JSONL journal\n"
+        "                        and resume from it after a crash\n"
+        "                        (completed jobs are not re-run)\n"
+        "\n"
         "ablations (Figure 5):\n"
         "  --zero-fwd            no inter-cluster forwarding latency\n"
         "  --zero-crit-fwd       critical input forwards with no latency\n"
@@ -93,21 +115,35 @@ usage(const char *prog)
         "  --zero-inter-fwd      inter-trace forwards with no latency\n"
         "  --zero-rf             no register-file read latency\n"
         "\n"
-        "%s\n",
+        "%s\n"
+        "exit status:\n"
+        "  0  simulation (or every campaign job) succeeded\n"
+        "  1  the simulation failed, or at least one campaign job did\n"
+        "  2  usage or configuration error\n",
         prog, ctcp::campaign::matrixSyntaxHelp());
 }
 
+/** Usage / configuration error: exit status 2. */
 [[noreturn]] void
 die(const std::string &msg)
 {
     std::fprintf(stderr, "ctcpsim: %s (try --help)\n", msg.c_str());
-    std::exit(1);
+    std::exit(2);
 }
+
+/** Robustness knobs campaign jobs inherit from the command line. */
+struct RobustnessFlags
+{
+    unsigned checkLevel = 0;
+    bool watchdogSet = false;
+    std::uint64_t watchdogCycles = 0;
+};
 
 /** Run a --campaign matrix and export/print the aggregated report. */
 int
 runCampaignMode(const std::string &matrix, ctcp::campaign::Options options,
-                const std::string &out_path, bool host_timing)
+                const std::string &out_path, bool host_timing,
+                const RobustnessFlags &robust)
 {
     using namespace ctcp;
 
@@ -117,9 +153,22 @@ runCampaignMode(const std::string &matrix, ctcp::campaign::Options options,
     } catch (const std::invalid_argument &e) {
         die(e.what());
     }
+    for (campaign::Job &job : queue) {
+        if (robust.checkLevel > job.config.checkLevel)
+            job.config.checkLevel = robust.checkLevel;
+        if (robust.watchdogSet)
+            job.config.watchdogCycles = robust.watchdogCycles;
+    }
 
     options.progress = campaign::progressToStderr;
-    const campaign::Report report = campaign::runCampaign(queue, options);
+    campaign::Report report;
+    try {
+        report = campaign::runCampaign(queue, options);
+    } catch (const SimError &e) {
+        // Campaign-level SimErrors (e.g. an unopenable journal) are
+        // configuration problems; per-job errors never propagate here.
+        die(e.what());
+    }
 
     TextTable table({"job", "status", "cycles", "IPC", "% from TC"});
     for (const campaign::JobOutcome &job : report.jobs) {
@@ -141,13 +190,14 @@ runCampaignMode(const std::string &matrix, ctcp::campaign::Options options,
     if (!out_path.empty()) {
         const bool csv = out_path.size() >= 4 &&
             out_path.compare(out_path.size() - 4, 4, ".csv") == 0;
-        const std::string payload =
-            csv ? report.toCsv() : report.toJson(host_timing);
-        std::FILE *f = std::fopen(out_path.c_str(), "w");
-        if (!f)
-            die("cannot open '" + out_path + "' for writing");
-        std::fwrite(payload.data(), 1, payload.size(), f);
-        std::fclose(f);
+        try {
+            // Staged + renamed: a crash mid-export leaves any
+            // previous report intact, never a truncated one.
+            atomicWriteFile(out_path, csv ? report.toCsv()
+                                          : report.toJson(host_timing));
+        } catch (const std::exception &e) {
+            die(e.what());
+        }
         std::fprintf(stderr, "wrote %s results to %s\n",
                      csv ? "CSV" : "JSON", out_path.c_str());
     }
@@ -178,6 +228,10 @@ main(int argc, char **argv)
     std::string trace_filter;
     std::string interval_stats;
     std::uint64_t interval_cycles = 10'000;
+    RobustnessFlags robust;
+    double deadline_seconds = 0.0;
+    unsigned max_attempts = 1;
+    std::string journal_path;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -290,6 +344,25 @@ main(int argc, char **argv)
             interval_cycles = std::strtoull(next_arg(i), nullptr, 10);
             if (interval_cycles == 0)
                 die("--interval must be positive");
+        } else if (arg == "--check-invariants") {
+            robust.checkLevel = 1;
+        } else if (arg == "--watchdog") {
+            robust.watchdogCycles =
+                std::strtoull(next_arg(i), nullptr, 10);
+            robust.watchdogSet = true;
+        } else if (arg == "--deadline") {
+            char *end = nullptr;
+            const char *text = next_arg(i);
+            deadline_seconds = std::strtod(text, &end);
+            if (end == text || *end != '\0' || deadline_seconds < 0.0)
+                die(std::string("invalid --deadline '") + text + "'");
+        } else if (arg == "--max-attempts") {
+            max_attempts = static_cast<unsigned>(
+                std::strtoul(next_arg(i), nullptr, 10));
+            if (max_attempts == 0)
+                die("--max-attempts must be positive");
+        } else if (arg == "--journal") {
+            journal_path = next_arg(i);
         } else if (arg == "--zero-fwd") {
             cfg.ablation.zeroAllForwardLatency = true;
         } else if (arg == "--zero-crit-fwd") {
@@ -313,9 +386,14 @@ main(int argc, char **argv)
         options.intervalDir = interval_stats;
         if (!interval_stats.empty())
             options.intervalCycles = interval_cycles;
+        options.jobDeadlineSeconds = deadline_seconds;
+        options.maxAttempts = max_attempts;
+        options.journalPath = journal_path;
         return runCampaignMode(campaign_matrix, options, out_path,
-                               host_timing);
+                               host_timing, robust);
     }
+    if (!journal_path.empty())
+        die("--journal requires --campaign");
 
     if (clusters_set) {
         cfg.cluster.numClusters = clusters;
@@ -326,6 +404,10 @@ main(int argc, char **argv)
         cfg.core.retireWidth = cfg.frontEnd.fetchWidth;
     }
     cfg.instructionLimit = instructions;
+    cfg.checkLevel = robust.checkLevel;
+    if (robust.watchdogSet)
+        cfg.watchdogCycles = robust.watchdogCycles;
+    cfg.deadlineSeconds = deadline_seconds;
     cfg.obs.traceEventsPath = trace_events;
     cfg.obs.traceTextPath = trace_text;
     cfg.obs.traceFilter = trace_filter;
@@ -335,7 +417,11 @@ main(int argc, char **argv)
 
     if (!workloads::exists(bench))
         die("unknown benchmark '" + bench + "' (see --list)");
-    cfg.validate();
+    try {
+        cfg.validate();
+    } catch (const SimError &e) {
+        die(e.what());
+    }
 
     Program prog = workloads::build(bench);
     try {
@@ -349,8 +435,16 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "host: %.3fs, %.0f sim insts/s\n",
                          r.hostSeconds, r.simInstsPerHostSecond());
+    } catch (const SimError &e) {
+        if (e.category() == ErrorCategory::Config)
+            die(e.what());
+        std::fprintf(stderr, "ctcpsim: %s error: %s\n",
+                     errorCategoryName(e.category()), e.what());
+        return 1;
     } catch (const std::exception &e) {
-        die(e.what());
+        std::fprintf(stderr, "ctcpsim: simulation failed: %s\n",
+                     e.what());
+        return 1;
     }
     return 0;
 }

@@ -12,6 +12,7 @@
 #include "campaign/work_queue.hh"
 #include "common/logging.hh"
 #include "core/simulator.hh"
+#include "obs/accounting.hh"
 #include "workload/workload.hh"
 
 namespace ctcp::campaign {
@@ -170,7 +171,7 @@ Report::at(const std::string &label) const
 }
 
 std::string
-Report::toJson(bool include_host_timing) const
+Report::toJson(bool include_host_timing, bool include_accounting) const
 {
     std::string out = "{\n";
     out += "  \"campaign\": {\n";
@@ -194,7 +195,8 @@ Report::toJson(bool include_host_timing) const
                 out += "      \"attempts\": " +
                        std::to_string(job.attempts) + ",\n";
             out += "      \"metrics\": " +
-                   indentBlock(job.result.toJson(include_host_timing),
+                   indentBlock(job.result.toJson(include_host_timing,
+                                                 include_accounting),
                                "      ") + "\n";
         } else {
             out += "      \"status\": \"failed\",\n";
@@ -213,12 +215,18 @@ Report::toJson(bool include_host_timing) const
 }
 
 std::string
-Report::toCsv() const
+Report::toCsv(bool include_accounting) const
 {
     std::string out =
         "label,benchmark,strategy,status,error,cycles,instructions,ipc,"
         "pct_from_trace_cache,tc_hit_rate,pct_intra_cluster_fwd,"
-        "mean_fwd_distance,bpred_accuracy,mispredicts\n";
+        "mean_fwd_distance,bpred_accuracy,mispredicts";
+    if (include_accounting) {
+        for (unsigned k = 0; k < numSlotCats; ++k)
+            out += std::string(",slots_") +
+                   slotCatName(static_cast<SlotCat>(k)) + "_pct";
+    }
+    out += '\n';
     for (const JobOutcome &job : jobs) {
         out += csvField(job.label) + ',' + csvField(job.benchmark) + ',';
         if (job.ok()) {
@@ -233,8 +241,23 @@ Report::toCsv() const
             out += csvDouble(r.meanFwdDistance) + ',';
             out += csvDouble(r.bpredAccuracy) + ',';
             out += std::to_string(r.mispredicts);
+            if (include_accounting) {
+                const auto total_it = r.accounting.find("slots.total");
+                const double total = total_it != r.accounting.end()
+                    ? total_it->second : 0.0;
+                for (unsigned k = 0; k < numSlotCats; ++k) {
+                    out += ',';
+                    const auto it = r.accounting.find(
+                        std::string("slots.") +
+                        slotCatName(static_cast<SlotCat>(k)));
+                    if (it != r.accounting.end() && total > 0.0)
+                        out += csvDouble(100.0 * it->second / total);
+                }
+            }
         } else {
             out += ",failed," + csvField(job.error) + ",,,,,,,,,";
+            if (include_accounting)
+                out.append(numSlotCats, ',');
         }
         out += '\n';
     }
@@ -285,6 +308,8 @@ runAttempt(const Job &job, std::size_t index, const Options &options,
                 options.intervalDir + "/" + stem + ".intervals.csv";
             config.obs.intervalCycles = options.intervalCycles;
         }
+        if (options.accounting)
+            config.obs.accounting = true;
         // Campaign-wide deadline; a job-level deadline wins.
         if (config.deadlineSeconds <= 0.0 &&
             options.jobDeadlineSeconds > 0.0)

@@ -97,11 +97,18 @@ struct Report
      * across worker counts. Pass @p include_host_timing to also export
      * each job's "host." wall-clock metrics — those vary run to run,
      * so they are off by default (determinism/golden contract).
+     * @p include_accounting likewise gates each job's cycle-accounting
+     * block (SimResult::accounting) behind an explicit opt-in.
      */
-    std::string toJson(bool include_host_timing = false) const;
+    std::string toJson(bool include_host_timing = false,
+                       bool include_accounting = false) const;
 
-    /** CSV with one row per job (headline metrics; empty on failure). */
-    std::string toCsv() const;
+    /**
+     * CSV with one row per job (headline metrics; empty on failure).
+     * With @p include_accounting, appends one percentage column per
+     * slot-accounting category (share of attributed slot-cycles).
+     */
+    std::string toCsv(bool include_accounting = false) const;
 };
 
 /** Execution knobs for runCampaign(). */
@@ -133,6 +140,13 @@ struct Options
     std::string intervalDir;
     /** Interval sampling period for intervalDir output. */
     std::uint64_t intervalCycles = 0;
+    /**
+     * Enable cycle accounting (ObsConfig::accounting) on every job, so
+     * each successful outcome carries SimResult::accounting. Off by
+     * default: the default exports stay golden-identical either way,
+     * but the layer costs a few percent of throughput.
+     */
+    bool accounting = false;
 
     // ---- Robustness ----------------------------------------------------
     /**

@@ -112,7 +112,25 @@ encodeResult(const SimResult &r)
                       escape(name).c_str(), value);
         out += buf;
     }
-    out += "}}";
+    out += "}";
+    // Only present for accounting-enabled runs, so journals written by
+    // older builds decode unchanged and plain runs keep their exact
+    // record bytes.
+    if (!r.accounting.empty()) {
+        out += ",\"accounting\":{";
+        first = true;
+        for (const auto &[name, value] : r.accounting) {
+            if (!first)
+                out += ',';
+            first = false;
+            char buf[192];
+            std::snprintf(buf, sizeof(buf), "\"%s\":%.17g",
+                          escape(name).c_str(), value);
+            out += buf;
+        }
+        out += "}";
+    }
+    out += "}";
     return out;
 }
 
@@ -383,6 +401,18 @@ decodeResult(const JsonValue &obj, SimResult &r)
         if (value.kind != JsonValue::Kind::Number)
             return false;
         r.metrics[name] = std::strtod(value.number.c_str(), nullptr);
+    }
+    // Optional: only accounting-enabled runs write this block.
+    r.accounting.clear();
+    if (const JsonValue *acct = obj.find("accounting")) {
+        if (acct->kind != JsonValue::Kind::Object)
+            return false;
+        for (const auto &[name, value] : acct->object) {
+            if (value.kind != JsonValue::Kind::Number)
+                return false;
+            r.accounting[name] =
+                std::strtod(value.number.c_str(), nullptr);
+        }
     }
     return true;
 }

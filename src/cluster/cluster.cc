@@ -1,5 +1,7 @@
 #include "cluster/cluster.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "obs/sink.hh"
 
@@ -44,14 +46,6 @@ ReservationStation::tryInsert(TimedInst *inst, Cycle now)
     return true;
 }
 
-bool
-ReservationStation::canInsert(Cycle now) const
-{
-    if (full())
-        return false;
-    return portCycle_ != now || portsUsed_ < writePorts_;
-}
-
 void
 ReservationStation::remove(TimedInst *inst)
 {
@@ -87,27 +81,6 @@ FuPool::tryReserve(FuKind kind, Cycle now)
         }
     }
     return slot;
-}
-
-StationKind
-stationFor(FuKind kind)
-{
-    switch (kind) {
-      case FuKind::IntMem:
-      case FuKind::FpMem:
-        return StationKind::Mem;
-      case FuKind::Branch:
-        return StationKind::Branch;
-      case FuKind::IntComplex:
-      case FuKind::FpComplex:
-        return StationKind::Complex;
-      case FuKind::IntAlu:
-      case FuKind::FpBasic:
-        return StationKind::Simple0;   // caller picks Simple0 vs Simple1
-      default:
-        ctcp_panic("no station for FU kind %u",
-                   static_cast<unsigned>(kind));
-    }
 }
 
 void
@@ -197,17 +170,6 @@ Cluster::issue(TimedInst *inst, Cycle now)
     else
         ready_.insertByAge(inst);
     return true;
-}
-
-bool
-Cluster::canAccept(const TimedInst &inst, Cycle now) const
-{
-    StationKind kind = stationFor(inst.dyn.fu());
-    if (kind == StationKind::Simple0) {
-        return station(StationKind::Simple0).canInsert(now) ||
-               station(StationKind::Simple1).canInsert(now);
-    }
-    return station(kind).canInsert(now);
 }
 
 void

@@ -31,8 +31,10 @@
 #include <vector>
 
 #include "cluster/timed_inst.hh"
+#include "common/logging.hh"
 #include "config/sim_config.hh"
 #include "isa/opcodes.hh"
+#include "obs/accounting.hh"
 #include "stats/stats.hh"
 
 namespace ctcp {
@@ -83,8 +85,18 @@ class ReservationStation
      */
     bool tryInsert(TimedInst *inst, Cycle now);
 
-    /** Would tryInsert succeed at @p now (capacity and ports)? */
-    bool canInsert(Cycle now) const;
+    /**
+     * Would tryInsert succeed at @p now (capacity and ports)? Inline:
+     * issue-time steering probes every cluster through this on each
+     * pick, and the accounted rs-full attribution re-probes on stalls.
+     */
+    bool
+    canInsert(Cycle now) const
+    {
+        if (full())
+            return false;
+        return portCycle_ != now || portsUsed_ < writePorts_;
+    }
 
     /** Remove a dispatched instruction. */
     void remove(TimedInst *inst);
@@ -140,7 +152,26 @@ class FuPool
 };
 
 /** Routing from functional-unit class to reservation-station class. */
-StationKind stationFor(FuKind kind);
+inline StationKind
+stationFor(FuKind kind)
+{
+    switch (kind) {
+      case FuKind::IntMem:
+      case FuKind::FpMem:
+        return StationKind::Mem;
+      case FuKind::Branch:
+        return StationKind::Branch;
+      case FuKind::IntComplex:
+      case FuKind::FpComplex:
+        return StationKind::Complex;
+      case FuKind::IntAlu:
+      case FuKind::FpBasic:
+        return StationKind::Simple0;   // caller picks Simple0 vs Simple1
+      default:
+        ctcp_panic("no station for FU kind %u",
+                   static_cast<unsigned>(kind));
+    }
+}
 
 /**
  * Intrusive doubly-linked list of resident instructions (linkage lives
@@ -183,8 +214,21 @@ class Cluster
      */
     bool issue(TimedInst *inst, Cycle now);
 
-    /** True when @p inst could be issued at @p now (non-mutating). */
-    bool canAccept(const TimedInst &inst, Cycle now) const;
+    /**
+     * True when @p inst could be issued at @p now (non-mutating).
+     * Inline: issue-time steering calls this for every cluster on
+     * every pick.
+     */
+    bool
+    canAccept(const TimedInst &inst, Cycle now) const
+    {
+        StationKind kind = stationFor(inst.dyn.fu());
+        if (kind == StationKind::Simple0) {
+            return station(StationKind::Simple0).canInsert(now) ||
+                   station(StationKind::Simple1).canInsert(now);
+        }
+        return station(kind).canInsert(now);
+    }
 
     /**
      * Producer completion resolved @p inst's last outstanding operand:
@@ -209,27 +253,10 @@ class Cluster
     void
     dispatch(Cycle now, Hooks &&hooks, std::vector<TimedInst *> &out)
     {
-        unsigned dispatched = 0;
-        TimedInst *next = nullptr;
-        for (TimedInst *inst = ready_.head; inst != nullptr; inst = next) {
-            if (dispatched >= width_)
-                break;
-            next = inst->schedNext;
-            if (inst->readyAt > now)
-                continue;
-            FuPool::Slot unit = fus_.tryReserve(inst->dyn.fu(), now);
-            if (!unit)
-                continue;
-            if (!hooks.ready(*inst, now))
-                continue;
-            unit.commit(now, inst->dyn.info().issueLatency);
-            inst->dispatched = true;
-            inst->dispatchAt = now;
-            inst->completeAt = hooks.execute(*inst, now);
-            finishDispatch(inst, now);
-            out.push_back(inst);
-            ++dispatched;
-        }
+        if (acct_ == nullptr)
+            dispatchImpl<false>(now, hooks, out);
+        else
+            dispatchImpl<true>(now, hooks, out);
     }
 
     /** Total instructions currently waiting in this cluster's stations. */
@@ -240,7 +267,109 @@ class Cluster
     /** Attach an observability sink (null = off, the default). */
     void setObs(ObsSink *obs) { obs_ = obs; }
 
+    /** Attach the cycle-accounting layer (null = off, the default). */
+    void setAccounting(CycleAccounting *acct) { acct_ = acct; }
+
   private:
+    /**
+     * Upper bound on the blocked-reason scratch array (stack-resident:
+     * the accounting layer is allocation-free on the hot path).
+     * Recording stops at min(width, acctScanCap) because attribution
+     * can only ever charge the first `width - dispatched` reasons —
+     * scanning a long schedulable list must not keep writing reasons
+     * that can never be charged.
+     */
+    static constexpr unsigned acctScanCap = 64;
+
+    /**
+     * The dispatch loop proper. The Accounted variant additionally
+     * records why each resident instruction could not fill a slot and
+     * settles the cluster's slot attribution for this cycle; the
+     * selection behavior is identical in both instantiations.
+     */
+    template <bool Accounted, typename Hooks>
+    void
+    dispatchImpl(Cycle now, Hooks &&hooks, std::vector<TimedInst *> &out)
+    {
+        [[maybe_unused]] SlotCat blocked[acctScanCap];
+        [[maybe_unused]] unsigned nblocked = 0;
+        [[maybe_unused]] unsigned acct_cap = 0;
+        if constexpr (Accounted)
+            acct_cap = width_ < acctScanCap ? width_ : acctScanCap;
+        unsigned dispatched = 0;
+        TimedInst *next = nullptr;
+        for (TimedInst *inst = ready_.head; inst != nullptr; inst = next) {
+            if (dispatched >= width_)
+                break;
+            next = inst->schedNext;
+            if (inst->readyAt > now) {
+                if constexpr (Accounted) {
+                    if (nblocked < acct_cap)
+                        blocked[nblocked++] =
+                            CycleAccounting::waitCategory(inst->stallHops);
+                }
+                continue;
+            }
+            FuPool::Slot unit = fus_.tryReserve(inst->dyn.fu(), now);
+            if (!unit) {
+                if constexpr (Accounted) {
+                    if (nblocked < acct_cap)
+                        blocked[nblocked++] = SlotCat::FuBusy;
+                }
+                continue;
+            }
+            if (!hooks.ready(*inst, now)) {
+                // Memory-ordering / load-queue holds: the value the
+                // instruction waits for is local, so charge wait_intra.
+                if constexpr (Accounted) {
+                    if (nblocked < acct_cap)
+                        blocked[nblocked++] = SlotCat::WaitIntra;
+                }
+                continue;
+            }
+            unit.commit(now, inst->dyn.info().issueLatency);
+            inst->dispatched = true;
+            inst->dispatchAt = now;
+            inst->completeAt = hooks.execute(*inst, now);
+            finishDispatch(inst, now);
+            out.push_back(inst);
+            ++dispatched;
+        }
+        if constexpr (Accounted)
+            attributeSlots(dispatched, blocked, nblocked);
+    }
+
+    /**
+     * Settle this cycle's `width` slot attributions for the cluster.
+     * Inline so the accounted dispatch walk absorbs it — it runs per
+     * cluster per cycle whenever accounting is on.
+     */
+    void
+    attributeSlots(unsigned dispatched, const SlotCat *blocked,
+                   unsigned nblocked)
+    {
+        // Exactly width_ slots leave here attributed every cycle — that
+        // is the conservation property the accounting tests pin.
+        acct_->addSlots(id_, SlotCat::Useful, dispatched);
+        unsigned remaining = width_ - dispatched;
+        const unsigned take = remaining < nblocked ? remaining : nblocked;
+        for (unsigned i = 0; i < take; ++i)
+            acct_->addSlot(id_, blocked[i]);
+        remaining -= take;
+        // Slots the schedulable walk could not explain: charge the
+        // oldest parked instructions (producer still outstanding) by
+        // the hop distance of their worst incomplete producer, cached
+        // in stallHops at park time so this per-cycle walk never
+        // chases producers.
+        for (TimedInst *w = waiting_.head; w != nullptr && remaining > 0;
+             w = w->schedNext) {
+            acct_->addSlot(id_,
+                           CycleAccounting::waitCategory(w->stallHops));
+            --remaining;
+        }
+        if (remaining > 0)
+            acct_->addEmptySlots(id_, remaining);
+    }
     // The invariant checker walks the scheduler lists read-only; the
     // fault injector corrupts resident instructions in tests.
     friend class verify::InvariantChecker;
@@ -268,6 +397,7 @@ class Cluster
     SchedList waiting_;
     Counter dispatchCount_;
     ObsSink *obs_ = nullptr;
+    CycleAccounting *acct_ = nullptr;
 };
 
 } // namespace ctcp

@@ -147,6 +147,16 @@ struct TimedInst
      * compares this integer instead of re-deriving readiness.
      */
     Cycle readyAt = 0;
+    /**
+     * Hop distance explaining why this instruction stalls a slot,
+     * cached for cycle accounting when the layer is on (0 otherwise).
+     * While schedulable it is the critical operand's hop distance;
+     * while parked it is a park-time snapshot of the worst incomplete
+     * producer's distance. Either way the attribution walk charges
+     * wait_intra / wait_fwd<hops> from this byte without re-deriving
+     * readiness or chasing producer pointers.
+     */
+    std::uint8_t stallHops = 0;
     /** Reservation station currently holding us (null outside one). */
     ReservationStation *station = nullptr;
     /** Intrusive linkage for the cluster's scheduler lists. */

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal JSON document parser for the report/compare tooling.
+ *
+ * Parses the JSON this repository writes (campaign reports, single-run
+ * metrics, interval time series) into an ordered DOM. Object member
+ * order is preserved, so anything rendered from a parsed document is as
+ * deterministic as the document itself. This is a reader for our own
+ * well-formed output, not a general validator: numbers are kept as raw
+ * text and converted on demand, and \u escapes outside Latin-1 are not
+ * decoded (the writers never emit them).
+ *
+ * The campaign journal keeps its own stripped-down parser on purpose:
+ * it must tolerate torn records byte-by-byte and never throw.
+ */
+
+#ifndef CTCPSIM_COMMON_JSON_HH
+#define CTCPSIM_COMMON_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ctcp::json {
+
+/** One parsed JSON value (recursive). */
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    /** Raw numeric text (exact round-trip; convert with asNumber()). */
+    std::string number;
+    std::string string;
+    std::vector<Value> array;
+    /** Members in document order. */
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup; null when absent or this is not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** Numeric conversion (0.0 unless this is a Number). */
+    double asNumber() const;
+
+    /** Member as a number, or @p fallback when absent/non-numeric. */
+    double num(const std::string &key, double fallback = 0.0) const;
+
+    /** Member as a string, or "" when absent/non-string. */
+    std::string str(const std::string &key) const;
+};
+
+/**
+ * Parse one complete JSON document.
+ * @throws std::runtime_error with position info on malformed input
+ */
+Value parse(const std::string &text);
+
+} // namespace ctcp::json
+
+#endif // CTCPSIM_COMMON_JSON_HH

@@ -203,6 +203,13 @@ struct ObsConfig
     std::uint64_t intervalCycles = 0;
     /** Events staged in the sink ring between writer drains. */
     std::size_t ringCapacity = 8192;
+    /**
+     * Cycle-accounting layer (obs/accounting): attribute every cluster
+     * issue slot each cycle to the closed stall taxonomy and collect
+     * the forwarding-hop matrix. Fills SimResult::accounting; never
+     * changes timing or the default (golden) exports.
+     */
+    bool accounting = false;
 
     /** Is any event tracing requested? */
     bool

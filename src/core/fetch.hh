@@ -64,6 +64,26 @@ class FetchEngine
     /** Fetch is currently gated by the given branch (invalidSeqNum if not). */
     InstSeqNum gatingBranch() const { return gatingSeq_; }
 
+    /**
+     * Fetch delivers nothing at @p now because of a branch redirect:
+     * either gated behind an unresolved mispredict or still refilling
+     * the front-end pipeline after one resolved. Mirrors the gate test
+     * at the top of fetchCycle(); used by cycle accounting to split
+     * fetch starvation into redirect vs cache-miss.
+     */
+    bool
+    gatedByRedirect(Cycle now) const
+    {
+        return gatingSeq_ != invalidSeqNum || now < resumeAt_;
+    }
+
+    /**
+     * The committed stream is fully consumed (non-mutating peek of the
+     * streamEnded() condition): nothing remains to fetch, so empty
+     * front-end cycles are drain, not starvation.
+     */
+    bool streamDrained() const { return execDone_ && buffer_.empty(); }
+
     /** Resolve the gating branch; fetch resumes at @p resume_at. */
     void resolveGate(InstSeqNum seq, Cycle resume_at);
 

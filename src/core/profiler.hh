@@ -123,6 +123,13 @@ class Profiler
         return percent(chainMigrated_.value(), chainRevisits_.value());
     }
 
+    // Raw Table 9 counters, exported by cycle accounting so strategy
+    // comparisons can weigh migration rates by absolute volume.
+    std::uint64_t migrationRevisits() const { return revisits_.value(); }
+    std::uint64_t migrationMigrated() const { return migrated_.value(); }
+    std::uint64_t chainRevisits() const { return chainRevisits_.value(); }
+    std::uint64_t chainMigrated() const { return chainMigrated_.value(); }
+
     std::uint64_t retired() const { return retired_.value(); }
 
     void dumpStats(StatDump &out) const;

@@ -37,7 +37,7 @@ isHostMetric(const std::string &name)
 } // namespace
 
 std::string
-SimResult::toJson(bool include_host_timing) const
+SimResult::toJson(bool include_host_timing, bool include_accounting) const
 {
     std::size_t included = 0;
     for (const auto &[name, value] : metrics) {
@@ -45,6 +45,7 @@ SimResult::toJson(bool include_host_timing) const
         if (include_host_timing || !isHostMetric(name))
             ++included;
     }
+    const bool emit_acct = include_accounting && !accounting.empty();
 
     std::string out = "{\n";
     out += "  \"benchmark\": \"" + benchmark + "\",\n";
@@ -71,7 +72,7 @@ SimResult::toJson(bool include_host_timing) const
     field(out, "fdrt_option_c_pct", pctOptionC);
     field(out, "fdrt_option_d_pct", pctOptionD);
     field(out, "fdrt_option_e_pct", pctOptionE);
-    field(out, "fdrt_skipped_pct", pctSkipped, included == 0);
+    field(out, "fdrt_skipped_pct", pctSkipped, included == 0 && !emit_acct);
     if (included > 0) {
         out += "  \"metrics\": {\n";
         std::size_t i = 0;
@@ -82,6 +83,18 @@ SimResult::toJson(bool include_host_timing) const
             std::snprintf(buf, sizeof(buf), "    \"%s\": %.6f%s\n",
                           name.c_str(), value,
                           ++i < included ? "," : "");
+            out += buf;
+        }
+        out += emit_acct ? "  },\n" : "  }\n";
+    }
+    if (emit_acct) {
+        out += "  \"accounting\": {\n";
+        std::size_t i = 0;
+        for (const auto &[name, value] : accounting) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf), "    \"%s\": %.6f%s\n",
+                          name.c_str(), value,
+                          ++i < accounting.size() ? "," : "");
             out += buf;
         }
         out += "  }\n";

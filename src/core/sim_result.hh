@@ -95,12 +95,25 @@ struct SimResult
     std::map<std::string, double> metrics;
 
     /**
+     * Cycle-accounting export (empty unless ObsConfig::accounting):
+     * per-cluster slot-cycle attribution (clusterC.slots.<cat>),
+     * machine-wide slots.<cat>, the forwarding-hop matrix
+     * (fwd_matrix.F.T) and raw migration counters. Kept apart from
+     * `metrics` so the golden-stats serialization is byte-identical
+     * whether accounting ran or not.
+     */
+    std::map<std::string, double> accounting;
+
+    /**
      * Headline metrics as a flat JSON object (machine consumption).
      * "host."-prefixed metrics are omitted unless @p include_host_timing
      * is set: they differ run to run, and this serialization is the
-     * byte-identical golden-stats / determinism contract.
+     * byte-identical golden-stats / determinism contract. The
+     * accounting map is likewise emitted (under "accounting") only
+     * when @p include_accounting is set.
      */
-    std::string toJson(bool include_host_timing = false) const;
+    std::string toJson(bool include_host_timing = false,
+                       bool include_accounting = false) const;
 };
 
 } // namespace ctcp

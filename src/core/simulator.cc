@@ -8,6 +8,7 @@
 #include "assign/friendly_assignment.hh"
 #include "common/logging.hh"
 #include "common/sim_error.hh"
+#include "obs/accounting.hh"
 #include "obs/sink.hh"
 #include "obs/writers.hh"
 #include "stats/interval.hh"
@@ -161,6 +162,15 @@ CtcpSimulator::setupObservability()
         for (Cluster &cluster : clusters_)
             cluster.setObs(sink);
     }
+    if (oc.accounting) {
+        acct_ = std::make_unique<CycleAccounting>(
+            cfg_.cluster.numClusters, cfg_.cluster.clusterWidth,
+            interconnect_);
+        fwdMatrix_ = acct_->forwardMatrixData();
+        fwdMatrixCols_ = acct_->numClusters();
+        for (Cluster &cluster : clusters_)
+            cluster.setAccounting(acct_.get());
+    }
     if (oc.intervalEnabled()) {
         interval_ = std::make_unique<IntervalRecorder>(oc.intervalCycles);
         interval_->addRate("ipc",
@@ -179,6 +189,23 @@ CtcpSimulator::setupObservability()
                 [this, c] {
                     return static_cast<double>(clusters_[c].occupancy());
                 });
+        if (acct_) {
+            // Per-interval slot mix: each category's share of the
+            // interval's attributed slot-cycles (ratios of deltas).
+            for (unsigned k = 0; k < numSlotCats; ++k) {
+                const SlotCat cat = static_cast<SlotCat>(k);
+                interval_->addRatio(
+                    std::string("slots_") + slotCatName(cat),
+                    [this, cat] {
+                        return static_cast<double>(
+                            acct_->machineSlots(cat));
+                    },
+                    [this] {
+                        return static_cast<double>(
+                            acct_->machineSlotsTotal());
+                    });
+            }
+        }
     }
 }
 
@@ -313,6 +340,49 @@ CtcpSimulator::recordCriticality(TimedInst &inst)
     inst.criticalProducerTraceKey = op.producerTraceKey;
 }
 
+void
+CtcpSimulator::cacheReadiness(TimedInst &inst)
+{
+    if (inst.pendingProducers > 0) {
+        inst.readyAt = neverCycle;
+        // Park-time snapshot of the worst incomplete producer's hop
+        // distance: the attribution walk charges parked instructions
+        // from this byte every cycle instead of chasing producers.
+        if (acct_)
+            inst.stallHops =
+                static_cast<std::uint8_t>(acct_->waitingHops(inst));
+        return;
+    }
+    const Readiness r = operandReadiness(inst);
+    inst.readyAt = r.ready;
+    if (!acct_)
+        return;
+    // Cache the critical operand's hop distance so the dispatch walk
+    // can charge a stalled slot to wait_intra / wait_fwd<hops> with a
+    // single byte read instead of re-deriving readiness.
+    inst.stallHops = 0;
+    if (r.critical < 0)
+        return;
+    const OperandState &op = inst.ops[r.critical];
+    if (op.fromRF || op.producerCluster == invalidCluster ||
+        inst.cluster == invalidCluster)
+        return;
+    inst.stallHops = static_cast<std::uint8_t>(
+        interconnect_.distance(op.producerCluster, inst.cluster));
+}
+
+CycleAccounting::FetchState
+CtcpSimulator::fetchStarvation() const
+{
+    if (!fetchQueue_.empty())
+        return CycleAccounting::FetchState::Flowing;
+    if (fetch_->gatedByRedirect(cycle_))
+        return CycleAccounting::FetchState::Redirect;
+    if (fetch_->streamDrained())
+        return CycleAccounting::FetchState::Flowing;   // drain, not a stall
+    return CycleAccounting::FetchState::TcMiss;
+}
+
 // ---------------------------------------------------------------------
 // Dispatch hooks
 // ---------------------------------------------------------------------
@@ -353,6 +423,10 @@ CtcpSimulator::executeInst(TimedInst &inst, Cycle now_cycle)
         // computed on the traced path.
         if (op.producerCluster != inst.cluster)
             ++fwdInterCluster_;
+        if (fwdMatrix_ != nullptr)
+            ++fwdMatrix_[static_cast<unsigned>(op.producerCluster) *
+                             fwdMatrixCols_ +
+                         static_cast<unsigned>(inst.cluster)];
         if (obs_ && obs_->enabled(ObsKind::Forward))
             recordForwardEvent(*obs_, now_cycle, inst,
                                interconnect_.distance(op.producerCluster,
@@ -400,7 +474,7 @@ CtcpSimulator::doCompletions()
         inst->pushCompletion([this](TimedInst *w) {
             if (!w->issued)
                 return;   // readiness is computed at issue instead
-            w->readyAt = operandReadiness(*w).ready;
+            cacheReadiness(*w);
             clusters_[static_cast<std::size_t>(w->cluster)].wake(w);
         });
 
@@ -501,6 +575,12 @@ CtcpSimulator::doIssue()
         unsigned issued = 0;
         std::size_t failed = 0;
         std::size_t pos = 0;
+        // Station kinds already reprobed for rs-full attribution since
+        // the last successful issue. Station occupancy and write ports
+        // only change when an issue lands, so a repeat stall of the
+        // same station class cannot yield new rs-full information —
+        // noteRsFull() is an idempotent OR, making the skip exact.
+        unsigned rsProbedKinds = 0;
         while (pos < issueQueue_.size() &&
                failed < cfg_.core.issueWidth &&
                issued < cfg_.core.issueWidth) {
@@ -512,13 +592,27 @@ CtcpSimulator::doIssue()
             const ClusterId cluster = steering_->pick(*inst, clusters_);
             if (cluster == invalidCluster) {
                 ++issueStalls_;
+                if (acct_) {
+                    const unsigned kind_bit = 1u << static_cast<unsigned>(
+                        stationFor(inst->dyn.fu()));
+                    if ((rsProbedKinds & kind_bit) == 0) {
+                        rsProbedKinds |= kind_bit;
+                        // Charge next cycle's empty slots to the
+                        // clusters whose stations actually rejected
+                        // this inst.
+                        for (std::size_t c = 0; c < clusters_.size();
+                             ++c)
+                            if (!clusters_[c].canAccept(*inst, cycle_))
+                                acct_->noteRsFull(
+                                    static_cast<ClusterId>(c));
+                    }
+                }
                 ++failed;
                 ++pos;   // leave it buffered; examine the next slot
                 continue;
             }
             inst->cluster = cluster;
-            inst->readyAt = inst->pendingProducers > 0
-                ? neverCycle : operandReadiness(*inst).ready;
+            cacheReadiness(*inst);
             const bool ok =
                 clusters_[static_cast<std::size_t>(cluster)].issue(inst,
                                                                    cycle_);
@@ -532,6 +626,7 @@ CtcpSimulator::doIssue()
             issueQueue_[pos] = nullptr;
             ++pos;
             ++issued;
+            rsProbedKinds = 0;   // occupancy changed: memo is stale
         }
         if (issued > 0) {
             issueQueue_.erase(std::remove(issueQueue_.begin(),
@@ -555,11 +650,12 @@ CtcpSimulator::doIssue()
             if (issue_ready > cycle_)
                 break;
             inst->cluster = static_cast<ClusterId>(c);
-            inst->readyAt = inst->pendingProducers > 0
-                ? neverCycle : operandReadiness(*inst).ready;
+            cacheReadiness(*inst);
             if (!cluster.issue(inst, cycle_)) {
                 inst->cluster = invalidCluster;
                 ++issueStalls_;
+                if (acct_)
+                    acct_->noteRsFull(static_cast<ClusterId>(c));
                 break;   // reservation station full or out of ports
             }
             inst->issued = true;
@@ -618,6 +714,8 @@ CtcpSimulator::doRename()
             break;
         if (rob_.full()) {
             ++robStalls_;
+            if (acct_)
+                acct_->noteRobFull();
             break;
         }
 
@@ -668,6 +766,8 @@ CtcpSimulator::doFetch()
 void
 CtcpSimulator::step()
 {
+    if (acct_)
+        acct_->beginCycle(fetchStarvation());
     doCompletions();
     doRetire();
     doDispatch();
@@ -893,6 +993,28 @@ CtcpSimulator::assemble()
     for (std::size_t c = 0; c < clusters_.size(); ++c)
         r.metrics["cluster" + std::to_string(c) + ".dispatched"] =
             static_cast<double>(clusters_[c].dispatched());
+
+    // ---- Cycle accounting (SimResult::accounting) ----------------------
+    // Deliberately a separate map from r.metrics: the golden-stats
+    // contract covers the default serialization, and accounting output
+    // only appears under its own flag-gated key.
+    if (acct_) {
+        acct_->exportTo(r.accounting);
+        r.accounting["migration.revisits"] =
+            static_cast<double>(profiler_.migrationRevisits());
+        r.accounting["migration.migrated"] =
+            static_cast<double>(profiler_.migrationMigrated());
+        r.accounting["migration.chain_revisits"] =
+            static_cast<double>(profiler_.chainRevisits());
+        r.accounting["migration.chain_migrated"] =
+            static_cast<double>(profiler_.chainMigrated());
+        dump.scalar("acct.slots.total", acct_->machineSlotsTotal());
+        for (unsigned k = 0; k < numSlotCats; ++k) {
+            const SlotCat cat = static_cast<SlotCat>(k);
+            dump.scalar(std::string("acct.slots.") + slotCatName(cat),
+                        acct_->machineSlots(cat));
+        }
+    }
 
     // Host-side throughput. Non-deterministic by nature, so these are
     // excluded from the default JSON serialization (the golden-stats

@@ -44,6 +44,7 @@
 
 namespace ctcp {
 
+class CycleAccounting;
 class FdrtAssignment;
 class IntervalRecorder;
 class ObsSink;
@@ -121,6 +122,18 @@ class CtcpSimulator
     bool readyToDispatch(const TimedInst &inst, Cycle now_cycle);
     Cycle executeInst(TimedInst &inst, Cycle now_cycle);
     void recordCriticality(TimedInst &inst);
+
+    /**
+     * Refresh inst.readyAt from operandReadiness (neverCycle while a
+     * producer is outstanding) and, when cycle accounting is on, cache
+     * the stall-explaining hop distance in inst.stallHops: the critical
+     * operand's distance when schedulable, the worst incomplete
+     * producer's distance when parking behind producers.
+     */
+    void cacheReadiness(TimedInst &inst);
+
+    /** Classify this cycle's front-end output for cycle accounting. */
+    CycleAccounting::FetchState fetchStarvation() const;
 
     /**
      * Dispatch callbacks handed to Cluster::dispatch. A concrete type
@@ -208,6 +221,16 @@ class CtcpSimulator
     // Observability (src/obs): null unless cfg.obs requests output.
     std::unique_ptr<ObsSink> obs_;
     std::unique_ptr<IntervalRecorder> interval_;
+    /** Cycle accounting: null unless cfg.obs.accounting. */
+    std::unique_ptr<CycleAccounting> acct_;
+    /**
+     * Cached base of acct_'s forwarding matrix (null when accounting
+     * is off): the execute loop counts a forward with one indexed
+     * increment instead of reaching through the accounting object.
+     */
+    std::uint64_t *fwdMatrix_ = nullptr;
+    /** Row stride of fwdMatrix_ (the cluster count). */
+    unsigned fwdMatrixCols_ = 0;
 
     // Robustness (src/verify): null unless cfg.checkLevel > 0.
     std::unique_ptr<verify::InvariantChecker> checker_;

@@ -1,0 +1,113 @@
+#include "obs/accounting.hh"
+
+#include <algorithm>
+
+#include "cluster/interconnect.hh"
+#include "cluster/timed_inst.hh"
+#include "common/logging.hh"
+
+namespace ctcp {
+
+const char *
+slotCatName(SlotCat cat)
+{
+    switch (cat) {
+      case SlotCat::Useful:        return "useful";
+      case SlotCat::WaitIntra:     return "wait_intra";
+      case SlotCat::WaitFwd1:      return "wait_fwd1";
+      case SlotCat::WaitFwd2:      return "wait_fwd2";
+      case SlotCat::WaitFwd3:      return "wait_fwd3";
+      case SlotCat::FuBusy:        return "fu_busy";
+      case SlotCat::RsFull:        return "rs_full";
+      case SlotCat::RobFull:       return "rob_full";
+      case SlotCat::FetchTcMiss:   return "fetch_tc_miss";
+      case SlotCat::FetchRedirect: return "fetch_redirect";
+      case SlotCat::Idle:          return "idle";
+      case SlotCat::NumCats:       break;
+    }
+    ctcp_panic("invalid slot category %u", static_cast<unsigned>(cat));
+}
+
+CycleAccounting::CycleAccounting(unsigned num_clusters,
+                                 unsigned cluster_width,
+                                 const Interconnect &icn)
+    : icn_(icn), numClusters_(num_clusters), width_(cluster_width),
+      slots_(num_clusters * numSlotCats, 0),
+      fwd_(num_clusters * num_clusters, 0)
+{
+    ctcp_assert(num_clusters > 0 && cluster_width > 0,
+                "cycle accounting needs a real machine shape");
+    ctcp_assert(num_clusters <= 32,
+                "RS-full flags are a 32-bit mask (%u clusters)",
+                num_clusters);
+}
+
+unsigned
+CycleAccounting::waitingHops(const TimedInst &inst) const
+{
+    // The parking instruction still has incomplete producers; the most
+    // distant one bounds when it can wake, so it explains the wait.
+    // producerPtr is only dereferenced while producerComplete is false
+    // (the push protocol's liveness guarantee).
+    unsigned worst = 0;
+    for (const OperandState &op : inst.ops) {
+        if (!op.valid || op.fromRF || op.producerComplete)
+            continue;
+        const TimedInst *prod = op.producerPtr;
+        if (prod == nullptr || prod->cluster == invalidCluster)
+            continue;   // producer not steered yet: no hop distance
+        worst = std::max(worst, icn_.distance(prod->cluster, inst.cluster));
+    }
+    return worst;
+}
+
+std::uint64_t
+CycleAccounting::machineSlots(SlotCat cat) const
+{
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < numClusters_; ++c)
+        total += slots(c, cat);
+    return total;
+}
+
+std::uint64_t
+CycleAccounting::machineSlotsTotal() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t v : slots_)
+        total += v;
+    return total;
+}
+
+void
+CycleAccounting::exportTo(std::map<std::string, double> &out) const
+{
+    out["cycles"] = static_cast<double>(cycles_);
+    out["num_clusters"] = static_cast<double>(numClusters_);
+    out["cluster_width"] = static_cast<double>(width_);
+    out["slots.total"] = static_cast<double>(machineSlotsTotal());
+    for (unsigned k = 0; k < numSlotCats; ++k) {
+        const SlotCat cat = static_cast<SlotCat>(k);
+        out[std::string("slots.") + slotCatName(cat)] =
+            static_cast<double>(machineSlots(cat));
+    }
+    for (unsigned c = 0; c < numClusters_; ++c) {
+        const std::string prefix =
+            "cluster" + std::to_string(c) + ".slots.";
+        for (unsigned k = 0; k < numSlotCats; ++k) {
+            const SlotCat cat = static_cast<SlotCat>(k);
+            out[prefix + slotCatName(cat)] =
+                static_cast<double>(slots(c, cat));
+        }
+    }
+    std::uint64_t total_forwards = 0;
+    for (unsigned f = 0; f < numClusters_; ++f)
+        for (unsigned t = 0; t < numClusters_; ++t) {
+            out["fwd_matrix." + std::to_string(f) + "." +
+                std::to_string(t)] = static_cast<double>(forwards(f, t));
+            total_forwards += forwards(f, t);
+        }
+    out["forwards.total"] = static_cast<double>(total_forwards);
+}
+
+} // namespace ctcp

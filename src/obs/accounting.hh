@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Top-down cycle accounting: every cycle, every cluster issue slot is
+ * attributed to exactly one category of a closed taxonomy.
+ *
+ * The taxonomy answers the question the paper's figures pose — *where
+ * do the cycles go* under each steering strategy: doing useful work,
+ * waiting for an operand inside the cluster, waiting for a value to
+ * cross the interconnect (split by hop count, the quantity FDRT
+ * steering exists to reduce), contending for a functional unit, backed
+ * up behind a full reservation station or ROB, starved by the front end
+ * (trace-cache miss vs mispredict redirect), or simply idle.
+ *
+ * Attribution happens at dispatch/wakeup, not retire: a slot that goes
+ * unused *this* cycle is explained by the oldest instructions that
+ * could not fill it *this* cycle, which is the event the steering
+ * strategies actually influence (see DESIGN decision 8).
+ *
+ * Conservation is structural: per cluster, the attributed slot-cycles
+ * sum to cycles × issue_width by construction, and a unit test pins it
+ * across all four strategies.
+ *
+ * The layer follows the observability zero-cost pattern: a raw pointer
+ * that is null by default, guarded increments, all storage allocated at
+ * construction — nothing on the hot path allocates, and with the
+ * pointer null the simulation is bit-identical to a build without it.
+ */
+
+#ifndef CTCPSIM_OBS_ACCOUNTING_HH
+#define CTCPSIM_OBS_ACCOUNTING_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ctcp {
+
+class Interconnect;
+struct TimedInst;
+
+/** Where one cluster issue slot went for one cycle. */
+enum class SlotCat : std::uint8_t
+{
+    /** An instruction dispatched to a functional unit. */
+    Useful = 0,
+    /** Oldest blocker waits on an operand produced in this cluster. */
+    WaitIntra,
+    /** Oldest blocker waits on a 1-hop inter-cluster forward. */
+    WaitFwd1,
+    /** ... a 2-hop forward. */
+    WaitFwd2,
+    /** ... a 3-or-more-hop forward. */
+    WaitFwd3,
+    /** Operands ready but no functional unit of the class was free. */
+    FuBusy,
+    /** The cluster's reservation station rejected an issue this cycle. */
+    RsFull,
+    /** Rename stalled on a full ROB this cycle. */
+    RobFull,
+    /** Front end delivered nothing: trace-cache / I-cache refill. */
+    FetchTcMiss,
+    /** Front end delivered nothing: gated behind a branch redirect. */
+    FetchRedirect,
+    /** Nothing in flight wanted the slot. */
+    Idle,
+
+    NumCats,
+};
+
+constexpr unsigned numSlotCats = static_cast<unsigned>(SlotCat::NumCats);
+
+/** Stable snake-case name used in exports and report keys. */
+const char *slotCatName(SlotCat cat);
+
+/**
+ * Per-cluster slot-cycle attribution, inter-cluster forwarding-hop
+ * matrix, and the supporting per-cycle back-pressure flags.
+ *
+ * Protocol per cycle (driven by the simulator):
+ *  1. beginCycle(fetch) at the top of step() rotates the back-pressure
+ *     flags (full conditions observed during cycle N explain empty
+ *     slots in cycle N+1 — the pipeline phases inside one step() run
+ *     completions-first, so "full" is only known after dispatch ran).
+ *  2. Each cluster's dispatch walk calls addSlot()/addSlots() and
+ *     finally addEmptySlots() so exactly `width` slots are attributed.
+ *  3. noteRsFull()/noteRobFull() mark back-pressure for the next cycle;
+ *     noteForward() records each operand forward at execute.
+ */
+class CycleAccounting
+{
+  public:
+    /** Why the front end delivered nothing this cycle. */
+    enum class FetchState : std::uint8_t { Flowing, TcMiss, Redirect };
+
+    CycleAccounting(unsigned num_clusters, unsigned cluster_width,
+                    const Interconnect &icn);
+
+    /**
+     * Rotate back-pressure flags; called once at the top of step().
+     * Inline and register-only — this runs every simulated cycle.
+     */
+    void
+    beginCycle(FetchState fetch)
+    {
+        ++cycles_;
+        rsFullPrev_ = rsFullCur_;
+        rsFullCur_ = 0;
+        robFullPrev_ = robFullCur_;
+        robFullCur_ = false;
+        fetch_ = fetch;
+    }
+
+    // ---- Hot-path increments (inline, no branches beyond bounds) ----
+    void
+    addSlot(ClusterId c, SlotCat cat)
+    {
+        ++slots_[static_cast<unsigned>(c) * numSlotCats +
+                 static_cast<unsigned>(cat)];
+    }
+
+    void
+    addSlots(ClusterId c, SlotCat cat, unsigned n)
+    {
+        slots_[static_cast<unsigned>(c) * numSlotCats +
+               static_cast<unsigned>(cat)] += n;
+    }
+
+    /**
+     * Attribute @p n unexplained empty slots on cluster @p c using the
+     * back-pressure priority RsFull > RobFull > Redirect > TcMiss >
+     * Idle (most specific machine condition wins). Inline — it runs
+     * per cluster per cycle at the tail of the attribution walk.
+     */
+    void
+    addEmptySlots(ClusterId c, unsigned n)
+    {
+        if (n == 0)
+            return;
+        SlotCat cat = SlotCat::Idle;
+        if (rsFullPrev_ >> static_cast<unsigned>(c) & 1u)
+            cat = SlotCat::RsFull;
+        else if (robFullPrev_)
+            cat = SlotCat::RobFull;
+        else if (fetch_ == FetchState::Redirect)
+            cat = SlotCat::FetchRedirect;
+        else if (fetch_ == FetchState::TcMiss)
+            cat = SlotCat::FetchTcMiss;
+        addSlots(c, cat, n);
+    }
+
+    /** Cluster @p c rejected an issue (reservation station full). */
+    void noteRsFull(ClusterId c) { rsFullCur_ |= 1u << static_cast<unsigned>(c); }
+
+    /** Rename stalled on a full ROB. */
+    void noteRobFull() { robFullCur_ = true; }
+
+    /** One operand value forwarded from @p from to @p to at execute. */
+    void
+    noteForward(ClusterId from, ClusterId to)
+    {
+        ++fwd_[static_cast<unsigned>(from) * numClusters_ +
+               static_cast<unsigned>(to)];
+    }
+
+    /**
+     * Row-major forwarding-matrix storage (numClusters × numClusters),
+     * exposed so the execute loop can cache the base pointer once and
+     * count a forward with a single indexed increment instead of
+     * re-loading the accounting object's internals per operand.
+     */
+    std::uint64_t *forwardMatrixData() { return fwd_.data(); }
+
+    /**
+     * Map a cached hop distance to its wait category. Branchless —
+     * WaitIntra..WaitFwd3 are contiguous enum values, so this is a
+     * clamp and an offset; it runs per scanned instruction inside the
+     * accounted dispatch walk.
+     */
+    static SlotCat
+    waitCategory(unsigned hops)
+    {
+        const unsigned h = hops < 3u ? hops : 3u;
+        return static_cast<SlotCat>(
+            static_cast<unsigned>(SlotCat::WaitIntra) + h);
+    }
+
+    /**
+     * Hop distance of the worst (most-hops) incomplete producer of an
+     * instruction about to park with outstanding producers: that
+     * producer bounds the wake-up, so it explains the wait. 0 (intra)
+     * when no producer has a cluster yet.
+     *
+     * Called once at issue — the result is cached in
+     * TimedInst::stallHops so the per-cycle attribution walk never
+     * chases producer pointers (see DESIGN decision 8). Producers
+     * steered or completed after the consumer parks are not re-read;
+     * the cached classification is a park-time snapshot.
+     */
+    unsigned waitingHops(const TimedInst &inst) const;
+
+    // ---- Queries ------------------------------------------------------
+    unsigned numClusters() const { return numClusters_; }
+    unsigned clusterWidth() const { return width_; }
+    std::uint64_t cycles() const { return cycles_; }
+
+    std::uint64_t
+    slots(unsigned cluster, SlotCat cat) const
+    {
+        return slots_[cluster * numSlotCats + static_cast<unsigned>(cat)];
+    }
+
+    /** Sum of one category across all clusters. */
+    std::uint64_t machineSlots(SlotCat cat) const;
+
+    /** Total attributed slot-cycles across the machine. */
+    std::uint64_t machineSlotsTotal() const;
+
+    std::uint64_t
+    forwards(unsigned from, unsigned to) const
+    {
+        return fwd_[from * numClusters_ + to];
+    }
+
+    /**
+     * Export everything into a flat metric map (SimResult::accounting):
+     * slots.<cat>, clusterC.slots.<cat>, fwd_matrix.F.T, plus the
+     * geometry needed to interpret them.
+     */
+    void exportTo(std::map<std::string, double> &out) const;
+
+  private:
+    const Interconnect &icn_;
+    unsigned numClusters_;
+    unsigned width_;
+    std::uint64_t cycles_ = 0;
+
+    /** numClusters × numSlotCats slot-cycle counters. */
+    std::vector<std::uint64_t> slots_;
+    /** numClusters × numClusters forwarding counts (row = producer). */
+    std::vector<std::uint64_t> fwd_;
+
+    // Back-pressure flags: *Cur_ collected during this cycle, *Prev_
+    // consumed by addEmptySlots (rotated by beginCycle). Per-cluster
+    // RS-full flags are one bit each so the per-cycle rotation is two
+    // register moves, not vector traffic (clusters capped at 32).
+    std::uint32_t rsFullCur_ = 0;
+    std::uint32_t rsFullPrev_ = 0;
+    bool robFullCur_ = false;
+    bool robFullPrev_ = false;
+    FetchState fetch_ = FetchState::Flowing;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_OBS_ACCOUNTING_HH

@@ -1,0 +1,200 @@
+#include "obs/compare.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/report.hh"
+
+namespace ctcp::report {
+
+namespace {
+
+/** Flatten one run into named metrics (headline + accounting). */
+std::map<std::string, double>
+flattenRun(const RunView &run)
+{
+    std::map<std::string, double> metrics;
+    metrics["cycles"] = run.cycles;
+    metrics["instructions"] = run.instructions;
+    metrics["ipc"] = run.ipc;
+    for (const auto &[name, value] : run.accounting)
+        metrics[name] = value;
+    return metrics;
+}
+
+double
+relDiffPct(double a, double b)
+{
+    if (a == b)
+        return 0.0;
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return scale > 0.0 ? 100.0 * std::fabs(a - b) / scale : 0.0;
+}
+
+std::string
+fmtNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+double
+Tolerances::toleranceFor(const std::string &metric) const
+{
+    const auto it = perMetric.find(metric);
+    return it != perMetric.end() ? it->second : defaultRelPct;
+}
+
+bool
+Comparison::ok() const
+{
+    return structural.empty() && violations() == 0;
+}
+
+std::size_t
+Comparison::violations() const
+{
+    std::size_t n = 0;
+    for (const Delta &d : deltas)
+        if (!d.withinTol)
+            ++n;
+    return n;
+}
+
+Comparison
+compareReports(const ReportView &baseline, const ReportView &candidate,
+               const Tolerances &tol)
+{
+    Comparison cmp;
+    for (const RunView &base : baseline.runs) {
+        const auto it = std::find_if(
+            candidate.runs.begin(), candidate.runs.end(),
+            [&](const RunView &r) { return r.label == base.label; });
+        if (it == candidate.runs.end()) {
+            cmp.structural.push_back("job '" + base.label +
+                                     "' missing from candidate report");
+            continue;
+        }
+        const RunView &cand = *it;
+        if (base.ok != cand.ok) {
+            cmp.structural.push_back(
+                "job '" + base.label + "' is " +
+                (base.ok ? "ok" : "failed") + " in baseline but " +
+                (cand.ok ? "ok" : "failed") + " in candidate");
+            continue;
+        }
+        if (!base.ok)
+            continue;
+        const std::map<std::string, double> a = flattenRun(base);
+        const std::map<std::string, double> b = flattenRun(cand);
+        for (const auto &[metric, av] : a) {
+            const auto bit = b.find(metric);
+            if (bit == b.end()) {
+                cmp.structural.push_back(
+                    "job '" + base.label + "' metric '" + metric +
+                    "' missing from candidate report");
+                continue;
+            }
+            const double rel = relDiffPct(av, bit->second);
+            if (rel == 0.0)
+                continue;
+            Delta d;
+            d.job = base.label;
+            d.metric = metric;
+            d.baseline = av;
+            d.candidate = bit->second;
+            d.relPct = rel;
+            d.tolPct = tol.toleranceFor(metric);
+            d.withinTol = rel <= d.tolPct;
+            cmp.deltas.push_back(std::move(d));
+        }
+        for (const auto &[metric, bv] : b) {
+            (void)bv;
+            if (a.find(metric) == a.end())
+                cmp.structural.push_back(
+                    "job '" + base.label + "' metric '" + metric +
+                    "' missing from baseline report");
+        }
+    }
+    for (const RunView &cand : candidate.runs) {
+        const bool known = std::any_of(
+            baseline.runs.begin(), baseline.runs.end(),
+            [&](const RunView &r) { return r.label == cand.label; });
+        if (!known)
+            cmp.structural.push_back("job '" + cand.label +
+                                     "' missing from baseline report");
+    }
+    // Worst offenders first; ties broken by (job, metric) so the
+    // table is deterministic.
+    std::stable_sort(cmp.deltas.begin(), cmp.deltas.end(),
+                     [](const Delta &x, const Delta &y) {
+                         if (x.withinTol != y.withinTol)
+                             return !x.withinTol;
+                         if (x.relPct != y.relPct)
+                             return x.relPct > y.relPct;
+                         if (x.job != y.job)
+                             return x.job < y.job;
+                         return x.metric < y.metric;
+                     });
+    return cmp;
+}
+
+std::string
+renderDeltaTable(const Comparison &cmp)
+{
+    if (cmp.structural.empty() && cmp.deltas.empty())
+        return "reports match.\n";
+    std::string out;
+    for (const std::string &finding : cmp.structural)
+        out += "STRUCTURAL: " + finding + "\n";
+    if (cmp.deltas.empty())
+        return out;
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back(
+        {"job", "metric", "baseline", "candidate", "rel%", "tol%",
+         "verdict"});
+    for (const Delta &d : cmp.deltas)
+        rows.push_back({d.job, d.metric, fmtNum(d.baseline),
+                        fmtNum(d.candidate), fmtNum(d.relPct),
+                        fmtNum(d.tolPct),
+                        d.withinTol ? "PASS" : "FAIL"});
+    std::vector<std::size_t> widths(rows[0].size(), 0);
+    for (const auto &row : rows)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        std::string line;
+        for (std::size_t i = 0; i < rows[r].size(); ++i) {
+            std::string cell = rows[r][i];
+            cell.resize(widths[i], ' ');
+            line += cell;
+            if (i + 1 < rows[r].size())
+                line += "  ";
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        out += line + "\n";
+        if (r == 0) {
+            std::string rule;
+            for (std::size_t i = 0; i < widths.size(); ++i) {
+                rule.append(widths[i], '-');
+                if (i + 1 < widths.size())
+                    rule += "  ";
+            }
+            out += rule + "\n";
+        }
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "%zu metric(s) out of tolerance, %zu within.\n",
+                  cmp.violations(), cmp.deltas.size() - cmp.violations());
+    out += buf;
+    return out;
+}
+
+} // namespace ctcp::report

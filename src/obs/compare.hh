@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Campaign regression comparator.
+ *
+ * Diffs two campaign (or single-run) report JSON documents metric by
+ * metric under relative tolerances. Jobs are matched by label; every
+ * headline number, metrics entry, and accounting entry becomes one
+ * named metric. The comparator reports structural mismatches (missing
+ * jobs, ok-vs-failed status flips) and out-of-tolerance deltas, and
+ * renders a human-readable delta table for CI logs.
+ */
+
+#ifndef CTCPSIM_OBS_COMPARE_HH
+#define CTCPSIM_OBS_COMPARE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ctcp::report {
+
+struct ReportView;
+
+/** Relative tolerances (percent) used by compareReports(). */
+struct Tolerances
+{
+    /** Allowed relative drift for any metric without its own entry. */
+    double defaultRelPct = 0.0;
+
+    /**
+     * Per-metric overrides, keyed by bare metric name (e.g. "ipc",
+     * "slots.useful") — applied to that metric in every job.
+     */
+    std::map<std::string, double> perMetric;
+
+    double toleranceFor(const std::string &metric) const;
+};
+
+/** One out-of-tolerance (or just noteworthy) metric difference. */
+struct Delta
+{
+    std::string job;        ///< job label ("" for single-run docs)
+    std::string metric;
+    double baseline = 0.0;
+    double candidate = 0.0;
+    double relPct = 0.0;    ///< |a-b| / max(|a|,|b|) * 100
+    double tolPct = 0.0;
+    bool withinTol = true;
+};
+
+/** Full comparison outcome. */
+struct Comparison
+{
+    /** Jobs missing on one side, or ok/failed status flips. */
+    std::vector<std::string> structural;
+
+    /** Every compared metric that differs at all (worst first). */
+    std::vector<Delta> deltas;
+
+    bool ok() const;
+
+    /** Count of deltas exceeding their tolerance. */
+    std::size_t violations() const;
+};
+
+/**
+ * Compare @p candidate against @p baseline. Both sides should come
+ * from report::fromJsonText(). Metrics present on only one side are
+ * structural findings, not deltas.
+ */
+Comparison compareReports(const ReportView &baseline,
+                          const ReportView &candidate,
+                          const Tolerances &tol);
+
+/**
+ * Render @p cmp as a fixed-width table (structural findings first,
+ * then one row per delta with a PASS/FAIL verdict column). Returns
+ * "reports match.\n" when there is nothing to show.
+ */
+std::string renderDeltaTable(const Comparison &cmp);
+
+} // namespace ctcp::report
+
+#endif // CTCPSIM_OBS_COMPARE_HH

@@ -66,12 +66,19 @@ ObsSink::parseFilter(const std::string &spec)
                 break;
             }
         }
-        if (!found)
+        if (!found) {
+            // Build the valid-kind list from the name table itself, so
+            // the message can never drift from the actual taxonomy.
+            std::string kinds;
+            for (unsigned k = 0; k < numObsKinds; ++k) {
+                if (k)
+                    kinds += ", ";
+                kinds += obsKindName(static_cast<ObsKind>(k));
+            }
             throw std::invalid_argument(
-                "unknown trace event kind '" + name +
-                "' (kinds: fetch, tc-hit, tc-miss, trace-build, assign, "
-                "rename, issue, execute, forward, complete, retire, "
-                "flush, mem, snapshot)");
+                "unknown trace event kind '" + name + "' (kinds: " +
+                kinds + ")");
+        }
         start = end + 1;
         if (end == spec.size())
             break;

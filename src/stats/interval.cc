@@ -22,6 +22,29 @@ fmtValue(double v)
 
 } // namespace
 
+Cycle
+parseIntervalCycles(const std::string &text)
+{
+    std::size_t pos = 0;
+    long long value = 0;
+    try {
+        value = std::stoll(text, &pos);
+    } catch (const std::exception &) {
+        throw std::invalid_argument("invalid interval '" + text +
+                                    "' (expected a positive cycle count)");
+    }
+    if (pos != text.size())
+        throw std::invalid_argument("invalid interval '" + text +
+                                    "' (expected a positive cycle count)");
+    if (value <= 0)
+        throw std::invalid_argument(
+            "interval must be a positive cycle count, got " + text);
+    if (value > 1000000000000ll)
+        throw std::invalid_argument(
+            "interval " + text + " is unreasonably large (max 1e12)");
+    return static_cast<Cycle>(value);
+}
+
 IntervalRecorder::IntervalRecorder(Cycle interval)
     : interval_(interval)
 {

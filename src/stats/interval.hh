@@ -32,6 +32,14 @@
 
 namespace ctcp {
 
+/**
+ * Parse and validate an interval period argument (--interval): a
+ * positive cycle count. Rejects zero, negative values, junk, and
+ * periods above 1e12 cycles.
+ * @throws std::invalid_argument with a usable message
+ */
+Cycle parseIntervalCycles(const std::string &text);
+
 /** Fixed-cadence counter snapshotter producing a CSV/JSON time series. */
 class IntervalRecorder
 {

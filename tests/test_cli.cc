@@ -55,6 +55,35 @@ TEST(CliExitCodes, UsageErrorsReturnTwo)
               2);
 }
 
+TEST(CliExitCodes, BadIntervalReturnsTwo)
+{
+    // --interval validation mirrors --jobs: reject junk up front with
+    // a usage error instead of silently simulating with a bad period.
+    const std::string run = "--bench gzip --instructions 1000 "
+                            "--interval-stats /tmp/ctcp_cli_iv.csv ";
+    EXPECT_EQ(runCli(run + "--interval 0"), 2);
+    EXPECT_EQ(runCli(run + "--interval -100"), 2);
+    EXPECT_EQ(runCli(run + "--interval ten"), 2);
+    EXPECT_EQ(runCli(run + "--interval 100x"), 2);
+    EXPECT_EQ(runCli(run + "--interval 1000000000000000"), 2);
+    EXPECT_EQ(runCli(run + "--interval 500"), 0);
+    std::remove("/tmp/ctcp_cli_iv.csv");
+}
+
+TEST(CliExitCodes, BadTraceFilterReturnsTwo)
+{
+    EXPECT_EQ(runCli("--bench gzip --instructions 1000 "
+                     "--trace-filter fetch,warp"),
+              2);
+}
+
+TEST(CliExitCodes, AccountingRunReturnsZero)
+{
+    EXPECT_EQ(runCli("--bench gzip --instructions 20000 --accounting "
+                     "--json"),
+              0);
+}
+
 TEST(CliExitCodes, SimulationFailureReturnsOne)
 {
     // A micro deadline always expires before the budget does.

@@ -320,6 +320,25 @@ TEST(ObsSink, ParseFilterRejectsUnknownKind)
 {
     EXPECT_THROW(ObsSink::parseFilter("fetch,warp"), std::invalid_argument);
     EXPECT_THROW(ObsSink::parseFilter("FETCH"), std::invalid_argument);
+    EXPECT_THROW(ObsSink::parseFilter("fetch,,retire"),
+                 std::invalid_argument);
+}
+
+TEST(ObsSink, ParseFilterErrorNamesTheKindAndListsValidOnes)
+{
+    // The message is user-facing --trace-filter feedback: it must name
+    // the offending token and enumerate the whole taxonomy.
+    try {
+        ObsSink::parseFilter("fetch,warp");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("'warp'"), std::string::npos) << msg;
+        for (unsigned k = 0; k < numObsKinds; ++k)
+            EXPECT_NE(msg.find(obsKindName(static_cast<ObsKind>(k))),
+                      std::string::npos)
+                << obsKindName(static_cast<ObsKind>(k));
+    }
 }
 
 TEST(ObsSink, EveryKindNameRoundTrips)

@@ -159,6 +159,51 @@ TEST(IntervalRecorderDeathTest, RejectsZeroInterval)
     EXPECT_DEATH(IntervalRecorder(0), "positive interval");
 }
 
+TEST(IntervalRecorder, ParseIntervalCyclesAcceptsPositiveCounts)
+{
+    EXPECT_EQ(parseIntervalCycles("1"), 1u);
+    EXPECT_EQ(parseIntervalCycles("10000"), 10000u);
+    EXPECT_EQ(parseIntervalCycles("1000000000000"),
+              1'000'000'000'000u);
+}
+
+TEST(IntervalRecorder, ParseIntervalCyclesRejectsBadInput)
+{
+    // The --interval contract: zero, negatives, junk, trailing junk,
+    // and absurd periods all fail with a usable message.
+    EXPECT_THROW(parseIntervalCycles("0"), std::invalid_argument);
+    EXPECT_THROW(parseIntervalCycles("-5"), std::invalid_argument);
+    EXPECT_THROW(parseIntervalCycles(""), std::invalid_argument);
+    EXPECT_THROW(parseIntervalCycles("cycles"), std::invalid_argument);
+    EXPECT_THROW(parseIntervalCycles("100x"), std::invalid_argument);
+    EXPECT_THROW(parseIntervalCycles("10.5"), std::invalid_argument);
+    EXPECT_THROW(parseIntervalCycles("1000000000001"),
+                 std::invalid_argument);
+    try {
+        parseIntervalCycles("-5");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("positive cycle count"),
+                  std::string::npos);
+    }
+}
+
+TEST(IntervalRecorder, TrailingPartialIntervalIsFlushed)
+{
+    // A run whose length is not a multiple of the period still records
+    // its tail: the end-of-run sample() lands one final partial row.
+    double retired = 0.0;
+    IntervalRecorder rec(100);
+    rec.addRate("ipc", [&] { return retired; });
+    retired = 120.0;
+    rec.sample(100);
+    retired = 150.0;
+    rec.sample(230);          // end of run, 30 cycles into interval 3
+    const std::string csv = rec.toCsv();
+    EXPECT_EQ(rec.rows(), 2u);
+    EXPECT_NE(csv.find("\n230,"), std::string::npos) << csv;
+}
+
 TEST(IntervalRecorder, GaugeRateAndRatioMaths)
 {
     double instructions = 0.0;

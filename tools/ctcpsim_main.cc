@@ -20,7 +20,9 @@
 #include "common/sim_error.hh"
 #include "config/presets.hh"
 #include "core/simulator.hh"
+#include "obs/report.hh"
 #include "obs/sink.hh"
+#include "stats/interval.hh"
 #include "stats/table.hh"
 #include "workload/workload.hh"
 
@@ -77,6 +79,18 @@ usage(const char *prog)
         "                        writes <label>.intervals.csv\n"
         "  --interval N          sampling period in cycles for\n"
         "                        --interval-stats (default 10000)\n"
+        "  --accounting          attribute every cluster issue slot to\n"
+        "                        a stall taxonomy (useful, operand\n"
+        "                        waits by forward hop count, FU/RS/ROB\n"
+        "                        pressure, fetch starvation, idle) and\n"
+        "                        record the inter-cluster forwarding\n"
+        "                        matrix; adds an \"accounting\" block\n"
+        "                        to --json / --out output\n"
+        "  --report FILE         write a self-contained HTML report\n"
+        "                        (cycle-accounting bars, forwarding\n"
+        "                        heatmap, IPC sparklines when\n"
+        "                        --interval-stats is set); implies\n"
+        "                        --accounting\n"
         "\n"
         "campaign mode (runs a workload x config matrix instead):\n"
         "  --campaign MATRIX     submit the matrix to the concurrent\n"
@@ -139,10 +153,30 @@ struct RobustnessFlags
     std::uint64_t watchdogCycles = 0;
 };
 
+/** Render report JSON text into a self-contained HTML file. */
+void
+writeHtmlReport(const std::string &json_text,
+                const std::string &interval_path,
+                const std::string &report_path, const std::string &title)
+{
+    using namespace ctcp;
+    try {
+        report::ReportView view = report::fromJsonText(json_text);
+        if (!interval_path.empty())
+            report::loadIntervalSeries(interval_path, view);
+        atomicWriteFile(report_path, report::renderHtml(view, title));
+    } catch (const std::exception &e) {
+        die(std::string("writing --report failed: ") + e.what());
+    }
+    std::fprintf(stderr, "wrote HTML report to %s\n",
+                 report_path.c_str());
+}
+
 /** Run a --campaign matrix and export/print the aggregated report. */
 int
 runCampaignMode(const std::string &matrix, ctcp::campaign::Options options,
-                const std::string &out_path, bool host_timing,
+                const std::string &out_path,
+                const std::string &report_path, bool host_timing,
                 const RobustnessFlags &robust)
 {
     using namespace ctcp;
@@ -193,14 +227,20 @@ runCampaignMode(const std::string &matrix, ctcp::campaign::Options options,
         try {
             // Staged + renamed: a crash mid-export leaves any
             // previous report intact, never a truncated one.
-            atomicWriteFile(out_path, csv ? report.toCsv()
-                                          : report.toJson(host_timing));
+            atomicWriteFile(
+                out_path,
+                csv ? report.toCsv(options.accounting)
+                    : report.toJson(host_timing, options.accounting));
         } catch (const std::exception &e) {
             die(e.what());
         }
         std::fprintf(stderr, "wrote %s results to %s\n",
                      csv ? "CSV" : "JSON", out_path.c_str());
     }
+    if (!report_path.empty())
+        writeHtmlReport(report.toJson(host_timing, true),
+                        options.intervalDir, report_path,
+                        "ctcpsim campaign report");
     return report.failed() ? 1 : 0;
 }
 
@@ -227,7 +267,9 @@ main(int argc, char **argv)
     std::string trace_text;
     std::string trace_filter;
     std::string interval_stats;
-    std::uint64_t interval_cycles = 10'000;
+    Cycle interval_cycles = 10'000;
+    bool accounting = false;
+    std::string report_path;
     RobustnessFlags robust;
     double deadline_seconds = 0.0;
     unsigned max_attempts = 1;
@@ -341,9 +383,16 @@ main(int argc, char **argv)
         } else if (arg == "--interval-stats") {
             interval_stats = next_arg(i);
         } else if (arg == "--interval") {
-            interval_cycles = std::strtoull(next_arg(i), nullptr, 10);
-            if (interval_cycles == 0)
-                die("--interval must be positive");
+            try {
+                interval_cycles = parseIntervalCycles(next_arg(i));
+            } catch (const std::invalid_argument &e) {
+                die(e.what());
+            }
+        } else if (arg == "--accounting") {
+            accounting = true;
+        } else if (arg == "--report") {
+            report_path = next_arg(i);
+            accounting = true;     // a report needs the taxonomy
         } else if (arg == "--check-invariants") {
             robust.checkLevel = 1;
         } else if (arg == "--watchdog") {
@@ -389,8 +438,9 @@ main(int argc, char **argv)
         options.jobDeadlineSeconds = deadline_seconds;
         options.maxAttempts = max_attempts;
         options.journalPath = journal_path;
+        options.accounting = accounting;
         return runCampaignMode(campaign_matrix, options, out_path,
-                               host_timing, robust);
+                               report_path, host_timing, robust);
     }
     if (!journal_path.empty())
         die("--journal requires --campaign");
@@ -414,6 +464,7 @@ main(int argc, char **argv)
     cfg.obs.intervalPath = interval_stats;
     if (!interval_stats.empty())
         cfg.obs.intervalCycles = interval_cycles;
+    cfg.obs.accounting = accounting;
 
     if (!workloads::exists(bench))
         die("unknown benchmark '" + bench + "' (see --list)");
@@ -428,9 +479,20 @@ main(int argc, char **argv)
         CtcpSimulator sim(cfg, prog);
         SimResult r = sim.run();
         if (json)
-            std::printf("%s", r.toJson(host_timing).c_str());
+            std::printf("%s",
+                        r.toJson(host_timing, accounting).c_str());
         else
             std::printf("%s", r.statsText.c_str());
+        if (!report_path.empty()) {
+            // Sparklines need the CSV flavor of --interval-stats.
+            const bool csv_intervals = !interval_stats.empty() &&
+                (interval_stats.size() < 5 ||
+                 interval_stats.compare(interval_stats.size() - 5, 5,
+                                        ".json") != 0);
+            writeHtmlReport(r.toJson(host_timing, true),
+                            csv_intervals ? interval_stats : "",
+                            report_path, "ctcpsim run report: " + bench);
+        }
         if (host_timing && !json)
             std::fprintf(stderr,
                          "host: %.3fs, %.0f sim insts/s\n",

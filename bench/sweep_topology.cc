@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Design-space sweep — every interconnect topology crossed with every
+ * assignment strategy on the paper's six-benchmark mix, plus a
+ * cluster-count scaling section (2/4/8 four-wide clusters on the
+ * linear chain). Speedups are relative to each machine's own
+ * base-slot-order run, so the table isolates the steering policy from
+ * the interconnect.
+ *
+ * Expected shape: the crossbar compresses the spread between
+ * strategies (forwarding is cheap everywhere, so placement matters
+ * less), the bus and linear chain widen it, and the phase-adaptive
+ * strategy tracks the best static policy closely enough to beat the
+ * worst one on every topology.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ctcp;
+    using namespace ctcp::bench;
+
+    const std::uint64_t budget = budgetFromArgs(argc, argv);
+    banner("Design Space: Topology x Assignment Strategy",
+           "section 5 machine variants generalised to five "
+           "interconnects and 2/4/8-cluster machines",
+           budget);
+
+    const Topology topologies[5] = {
+        Topology::LinearChain, Topology::Ring, Topology::Crossbar,
+        Topology::Hierarchical, Topology::Bus};
+    const AssignStrategy strategies[4] = {
+        AssignStrategy::Friendly, AssignStrategy::Fdrt,
+        AssignStrategy::IssueTime, AssignStrategy::Adaptive};
+    const char *strategy_tags[4] = {"friendly", "fdrt", "issue-time",
+                                    "adaptive"};
+    const unsigned cluster_counts[3] = {2, 4, 8};
+
+    MatrixHarness runs(budget, jobsFromArgs(argc, argv));
+    for (const Topology topo : topologies) {
+        for (const std::string &bench : selectedSix()) {
+            SimConfig base = baseConfig();
+            base.cluster.topology = topo;
+            runs.add(bench, base,
+                     std::string(topologyName(topo)) + "/base");
+            for (int m = 0; m < 4; ++m) {
+                SimConfig cfg = base;
+                cfg.assign.strategy = strategies[m];
+                runs.add(bench, cfg,
+                         std::string(topologyName(topo)) + "/" +
+                             strategy_tags[m]);
+            }
+        }
+    }
+    for (const unsigned n : cluster_counts) {
+        for (const std::string &bench : selectedSix()) {
+            SimConfig base = baseConfig();
+            applyMachineScale(base, n, base.cluster.clusterWidth);
+            runs.add(bench, base,
+                     "c" + std::to_string(n) + "/base");
+            for (int m = 0; m < 4; ++m) {
+                SimConfig cfg = base;
+                cfg.assign.strategy = strategies[m];
+                runs.add(bench, cfg,
+                         "c" + std::to_string(n) + "/" +
+                             strategy_tags[m]);
+            }
+        }
+    }
+    runs.run();
+
+    auto speedupTable = [&](const std::string &prefix) {
+        TextTable table({"benchmark", "Friendly", "FDRT", "Issue-time",
+                         "Adaptive"});
+        std::vector<std::vector<double>> speedups(4);
+        for (const std::string &bench : selectedSix()) {
+            const SimResult &base = runs.at(bench, prefix + "/base");
+            table.row(bench);
+            for (int m = 0; m < 4; ++m) {
+                const SimResult &r =
+                    runs.at(bench, prefix + "/" + strategy_tags[m]);
+                const double speedup = static_cast<double>(base.cycles) /
+                    static_cast<double>(r.cycles);
+                table.cell(speedup, 3);
+                speedups[static_cast<std::size_t>(m)].push_back(speedup);
+            }
+        }
+        table.row("HM");
+        for (auto &s : speedups)
+            table.cell(harmonicMean(s), 3);
+        std::printf("%s\n", table.render().c_str());
+    };
+
+    for (const Topology topo : topologies) {
+        std::printf("-- topology: %s (4 clusters x 4-wide) --\n",
+                    topologyName(topo));
+        speedupTable(topologyName(topo));
+    }
+    for (const unsigned n : cluster_counts) {
+        std::printf("-- linear chain, %u clusters x 4-wide --\n", n);
+        speedupTable("c" + std::to_string(n));
+    }
+
+    // Adaptive safety-net summary: on how many (topology, benchmark)
+    // points does the phase-adaptive chooser beat the WORST static
+    // strategy? This is its contract — it need not win outright, but
+    // it must never be the policy you regret picking.
+    unsigned points = 0, adaptive_wins = 0, outright_wins = 0;
+    for (const Topology topo : topologies) {
+        for (const std::string &bench : selectedSix()) {
+            const std::string prefix = topologyName(topo);
+            std::uint64_t worst = 0, best = ~std::uint64_t{0};
+            for (const char *tag :
+                 {"base", "friendly", "fdrt", "issue-time"}) {
+                const std::uint64_t c =
+                    runs.at(bench, prefix + "/" + std::string(tag))
+                        .cycles;
+                worst = std::max(worst, c);
+                best = std::min(best, c);
+            }
+            const std::uint64_t adaptive =
+                runs.at(bench, prefix + "/adaptive").cycles;
+            ++points;
+            if (adaptive < worst)
+                ++adaptive_wins;
+            if (adaptive <= best)
+                ++outright_wins;
+        }
+    }
+    std::printf("adaptive beats the worst static strategy on %u/%u "
+                "(topology x benchmark) points and matches or beats "
+                "the best on %u/%u\n",
+                adaptive_wins, points, outright_wins, points);
+    return 0;
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Phase-adaptive strategy selection (AssignStrategy::Adaptive).
+ *
+ * No single static assignment policy wins everywhere: FDRT pays off
+ * when critical values cross clusters, Friendly when intra-trace
+ * locality suffices, issue-time steering when phases are predictable
+ * enough to amortize its extra front-end stages, and plain slot order
+ * when the bottleneck is not forwarding at all. The adaptive chooser
+ * runs the cycle-accounting slot taxonomy (obs/accounting) as its
+ * feedback signal and re-decides the active policy at a fixed cycle
+ * interval from the *shares* of the interval's attributed slots:
+ *
+ *   wait_fwd share >= Hi   forwarding-bound phase: issue-time steering
+ *                          when redirects are rare, FDRT when the
+ *                          phase also mispredicts (the extra steering
+ *                          stages would stretch every redirect);
+ *   in [Lo, Hi)            FDRT;
+ *   in [Min, Lo)           Friendly;
+ *   below Min              base slot order (nothing to fix).
+ *
+ * Determinism rules (DESIGN decision 9): thresholds are integer
+ * per-mille of the interval's slot total and every comparison is exact
+ * 64-bit arithmetic; the ladder is evaluated top-down so exact ties
+ * resolve to the more specialized policy; a challenger must win
+ * `adaptiveHysteresis` consecutive intervals before the switch lands.
+ * All inputs are architectural simulation state, so decisions are
+ * byte-identical across worker counts and host machines.
+ *
+ * Mechanically the strategy is two cooperating pieces:
+ *  - AdaptiveSteeringController: owns the interval sampling and the
+ *    mode state machine; the simulator consults it once per interval
+ *    boundary and re-routes rename/issue when the mode changes.
+ *  - AdaptivePolicy: a RetireAssignmentPolicy facade over the three
+ *    retire-time policies; each trace construction delegates to the
+ *    policy of the current mode (issue-time mode leaves traces in
+ *    fetch order and lets IssueTimeSteering pick clusters at issue).
+ */
+
+#ifndef CTCPSIM_ASSIGN_ADAPTIVE_STEERING_HH
+#define CTCPSIM_ASSIGN_ADAPTIVE_STEERING_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "assign/base_assignment.hh"
+#include "assign/fdrt_assignment.hh"
+#include "assign/friendly_assignment.hh"
+#include "common/types.hh"
+#include "config/sim_config.hh"
+#include "obs/accounting.hh"
+
+namespace ctcp {
+
+/**
+ * Interval-driven mode chooser. The mode vocabulary is the four static
+ * strategies, so AssignStrategy doubles as the mode type (Adaptive
+ * itself is never a mode).
+ */
+class AdaptiveSteeringController
+{
+  public:
+    AdaptiveSteeringController(const AssignConfig &cfg,
+                               const CycleAccounting &acct);
+
+    /** True exactly at interval boundaries (one compare per cycle). */
+    bool due(Cycle now) const { return now == nextEval_; }
+
+    /**
+     * Sample the taxonomy for the interval that just ended and run the
+     * decision ladder. Returns true when the active mode switched (the
+     * simulator then re-routes rename/issue).
+     */
+    bool evaluate(Cycle now);
+
+    AssignStrategy mode() const { return mode_; }
+
+    // ---- Stats ------------------------------------------------------
+    std::uint64_t switches() const { return switches_; }
+    std::uint64_t intervals() const { return intervals_; }
+
+    /** Evaluation intervals spent running @p mode. */
+    std::uint64_t
+    intervalsIn(AssignStrategy mode) const
+    {
+        return perMode_[static_cast<unsigned>(mode)];
+    }
+
+    /** Phase trace: (boundary cycle, mode switched to). */
+    const std::vector<std::pair<Cycle, AssignStrategy>> &
+    phaseTrace() const
+    {
+        return trace_;
+    }
+
+  private:
+    const AssignConfig cfg_;
+    const CycleAccounting &acct_;
+
+    Cycle nextEval_;
+    AssignStrategy mode_ = AssignStrategy::BaseSlotOrder;
+    /** Challenger mode and its consecutive-interval win count. */
+    AssignStrategy pending_ = AssignStrategy::BaseSlotOrder;
+    unsigned pendingWins_ = 0;
+
+    /** Cumulative machine slot counts at the previous boundary. */
+    std::uint64_t prev_[numSlotCats] = {};
+
+    std::uint64_t switches_ = 0;
+    std::uint64_t intervals_ = 0;
+    std::uint64_t perMode_[4] = {};
+    std::vector<std::pair<Cycle, AssignStrategy>> trace_;
+};
+
+/**
+ * Retire-time facade: delegates each trace construction to the policy
+ * of the controller's current mode. FDRT's chain feedback keeps
+ * flowing in every mode so its state is warm whenever a phase switches
+ * to it — feedback delivery is deterministic simulation state either
+ * way.
+ */
+class AdaptivePolicy : public RetireAssignmentPolicy
+{
+  public:
+    AdaptivePolicy(const Interconnect &interconnect,
+                   const AssignConfig &cfg);
+
+    void assign(TraceDraft &draft) override;
+    void noteCriticalForward(const TimedInst &consumer,
+                             TraceCache &tc) override;
+    const char *name() const override { return "adaptive"; }
+
+    void
+    setController(const AdaptiveSteeringController *ctrl)
+    {
+        ctrl_ = ctrl;
+    }
+
+  private:
+    RetireAssignmentPolicy &current();
+
+    BaseSlotOrderAssignment base_;
+    FriendlyAssignment friendly_;
+    FdrtAssignment fdrt_;
+    const AdaptiveSteeringController *ctrl_ = nullptr;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_ASSIGN_ADAPTIVE_STEERING_HH

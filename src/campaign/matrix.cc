@@ -92,9 +92,49 @@ parseStrategy(const std::string &value)
         spec.strategy = AssignStrategy::Fdrt;
     else if (name == "issue-time")
         spec.strategy = AssignStrategy::IssueTime;
+    else if (name == "adaptive")
+        spec.strategy = AssignStrategy::Adaptive;
     else
         bad("unknown strategy '" + name + "'");
     return spec;
+}
+
+/**
+ * A topology=... value, or the pass-through entry used when the clause
+ * is absent (keeps labels and configs untouched so existing specs
+ * expand to byte-identical campaigns).
+ */
+struct TopologySpec
+{
+    std::string label;
+    bool set = false;
+    Topology topology = Topology::LinearChain;
+};
+
+TopologySpec
+parseTopologyValue(const std::string &value)
+{
+    TopologySpec spec;
+    spec.label = value;
+    spec.set = true;
+    if (!parseTopology(value, spec.topology))
+        bad("unknown topology '" + value +
+            "' (expected linear, ring, crossbar, hier or bus)");
+    return spec;
+}
+
+/** A clusters=... value (0 = clause absent, leave the preset alone). */
+unsigned
+parseClusterCount(const std::string &value)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        bad("bad cluster count '" + value + "'");
+    const unsigned n =
+        static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+    if (n == 0 || n > 8)
+        bad("cluster count must be in 1..8 (got '" + value + "')");
+    return n;
 }
 
 struct PresetSpec
@@ -118,6 +158,12 @@ parsePreset(const std::string &value)
         return {value, busConfig};
     if (value == "eightcluster")
         return {value, eightClusterConfig};
+    if (value == "ring")
+        return {value, ringConfig};
+    if (value == "crossbar")
+        return {value, crossbarConfig};
+    if (value == "hier")
+        return {value, hierConfig};
     bad("unknown preset '" + value + "'");
 }
 
@@ -143,6 +189,8 @@ parseMatrix(const std::string &spec)
     std::vector<std::string> strategy_values = {"base"};
     std::vector<std::string> preset_values = {"base"};
     std::vector<std::string> budget_values = {"300000"};
+    std::vector<std::string> topology_values;
+    std::vector<std::string> cluster_values;
 
     for (const std::string &clause : split(spec, ';')) {
         if (clause.empty())
@@ -163,9 +211,14 @@ parseMatrix(const std::string &spec)
             preset_values = values;
         else if (key == "budget")
             budget_values = values;
+        else if (key == "topology")
+            topology_values = values;
+        else if (key == "clusters")
+            cluster_values = values;
         else
             bad("unknown key '" + key +
-                "' (expected bench, strategy, preset or budget)");
+                "' (expected bench, strategy, preset, topology, "
+                "clusters or budget)");
     }
 
     const std::vector<std::string> benches = expandBenches(bench_values);
@@ -178,25 +231,62 @@ parseMatrix(const std::string &spec)
     std::vector<std::uint64_t> budgets;
     for (const std::string &v : budget_values)
         budgets.push_back(parseBudget(v));
+    // Absent topology/clusters clauses contribute one pass-through
+    // entry each, so pre-existing specs expand to identical jobs with
+    // identical labels.
+    std::vector<TopologySpec> topologies;
+    if (topology_values.empty())
+        topologies.push_back(TopologySpec{});
+    else
+        for (const std::string &v : topology_values)
+            topologies.push_back(parseTopologyValue(v));
+    std::vector<unsigned> cluster_counts;
+    if (cluster_values.empty())
+        cluster_counts.push_back(0);
+    else
+        for (const std::string &v : cluster_values)
+            cluster_counts.push_back(parseClusterCount(v));
 
     std::vector<Job> jobs;
     jobs.reserve(benches.size() * presets.size() * strategies.size() *
+                 topologies.size() * cluster_counts.size() *
                  budgets.size());
     for (const std::string &bench : benches) {
         for (const PresetSpec &preset : presets) {
             for (const StrategySpec &strategy : strategies) {
-                for (const std::uint64_t budget : budgets) {
-                    SimConfig cfg = preset.make();
-                    cfg.assign.strategy = strategy.strategy;
-                    if (strategy.latencySet)
-                        cfg.assign.issueTimeLatency = strategy.latency;
-                    cfg.instructionLimit = budget;
-                    std::string label = bench + "/" + preset.label +
-                                        "/" + strategy.label;
-                    if (budgets.size() > 1)
-                        label += "@" + std::to_string(budget);
-                    jobs.push_back(makeJob(std::move(label), bench,
-                                           std::move(cfg)));
+                for (const TopologySpec &topo : topologies) {
+                    for (const unsigned clusters : cluster_counts) {
+                        for (const std::uint64_t budget : budgets) {
+                            SimConfig cfg = preset.make();
+                            cfg.assign.strategy = strategy.strategy;
+                            if (strategy.latencySet)
+                                cfg.assign.issueTimeLatency =
+                                    strategy.latency;
+                            if (topo.set) {
+                                cfg.cluster.mesh = false;
+                                cfg.cluster.bus = false;
+                                cfg.cluster.topology = topo.topology;
+                            }
+                            if (clusters != 0)
+                                applyMachineScale(
+                                    cfg, clusters,
+                                    cfg.cluster.clusterWidth);
+                            cfg.instructionLimit = budget;
+                            std::string label = bench + "/" +
+                                                preset.label + "/" +
+                                                strategy.label;
+                            if (topo.set)
+                                label += "/" + topo.label;
+                            if (clusters != 0)
+                                label += "/c" +
+                                         std::to_string(clusters);
+                            if (budgets.size() > 1)
+                                label += "@" + std::to_string(budget);
+                            jobs.push_back(makeJob(std::move(label),
+                                                   bench,
+                                                   std::move(cfg)));
+                        }
+                    }
                 }
             }
         }
@@ -212,10 +302,14 @@ matrixSyntaxHelp()
         "the campaign is the cross product of all dimensions:\n"
         "  bench=...     names and/or groups six|specint|media|all\n"
         "                (default six)\n"
-        "  strategy=...  base|friendly|fdrt|issue-time[:LAT]\n"
+        "  strategy=...  base|friendly|fdrt|issue-time[:LAT]|adaptive\n"
         "                (default base)\n"
         "  preset=...    base|mesh|onecycle|twocluster|bus|eightcluster\n"
-        "                (default base)\n"
+        "                |ring|crossbar|hier (default base)\n"
+        "  topology=...  linear|ring|crossbar|hier|bus, overriding the\n"
+        "                preset's interconnect (absent = leave preset)\n"
+        "  clusters=...  cluster counts 1..8; rescales the machine\n"
+        "                width accordingly (absent = leave preset)\n"
         "  budget=...    instructions per run (default 300000)\n"
         "example: --campaign \"bench=gzip,twolf;strategy=base,fdrt\"";
 }

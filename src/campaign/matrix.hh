@@ -10,15 +10,23 @@
  *
  *   bench     benchmark names, and/or the groups
  *             six | specint | media | all        (default: six)
- *   strategy  base | friendly | fdrt | issue-time[:LAT]
+ *   strategy  base | friendly | fdrt | issue-time[:LAT] | adaptive
  *             (LAT overrides the extra issue-time front-end stages;
  *             default list: base)
  *   preset    base | mesh | onecycle | twocluster | bus | eightcluster
- *             (default: base)
+ *             | ring | crossbar | hier (default: base)
+ *   topology  linear | ring | crossbar | hier | bus — overrides the
+ *             preset's interconnect; when absent the dimension
+ *             contributes nothing (no label suffix, preset untouched)
+ *   clusters  cluster counts in 1..8 — rescales the machine via
+ *             applyMachineScale; absent = dimension contributes
+ *             nothing
  *   budget    instruction budgets per run (default: 300000)
  *
  * Example: "bench=gzip,twolf;strategy=base,fdrt,issue-time:0;budget=200000"
- * expands to 6 jobs labelled "<bench>/<preset>/<strategy>".
+ * expands to 6 jobs labelled "<bench>/<preset>/<strategy>"; listed
+ * topology/clusters values append "/<topology>" and "/c<clusters>"
+ * label segments in that order.
  */
 
 #ifndef CTCPSIM_CAMPAIGN_MATRIX_HH

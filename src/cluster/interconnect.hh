@@ -2,12 +2,22 @@
  * @file
  * Inter-cluster data-forwarding network model.
  *
- * The baseline is a linear point-to-point network: forwarding to an
- * adjacent cluster costs hopLatency cycles, and each additional cluster
- * hop adds hopLatency more. The end clusters do not communicate
- * directly. The mesh variant (Figure 8) closes the ring so the end
- * clusters become adjacent, eliminating three-cluster trips.
- * Intra-cluster forwarding is free (same cycle as dispatch).
+ * Every topology — the paper's baseline linear chain, the Figure 8
+ * ring ("mesh"), a full crossbar, a two-level hierarchy and the shared
+ * broadcast bus — is expressed as a pair of NxN matrices precomputed
+ * at construction: `distance` (cluster hops, what the accounting
+ * taxonomy and the steering heuristics reason about) and `latency`
+ * (cycles, what the scheduler adds to operand readiness). The hot
+ * paths are therefore one indexed load regardless of topology, and
+ * the forwarding-hop matrix in obs/accounting and the scheduler's
+ * TimedInst::stallHops cache consume the same numbers every topology.
+ *
+ * The bus is the one topology with semantics beyond its matrices:
+ * distance is uniformly one hop (so bus waits bin as wait_fwd1) and
+ * latency uniformly busLatency, but bandwidth contention is modelled
+ * separately by the simulator's PortSchedule using busReadyAt.
+ * Intra-cluster forwarding is free (same cycle as dispatch) in every
+ * topology.
  */
 
 #ifndef CTCPSIM_CLUSTER_INTERCONNECT_HH
@@ -27,13 +37,7 @@ namespace ctcp {
 class Interconnect
 {
   public:
-    explicit Interconnect(const ClusterConfig &cfg)
-        : numClusters_(static_cast<int>(cfg.numClusters)),
-          hopLatency_(cfg.hopLatency), mesh_(cfg.mesh), bus_(cfg.bus),
-          busLatency_(cfg.busLatency)
-    {
-        ctcp_assert(numClusters_ > 0, "interconnect needs clusters");
-    }
+    explicit Interconnect(const ClusterConfig &cfg);
 
     /** Number of cluster hops between @p from and @p to (0 if equal). */
     unsigned
@@ -43,24 +47,22 @@ class Interconnect
                     to >= 0 && to < numClusters_,
                     "distance between invalid clusters %d and %d",
                     static_cast<int>(from), static_cast<int>(to));
-        if (bus_)
-            return from == to ? 0 : 1;   // every remote cluster is one hop
-        const unsigned linear =
-            static_cast<unsigned>(std::abs(static_cast<int>(from) -
-                                           static_cast<int>(to)));
-        if (!mesh_)
-            return linear;
-        const unsigned wrapped = static_cast<unsigned>(numClusters_) - linear;
-        return std::min(linear, wrapped);
+        return dist_[static_cast<unsigned>(from) *
+                         static_cast<unsigned>(numClusters_) +
+                     static_cast<unsigned>(to)];
     }
 
     /** Forwarding latency in cycles from @p from to @p to. */
     unsigned
     latency(ClusterId from, ClusterId to) const
     {
-        if (bus_)
-            return from == to ? 0 : busLatency_;
-        return distance(from, to) * hopLatency_;
+        ctcp_assert(from >= 0 && from < numClusters_ &&
+                    to >= 0 && to < numClusters_,
+                    "latency between invalid clusters %d and %d",
+                    static_cast<int>(from), static_cast<int>(to));
+        return lat_[static_cast<unsigned>(from) *
+                        static_cast<unsigned>(numClusters_) +
+                    static_cast<unsigned>(to)];
     }
 
     /** True when the two clusters are the same or directly connected. */
@@ -72,14 +74,25 @@ class Interconnect
 
     int numClusters() const { return numClusters_; }
     unsigned hopLatency() const { return hopLatency_; }
-    bool isMesh() const { return mesh_; }
-    bool isBus() const { return bus_; }
+    Topology topology() const { return topo_; }
+    bool isMesh() const { return topo_ == Topology::Ring; }
+    bool isBus() const { return topo_ == Topology::Bus; }
     unsigned busLatency() const { return busLatency_; }
+
+    /**
+     * Largest entry of the distance matrix: the topology's reachable-
+     * hop support. Slot categories wait_fwd<h> with h beyond this (and
+     * beyond the taxonomy's 3-hop clamp) must stay zero — the property
+     * the design-space conservation test pins.
+     */
+    unsigned maxDistance() const { return maxDistance_; }
 
     /**
      * Clusters sorted by centrality: middle clusters first. Used by the
      * FDRT strategy to funnel producers toward the middle and keep
-     * worst-case forwarding distances short.
+     * worst-case forwarding distances short. For the symmetric
+     * topologies (ring, crossbar, bus) every cluster is equivalent and
+     * this is simply a stable deterministic order.
      */
     std::vector<ClusterId>
     byCentrality() const
@@ -98,9 +111,13 @@ class Interconnect
   private:
     int numClusters_;
     unsigned hopLatency_;
-    bool mesh_;
-    bool bus_ = false;
-    unsigned busLatency_ = 3;
+    Topology topo_;
+    unsigned busLatency_;
+    unsigned maxDistance_ = 0;
+    /** Row-major NxN hop counts. */
+    std::vector<unsigned> dist_;
+    /** Row-major NxN forwarding latencies in cycles. */
+    std::vector<unsigned> lat_;
 };
 
 } // namespace ctcp

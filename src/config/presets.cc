@@ -41,14 +41,7 @@ SimConfig
 eightClusterConfig()
 {
     SimConfig cfg = baseConfig();
-    cfg.cluster.numClusters = 8;
-    cfg.frontEnd.fetchWidth = 32;
-    cfg.frontEnd.traceCache.maxInsts = 32;
-    cfg.frontEnd.traceCache.maxBlocks = 4;
-    cfg.core.decodeWidth = 32;
-    cfg.core.issueWidth = 32;
-    cfg.core.retireWidth = 32;
-    cfg.core.robEntries = 256;
+    applyMachineScale(cfg, 8, 4);
     cfg.validate();
     return cfg;
 }
@@ -57,16 +50,54 @@ SimConfig
 twoClusterConfig()
 {
     SimConfig cfg = baseConfig();
-    cfg.cluster.numClusters = 2;
-    cfg.frontEnd.fetchWidth = 8;
-    cfg.frontEnd.traceCache.maxInsts = 8;
-    cfg.core.decodeWidth = 8;
-    cfg.core.issueWidth = 8;
-    cfg.core.retireWidth = 8;
-    cfg.core.robEntries = 64;
+    applyMachineScale(cfg, 2, 4);
     cfg.assign.issueTimeLatency = 2;
     cfg.validate();
     return cfg;
+}
+
+SimConfig
+ringConfig()
+{
+    SimConfig cfg = baseConfig();
+    cfg.cluster.topology = Topology::Ring;
+    cfg.validate();
+    return cfg;
+}
+
+SimConfig
+crossbarConfig()
+{
+    SimConfig cfg = baseConfig();
+    cfg.cluster.topology = Topology::Crossbar;
+    cfg.validate();
+    return cfg;
+}
+
+SimConfig
+hierConfig()
+{
+    SimConfig cfg = baseConfig();
+    cfg.cluster.topology = Topology::Hierarchical;
+    cfg.cluster.hierGroupSize = 2;
+    cfg.validate();
+    return cfg;
+}
+
+void
+applyMachineScale(SimConfig &cfg, unsigned num_clusters,
+                  unsigned cluster_width)
+{
+    cfg.cluster.numClusters = num_clusters;
+    cfg.cluster.clusterWidth = cluster_width;
+    const unsigned width = num_clusters * cluster_width;
+    cfg.frontEnd.fetchWidth = width;
+    cfg.frontEnd.traceCache.maxInsts = width;
+    cfg.frontEnd.traceCache.maxBlocks = width >= 32 ? 4 : 3;
+    cfg.core.decodeWidth = width;
+    cfg.core.issueWidth = width;
+    cfg.core.retireWidth = width;
+    cfg.core.robEntries = 8 * width;
 }
 
 } // namespace ctcp

@@ -44,6 +44,30 @@ SimConfig busConfig();
  */
 SimConfig eightClusterConfig();
 
+/** Baseline machine on a ring interconnect (topology = Ring). */
+SimConfig ringConfig();
+
+/** Baseline machine on a full crossbar (every remote cluster 1 hop). */
+SimConfig crossbarConfig();
+
+/**
+ * Baseline machine on a two-level hierarchy: groups of two clusters,
+ * one hop inside a group, two hops across groups.
+ */
+SimConfig hierConfig();
+
+/**
+ * Rescale @p cfg to @p num_clusters clusters of @p cluster_width slots:
+ * recompute the fetch/decode/issue/retire widths, the trace-line size
+ * and the width-proportional core resources (ROB = 8 x machine width;
+ * 32-wide traces get a fourth basic block) the way the two- and
+ * eight-cluster presets do. Shared by the presets, the CLI --clusters /
+ * --cluster-width flags and the campaign-matrix clusters= axis so every
+ * entry point derives the same machine.
+ */
+void applyMachineScale(SimConfig &cfg, unsigned num_clusters,
+                       unsigned cluster_width);
+
 } // namespace ctcp
 
 #endif // CTCPSIM_CONFIG_PRESETS_HH

@@ -14,8 +14,40 @@ assignStrategyName(AssignStrategy s)
       case AssignStrategy::Friendly:      return "friendly";
       case AssignStrategy::Fdrt:          return "fdrt";
       case AssignStrategy::IssueTime:     return "issue-time";
+      case AssignStrategy::Adaptive:      return "adaptive";
     }
     return "unknown";
+}
+
+const char *
+topologyName(Topology t)
+{
+    switch (t) {
+      case Topology::LinearChain:  return "linear";
+      case Topology::Ring:         return "ring";
+      case Topology::Crossbar:     return "crossbar";
+      case Topology::Hierarchical: return "hier";
+      case Topology::Bus:          return "bus";
+    }
+    return "unknown";
+}
+
+bool
+parseTopology(const std::string &name, Topology &out)
+{
+    if (name == "linear")
+        out = Topology::LinearChain;
+    else if (name == "ring" || name == "mesh")
+        out = Topology::Ring;
+    else if (name == "crossbar")
+        out = Topology::Crossbar;
+    else if (name == "hier")
+        out = Topology::Hierarchical;
+    else if (name == "bus")
+        out = Topology::Bus;
+    else
+        return false;
+    return true;
 }
 
 // Configuration errors throw (SimError, category Config) instead of
@@ -34,10 +66,30 @@ SimConfig::validate() const
         config_error("clusterWidth must be positive");
     if (cluster.rsEntries == 0 || cluster.rsWritePorts == 0)
         config_error("reservation stations need entries and write ports");
-    if (cluster.bus && cluster.busBandwidth == 0)
+    if (cluster.effectiveTopology() == Topology::Bus &&
+        cluster.busBandwidth == 0)
         config_error("bus interconnect needs bandwidth of at least one");
     if (cluster.bus && cluster.mesh)
         config_error("bus and mesh interconnects are mutually exclusive");
+    if ((cluster.bus || cluster.mesh) &&
+        cluster.topology != Topology::LinearChain)
+        config_error("legacy mesh/bus flags cannot be combined with "
+                     "topology '%s'; set cluster.topology instead",
+                     topologyName(cluster.topology));
+    if (cluster.effectiveTopology() == Topology::Hierarchical &&
+        cluster.hierGroupSize == 0)
+        config_error("hierarchical topology needs hierGroupSize >= 1");
+    if (assign.strategy == AssignStrategy::Adaptive) {
+        if (assign.adaptiveInterval == 0)
+            config_error("adaptive strategy needs a positive interval");
+        if (assign.adaptiveHysteresis == 0)
+            config_error("adaptive hysteresis must be at least one");
+        if (assign.adaptiveFwdHiPermille > 1000 ||
+            assign.adaptiveFwdLoPermille > assign.adaptiveFwdHiPermille ||
+            assign.adaptiveFwdMinPermille > assign.adaptiveFwdLoPermille)
+            config_error("adaptive thresholds must satisfy "
+                         "min <= lo <= hi <= 1000 per-mille");
+    }
     if (frontEnd.fetchWidth != machineWidth())
         config_error("fetchWidth (%u) must equal numClusters*clusterWidth (%u)",
                      frontEnd.fetchWidth, machineWidth());

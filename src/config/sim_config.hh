@@ -26,10 +26,46 @@ enum class AssignStrategy : std::uint8_t
     Fdrt,
     /** Issue-time dependency steering (latency set separately). */
     IssueTime,
+    /**
+     * Phase-adaptive chooser: samples the cycle-accounting slot
+     * taxonomy every interval and switches among the four strategies
+     * above per program phase (src/assign/adaptive_steering).
+     */
+    Adaptive,
 };
 
 /** Human-readable strategy name. */
 const char *assignStrategyName(AssignStrategy s);
+
+/**
+ * Inter-cluster forwarding-network topology. Every topology is
+ * expressed as an NxN distance matrix (cluster hops) plus an NxN
+ * latency matrix (cycles); the simulator, the accounting layer and the
+ * steering policies consume only those matrices.
+ */
+enum class Topology : std::uint8_t
+{
+    /** Point-to-point chain; end clusters do not talk directly. */
+    LinearChain,
+    /** Chain with the ends joined (the paper's Figure 8 "mesh"). */
+    Ring,
+    /** Full point-to-point crossbar: every remote cluster is one hop. */
+    Crossbar,
+    /**
+     * Two-level hierarchy: clusters form groups of hierGroupSize; one
+     * hop inside a group, two hops (plus hierGroupLatency extra
+     * cycles) across groups.
+     */
+    Hierarchical,
+    /** Shared broadcast bus: uniform latency, limited bandwidth. */
+    Bus,
+};
+
+/** Stable topology name used by the CLI and campaign-matrix specs. */
+const char *topologyName(Topology t);
+
+/** Parse a topology name; returns false on an unknown name. */
+bool parseTopology(const std::string &name, Topology &out);
 
 /** Execution-cluster geometry and interconnect. */
 struct ClusterConfig
@@ -43,19 +79,43 @@ struct ClusterConfig
     unsigned rsWritePorts = 2;
     /** Inter-cluster forwarding latency per cluster hop, in cycles. */
     unsigned hopLatency = 2;
-    /** Mesh/ring interconnect: end clusters communicate directly. */
+    /** Forwarding-network topology (Table 7 baseline: linear chain). */
+    Topology topology = Topology::LinearChain;
+    /** Hierarchical: clusters per first-level group. */
+    unsigned hierGroupSize = 2;
+    /** Hierarchical: extra cycles on top of two hops across groups. */
+    unsigned hierGroupLatency = 0;
+    /**
+     * Legacy alias for topology = Ring, kept so existing presets and
+     * flags keep meaning exactly what they meant. Must not be combined
+     * with a non-linear `topology`.
+     */
     bool mesh = false;
     /**
-     * Bus interconnect: inter-cluster results broadcast over a shared
-     * bus with uniform latency and limited bandwidth, instead of the
-     * point-to-point network (the alternative Parcerisa et al. argue
-     * against, modelled here for the ablation benches).
+     * Legacy alias for topology = Bus: inter-cluster results broadcast
+     * over a shared bus with uniform latency and limited bandwidth,
+     * instead of the point-to-point network (the alternative Parcerisa
+     * et al. argue against, modelled here for the ablation benches).
      */
     bool bus = false;
     /** Bus transfer latency (producer to any other cluster). */
     unsigned busLatency = 3;
     /** Broadcasts the bus can start per cycle. */
     unsigned busBandwidth = 1;
+
+    /**
+     * The topology after resolving the legacy mesh/bus aliases; the
+     * single source of truth the Interconnect is built from.
+     */
+    Topology
+    effectiveTopology() const
+    {
+        if (bus)
+            return Topology::Bus;
+        if (mesh)
+            return Topology::Ring;
+        return topology;
+    }
 };
 
 /** Trace cache geometry (2-way, 1K-entry, 3-cycle access in the paper). */
@@ -156,6 +216,31 @@ struct AssignConfig
      * middle clusters (the "minor adjustment" of Section 5.3).
      */
     bool friendlyMiddleBias = false;
+
+    // ---- Adaptive strategy knobs (AssignStrategy::Adaptive) ---------
+    /**
+     * Cycles per evaluation interval: the chooser samples the
+     * cycle-accounting slot taxonomy at every multiple of this.
+     */
+    std::uint64_t adaptiveInterval = 5000;
+    /**
+     * Consecutive intervals a challenger mode must win before the
+     * chooser actually switches (hysteresis against phase jitter).
+     */
+    unsigned adaptiveHysteresis = 2;
+    /**
+     * Decision thresholds, in per-mille of the interval's attributed
+     * slot-cycles. Integer so every comparison is exact 64-bit
+     * arithmetic — the determinism contract (DESIGN decision 9).
+     * wait_fwd share >= Hi: forwarding-bound, steer at issue time
+     * (clean phases) or with FDRT (redirect-heavy phases);
+     * in [Lo, Hi): FDRT; in [Min, Lo): Friendly; below Min: base.
+     */
+    unsigned adaptiveFwdHiPermille = 220;
+    unsigned adaptiveFwdLoPermille = 60;
+    unsigned adaptiveFwdMinPermille = 15;
+    /** Redirect share above which issue-time's extra stages hurt. */
+    unsigned adaptiveRedirectHiPermille = 80;
 };
 
 /**

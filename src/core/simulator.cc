@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "assign/adaptive_steering.hh"
 #include "assign/base_assignment.hh"
 #include "assign/fdrt_assignment.hh"
 #include "assign/friendly_assignment.hh"
@@ -104,11 +105,25 @@ CtcpSimulator::CtcpSimulator(const SimConfig &cfg, const Program &program)
         steering_ = std::make_unique<IssueTimeSteering>(
             interconnect_, cfg_.cluster.clusterWidth);
         issueExtraStages_ = cfg_.assign.issueTimeLatency;
+        routeToIssueQueue_ = true;
         break;
+      case AssignStrategy::Adaptive: {
+        // Facade over the retire-time policies plus the steering logic
+        // for issue-time phases. The chooser (built with the cycle
+        // accounting in setupObservability) starts in base mode, so
+        // rename routes to the cluster queues until the first switch.
+        auto adaptive = std::make_unique<AdaptivePolicy>(interconnect_,
+                                                         cfg_.assign);
+        adaptivePolicy_ = adaptive.get();
+        policy_ = std::move(adaptive);
+        steering_ = std::make_unique<IssueTimeSteering>(
+            interconnect_, cfg_.cluster.clusterWidth);
+        break;
+      }
     }
 
     clusterQueues_.resize(cfg_.cluster.numClusters);
-    if (cfg_.cluster.bus)
+    if (interconnect_.isBus())
         busSchedule_ = std::make_unique<PortSchedule>(
             cfg_.cluster.busBandwidth);
 
@@ -162,7 +177,11 @@ CtcpSimulator::setupObservability()
         for (Cluster &cluster : clusters_)
             cluster.setObs(sink);
     }
-    if (oc.accounting) {
+    // The adaptive chooser feeds on the slot taxonomy, so strategy
+    // Adaptive runs the accounting layer even when no export was
+    // requested (the export itself stays gated on oc.accounting).
+    if (oc.accounting ||
+        cfg_.assign.strategy == AssignStrategy::Adaptive) {
         acct_ = std::make_unique<CycleAccounting>(
             cfg_.cluster.numClusters, cfg_.cluster.clusterWidth,
             interconnect_);
@@ -170,6 +189,11 @@ CtcpSimulator::setupObservability()
         fwdMatrixCols_ = acct_->numClusters();
         for (Cluster &cluster : clusters_)
             cluster.setAccounting(acct_.get());
+    }
+    if (adaptivePolicy_ != nullptr) {
+        adaptive_ = std::make_unique<AdaptiveSteeringController>(
+            cfg_.assign, *acct_);
+        adaptivePolicy_->setController(adaptive_.get());
     }
     if (oc.intervalEnabled()) {
         interval_ = std::make_unique<IntervalRecorder>(oc.intervalCycles);
@@ -559,7 +583,7 @@ CtcpSimulator::doDispatch()
 void
 CtcpSimulator::doIssue()
 {
-    if (steering_) {
+    if (steering_ && !issueQueue_.empty()) {
         // Issue-time steering: the steering logic examines the whole
         // issue buffer (one machine width of instructions) in
         // parallel, so a blocked instruction does not prevent younger
@@ -633,11 +657,13 @@ CtcpSimulator::doIssue()
                                           issueQueue_.end(), nullptr),
                               issueQueue_.end());
         }
-        return;
     }
 
     // Slot-based modes: each cluster drains its own issue-buffer slice
-    // independently, up to clusterWidth per cycle.
+    // independently, up to clusterWidth per cycle. Under the adaptive
+    // strategy both structures can briefly hold instructions around a
+    // mode switch, so this loop runs unconditionally (it is a no-op
+    // for pure issue-time steering, whose cluster queues stay empty).
     for (unsigned c = 0; c < cfg_.cluster.numClusters; ++c) {
         auto &queue = clusterQueues_[c];
         Cluster &cluster = clusters_[c];
@@ -733,7 +759,7 @@ CtcpSimulator::doRename()
             recordInstEvent(*obs_, ObsKind::Rename, cycle_, *inst);
 
         rob_.pushBack(std::move(group.insts[frontGroupPos_]));
-        if (steering_)
+        if (routeToIssueQueue_)
             issueQueue_.push_back(inst);
         else
             clusterQueues_[static_cast<std::size_t>(slotCluster(*inst))]
@@ -764,8 +790,22 @@ CtcpSimulator::doFetch()
 }
 
 void
+CtcpSimulator::applyAdaptiveMode()
+{
+    const bool steer = adaptive_->mode() == AssignStrategy::IssueTime;
+    routeToIssueQueue_ = steer;
+    issueExtraStages_ = steer ? cfg_.assign.issueTimeLatency : 0;
+}
+
+void
 CtcpSimulator::step()
 {
+    // Adaptive phase evaluation happens at interval boundaries before
+    // this cycle's accounting opens, so the chooser sees exactly the
+    // slots attributed through the end of the previous cycle.
+    if (adaptive_ && adaptive_->due(cycle_) &&
+        adaptive_->evaluate(cycle_))
+        applyAdaptiveMode();
     if (acct_)
         acct_->beginCycle(fetchStarvation());
     doCompletions();
@@ -895,7 +935,9 @@ CtcpSimulator::assemble()
 {
     SimResult r;
     r.benchmark = program_.name();
-    r.strategy = steering_ ? "issue-time" : policy_->name();
+    r.strategy = cfg_.assign.strategy == AssignStrategy::IssueTime
+                     ? "issue-time"
+                     : policy_->name();
     r.cycles = cycle_;
     r.instructions = retired_;
 
@@ -997,8 +1039,10 @@ CtcpSimulator::assemble()
     // ---- Cycle accounting (SimResult::accounting) ----------------------
     // Deliberately a separate map from r.metrics: the golden-stats
     // contract covers the default serialization, and accounting output
-    // only appears under its own flag-gated key.
-    if (acct_) {
+    // only appears under its own flag-gated key. Strategy Adaptive
+    // runs the accounting layer internally as its feedback signal, so
+    // the export keeps its own gate on the user-facing flag.
+    if (acct_ && cfg_.obs.accounting) {
         acct_->exportTo(r.accounting);
         r.accounting["migration.revisits"] =
             static_cast<double>(profiler_.migrationRevisits());
@@ -1013,6 +1057,39 @@ CtcpSimulator::assemble()
             const SlotCat cat = static_cast<SlotCat>(k);
             dump.scalar(std::string("acct.slots.") + slotCatName(cat),
                         acct_->machineSlots(cat));
+        }
+    }
+
+    // ---- Adaptive chooser telemetry (strategy Adaptive only) -----------
+    if (adaptive_) {
+        dump.note("adaptive.final_mode",
+                  assignStrategyName(adaptive_->mode()));
+        dump.scalar("adaptive.switches", adaptive_->switches());
+        dump.scalar("adaptive.intervals", adaptive_->intervals());
+        r.metrics["adaptive.switches"] =
+            static_cast<double>(adaptive_->switches());
+        r.metrics["adaptive.intervals"] =
+            static_cast<double>(adaptive_->intervals());
+        for (const AssignStrategy mode :
+             {AssignStrategy::BaseSlotOrder, AssignStrategy::Friendly,
+              AssignStrategy::Fdrt, AssignStrategy::IssueTime}) {
+            const std::string key = std::string("adaptive.intervals.") +
+                                    assignStrategyName(mode);
+            dump.scalar(key, adaptive_->intervalsIn(mode));
+            r.metrics[key] =
+                static_cast<double>(adaptive_->intervalsIn(mode));
+        }
+        // The phase trajectory itself, one "cycle:mode" token per
+        // switch — small (bounded by switches()) and deterministic.
+        if (!adaptive_->phaseTrace().empty()) {
+            std::string trace;
+            for (const auto &step : adaptive_->phaseTrace()) {
+                if (!trace.empty())
+                    trace += ' ';
+                trace += std::to_string(step.first) + ':' +
+                         assignStrategyName(step.second);
+            }
+            dump.note("adaptive.trace", trace);
         }
     }
 

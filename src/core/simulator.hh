@@ -44,6 +44,8 @@
 
 namespace ctcp {
 
+class AdaptivePolicy;
+class AdaptiveSteeringController;
 class CycleAccounting;
 class FdrtAssignment;
 class IntervalRecorder;
@@ -135,6 +137,9 @@ class CtcpSimulator
     /** Classify this cycle's front-end output for cycle accounting. */
     CycleAccounting::FetchState fetchStarvation() const;
 
+    /** Re-route rename/issue after an adaptive mode switch. */
+    void applyAdaptiveMode();
+
     /**
      * Dispatch callbacks handed to Cluster::dispatch. A concrete type
      * (not std::function) so the per-instruction ready/execute calls
@@ -172,8 +177,19 @@ class CtcpSimulator
     // Assignment policy (retire-time) and issue-time steering.
     std::unique_ptr<RetireAssignmentPolicy> policy_;
     FdrtAssignment *fdrt_ = nullptr;   ///< non-null when strategy is FDRT
+    /** Non-null when the strategy is Adaptive (owned by policy_). */
+    AdaptivePolicy *adaptivePolicy_ = nullptr;
+    /** Phase-adaptive mode chooser (strategy Adaptive only). */
+    std::unique_ptr<AdaptiveSteeringController> adaptive_;
     std::unique_ptr<FillUnit> fillUnit_;
     std::unique_ptr<IssueTimeSteering> steering_;
+    /**
+     * Rename routes new instructions into issueQueue_ (issue-time
+     * steering picks their cluster) instead of the per-cluster queues.
+     * Fixed true for strategy IssueTime; toggled per phase by the
+     * adaptive chooser.
+     */
+    bool routeToIssueQueue_ = false;
 
     std::unique_ptr<FetchEngine> fetch_;
     Profiler profiler_;

@@ -102,7 +102,8 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, AccountingConservation,
                          ::testing::Values(AssignStrategy::BaseSlotOrder,
                                            AssignStrategy::Friendly,
                                            AssignStrategy::Fdrt,
-                                           AssignStrategy::IssueTime),
+                                           AssignStrategy::IssueTime,
+                                           AssignStrategy::Adaptive),
                          [](const auto &info) {
                              switch (info.param) {
                                case AssignStrategy::BaseSlotOrder:
@@ -113,8 +114,86 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, AccountingConservation,
                                  return "fdrt";
                                case AssignStrategy::IssueTime:
                                  return "issue_time";
+                               case AssignStrategy::Adaptive:
+                                 return "adaptive";
                              }
                              return "unknown";
+                         });
+
+// --- The conservation law across the design space --------------------------
+
+/**
+ * The property that makes the topology x policy engine trustworthy:
+ * for EVERY topology, cluster count and strategy, the taxonomy stays
+ * closed (conservation), and the wait_fwdN bins beyond the topology's
+ * reachable hop support stay exactly zero (a crossbar machine that
+ * books 2-hop waits has a broken distance matrix).
+ */
+class DesignSpaceConservation : public ::testing::TestWithParam<Topology>
+{
+};
+
+TEST_P(DesignSpaceConservation, ClosedTaxonomyOnEveryMachineShape)
+{
+    const Topology topo = GetParam();
+    const Program prog = workloads::build("gzip");
+    for (const unsigned clusters : {2u, 4u, 8u}) {
+        for (const AssignStrategy strategy :
+             {AssignStrategy::BaseSlotOrder, AssignStrategy::Friendly,
+              AssignStrategy::Fdrt, AssignStrategy::IssueTime,
+              AssignStrategy::Adaptive}) {
+            SCOPED_TRACE(std::string(topologyName(topo)) + "/c" +
+                         std::to_string(clusters) + "/" +
+                         assignStrategyName(strategy));
+            SimConfig cfg = baseConfig();
+            cfg.cluster.topology = topo;
+            applyMachineScale(cfg, clusters, cfg.cluster.clusterWidth);
+            cfg.assign.strategy = strategy;
+            cfg.instructionLimit = 15'000;
+            cfg.checkLevel = 1;
+            cfg.obs.accounting = true;
+            CtcpSimulator sim(cfg, prog);
+            const SimResult r = sim.run();
+
+            const double cycles = acct(r, "cycles");
+            const auto width =
+                static_cast<unsigned>(acct(r, "cluster_width"));
+            ASSERT_GT(cycles, 0.0);
+            double machine = 0.0;
+            for (unsigned c = 0; c < clusters; ++c) {
+                double cluster_sum = 0.0;
+                for (unsigned k = 0; k < numSlotCats; ++k)
+                    cluster_sum +=
+                        acct(r, "cluster" + std::to_string(c) +
+                                    ".slots." +
+                                    slotCatName(static_cast<SlotCat>(k)));
+                EXPECT_EQ(cluster_sum, cycles * width)
+                    << "cluster " << c;
+                machine += cluster_sum;
+            }
+            EXPECT_EQ(machine, acct(r, "slots.total"));
+
+            // Wait bins past the topology's reachable hop support must
+            // be structurally zero.
+            const Interconnect icn(cfg.cluster);
+            if (icn.maxDistance() < 2) {
+                EXPECT_EQ(acct(r, "slots.wait_fwd2"), 0.0);
+            }
+            if (icn.maxDistance() < 3) {
+                EXPECT_EQ(acct(r, "slots.wait_fwd3"), 0.0);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, DesignSpaceConservation,
+                         ::testing::Values(Topology::LinearChain,
+                                           Topology::Ring,
+                                           Topology::Crossbar,
+                                           Topology::Hierarchical,
+                                           Topology::Bus),
+                         [](const auto &info) {
+                             return topologyName(info.param);
                          });
 
 // --- Plausibility of the attribution ---------------------------------------
@@ -147,6 +226,49 @@ TEST(Accounting, ForwardingMatrixHasOffDiagonalTraffic)
     EXPECT_GT(off_diagonal, 0.0);
     EXPECT_GT(diagonal, 0.0);
     EXPECT_EQ(diagonal + off_diagonal, acct(r, "forwards.total"));
+}
+
+TEST(Accounting, BusWaitsBinAsSingleHop)
+{
+    // On the shared bus every remote cluster is one broadcast away, so
+    // the distance matrix must book ALL inter-cluster waiting as
+    // wait_fwd1 — a bus machine with 2-hop waits means the special
+    // case regressed into the linear distance formula.
+    SimConfig cfg = baseConfig();
+    cfg.cluster.topology = Topology::Bus;
+    cfg.instructionLimit = 40'000;
+    cfg.obs.accounting = true;
+    const Program prog = workloads::build("gzip");
+    const SimResult r = CtcpSimulator(cfg, prog).run();
+    EXPECT_GT(acct(r, "slots.wait_fwd1"), 0.0);
+    EXPECT_EQ(acct(r, "slots.wait_fwd2"), 0.0);
+    EXPECT_EQ(acct(r, "slots.wait_fwd3"), 0.0);
+
+    // The legacy flag spells the same machine; its run must be
+    // byte-identical, accounting included.
+    SimConfig legacy = baseConfig();
+    legacy.cluster.bus = true;
+    legacy.instructionLimit = 40'000;
+    legacy.obs.accounting = true;
+    const SimResult alias = CtcpSimulator(legacy, prog).run();
+    EXPECT_EQ(r.toJson(false, true), alias.toJson(false, true));
+}
+
+TEST(Accounting, AdaptiveFeedbackDoesNotLeakIntoExports)
+{
+    // Strategy Adaptive runs the taxonomy internally as its feedback
+    // signal; without the user-facing flag the accounting block must
+    // stay empty while the chooser's own telemetry still exports.
+    SimConfig cfg = baseConfig();
+    cfg.assign.strategy = AssignStrategy::Adaptive;
+    cfg.instructionLimit = 30'000;
+    const Program prog = workloads::build("gzip");
+    const SimResult r = CtcpSimulator(cfg, prog).run();
+    EXPECT_TRUE(r.accounting.empty());
+    EXPECT_EQ(r.toJson(false, true).find("\"accounting\""),
+              std::string::npos);
+    EXPECT_NE(r.metrics.find("adaptive.switches"), r.metrics.end());
+    EXPECT_NE(r.metrics.find("adaptive.intervals"), r.metrics.end());
 }
 
 TEST(Accounting, MigrationCountersExportedForFdrt)

@@ -301,6 +301,102 @@ TEST(CampaignMatrix, IssueTimeLatencySuffix)
     EXPECT_EQ(jobs[0].label, "gzip/base/issue-time:0");
 }
 
+TEST(CampaignMatrix, TopologyAndClusterDimensions)
+{
+    const std::vector<campaign::Job> jobs = campaign::parseMatrix(
+        "bench=gzip;strategy=adaptive;topology=ring,crossbar;"
+        "clusters=2,8;budget=2000");
+    ASSERT_EQ(jobs.size(), 4u);
+    EXPECT_EQ(jobs[0].label, "gzip/base/adaptive/ring/c2");
+    EXPECT_EQ(jobs[1].label, "gzip/base/adaptive/ring/c8");
+    EXPECT_EQ(jobs[2].label, "gzip/base/adaptive/crossbar/c2");
+    EXPECT_EQ(jobs[3].label, "gzip/base/adaptive/crossbar/c8");
+    EXPECT_EQ(jobs[0].config.assign.strategy, AssignStrategy::Adaptive);
+    EXPECT_EQ(jobs[0].config.cluster.effectiveTopology(), Topology::Ring);
+    EXPECT_EQ(jobs[2].config.cluster.effectiveTopology(),
+              Topology::Crossbar);
+    EXPECT_EQ(jobs[0].config.cluster.numClusters, 2u);
+    EXPECT_EQ(jobs[1].config.cluster.numClusters, 8u);
+    // Machine width scales with the cluster count.
+    EXPECT_EQ(jobs[1].config.frontEnd.fetchWidth,
+              8 * jobs[1].config.cluster.clusterWidth);
+}
+
+TEST(CampaignMatrix, TopologyOverridesPresetInterconnectFlags)
+{
+    // topology=... clears the legacy mesh/bus preset flags so the
+    // override wins; the preset's other knobs are kept.
+    const std::vector<campaign::Job> jobs = campaign::parseMatrix(
+        "bench=gzip;preset=mesh;topology=bus;budget=1000");
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].label, "gzip/mesh/base/bus");
+    EXPECT_FALSE(jobs[0].config.cluster.mesh);
+    EXPECT_EQ(jobs[0].config.cluster.effectiveTopology(), Topology::Bus);
+}
+
+TEST(CampaignMatrix, AbsentTopologyAndClustersArePassThrough)
+{
+    // A spec written before the new axes existed must expand to the
+    // exact same jobs — same labels, same configs.
+    const std::vector<campaign::Job> jobs = campaign::parseMatrix(
+        "bench=gzip;strategy=base,fdrt;budget=1000");
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].label, "gzip/base/base");
+    EXPECT_EQ(jobs[1].label, "gzip/base/fdrt");
+    const SimConfig base = baseConfig();
+    EXPECT_EQ(jobs[0].config.cluster.numClusters,
+              base.cluster.numClusters);
+    EXPECT_EQ(jobs[0].config.cluster.effectiveTopology(),
+              base.cluster.effectiveTopology());
+}
+
+TEST(CampaignMatrix, RejectsBadTopologyAndClusterValues)
+{
+    EXPECT_THROW(campaign::parseMatrix("topology=torus"),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::parseMatrix("clusters=0"),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::parseMatrix("clusters=9"),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::parseMatrix("clusters=two"),
+                 std::invalid_argument);
+    EXPECT_THROW(campaign::parseMatrix("clusters="),
+                 std::invalid_argument);
+}
+
+TEST(CampaignAdaptive, DeterministicAcrossWorkerCounts)
+{
+    // The adaptive strategy closes a feedback loop through the slot
+    // accounting; its interval decisions must still be a pure function
+    // of the (config, workload) pair, so an 8-worker campaign over
+    // every topology matches the serial one byte for byte.
+    const std::vector<campaign::Job> jobs = campaign::parseMatrix(
+        "bench=gzip,twolf;strategy=adaptive;"
+        "topology=linear,ring,crossbar,hier,bus;budget=20000");
+    ASSERT_EQ(jobs.size(), 10u);
+
+    campaign::Options serial;
+    serial.jobs = 1;
+    campaign::Options parallel;
+    parallel.jobs = 8;
+    const campaign::Report r1 = campaign::runCampaign(jobs, serial);
+    const campaign::Report r8 = campaign::runCampaign(jobs, parallel);
+
+    ASSERT_EQ(r1.failed(), 0u);
+    ASSERT_EQ(r8.failed(), 0u);
+    EXPECT_EQ(r1.toJson(), r8.toJson());
+    EXPECT_EQ(r1.toCsv(), r8.toCsv());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(r1.jobs[i].result.strategy, "adaptive");
+        EXPECT_EQ(r1.jobs[i].result.statsText,
+                  r8.jobs[i].result.statsText);
+        ASSERT_TRUE(r1.jobs[i].result.metrics.count("adaptive.intervals"))
+            << jobs[i].label;
+        EXPECT_GT(r1.jobs[i].result.metrics.at("adaptive.intervals"), 0.0)
+            << jobs[i].label;
+    }
+}
+
 TEST(CampaignMatrix, PresetDimension)
 {
     const std::vector<campaign::Job> jobs = campaign::parseMatrix(

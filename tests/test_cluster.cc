@@ -110,6 +110,43 @@ TEST(Interconnect, HopLatencyScales)
     EXPECT_EQ(ic.latency(0, 2), 2u);
 }
 
+TEST(Interconnect, MatrixPropertiesHoldForEveryTopologyAndSize)
+{
+    // Structural properties every topology variant must satisfy at
+    // every supported machine size: zero diagonal, symmetry, a
+    // maxDistance that really is the matrix maximum, and adjacency
+    // consistent with the distance matrix.
+    for (const Topology topo :
+         {Topology::LinearChain, Topology::Ring, Topology::Crossbar,
+          Topology::Hierarchical, Topology::Bus}) {
+        for (const unsigned n : {2u, 4u, 8u}) {
+            ClusterConfig cfg;
+            cfg.topology = topo;
+            cfg.numClusters = n;
+            const Interconnect ic(cfg);
+            unsigned max_seen = 0;
+            for (ClusterId a = 0; a < static_cast<int>(n); ++a) {
+                EXPECT_EQ(ic.distance(a, a), 0u);
+                EXPECT_EQ(ic.latency(a, a), 0u);
+                for (ClusterId b = 0; b < static_cast<int>(n); ++b) {
+                    EXPECT_EQ(ic.distance(a, b), ic.distance(b, a))
+                        << topologyName(topo) << " n=" << n;
+                    EXPECT_EQ(ic.latency(a, b), ic.latency(b, a));
+                    EXPECT_EQ(ic.adjacent(a, b),
+                              ic.distance(a, b) <= 1);
+                    if (a != b) {
+                        EXPECT_GE(ic.distance(a, b), 1u);
+                        max_seen =
+                            std::max(max_seen, ic.distance(a, b));
+                    }
+                }
+            }
+            EXPECT_EQ(ic.maxDistance(), max_seen)
+                << topologyName(topo) << " n=" << n;
+        }
+    }
+}
+
 TEST(ReservationStation, CapacityAndPorts)
 {
     ReservationStation rs(4, 2);

@@ -29,6 +29,9 @@
 #ifndef CTCP_GOLDEN_STATS_PATH
 #error "CTCP_GOLDEN_STATS_PATH must point at tests/golden/golden_stats.json"
 #endif
+#ifndef CTCP_GOLDEN_TOPOLOGY_PATH
+#error "CTCP_GOLDEN_TOPOLOGY_PATH must point at tests/golden/golden_topology.json"
+#endif
 
 namespace ctcp {
 namespace {
@@ -37,11 +40,20 @@ constexpr const char *goldenMatrix =
     "bench=gzip,twolf;strategy=base,friendly,fdrt,issue-time;"
     "budget=50000";
 
+/**
+ * The non-default interconnects get their own golden so a topology
+ * regression cannot hide behind the (unchanged) linear-chain file.
+ * Kept separate from goldenMatrix on purpose: that file predates the
+ * topology axis and must stay byte-identical.
+ */
+constexpr const char *goldenTopologyMatrix =
+    "bench=gzip;strategy=base,fdrt;preset=ring,crossbar;budget=50000";
+
 std::string
-generateGolden()
+generateGolden(const char *matrix)
 {
     const std::vector<campaign::Job> jobs =
-        campaign::parseMatrix(goldenMatrix);
+        campaign::parseMatrix(matrix);
     const campaign::Report report = campaign::runCampaign(jobs);
     EXPECT_EQ(report.failed(), 0u);
     return report.toJson();
@@ -78,10 +90,10 @@ lines(const std::string &text)
     return out;
 }
 
-TEST(GoldenStats, HeadlineMetricsMatchGoldenFile)
+void
+checkAgainstGolden(const std::string &path, const char *matrix)
 {
-    const std::string path = CTCP_GOLDEN_STATS_PATH;
-    const std::string fresh = generateGolden();
+    const std::string fresh = generateGolden(matrix);
 
     if (const char *regen = std::getenv("CTCP_REGEN_GOLDEN");
         regen && *regen) {
@@ -120,6 +132,16 @@ TEST(GoldenStats, HeadlineMetricsMatchGoldenFile)
            << "; regenerate with CTCP_REGEN_GOLDEN=1 if intentional";
 }
 
+TEST(GoldenStats, HeadlineMetricsMatchGoldenFile)
+{
+    checkAgainstGolden(CTCP_GOLDEN_STATS_PATH, goldenMatrix);
+}
+
+TEST(GoldenStats, TopologyMetricsMatchGoldenFile)
+{
+    checkAgainstGolden(CTCP_GOLDEN_TOPOLOGY_PATH, goldenTopologyMatrix);
+}
+
 TEST(GoldenStats, GoldenFileCoversTheFullMatrix)
 {
     std::string golden;
@@ -130,6 +152,21 @@ TEST(GoldenStats, GoldenFileCoversTheFullMatrix)
           "gzip/base/issue-time", "twolf/base/base",
           "twolf/base/friendly", "twolf/base/fdrt",
           "twolf/base/issue-time"})
+        EXPECT_NE(golden.find(std::string("\"label\": \"") + label +
+                              "\""),
+                  std::string::npos)
+            << label;
+    EXPECT_EQ(golden.find("\"status\": \"failed\""), std::string::npos);
+}
+
+TEST(GoldenStats, TopologyGoldenCoversTheFullMatrix)
+{
+    std::string golden;
+    if (!readFile(CTCP_GOLDEN_TOPOLOGY_PATH, golden))
+        GTEST_SKIP() << "topology golden file not generated yet";
+    for (const char *label :
+         {"gzip/ring/base", "gzip/ring/fdrt", "gzip/crossbar/base",
+          "gzip/crossbar/fdrt"})
         EXPECT_NE(golden.find(std::string("\"label\": \"") + label +
                               "\""),
                   std::string::npos)

@@ -286,6 +286,61 @@ TEST(CampaignJournal, KilledCampaignResumesByteIdentical)
     std::remove(full.c_str());
 }
 
+TEST(CampaignJournal, AdaptiveTopologyJobsResumeByteIdentical)
+{
+    // The journal replays the adaptive strategy's extra metrics
+    // (adaptive.switches, adaptive.intervals.*) and the topology
+    // variants' accounting exactly; a resume after a mid-campaign kill
+    // must reproduce the uninterrupted report byte for byte.
+    const std::vector<campaign::Job> jobs = [] {
+        std::vector<campaign::Job> out;
+        for (const char *topo : {"linear", "ring", "crossbar", "bus"}) {
+            SimConfig cfg = quickConfig(15'000);
+            cfg.assign.strategy = AssignStrategy::Adaptive;
+            Topology parsed = Topology::LinearChain;
+            EXPECT_TRUE(parseTopology(topo, parsed));
+            cfg.cluster.topology = parsed;
+            out.push_back(campaign::makeJob(
+                std::string("gzip/adaptive/") + topo, "gzip", cfg));
+        }
+        return out;
+    }();
+    const campaign::Report fresh = campaign::runCampaign(jobs);
+    ASSERT_EQ(fresh.failed(), 0u);
+
+    const std::string full = tempPath("ctcp_journal_adaptive.jsonl");
+    {
+        campaign::Options options;
+        options.jobs = 1;
+        options.journalPath = full;
+        campaign::runCampaign(jobs, options);
+    }
+    const std::string text = readFile(full);
+    // Keep the first two records plus a torn third, as a kill mid-write
+    // would leave behind.
+    std::size_t cut = text.find('\n');
+    ASSERT_NE(cut, std::string::npos);
+    cut = text.find('\n', cut + 1);
+    ASSERT_NE(cut, std::string::npos);
+    const std::string partial =
+        tempPath("ctcp_journal_adaptive_partial.jsonl");
+    {
+        std::FILE *f = std::fopen(partial.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const std::string torn = text.substr(0, cut + 41);
+        std::fwrite(torn.data(), 1, torn.size(), f);
+        std::fclose(f);
+    }
+    campaign::Options options;
+    options.jobs = 4;
+    options.journalPath = partial;
+    const campaign::Report resumed = campaign::runCampaign(jobs, options);
+    EXPECT_EQ(fresh.toJson(), resumed.toJson());
+    EXPECT_EQ(fresh.toCsv(), resumed.toCsv());
+    std::remove(partial.c_str());
+    std::remove(full.c_str());
+}
+
 TEST(CampaignJournal, MismatchedRecordsAreIgnored)
 {
     const std::string path = tempPath("ctcp_journal_stale.jsonl");

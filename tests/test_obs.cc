@@ -621,8 +621,9 @@ TEST(ObsCampaign, TelemetryDeterministicAcrossWorkerCounts)
     ASSERT_EQ(r4.failed(), 0u);
     EXPECT_EQ(r1.toJson(), r4.toJson());
 
-    for (const campaign::Job &job : jobs) {
-        const std::string stem = campaign::sanitizeLabel(job.label);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const campaign::Job &job = jobs[i];
+        const std::string stem = campaign::jobFileStem(job.label, i);
         const std::string csv1 =
             readFile(dir1 + "/" + stem + ".intervals.csv");
         EXPECT_FALSE(csv1.empty()) << job.label;

@@ -40,19 +40,29 @@ usage(const char *prog)
         "  --instructions N      instruction budget (default 2000000)\n"
         "\n"
         "cluster assignment:\n"
-        "  --strategy S          base | friendly | fdrt | issue-time\n"
+        "  --strategy S          base | friendly | fdrt | issue-time |\n"
+        "                        adaptive (phase-adaptive chooser; see\n"
+        "                        --adaptive-interval)\n"
+        "  --adaptive-interval N adaptive: cycles between phase\n"
+        "                        evaluations (default 5000)\n"
         "  --issue-latency N     extra front-end stages for issue-time\n"
         "  --no-pinning          FDRT: do not pin chain leaders\n"
         "  --no-chains           FDRT: intra-trace heuristics only\n"
         "  --middle-bias         Friendly: bias toward middle clusters\n"
         "\n"
         "machine:\n"
-        "  --clusters N          number of clusters (default 4)\n"
+        "  --clusters N          number of clusters (default 4); the\n"
+        "                        machine width rescales to match\n"
+        "  --cluster-width N     issue slots per cluster (default 4);\n"
+        "                        the machine width rescales to match\n"
         "  --hop-latency N       cycles per cluster hop (default 2)\n"
-        "  --mesh                end clusters connected directly\n"
-        "  --bus                 shared broadcast bus interconnect\n"
+        "  --topology T          linear | ring | crossbar | hier | bus\n"
+        "                        (default linear)\n"
+        "  --mesh                alias for --topology ring\n"
+        "  --bus                 alias for --topology bus\n"
         "  --preset P            base | mesh | onecycle | twocluster |\n"
-        "                        bus | eightcluster\n"
+        "                        bus | eightcluster | ring | crossbar |\n"
+        "                        hier\n"
         "\n"
         "output:\n"
         "  --json                print headline metrics as JSON\n"
@@ -256,9 +266,11 @@ main(int argc, char **argv)
     SimConfig cfg = baseConfig();
     std::uint64_t instructions = 2'000'000;
     bool clusters_set = false;
+    bool cluster_width_set = false;
     bool json = false;
     bool host_timing = false;
     unsigned clusters = 4;
+    unsigned cluster_width = 4;
     std::string campaign_matrix;
     bool campaign_set = false;
     unsigned campaign_jobs = 0;
@@ -307,8 +319,13 @@ main(int argc, char **argv)
                 cfg.assign.strategy = AssignStrategy::Fdrt;
             else if (s == "issue-time")
                 cfg.assign.strategy = AssignStrategy::IssueTime;
+            else if (s == "adaptive")
+                cfg.assign.strategy = AssignStrategy::Adaptive;
             else
                 die("unknown strategy '" + s + "'");
+        } else if (arg == "--adaptive-interval") {
+            cfg.assign.adaptiveInterval =
+                std::strtoull(next_arg(i), nullptr, 10);
         } else if (arg == "--issue-latency") {
             cfg.assign.issueTimeLatency = static_cast<unsigned>(
                 std::strtoul(next_arg(i), nullptr, 10));
@@ -322,9 +339,19 @@ main(int argc, char **argv)
             clusters = static_cast<unsigned>(
                 std::strtoul(next_arg(i), nullptr, 10));
             clusters_set = true;
+        } else if (arg == "--cluster-width") {
+            cluster_width = static_cast<unsigned>(
+                std::strtoul(next_arg(i), nullptr, 10));
+            cluster_width_set = true;
         } else if (arg == "--hop-latency") {
             cfg.cluster.hopLatency = static_cast<unsigned>(
                 std::strtoul(next_arg(i), nullptr, 10));
+        } else if (arg == "--topology") {
+            const std::string t = next_arg(i);
+            cfg.cluster.mesh = false;
+            cfg.cluster.bus = false;
+            if (!parseTopology(t, cfg.cluster.topology))
+                die("unknown topology '" + t + "'");
         } else if (arg == "--mesh") {
             cfg.cluster.mesh = true;
         } else if (arg == "--bus") {
@@ -344,6 +371,12 @@ main(int argc, char **argv)
                 cfg = busConfig();
             else if (preset == "eightcluster")
                 cfg = eightClusterConfig();
+            else if (preset == "ring")
+                cfg = ringConfig();
+            else if (preset == "crossbar")
+                cfg = crossbarConfig();
+            else if (preset == "hier")
+                cfg = hierConfig();
             else
                 die("unknown preset '" + preset + "'");
             cfg.assign.strategy = keep.strategy;
@@ -445,14 +478,11 @@ main(int argc, char **argv)
     if (!journal_path.empty())
         die("--journal requires --campaign");
 
-    if (clusters_set) {
-        cfg.cluster.numClusters = clusters;
-        cfg.frontEnd.fetchWidth = clusters * cfg.cluster.clusterWidth;
-        cfg.frontEnd.traceCache.maxInsts = cfg.frontEnd.fetchWidth;
-        cfg.core.decodeWidth = cfg.frontEnd.fetchWidth;
-        cfg.core.issueWidth = cfg.frontEnd.fetchWidth;
-        cfg.core.retireWidth = cfg.frontEnd.fetchWidth;
-    }
+    if (clusters_set || cluster_width_set)
+        applyMachineScale(
+            cfg, clusters_set ? clusters : cfg.cluster.numClusters,
+            cluster_width_set ? cluster_width
+                              : cfg.cluster.clusterWidth);
     cfg.instructionLimit = instructions;
     cfg.checkLevel = robust.checkLevel;
     if (robust.watchdogSet)

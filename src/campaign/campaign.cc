@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "campaign/journal.hh"
+#include "campaign/persistent_pool.hh"
 #include "campaign/work_queue.hh"
 #include "common/logging.hh"
 #include "core/simulator.hh"
@@ -267,6 +268,11 @@ Report::toCsv(bool include_accounting) const
 void
 progressToStderr(const std::string &line)
 {
+    // Cross-campaign serialization: each runCampaign() serializes its
+    // own progress calls, but the service runs several campaigns on
+    // one shared pool and their callbacks fire concurrently.
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
     std::fprintf(stderr, "%s\n", line.c_str());
 }
 
@@ -369,24 +375,35 @@ runCampaign(const std::vector<Job> &jobs, const Options &options)
     std::atomic<std::size_t> finished{0};
     std::mutex progress_mutex;
 
-    WorkStealingPool pool(options.jobs);
-    pool.run(jobs.size(), [&](std::size_t i) {
+    const auto body = [&](std::size_t i) {
         const Job &job = jobs[i];
         JobOutcome &out = report.jobs[i];
         const bool from_journal = replayed[i];
         if (!from_journal) {
             out.label = job.label;
             out.benchmark = job.benchmark;
-            for (unsigned attempt = 1; ; ++attempt) {
-                out.attempts = attempt;
-                runAttempt(job, i, options, out);
-                if (out.ok() || attempt >= max_attempts ||
-                    !errorCategoryRetryable(out.category))
-                    break;
+            if (options.cancelRequested && options.cancelRequested()) {
+                // Checkpoint semantics: a cancelled job is reported
+                // but never journaled, so resuming with the same
+                // journal re-runs exactly the jobs that did not
+                // finish (see Options::cancelRequested).
+                out.status = JobStatus::Failed;
+                out.category = ErrorCategory::Cancelled;
+                out.error = "cancelled before start";
+            } else {
+                for (unsigned attempt = 1; ; ++attempt) {
+                    out.attempts = attempt;
+                    runAttempt(job, i, options, out);
+                    if (out.ok() || attempt >= max_attempts ||
+                        !errorCategoryRetryable(out.category))
+                        break;
+                }
+                if (journal)
+                    journal->append(i, out);
             }
-            if (journal)
-                journal->append(i, out);
         }
+        if (options.onJobFinished)
+            options.onJobFinished(i, out);
         const std::size_t done =
             finished.fetch_add(1, std::memory_order_acq_rel) + 1;
         if (options.progress) {
@@ -398,7 +415,14 @@ runCampaign(const std::vector<Job> &jobs, const Options &options)
                      ? (from_journal ? "ok (journal)" : "ok")
                      : "FAILED (" + out.error + ")"));
         }
-    });
+    };
+
+    if (options.pool) {
+        options.pool->run(jobs.size(), body);
+    } else {
+        WorkStealingPool pool(options.jobs);
+        pool.run(jobs.size(), body);
+    }
     return report;
 }
 

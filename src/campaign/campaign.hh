@@ -36,6 +36,8 @@
 
 namespace ctcp::campaign {
 
+class PersistentPool;
+
 /** One independent simulation in a campaign. */
 struct Job
 {
@@ -168,6 +170,35 @@ struct Options
      * replayed (their jobs skipped) on start — see campaign/journal.hh.
      */
     std::string journalPath;
+
+    // ---- Service integration (src/service) -----------------------------
+    /**
+     * External long-lived worker pool to run jobs on instead of a
+     * private WorkStealingPool; `jobs` is ignored when set. The ctcpd
+     * daemon shares one pool across every submitted campaign. Reports
+     * remain byte-identical either way: outcomes land in slots
+     * preassigned by submission index regardless of which threads run
+     * the jobs or in what order.
+     */
+    PersistentPool *pool = nullptr;
+    /**
+     * Cooperative cancellation, polled before each not-yet-run job
+     * starts. Once it returns true, pending jobs are recorded as
+     * Failed with category Cancelled and are NOT journaled, so a later
+     * run with the same journal re-runs exactly those jobs — that is
+     * the checkpoint half of graceful shutdown. Jobs already in
+     * flight run to completion and are journaled normally.
+     */
+    std::function<bool()> cancelRequested;
+    /**
+     * Invoked from worker threads after each job's outcome is final —
+     * freshly run, replayed from the journal, or cancelled — with the
+     * submission index and the outcome. Unlike `progress` this is not
+     * serialized; callers synchronize their own state. Observability
+     * only: it must not mutate the outcome.
+     */
+    std::function<void(std::size_t index, const JobOutcome &outcome)>
+        onJobFinished;
 };
 
 /**
@@ -189,7 +220,12 @@ std::string sanitizeLabel(const std::string &label);
  */
 std::string jobFileStem(const std::string &label, std::size_t index);
 
-/** Write "[k/n] label: ok" lines to stderr (an Options::progress). */
+/**
+ * Write "[k/n] label: ok" lines to stderr (an Options::progress).
+ * Serialized by an internal mutex: runCampaign() serializes progress
+ * calls within one campaign, but concurrent campaigns (ctcpd runs
+ * many on one shared pool) would otherwise interleave their lines.
+ */
 void progressToStderr(const std::string &line);
 
 /** Run every job and aggregate the outcomes in submission order. */

@@ -516,6 +516,33 @@ loadJournal(const std::string &path)
     return records;
 }
 
+std::string
+readJournalTail(const std::string &path, std::uint64_t offset,
+                std::uint64_t &next)
+{
+    next = offset;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return {}; // nothing appended yet
+    std::string bytes;
+    if (std::fseek(file, static_cast<long>(offset), SEEK_SET) == 0) {
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0)
+            bytes.append(buf, n);
+    }
+    std::fclose(file);
+    // Only hand out whole lines: drop any torn tail (an append still
+    // in flight, or the remnant of a crash) back into the stream for
+    // the next poll.
+    const std::size_t last_newline = bytes.rfind('\n');
+    if (last_newline == std::string::npos)
+        return {};
+    bytes.resize(last_newline + 1);
+    next = offset + bytes.size();
+    return bytes;
+}
+
 JournalWriter::JournalWriter(std::string path)
     : path_(std::move(path))
 {

@@ -56,6 +56,24 @@ bool decodeJournalRecord(const std::string &line, JournalRecord &record);
  */
 std::vector<JournalRecord> loadJournal(const std::string &path);
 
+/**
+ * Tail-read the journal as a stream of complete records: returns the
+ * bytes of every newline-terminated line starting at byte @p offset
+ * verbatim (newlines included) and sets @p next to the offset just
+ * past the last complete line, i.e. the @p offset to pass on the next
+ * call. A torn trailing line (append in progress, or a crash
+ * mid-write) is never consumed, so readers only ever see whole
+ * records; a missing file or an offset at or past the last newline
+ * yields "" and next == offset.
+ *
+ * This is the wire format of ctcpd's GET /v1/runs/<id>/events
+ * endpoint: the journal bytes ARE the event stream, so a client that
+ * concatenates every chunk it receives holds exactly the journal —
+ * and can decode it with decodeJournalRecord line by line.
+ */
+std::string readJournalTail(const std::string &path, std::uint64_t offset,
+                            std::uint64_t &next);
+
 /** Appends records to the journal file; safe from worker threads. */
 class JournalWriter
 {

@@ -12,6 +12,7 @@ errorCategoryName(ErrorCategory category)
       case ErrorCategory::Hang:      return "hang";
       case ErrorCategory::Invariant: return "invariant";
       case ErrorCategory::Internal:  return "internal";
+      case ErrorCategory::Cancelled: return "cancelled";
     }
     return "internal";
 }
@@ -24,6 +25,7 @@ errorCategoryFromName(const std::string &name)
     if (name == "timeout")   return ErrorCategory::Timeout;
     if (name == "hang")      return ErrorCategory::Hang;
     if (name == "invariant") return ErrorCategory::Invariant;
+    if (name == "cancelled") return ErrorCategory::Cancelled;
     return ErrorCategory::Internal;
 }
 

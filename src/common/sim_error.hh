@@ -24,6 +24,11 @@
  *               simulator bug; never retried, so the report keeps the
  *               first observed corruption.
  *   Internal  — any other exception escaping the simulation proper.
+ *   Cancelled — the job never ran: its campaign was cancelled (SIGINT
+ *               on a batch run, shutdown or an explicit cancel in
+ *               ctcpd) before the job started. Never retried within
+ *               the cancelled campaign and never journaled, so a
+ *               resume re-runs it from scratch.
  */
 
 #ifndef CTCPSIM_COMMON_SIM_ERROR_HH
@@ -44,6 +49,7 @@ enum class ErrorCategory : std::uint8_t
     Hang,
     Invariant,
     Internal,
+    Cancelled,
 };
 
 /** Stable lower-case name ("config", "workload", ...). */
@@ -60,7 +66,8 @@ constexpr bool
 errorCategoryRetryable(ErrorCategory category)
 {
     return category != ErrorCategory::Config &&
-           category != ErrorCategory::Invariant;
+           category != ErrorCategory::Invariant &&
+           category != ErrorCategory::Cancelled;
 }
 
 /** An error with a failure category attached. */

@@ -453,4 +453,15 @@ renderHtml(const ReportView &view, const std::string &title)
     return out;
 }
 
+std::string
+renderHtmlFromJson(const std::string &json_text,
+                   const std::string &interval_path,
+                   const std::string &title)
+{
+    ReportView view = fromJsonText(json_text);
+    if (!interval_path.empty())
+        loadIntervalSeries(interval_path, view);
+    return renderHtml(view, title);
+}
+
 } // namespace ctcp::report

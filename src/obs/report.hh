@@ -84,6 +84,18 @@ void loadIntervalSeries(const std::string &path, ReportView &view);
 /** Render the full self-contained HTML page. */
 std::string renderHtml(const ReportView &view, const std::string &title);
 
+/**
+ * One-call render-to-string: decode @p json_text (single-run or
+ * campaign report JSON), optionally merge interval series from
+ * @p interval_path (file or directory; "" skips), and render the HTML
+ * page. This is what ctcpd's GET /v1/runs/<id>/html serves — no file
+ * round-trip, deterministic bytes for identical inputs.
+ * @throws std::runtime_error on malformed input
+ */
+std::string renderHtmlFromJson(const std::string &json_text,
+                               const std::string &interval_path,
+                               const std::string &title);
+
 } // namespace ctcp::report
 
 #endif // CTCPSIM_OBS_REPORT_HH

@@ -1,0 +1,39 @@
+#include "service/client.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ctcp::service {
+
+bool
+httpRequest(const std::string &socketPath, const std::string &method,
+            const std::string &target, const std::string &body,
+            HttpResponse &resp, std::string &error)
+{
+    const int fd = connectUnix(socketPath, error);
+    if (fd < 0)
+        return false;
+
+    std::string request = method + " " + target + " HTTP/1.1\r\n";
+    request += "Host: ctcpd\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) +
+        "\r\n";
+    request += "Connection: close\r\n\r\n";
+    request += body;
+    if (!writeAll(fd, request)) {
+        error = "failed to send request to " + socketPath;
+        ::close(fd);
+        return false;
+    }
+    ::shutdown(fd, SHUT_WR);
+
+    const std::string raw = readAll(fd);
+    ::close(fd);
+    if (raw.empty()) {
+        error = "empty response from " + socketPath;
+        return false;
+    }
+    return parseResponse(raw, resp, error);
+}
+
+} // namespace ctcp::service

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Minimal blocking client for the ctcpd unix-socket API: one
+ * connection per exchange (the server closes after each response),
+ * shared by ctcpctl and the service end-to-end tests.
+ */
+
+#ifndef CTCPSIM_SERVICE_CLIENT_HH
+#define CTCPSIM_SERVICE_CLIENT_HH
+
+#include <string>
+
+#include "service/http.hh"
+
+namespace ctcp::service {
+
+/**
+ * Perform one request against the daemon at @p socketPath.
+ * @return false with a transport diagnostic in @p error (cannot
+ *         connect, short response, unparseable response); an HTTP
+ *         error status is a *successful* exchange — check
+ *         @p resp.status.
+ */
+bool httpRequest(const std::string &socketPath,
+                 const std::string &method, const std::string &target,
+                 const std::string &body, HttpResponse &resp,
+                 std::string &error);
+
+} // namespace ctcp::service
+
+#endif // CTCPSIM_SERVICE_CLIENT_HH

@@ -1,0 +1,455 @@
+#include "service/http.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ctcp::service {
+
+namespace {
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+/** Split "a=1&b=2" into decoded pairs. */
+std::vector<std::pair<std::string, std::string>>
+parseQuery(const std::string &text)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find('&', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string item = text.substr(start, end - start);
+        if (!item.empty()) {
+            const std::size_t eq = item.find('=');
+            if (eq == std::string::npos)
+                out.emplace_back(percentDecode(item), "");
+            else
+                out.emplace_back(percentDecode(item.substr(0, eq)),
+                                 percentDecode(item.substr(eq + 1)));
+        }
+        if (end == text.size())
+            break;
+        start = end + 1;
+    }
+    return out;
+}
+
+/**
+ * Split the head into lines and parse "Name: value" headers into
+ * @p headers. @p head excludes the blank separator line.
+ */
+bool
+parseHeaderLines(const std::string &head, std::size_t first_line_end,
+                 std::vector<std::pair<std::string, std::string>> &headers,
+                 std::string &error)
+{
+    std::size_t pos = first_line_end;
+    while (pos < head.size()) {
+        std::size_t end = head.find("\r\n", pos);
+        if (end == std::string::npos)
+            end = head.size();
+        const std::string line = head.substr(pos, end - pos);
+        pos = end + 2;
+        if (line.empty())
+            continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string::npos) {
+            error = "malformed header line '" + line + "'";
+            return false;
+        }
+        std::string value = line.substr(colon + 1);
+        std::size_t v0 = 0;
+        while (v0 < value.size() &&
+               (value[v0] == ' ' || value[v0] == '\t'))
+            ++v0;
+        std::size_t v1 = value.size();
+        while (v1 > v0 &&
+               (value[v1 - 1] == ' ' || value[v1 - 1] == '\t' ||
+                value[v1 - 1] == '\r'))
+            --v1;
+        headers.emplace_back(toLower(line.substr(0, colon)),
+                             value.substr(v0, v1 - v0));
+    }
+    return true;
+}
+
+std::size_t
+contentLength(const std::vector<std::pair<std::string, std::string>> &hs)
+{
+    for (const auto &[name, value] : hs)
+        if (name == "content-length")
+            return static_cast<std::size_t>(
+                std::strtoull(value.c_str(), nullptr, 10));
+    return 0;
+}
+
+} // namespace
+
+std::string
+HttpRequest::header(const std::string &name) const
+{
+    const std::string key = toLower(name);
+    for (const auto &[n, v] : headers)
+        if (n == key)
+            return v;
+    return {};
+}
+
+std::string
+HttpRequest::queryParam(const std::string &name,
+                        const std::string &fallback) const
+{
+    for (const auto &[n, v] : query)
+        if (n == name)
+            return v;
+    return fallback;
+}
+
+const char *
+statusText(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 201: return "Created";
+      case 202: return "Accepted";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 409: return "Conflict";
+      case 413: return "Payload Too Large";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+      default:  return "Unknown";
+    }
+}
+
+std::string
+percentDecode(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '+') {
+            out += ' ';
+        } else if (c == '%' && i + 2 < text.size() &&
+                   hexDigit(text[i + 1]) >= 0 &&
+                   hexDigit(text[i + 2]) >= 0) {
+            out += static_cast<char>(hexDigit(text[i + 1]) * 16 +
+                                     hexDigit(text[i + 2]));
+            i += 2;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+parseRequest(const std::string &raw, HttpRequest &req, std::string &error)
+{
+    const std::size_t head_end = raw.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+        error = "truncated request (no header terminator)";
+        return false;
+    }
+    if (head_end > maxHeaderBytes) {
+        error = "request head too large";
+        return false;
+    }
+    const std::string head = raw.substr(0, head_end + 2);
+
+    std::size_t line_end = head.find("\r\n");
+    const std::string request_line = head.substr(0, line_end);
+    const std::size_t sp1 = request_line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : request_line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        error = "malformed request line '" + request_line + "'";
+        return false;
+    }
+    HttpRequest parsed;
+    parsed.method = request_line.substr(0, sp1);
+    const std::string target =
+        request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string version = request_line.substr(sp2 + 1);
+    if (version.compare(0, 5, "HTTP/") != 0) {
+        error = "malformed request line '" + request_line + "'";
+        return false;
+    }
+    const std::size_t qmark = target.find('?');
+    if (qmark == std::string::npos) {
+        parsed.path = percentDecode(target);
+    } else {
+        parsed.path = percentDecode(target.substr(0, qmark));
+        parsed.query = parseQuery(target.substr(qmark + 1));
+    }
+    if (!parseHeaderLines(head, line_end + 2, parsed.headers, error))
+        return false;
+
+    const std::size_t length = contentLength(parsed.headers);
+    if (length > maxBodyBytes) {
+        error = "request body too large";
+        return false;
+    }
+    if (raw.size() - (head_end + 4) < length) {
+        error = "truncated request body";
+        return false;
+    }
+    parsed.body = raw.substr(head_end + 4, length);
+    req = std::move(parsed);
+    return true;
+}
+
+std::string
+serializeResponse(const HttpResponse &resp)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+        statusText(resp.status) + "\r\n";
+    out += "Content-Type: " + resp.contentType + "\r\n";
+    out += "Content-Length: " + std::to_string(resp.body.size()) +
+        "\r\n";
+    for (const auto &[name, value] : resp.headers)
+        out += name + ": " + value + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += resp.body;
+    return out;
+}
+
+bool
+parseResponse(const std::string &raw, HttpResponse &resp,
+              std::string &error)
+{
+    const std::size_t head_end = raw.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+        error = "truncated response (no header terminator)";
+        return false;
+    }
+    const std::string head = raw.substr(0, head_end + 2);
+    const std::size_t line_end = head.find("\r\n");
+    const std::string status_line = head.substr(0, line_end);
+    const std::size_t sp1 = status_line.find(' ');
+    if (status_line.compare(0, 5, "HTTP/") != 0 ||
+        sp1 == std::string::npos) {
+        error = "malformed status line '" + status_line + "'";
+        return false;
+    }
+    HttpResponse parsed;
+    parsed.status =
+        static_cast<int>(std::strtol(status_line.c_str() + sp1 + 1,
+                                     nullptr, 10));
+    if (parsed.status < 100 || parsed.status > 599) {
+        error = "malformed status line '" + status_line + "'";
+        return false;
+    }
+    if (!parseHeaderLines(head, line_end + 2, parsed.headers, error))
+        return false;
+    for (const auto &[name, value] : parsed.headers)
+        if (name == "content-type")
+            parsed.contentType = value;
+    // Trust Content-Length when present (and sane); fall back to
+    // everything-until-EOF, which is what Connection: close implies.
+    const std::size_t length = contentLength(parsed.headers);
+    const std::size_t available = raw.size() - (head_end + 4);
+    parsed.body = raw.substr(head_end + 4,
+                             length && length <= available ? length
+                                                           : available);
+    resp = std::move(parsed);
+    return true;
+}
+
+// ---- Blocking unix-socket I/O ------------------------------------------
+
+int
+listenUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long (max " +
+            std::to_string(sizeof(addr.sun_path) - 1) + " bytes): " +
+            path;
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    ::unlink(path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error = "bind " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        error = "listen " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long: " + path;
+        return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = "connect " + path + ": " + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+readRequest(int fd, HttpRequest &req, std::string &error)
+{
+    std::string raw;
+    char buf[4096];
+    std::size_t head_end = std::string::npos;
+    std::size_t want = 0; // total bytes once the head is known
+    while (true) {
+        if (head_end == std::string::npos) {
+            head_end = raw.find("\r\n\r\n");
+            if (head_end != std::string::npos) {
+                // Peek at Content-Length to know how much body to
+                // expect; full validation happens in parseRequest.
+                std::vector<std::pair<std::string, std::string>> hs;
+                std::string ignored;
+                const std::size_t line_end = raw.find("\r\n");
+                parseHeaderLines(raw.substr(0, head_end + 2),
+                                 line_end + 2, hs, ignored);
+                const std::size_t length = contentLength(hs);
+                if (length > maxBodyBytes) {
+                    error = "request body too large";
+                    return false;
+                }
+                want = head_end + 4 + length;
+            } else if (raw.size() > maxHeaderBytes) {
+                error = "request head too large";
+                return false;
+            }
+        }
+        if (head_end != std::string::npos && raw.size() >= want)
+            break;
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = std::string("read: ") + std::strerror(errno);
+            return false;
+        }
+        if (n == 0) {
+            error = raw.empty() ? "empty request"
+                                : "connection closed mid-request";
+            return false;
+        }
+        raw.append(buf, static_cast<std::size_t>(n));
+    }
+    return parseRequest(raw, req, error);
+}
+
+bool
+writeAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string
+readAll(int fd)
+{
+    std::string out;
+    char buf[4096];
+    while (true) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+}
+
+} // namespace ctcp::service

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * ctcpd's HTTP front end: routing plus the unix-socket accept loop.
+ *
+ * Endpoints (all JSON unless noted):
+ *
+ *   GET  /v1/ping                 liveness probe
+ *   GET  /v1/stats                pool, runs, workload-cache counters
+ *   POST /v1/runs                 body = matrix spec text; query:
+ *                                 accounting=1, max_attempts=N,
+ *                                 deadline=SECS. 201 + {"id": ...}
+ *   GET  /v1/runs                 all runs' status snapshots
+ *   GET  /v1/runs/<id>            one run's status snapshot
+ *   GET  /v1/runs/<id>/events     journal tail from ?from=<offset>,
+ *                                 long-polling up to ?wait=<secs>;
+ *                                 body is raw journal JSONL and
+ *                                 X-Ctcp-Next-Offset names the next
+ *                                 ?from to pass
+ *   POST /v1/runs/<id>/cancel     request cancellation
+ *   GET  /v1/runs/<id>/report     final report, ?format=json|csv,
+ *                                 ?host_timing=1; 409 until done.
+ *                                 Byte-identical to the batch path.
+ *   GET  /v1/runs/<id>/html       live HTML report (text/html)
+ *
+ * handle() is a pure HttpRequest -> HttpResponse function so every
+ * route is unit-testable without sockets; serve() owns the listening
+ * socket and runs one short-lived thread per connection (one request,
+ * one response, close — ctcpctl reconnects per call).
+ */
+
+#ifndef CTCPSIM_SERVICE_SERVER_HH
+#define CTCPSIM_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+#include "service/http.hh"
+#include "service/registry.hh"
+
+namespace ctcp::service {
+
+class ServiceServer
+{
+  public:
+    struct Config
+    {
+        std::string socketPath;
+        RunRegistry::Config registry;
+        /** Log one line per request to stderr. */
+        bool verbose = false;
+        /** Long-poll ceiling for ?wait= (seconds). */
+        double maxWaitSeconds = 30.0;
+    };
+
+    /** @throws SimError (Config) when the state dir cannot be set up */
+    explicit ServiceServer(Config config);
+    ~ServiceServer();
+
+    ServiceServer(const ServiceServer &) = delete;
+    ServiceServer &operator=(const ServiceServer &) = delete;
+
+    /** Route one request (pure; no socket involved). */
+    HttpResponse handle(const HttpRequest &req);
+
+    /**
+     * Bind the socket and serve until @p stop becomes true (typically
+     * set by a SIGTERM/SIGINT handler). On return the socket file is
+     * removed and the registry has been shut down gracefully:
+     * in-flight jobs journaled, queued jobs skipped.
+     * @return 0 on clean shutdown, 2 when the socket cannot be bound
+     */
+    int serve(const std::atomic<bool> &stop);
+
+    RunRegistry &registry() { return registry_; }
+
+  private:
+    void handleConnection(int fd);
+
+    Config config_;
+    RunRegistry registry_;
+
+    std::mutex connMutex_;
+    std::condition_variable connIdle_;
+    std::size_t activeConnections_ = 0;
+};
+
+} // namespace ctcp::service
+
+#endif // CTCPSIM_SERVICE_SERVER_HH

@@ -1,0 +1,53 @@
+#include "service/workload_cache.hh"
+
+#include <stdexcept>
+
+#include "workload/workload.hh"
+
+namespace ctcp::service {
+
+std::shared_ptr<const Program>
+WorkloadCache::get(const std::string &benchmark,
+                   std::uint64_t instructionLimit)
+{
+    const std::string key =
+        benchmark + "@" + std::to_string(instructionLimit);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->key == key) {
+                ++stats_.hits;
+                entries_.splice(entries_.begin(), entries_, it);
+                return entries_.front().program;
+            }
+        }
+    }
+    // Build outside the lock: a slow builder must not stall every
+    // worker that happens to hit a different benchmark. A racing
+    // build of the same key produces an identical Program
+    // (deterministic builders), so last-insert-wins is harmless.
+    if (!workloads::exists(benchmark))
+        throw std::invalid_argument("unknown benchmark '" + benchmark +
+                                    "'");
+    auto program =
+        std::make_shared<const Program>(workloads::build(benchmark));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    entries_.push_front(Entry{key, program});
+    while (entries_.size() > maxEntries_) {
+        entries_.pop_back();
+        ++stats_.evictions;
+    }
+    return program;
+}
+
+WorkloadCache::Stats
+WorkloadCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats out = stats_;
+    out.entries = entries_.size();
+    return out;
+}
+
+} // namespace ctcp::service

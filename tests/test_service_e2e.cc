@@ -1,0 +1,351 @@
+/**
+ * @file
+ * End-to-end contract of the ctcpd daemon and ctcpctl client, driven
+ * through the real binaries (paths injected at configure time):
+ *
+ *  - submit a campaign over the socket, stream its events, and verify
+ *    the final report is byte-identical to `ctcpsim --campaign` with
+ *    the same spec — the service's core promise;
+ *  - SIGKILL the daemon mid-campaign, corrupt the journal tail the way
+ *    a kill mid-append would, restart, and verify the resumed run
+ *    still produces the byte-identical report;
+ *  - SIGTERM performs a graceful shutdown with exit status 0;
+ *  - --workers shares ctcpsim's --jobs validation (exit 2 + message).
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "service/client.hh"
+#include "service/http.hh"
+#include "verify/fault.hh"
+
+namespace {
+
+struct CommandResult
+{
+    int status = -1;
+    std::string output; // stdout only
+};
+
+/** Run a shell command, capturing exit status and stdout. */
+CommandResult
+run(const std::string &cmd)
+{
+    CommandResult result;
+    FILE *pipe = ::popen((cmd + " 2>/dev/null").c_str(), "r");
+    if (!pipe)
+        return result;
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0)
+        result.output.append(buffer, n);
+    const int rc = ::pclose(pipe);
+    result.status = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+    return result;
+}
+
+/** Run a command and capture stderr (for diagnostics assertions). */
+std::string
+runStderr(const std::string &cmd)
+{
+    std::string output;
+    FILE *pipe = ::popen((cmd + " 2>&1 1>/dev/null").c_str(), "r");
+    if (!pipe)
+        return output;
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0)
+        output.append(buffer, n);
+    ::pclose(pipe);
+    return output;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::string
+chomp(std::string text)
+{
+    while (!text.empty() &&
+           (text.back() == '\n' || text.back() == '\r'))
+        text.pop_back();
+    return text;
+}
+
+/** One daemon instance on a private socket + state dir. */
+class Daemon
+{
+  public:
+    explicit Daemon(const std::string &tag, unsigned workers = 2)
+        : dir_(::testing::TempDir() + "ctcp_e2e_" + tag),
+          socket_(dir_ + "/d.sock"), state_(dir_ + "/state")
+    {
+        // State from a previous suite invocation would resume into
+        // this daemon and trivialize the crash/resume scenarios.
+        std::filesystem::remove_all(dir_);
+        ::mkdir(dir_.c_str(), 0755);
+        start(workers);
+    }
+
+    ~Daemon() { kill(); }
+
+    void start(unsigned workers = 2)
+    {
+        pid_ = ::fork();
+        ASSERT_GE(pid_, 0);
+        if (pid_ == 0) {
+            // Quiet child: the test asserts over the API, not logs.
+            ::freopen("/dev/null", "w", stdout);
+            ::freopen("/dev/null", "w", stderr);
+            ::execl(CTCP_CTCPD_PATH, CTCP_CTCPD_PATH, "--socket",
+                    socket_.c_str(), "--state-dir", state_.c_str(),
+                    "--workers", std::to_string(workers).c_str(),
+                    (char *)nullptr);
+            ::_exit(127);
+        }
+        waitReady();
+    }
+
+    /** Block until the daemon answers /v1/ping (bounded). */
+    void waitReady()
+    {
+        for (int i = 0; i < 100; ++i) {
+            ctcp::service::HttpResponse resp;
+            std::string error;
+            if (ctcp::service::httpRequest(socket_, "GET", "/v1/ping",
+                                           "", resp, error) &&
+                resp.status == 200)
+                return;
+            ::usleep(100 * 1000);
+        }
+        FAIL() << "daemon never became ready on " << socket_;
+    }
+
+    /** SIGKILL (simulated crash); reap the child. */
+    void kill()
+    {
+        if (pid_ <= 0)
+            return;
+        ::kill(pid_, SIGKILL);
+        int status = 0;
+        ::waitpid(pid_, &status, 0);
+        pid_ = -1;
+    }
+
+    /** SIGTERM (graceful); @return the daemon's exit status. */
+    int terminate()
+    {
+        if (pid_ <= 0)
+            return -1;
+        ::kill(pid_, SIGTERM);
+        int status = 0;
+        ::waitpid(pid_, &status, 0);
+        pid_ = -1;
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+    /** ctcpctl against this daemon. */
+    CommandResult ctl(const std::string &args) const
+    {
+        return run(std::string(CTCP_CTCPCTL_PATH) + " --socket " +
+                   socket_ + " " + args);
+    }
+
+    const std::string &dir() const { return dir_; }
+    const std::string &statePath() const { return state_; }
+
+  private:
+    std::string dir_;
+    std::string socket_;
+    std::string state_;
+    pid_t pid_ = -1;
+};
+
+/** Write a spec file and return its path. */
+std::string
+writeSpec(const Daemon &daemon, const std::string &spec)
+{
+    const std::string path = daemon.dir() + "/spec.txt";
+    std::ofstream out(path, std::ios::binary);
+    out << spec;
+    return path;
+}
+
+// The figure-6 style matrix both identity tests use: two benchmarks
+// by two strategies, small budgets so the suite stays fast.
+const char *const kMatrix =
+    "bench=gzip,adpcm_enc;strategy=base,fdrt;budget=60000";
+
+std::string
+batchReport(const std::string &dir)
+{
+    const std::string out = dir + "/batch.json";
+    const CommandResult batch =
+        run(std::string(CTCP_CTCPSIM_PATH) + " --campaign '" +
+            std::string(kMatrix) + "' --jobs 2 --out " + out);
+    EXPECT_EQ(batch.status, 0);
+    return slurp(out);
+}
+
+TEST(ServiceE2E, StreamedRunMatchesBatchByteForByte)
+{
+    Daemon daemon("identity");
+
+    const std::string spec = writeSpec(daemon, kMatrix);
+    const CommandResult submitted = daemon.ctl("submit " + spec);
+    ASSERT_EQ(submitted.status, 0) << submitted.output;
+    const std::string id = chomp(submitted.output);
+    ASSERT_FALSE(id.empty());
+
+    // Follow the event stream to completion: one journal record per
+    // job, each a complete JSON line.
+    const CommandResult events =
+        daemon.ctl("events " + id + " --follow");
+    EXPECT_EQ(events.status, 0);
+    int lines = 0;
+    std::istringstream stream(events.output);
+    for (std::string line; std::getline(stream, line);) {
+        ++lines;
+        EXPECT_EQ(line.front(), '{') << line;
+        EXPECT_EQ(line.back(), '}') << line;
+    }
+    EXPECT_EQ(lines, 4);
+
+    const std::string daemon_json = daemon.dir() + "/daemon.json";
+    EXPECT_EQ(daemon.ctl("report " + id + " --out " + daemon_json)
+                  .status,
+              0);
+    EXPECT_EQ(slurp(daemon_json), batchReport(daemon.dir()));
+
+    // The live HTML report also serves after completion.
+    const std::string html = daemon.dir() + "/live.html";
+    EXPECT_EQ(daemon.ctl("html " + id + " --out " + html).status, 0);
+    EXPECT_NE(slurp(html).find("<!DOCTYPE html>"), std::string::npos);
+
+    // Both benchmarks appeared twice: the workload cache hit once per
+    // (benchmark, budget) pair.
+    const CommandResult stats = daemon.ctl("stats");
+    EXPECT_EQ(stats.status, 0);
+    EXPECT_NE(stats.output.find("\"hits\":2"), std::string::npos)
+        << stats.output;
+}
+
+TEST(ServiceE2E, KilledDaemonResumesFromJournalByteForByte)
+{
+    Daemon daemon("resume");
+
+    const std::string spec = writeSpec(daemon, kMatrix);
+    const CommandResult submitted = daemon.ctl("submit " + spec);
+    ASSERT_EQ(submitted.status, 0) << submitted.output;
+    const std::string id = chomp(submitted.output);
+
+    // Let at least one record land in the journal, then pull the plug.
+    const std::string journal =
+        daemon.statePath() + "/" + id + ".journal.jsonl";
+    for (int i = 0; i < 600 && slurp(journal).empty(); ++i)
+        ::usleep(100 * 1000);
+    daemon.kill();
+
+    // A SIGKILL can land mid-append; make the surviving journal end in
+    // a torn record to prove resume tolerates exactly that.
+    const std::string before = slurp(journal);
+    if (!before.empty())
+        ctcp::verify::FaultInjector::truncateFileTail(journal, 3);
+
+    daemon.start();
+    const CommandResult waited =
+        daemon.ctl("wait " + id + " --timeout 120");
+    EXPECT_EQ(waited.status, 0) << waited.output;
+
+    const std::string resumed_json = daemon.dir() + "/resumed.json";
+    EXPECT_EQ(daemon.ctl("report " + id + " --out " + resumed_json)
+                  .status,
+              0);
+    EXPECT_EQ(slurp(resumed_json), batchReport(daemon.dir()));
+}
+
+TEST(ServiceE2E, SigtermIsAGracefulExitZero)
+{
+    Daemon daemon("term");
+    EXPECT_EQ(daemon.ctl("ping").status, 0);
+    EXPECT_EQ(daemon.terminate(), 0);
+}
+
+TEST(ServiceE2E, CancelEndsARunWithoutKillingTheDaemon)
+{
+    Daemon daemon("cancel");
+    const std::string spec = writeSpec(
+        daemon,
+        "bench=gzip;strategy=base,fdrt,friendly;budget=2000000");
+    const CommandResult submitted = daemon.ctl("submit " + spec);
+    ASSERT_EQ(submitted.status, 0);
+    const std::string id = chomp(submitted.output);
+
+    EXPECT_EQ(daemon.ctl("cancel " + id).status, 0);
+    // wait exits 1 for a cancelled run but must terminate promptly.
+    const CommandResult waited =
+        daemon.ctl("wait " + id + " --timeout 120");
+    EXPECT_NE(waited.output.find("\"state\""), std::string::npos);
+    // The daemon survives and accepts new work afterwards.
+    EXPECT_EQ(daemon.ctl("ping").status, 0);
+}
+
+TEST(ServiceE2E, WorkerValidationIsSharedWithCtcpsim)
+{
+    // Both binaries run the same parseWorkerCount: junk exits 2 with
+    // the same diagnostic, from the daemon and the batch runner alike.
+    const std::string sock = ::testing::TempDir() + "ctcp_wv.sock";
+    const CommandResult daemon_junk =
+        run(std::string(CTCP_CTCPD_PATH) + " --socket " + sock +
+            " --workers junk");
+    EXPECT_EQ(daemon_junk.status, 2);
+    const CommandResult sim_junk = run(std::string(CTCP_CTCPSIM_PATH) +
+                                       " --bench gzip --jobs junk");
+    EXPECT_EQ(sim_junk.status, 2);
+
+    const std::string daemon_msg = runStderr(
+        std::string(CTCP_CTCPD_PATH) + " --socket " + sock +
+        " --workers -4");
+    const std::string sim_msg =
+        runStderr(std::string(CTCP_CTCPSIM_PATH) +
+                  " --campaign 'bench=gzip;budget=1000' --jobs -4");
+    EXPECT_NE(daemon_msg.find("worker count"), std::string::npos)
+        << daemon_msg;
+    EXPECT_NE(sim_msg.find("worker count"), std::string::npos)
+        << sim_msg;
+
+    // Out-of-range counts are rejected, not clamped.
+    EXPECT_EQ(run(std::string(CTCP_CTCPD_PATH) + " --socket " + sock +
+                  " --workers 100000")
+                  .status,
+              2);
+}
+
+TEST(ServiceE2E, SubmittingAgainstADeadSocketFailsCleanly)
+{
+    const CommandResult result =
+        run(std::string(CTCP_CTCPCTL_PATH) +
+            " --socket /nonexistent/ctcp.sock ping");
+    EXPECT_EQ(result.status, 2);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ctcpd — the simulation-as-a-service daemon.
+ *
+ * Listens on a unix-domain socket (HTTP/1.1, see src/service/server),
+ * accepts campaign matrix specs, runs them on one persistent worker
+ * pool shared across submissions, streams per-job results as they
+ * finish (the campaign journal is the wire format), and serves final
+ * reports byte-identical to `ctcpsim --campaign` with the same spec.
+ *
+ * SIGTERM/SIGINT trigger a graceful shutdown: the daemon stops
+ * accepting, in-flight jobs finish and are checkpointed to their
+ * run's journal, queued jobs are skipped, and the process exits 0.
+ * Restarting with the same --state-dir resumes every interrupted run
+ * from its journal.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "campaign/campaign.hh"
+#include "common/sim_error.hh"
+#include "service/server.hh"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s --socket PATH [options]\n"
+        "\n"
+        "  --socket PATH       unix-domain socket to listen on\n"
+        "                      (required; an existing socket file is\n"
+        "                      replaced)\n"
+        "  --state-dir DIR     spec + journal storage (default:\n"
+        "                      <socket>.state). Restarting with the\n"
+        "                      same directory resumes interrupted\n"
+        "                      runs from their journals\n"
+        "  --workers N         persistent pool size shared by every\n"
+        "                      run (default: one per hardware\n"
+        "                      thread); accepts the same values as\n"
+        "                      ctcpsim --jobs\n"
+        "  --cache-entries N   workload setup cache capacity\n"
+        "                      (default 64)\n"
+        "  --verbose           log requests and lifecycle to stderr\n"
+        "\n"
+        "API (see README \"Running as a service\"): POST /v1/runs\n"
+        "submits a campaign matrix spec; GET /v1/runs/<id>/events\n"
+        "streams journal records; GET /v1/runs/<id>/report serves the\n"
+        "final JSON/CSV report, byte-identical to the batch path.\n"
+        "Drive it with ctcpctl.\n"
+        "\n"
+        "exit status:\n"
+        "  0  clean shutdown (SIGTERM/SIGINT)\n"
+        "  2  usage or configuration error\n",
+        prog);
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "ctcpd: %s (try --help)\n", msg.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ctcp;
+
+    service::ServiceServer::Config config;
+    unsigned long cache_entries = 64;
+
+    auto next_arg = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            die(std::string("missing value for ") + argv[i]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--socket") {
+            config.socketPath = next_arg(i);
+        } else if (arg == "--state-dir") {
+            config.registry.stateDir = next_arg(i);
+        } else if (arg == "--workers") {
+            // Same parser, bounds, and messages as ctcpsim --jobs.
+            try {
+                config.registry.workers =
+                    campaign::parseWorkerCount(next_arg(i));
+            } catch (const std::invalid_argument &e) {
+                die(e.what());
+            }
+        } else if (arg == "--cache-entries") {
+            char *end = nullptr;
+            const char *text = next_arg(i);
+            cache_entries = std::strtoul(text, &end, 10);
+            if (end == text || *end != '\0' || cache_entries == 0)
+                die(std::string("invalid --cache-entries '") + text +
+                    "'");
+        } else if (arg == "--verbose") {
+            config.verbose = true;
+        } else {
+            die("unknown option '" + arg + "'");
+        }
+    }
+    if (config.socketPath.empty())
+        die("--socket is required");
+    if (config.registry.stateDir.empty())
+        config.registry.stateDir = config.socketPath + ".state";
+    config.registry.cacheEntries = cache_entries;
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onSignal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN); // a vanished client must not kill us
+
+    try {
+        service::ServiceServer server(std::move(config));
+        const std::size_t resumed = server.registry().resume();
+        if (resumed)
+            std::fprintf(stderr,
+                         "ctcpd: resumed %zu run%s from the state "
+                         "directory\n",
+                         resumed, resumed == 1 ? "" : "s");
+        return server.serve(g_stop);
+    } catch (const SimError &e) {
+        die(e.what());
+    } catch (const std::exception &e) {
+        die(e.what());
+    }
+}

@@ -8,6 +8,8 @@
  * is exposed as a flag.
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -182,6 +184,15 @@ writeHtmlReport(const std::string &json_text,
                  report_path.c_str());
 }
 
+/** Set by the campaign-mode SIGINT handler; polled between jobs. */
+std::atomic<bool> g_interrupted{false};
+
+void
+onCampaignInterrupt(int)
+{
+    g_interrupted.store(true);
+}
+
 /** Run a --campaign matrix and export/print the aggregated report. */
 int
 runCampaignMode(const std::string &matrix, ctcp::campaign::Options options,
@@ -205,6 +216,17 @@ runCampaignMode(const std::string &matrix, ctcp::campaign::Options options,
     }
 
     options.progress = campaign::progressToStderr;
+
+    // Ctrl-C checkpoints instead of killing the batch: in-flight jobs
+    // finish and land in the journal, queued jobs are skipped, and
+    // re-running with the same --journal resumes only the missing
+    // jobs — the same drain path the ctcpd daemon uses on SIGTERM.
+    options.cancelRequested = [] { return g_interrupted.load(); };
+    struct sigaction sa, old_sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onCampaignInterrupt;
+    ::sigaction(SIGINT, &sa, &old_sa);
+
     campaign::Report report;
     try {
         report = campaign::runCampaign(queue, options);
@@ -212,6 +234,23 @@ runCampaignMode(const std::string &matrix, ctcp::campaign::Options options,
         // Campaign-level SimErrors (e.g. an unopenable journal) are
         // configuration problems; per-job errors never propagate here.
         die(e.what());
+    }
+    ::sigaction(SIGINT, &old_sa, nullptr);
+    if (g_interrupted.load()) {
+        if (options.journalPath.empty())
+            std::fprintf(stderr,
+                         "interrupted: %zu of %zu jobs finished "
+                         "(no --journal; finished work is lost)\n",
+                         report.jobs.size() - report.failed(),
+                         report.jobs.size());
+        else
+            std::fprintf(stderr,
+                         "interrupted: %zu of %zu jobs checkpointed "
+                         "to %s; re-run with the same --journal to "
+                         "resume\n",
+                         report.jobs.size() - report.failed(),
+                         report.jobs.size(),
+                         options.journalPath.c_str());
     }
 
     TextTable table({"job", "status", "cycles", "IPC", "% from TC"});

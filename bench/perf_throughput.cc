@@ -14,19 +14,35 @@
  *                       (--accounting); its overhead budget is <= 10%
  *                       over tracing_off
  *
- * Usage: perf_throughput [budget] [jobs] [out.json]
+ * Each mode runs one discarded warmup campaign (page cache, branch
+ * predictors, allocator arenas) followed by `reps` measured campaigns;
+ * the headline sim_insts_per_host_second is the median across reps,
+ * with the mean reported alongside so outliers are visible.
+ *
+ * If the output file already exists, its `history` entries are carried
+ * forward and a new timestamped entry is appended, so the checked-in
+ * BENCH_throughput.json accumulates the perf trajectory across PRs.
+ * The latest numbers always stay in the top-level `modes` array.
+ *
+ * Usage: perf_throughput [budget] [jobs] [out.json] [reps]
  *   budget  instructions per run (default 300000)
  *   jobs    campaign workers (default 1: serial, the stable number)
  *   out     output path (default BENCH_throughput.json)
+ *   reps    measured campaigns per mode after warmup (default 3)
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "common/json.hh"
 
 namespace {
 
@@ -63,14 +79,11 @@ fig6Jobs(std::uint64_t budget)
     return jobs;
 }
 
-struct ModeResult
+/** One measured campaign execution. */
+struct RepResult
 {
-    std::string name;
-    std::size_t runs = 0;
     std::uint64_t simInstructions = 0;
-    /** Wall seconds for the whole campaign (what a user waits for). */
     double wallSeconds = 0.0;
-    /** Sum of per-job host seconds (robust to worker count). */
     double jobHostSeconds = 0.0;
 
     double
@@ -82,53 +95,304 @@ struct ModeResult
     }
 };
 
-ModeResult
-runMode(const std::string &name, std::uint64_t budget,
-        const campaign::Options &options)
+struct ModeResult
 {
-    const std::vector<campaign::Job> matrix = fig6Jobs(budget);
+    std::string name;
+    std::size_t runs = 0;
+    std::uint64_t simInstructions = 0;
+    std::vector<RepResult> reps;
+
+    double
+    medianInstsPerSecond() const
+    {
+        std::vector<double> rates;
+        rates.reserve(reps.size());
+        for (const RepResult &r : reps)
+            rates.push_back(r.instsPerSecond());
+        std::sort(rates.begin(), rates.end());
+        if (rates.empty())
+            return 0.0;
+        const std::size_t n = rates.size();
+        return n % 2 == 1 ? rates[n / 2]
+                          : 0.5 * (rates[n / 2 - 1] + rates[n / 2]);
+    }
+
+    double
+    meanInstsPerSecond() const
+    {
+        if (reps.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (const RepResult &r : reps)
+            sum += r.instsPerSecond();
+        return sum / static_cast<double>(reps.size());
+    }
+
+    /** Mean wall seconds across measured reps. */
+    double
+    meanWallSeconds() const
+    {
+        if (reps.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (const RepResult &r : reps)
+            sum += r.wallSeconds;
+        return sum / static_cast<double>(reps.size());
+    }
+
+    /** Mean per-job host seconds across measured reps. */
+    double
+    meanJobHostSeconds() const
+    {
+        if (reps.empty())
+            return 0.0;
+        double sum = 0.0;
+        for (const RepResult &r : reps)
+            sum += r.jobHostSeconds;
+        return sum / static_cast<double>(reps.size());
+    }
+};
+
+RepResult
+runOnce(const std::string &name, const std::vector<campaign::Job> &matrix,
+        const campaign::Options &options, std::size_t *runs_out)
+{
     const auto start = std::chrono::steady_clock::now();
     const campaign::Report report = campaign::runCampaign(matrix, options);
-    const double wall = std::chrono::duration<double>(
+    RepResult rep;
+    rep.wallSeconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count();
-
-    ModeResult mode;
-    mode.name = name;
-    mode.wallSeconds = wall;
+    std::size_t runs = 0;
     for (const campaign::JobOutcome &out : report.jobs) {
         if (!out.ok())
             ctcp_fatal("perf job '%s' failed: %s", out.label.c_str(),
                        out.error.c_str());
-        ++mode.runs;
-        mode.simInstructions += out.result.instructions;
-        mode.jobHostSeconds += out.result.hostSeconds;
+        ++runs;
+        rep.simInstructions += out.result.instructions;
+        rep.jobHostSeconds += out.result.hostSeconds;
     }
-    std::printf("%-16s %3zu runs  %9llu insts  %7.3fs wall  "
-                "%7.3fs jobs  %10.0f insts/s\n",
-                name.c_str(), mode.runs,
-                static_cast<unsigned long long>(mode.simInstructions),
-                mode.wallSeconds, mode.jobHostSeconds,
-                mode.instsPerSecond());
+    if (runs_out != nullptr)
+        *runs_out = runs;
+    (void)name;
+    return rep;
+}
+
+ModeResult
+runMode(const std::string &name, std::uint64_t budget,
+        const campaign::Options &options, unsigned reps)
+{
+    const std::vector<campaign::Job> matrix = fig6Jobs(budget);
+
+    // Warmup campaign: first-touch costs (page cache, lazily built
+    // workload programs, allocator growth) land here, not in a
+    // measured rep. Discarded.
+    runOnce(name, matrix, options, nullptr);
+
+    ModeResult mode;
+    mode.name = name;
+    for (unsigned r = 0; r < reps; ++r) {
+        std::size_t runs = 0;
+        const RepResult rep = runOnce(name, matrix, options, &runs);
+        mode.runs = runs;
+        mode.simInstructions = rep.simInstructions;
+        mode.reps.push_back(rep);
+        std::printf("%-16s rep %u/%u  %9llu insts  %7.3fs wall  "
+                    "%7.3fs jobs  %10.0f insts/s\n",
+                    name.c_str(), r + 1, reps,
+                    static_cast<unsigned long long>(rep.simInstructions),
+                    rep.wallSeconds, rep.jobHostSeconds,
+                    rep.instsPerSecond());
+    }
+    std::printf("%-16s median %10.0f insts/s  mean %10.0f insts/s\n",
+                name.c_str(), mode.medianInstsPerSecond(),
+                mode.meanInstsPerSecond());
     return mode;
 }
 
 std::string
 modeJson(const ModeResult &m, bool last)
 {
-    char buf[512];
+    char buf[768];
     std::snprintf(buf, sizeof(buf),
                   "    {\n"
                   "      \"name\": \"%s\",\n"
                   "      \"runs\": %zu,\n"
+                  "      \"reps\": %zu,\n"
                   "      \"sim_instructions\": %llu,\n"
                   "      \"wall_seconds\": %.6f,\n"
                   "      \"job_host_seconds\": %.6f,\n"
-                  "      \"sim_insts_per_host_second\": %.1f\n"
+                  "      \"sim_insts_per_host_second\": %.1f,\n"
+                  "      \"median_insts_per_second\": %.1f,\n"
+                  "      \"mean_insts_per_second\": %.1f\n"
                   "    }%s\n",
-                  m.name.c_str(), m.runs,
+                  m.name.c_str(), m.runs, m.reps.size(),
                   static_cast<unsigned long long>(m.simInstructions),
-                  m.wallSeconds, m.jobHostSeconds, m.instsPerSecond(),
-                  last ? "" : ",");
+                  m.meanWallSeconds(), m.meanJobHostSeconds(),
+                  m.medianInstsPerSecond(), m.medianInstsPerSecond(),
+                  m.meanInstsPerSecond(), last ? "" : ",");
+    return buf;
+}
+
+/** Re-serialize a parsed JSON value (round-trips our own output). */
+void
+writeValue(std::ostringstream &out, const json::Value &v)
+{
+    using Kind = json::Value::Kind;
+    switch (v.kind) {
+      case Kind::Null:
+        out << "null";
+        break;
+      case Kind::Bool:
+        out << (v.boolean ? "true" : "false");
+        break;
+      case Kind::Number:
+        out << v.number;   // raw text: exact round-trip
+        break;
+      case Kind::String:
+        out << '"';
+        for (char c : v.string) {
+            if (c == '"' || c == '\\')
+                out << '\\';
+            out << c;
+        }
+        out << '"';
+        break;
+      case Kind::Array: {
+        out << '[';
+        bool first = true;
+        for (const json::Value &e : v.array) {
+            if (!first)
+                out << ", ";
+            first = false;
+            writeValue(out, e);
+        }
+        out << ']';
+        break;
+      }
+      case Kind::Object: {
+        out << '{';
+        bool first = true;
+        for (const auto &[key, val] : v.object) {
+            if (!first)
+                out << ", ";
+            first = false;
+            out << '"' << key << "\": ";
+            writeValue(out, val);
+        }
+        out << '}';
+        break;
+      }
+    }
+}
+
+/** Prior state recovered from an existing output file. */
+struct PriorBench
+{
+    /** Compact one-line JSON per carried-forward history entry. */
+    std::vector<std::string> historyLines;
+    /** Most recent tracing_off rate on record (0 = none). */
+    double lastTracingOff = 0.0;
+    std::string lastTimestamp;
+};
+
+double
+modeRate(const json::Value &doc, const std::string &mode_name)
+{
+    const json::Value *modes = doc.find("modes");
+    if (modes == nullptr || !modes->isArray())
+        return 0.0;
+    for (const json::Value &m : modes->array) {
+        if (m.str("name") == mode_name)
+            return m.num("sim_insts_per_host_second");
+    }
+    return 0.0;
+}
+
+PriorBench
+loadPrior(const std::string &path)
+{
+    PriorBench prior;
+    std::ifstream in(path);
+    if (!in)
+        return prior;
+    std::ostringstream text;
+    text << in.rdbuf();
+    json::Value doc;
+    try {
+        doc = json::parse(text.str());
+    } catch (const std::exception &e) {
+        std::printf("note: ignoring unparsable %s (%s)\n", path.c_str(),
+                    e.what());
+        return prior;
+    }
+
+    const json::Value *history = doc.find("history");
+    if (history != nullptr && history->isArray()) {
+        for (const json::Value &entry : history->array) {
+            std::ostringstream line;
+            writeValue(line, entry);
+            prior.historyLines.push_back(line.str());
+            prior.lastTracingOff = entry.num("tracing_off");
+            prior.lastTimestamp = entry.str("timestamp");
+        }
+    }
+    // A pre-history file (written before the history array existed)
+    // still holds one measurement in its top-level modes; synthesize a
+    // history entry from it so the old record survives the upgrade.
+    const double top = modeRate(doc, "tracing_off");
+    if (top > 0.0) {
+        prior.lastTracingOff = top;
+        if (const json::Value *ts = doc.find("generated_at");
+            ts != nullptr && ts->isString())
+            prior.lastTimestamp = ts->string;
+        if (prior.historyLines.empty()) {
+            char line[512];
+            std::snprintf(line, sizeof(line),
+                          "{\"timestamp\": \"%s\", "
+                          "\"budget_per_run\": %.0f, \"jobs\": %.0f, "
+                          "\"tracing_off\": %.1f, "
+                          "\"tracing_filtered\": %.1f, "
+                          "\"accounting_on\": %.1f}",
+                          prior.lastTimestamp.empty()
+                              ? "pre-history"
+                              : prior.lastTimestamp.c_str(),
+                          doc.num("budget_per_run"), doc.num("jobs"),
+                          top, modeRate(doc, "tracing_filtered"),
+                          modeRate(doc, "accounting_on"));
+            prior.historyLines.emplace_back(line);
+        }
+    }
+    return prior;
+}
+
+std::string
+isoTimestampUtc()
+{
+    const std::time_t now =
+        std::chrono::system_clock::to_time_t(
+            std::chrono::system_clock::now());
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+std::string
+historyEntry(const std::string &timestamp, std::uint64_t budget,
+             unsigned jobs, const ModeResult &off,
+             const ModeResult &filtered, const ModeResult &accounted)
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"timestamp\": \"%s\", \"budget_per_run\": %llu, "
+                  "\"jobs\": %u, \"tracing_off\": %.1f, "
+                  "\"tracing_filtered\": %.1f, \"accounting_on\": %.1f}",
+                  timestamp.c_str(),
+                  static_cast<unsigned long long>(budget), jobs,
+                  off.medianInstsPerSecond(),
+                  filtered.medianInstsPerSecond(),
+                  accounted.medianInstsPerSecond());
     return buf;
 }
 
@@ -147,13 +411,22 @@ main(int argc, char **argv)
         jobs = 1;
     const std::string out_path =
         argc > 3 ? argv[3] : "BENCH_throughput.json";
+    unsigned reps = 3;
+    if (argc > 4)
+        reps = static_cast<unsigned>(std::strtoul(argv[4], nullptr, 10));
+    if (reps == 0)
+        reps = 1;
 
     banner("Simulator throughput (host-side)",
            "fig6 workload mix; sim-insts per host second", budget);
+    std::printf("per mode: 1 warmup campaign (discarded) + %u measured\n\n",
+                reps);
+
+    const PriorBench prior = loadPrior(out_path);
 
     campaign::Options plain;
     plain.jobs = jobs;
-    const ModeResult off = runMode("tracing_off", budget, plain);
+    const ModeResult off = runMode("tracing_off", budget, plain, reps);
 
     // Tracing on, filtered down to retire events: the configuration a
     // user keeps enabled while still caring about simulator speed.
@@ -166,7 +439,7 @@ main(int argc, char **argv)
     traced.traceEventsDir = trace_dir.string();
     traced.traceFilter = "retire";
     const ModeResult filtered =
-        runMode("tracing_filtered", budget, traced);
+        runMode("tracing_filtered", budget, traced, reps);
     fs::remove_all(trace_dir);
 
     // Cycle accounting on: the bottleneck-attribution layer the HTML
@@ -175,22 +448,41 @@ main(int argc, char **argv)
     campaign::Options counted = plain;
     counted.accounting = true;
     const ModeResult accounted =
-        runMode("accounting_on", budget, counted);
-    if (off.instsPerSecond() > 0.0)
+        runMode("accounting_on", budget, counted, reps);
+    if (off.medianInstsPerSecond() > 0.0)
         std::printf("accounting overhead: %.1f%%\n",
-                    100.0 * (off.instsPerSecond() -
-                             accounted.instsPerSecond()) /
-                        off.instsPerSecond());
+                    100.0 * (off.medianInstsPerSecond() -
+                             accounted.medianInstsPerSecond()) /
+                        off.medianInstsPerSecond());
+
+    if (prior.lastTracingOff > 0.0) {
+        std::printf("tracing_off vs previous entry%s%s: %.2fx "
+                    "(%.0f -> %.0f insts/s)\n",
+                    prior.lastTimestamp.empty() ? "" : " of ",
+                    prior.lastTimestamp.c_str(),
+                    off.medianInstsPerSecond() / prior.lastTracingOff,
+                    prior.lastTracingOff, off.medianInstsPerSecond());
+    }
+
+    const std::string timestamp = isoTimestampUtc();
 
     std::string json = "{\n";
     json += "  \"harness\": \"perf_throughput\",\n";
     json += "  \"workload\": \"fig6-mix\",\n";
+    json += "  \"generated_at\": \"" + timestamp + "\",\n";
     json += "  \"budget_per_run\": " + std::to_string(budget) + ",\n";
     json += "  \"jobs\": " + std::to_string(jobs) + ",\n";
     json += "  \"modes\": [\n";
     json += modeJson(off, false);
     json += modeJson(filtered, false);
     json += modeJson(accounted, true);
+    json += "  ],\n";
+    json += "  \"history\": [\n";
+    for (const std::string &line : prior.historyLines)
+        json += "    " + line + ",\n";
+    json += "    " +
+        historyEntry(timestamp, budget, jobs, off, filtered, accounted) +
+        "\n";
     json += "  ]\n}\n";
 
     FILE *f = std::fopen(out_path.c_str(), "w");

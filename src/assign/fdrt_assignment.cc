@@ -15,12 +15,13 @@ FdrtAssignment::FdrtAssignment(const Interconnect &interconnect, bool pinning,
 void
 FdrtAssignment::noteCriticalForward(const TimedInst &consumer, TraceCache &tc)
 {
-    if (!consumer.criticalForwarded || !consumer.criticalInterTrace)
+    const TimedInstCold &cold = consumer.cold();
+    if (!cold.criticalForwarded || !cold.criticalInterTrace)
         return;
-    if (consumer.criticalProducerCluster == invalidCluster)
+    if (cold.criticalProducerCluster == invalidCluster)
         return;
 
-    const Addr producer_pc = consumer.criticalProducerPc;
+    const Addr producer_pc = cold.criticalProducerPc;
 
     // Suggested destination cluster for a NEW chain: rotate across
     // the clusters so that concurrent chains spread out instead of
@@ -39,16 +40,16 @@ FdrtAssignment::noteCriticalForward(const TimedInst &consumer, TraceCache &tc)
         }
         suggested = it->second;
     } else {
-        suggested = consumer.criticalProducerCluster;
+        suggested = cold.criticalProducerCluster;
     }
 
-    if (consumer.criticalProducerProfile.role == ChainRole::None) {
+    if (cold.criticalProducerProfile.role == ChainRole::None) {
         // Refresh the resident line so runtime inheritance sees the
         // membership before the producer's trace is next rebuilt.
         ChainProfile prof;
         prof.role = ChainRole::Leader;
         prof.chainCluster = suggested;
-        tc.updateProfile(consumer.criticalProducerTraceKey, producer_pc,
+        tc.updateProfile(cold.criticalProducerTraceKey, producer_pc,
                          prof);
     }
 

@@ -320,7 +320,15 @@ runAttempt(const Job &job, std::size_t index, const Options &options,
         if (config.deadlineSeconds <= 0.0 &&
             options.jobDeadlineSeconds > 0.0)
             config.deadlineSeconds = options.jobDeadlineSeconds;
-        CtcpSimulator sim(config, program);
+        // Worker-local arena: chunks allocated by the first job on
+        // this thread are reset and reused by every later job, so the
+        // steady-state cycle loop of a long campaign never touches
+        // malloc. Reset happens before the simulator is built and the
+        // simulator is destroyed before the next reset, satisfying the
+        // Arena lifetime contract.
+        thread_local Arena arena;
+        arena.reset();
+        CtcpSimulator sim(config, program, &arena);
         out.result = sim.run();
         out.status = JobStatus::Ok;
         out.error.clear();

@@ -1,59 +1,9 @@
 #include "cluster/cluster.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 #include "obs/sink.hh"
 
 namespace ctcp {
-
-namespace {
-
-// Out of line so the dispatch loop carries only the obs_ guard branch,
-// not the event-construction code.
-[[gnu::noinline]] [[gnu::cold]] void
-recordExecuteEvent(ObsSink &obs, Cycle now, const TimedInst &inst,
-                   ClusterId cluster)
-{
-    ObsEvent ev;
-    ev.cycle = now;
-    ev.kind = ObsKind::Execute;
-    ev.seq = inst.dyn.seq;
-    ev.pc = inst.dyn.pc;
-    ev.cluster = cluster;
-    ev.begin = now;
-    ev.dur = inst.completeAt - now;
-    ev.label = inst.dyn.info().mnemonic;
-    obs.record(ev);
-}
-
-} // namespace
-
-bool
-ReservationStation::tryInsert(TimedInst *inst, Cycle now)
-{
-    if (full())
-        return false;
-    if (portCycle_ != now) {
-        portCycle_ = now;
-        portsUsed_ = 0;
-    }
-    if (portsUsed_ >= writePorts_)
-        return false;
-    ++portsUsed_;
-    ++size_;
-    inst->station = this;
-    return true;
-}
-
-void
-ReservationStation::remove(TimedInst *inst)
-{
-    ctcp_assert(inst->station == this && size_ > 0,
-                "removing instruction not in station");
-    --size_;
-    inst->station = nullptr;
-}
 
 FuPool::FuPool()
 {
@@ -70,72 +20,6 @@ FuPool::FuPool()
     setCount(FuKind::FpMem, 1);
 }
 
-FuPool::Slot
-FuPool::tryReserve(FuKind kind, Cycle now)
-{
-    Slot slot;
-    for (Cycle &busy_until : units_[static_cast<std::size_t>(kind)]) {
-        if (busy_until <= now) {
-            slot.busyUntil_ = &busy_until;
-            break;
-        }
-    }
-    return slot;
-}
-
-void
-SchedList::pushBack(TimedInst *inst)
-{
-    inst->schedPrev = tail;
-    inst->schedNext = nullptr;
-    if (tail != nullptr)
-        tail->schedNext = inst;
-    else
-        head = inst;
-    tail = inst;
-}
-
-void
-SchedList::insertByAge(TimedInst *inst)
-{
-    TimedInst *after = tail;
-    while (after != nullptr && after->dyn.seq > inst->dyn.seq)
-        after = after->schedPrev;
-    if (after == nullptr) {
-        // Oldest resident: new head.
-        inst->schedPrev = nullptr;
-        inst->schedNext = head;
-        if (head != nullptr)
-            head->schedPrev = inst;
-        else
-            tail = inst;
-        head = inst;
-        return;
-    }
-    inst->schedPrev = after;
-    inst->schedNext = after->schedNext;
-    if (after->schedNext != nullptr)
-        after->schedNext->schedPrev = inst;
-    else
-        tail = inst;
-    after->schedNext = inst;
-}
-
-void
-SchedList::unlink(TimedInst *inst)
-{
-    if (inst->schedPrev != nullptr)
-        inst->schedPrev->schedNext = inst->schedNext;
-    else
-        head = inst->schedNext;
-    if (inst->schedNext != nullptr)
-        inst->schedNext->schedPrev = inst->schedPrev;
-    else
-        tail = inst->schedPrev;
-    inst->schedPrev = nullptr;
-    inst->schedNext = nullptr;
-}
-
 Cluster::Cluster(ClusterId id, const ClusterConfig &cfg)
     : id_(id), width_(cfg.clusterWidth)
 {
@@ -143,60 +27,23 @@ Cluster::Cluster(ClusterId id, const ClusterConfig &cfg)
         stations_.emplace_back(cfg.rsEntries, cfg.rsWritePorts);
 }
 
-bool
-Cluster::issue(TimedInst *inst, Cycle now)
-{
-    StationKind kind = stationFor(inst->dyn.fu());
-    bool inserted;
-    if (kind == StationKind::Simple0) {
-        // Pick the emptier of the two simple stations; on a tie or
-        // failure, try the other as well.
-        ReservationStation &s0 = station(StationKind::Simple0);
-        ReservationStation &s1 = station(StationKind::Simple1);
-        ReservationStation &first =
-            s1.freeEntries() > s0.freeEntries() ? s1 : s0;
-        ReservationStation &second = &first == &s0 ? s1 : s0;
-        inserted = first.tryInsert(inst, now) || second.tryInsert(inst, now);
-    } else {
-        inserted = station(kind).tryInsert(inst, now);
-    }
-    if (!inserted)
-        return false;
-    // Park behind outstanding producers, or straight onto the
-    // schedulable list. Issue can happen out of seq order (steering
-    // skips), so keep the schedulable list age-ordered.
-    if (inst->pendingProducers > 0)
-        waiting_.pushBack(inst);
-    else
-        ready_.insertByAge(inst);
-    return true;
-}
-
+// Out of line so the inline dispatch bookkeeping carries only the obs_
+// guard branch, not the event-construction code.
 void
-Cluster::wake(TimedInst *inst)
+Cluster::maybeRecordExecute(const TimedInst &inst, Cycle now) const
 {
-    ctcp_assert(inst->pendingProducers == 0, "waking a non-ready inst");
-    waiting_.unlink(inst);
-    ready_.insertByAge(inst);
-}
-
-void
-Cluster::finishDispatch(TimedInst *inst, Cycle now)
-{
-    if (obs_ && obs_->enabled(ObsKind::Execute))
-        recordExecuteEvent(*obs_, now, *inst, id_);
-    ready_.unlink(inst);
-    inst->station->remove(inst);
-    ++dispatchCount_;
-}
-
-std::size_t
-Cluster::occupancy() const
-{
-    std::size_t n = 0;
-    for (const ReservationStation &st : stations_)
-        n += st.occupancy();
-    return n;
+    if (!obs_->enabled(ObsKind::Execute))
+        return;
+    ObsEvent ev;
+    ev.cycle = now;
+    ev.kind = ObsKind::Execute;
+    ev.seq = inst.dyn.seq;
+    ev.pc = inst.dyn.pc;
+    ev.cluster = id_;
+    ev.begin = now;
+    ev.dur = inst.completeAt - now;
+    ev.label = inst.dyn.info().mnemonic;
+    obs_->record(ev);
 }
 
 } // namespace ctcp

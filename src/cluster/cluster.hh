@@ -30,6 +30,7 @@
 #include <array>
 #include <vector>
 
+#include "cluster/station.hh"
 #include "cluster/timed_inst.hh"
 #include "common/logging.hh"
 #include "config/sim_config.hh"
@@ -46,19 +47,18 @@ class FaultInjector;
 class InvariantChecker;
 } // namespace verify
 
-/** Reservation-station classes within a cluster. */
-enum class StationKind : std::uint8_t
+/**
+ * Station class for @p inst: the plan byte stamped at fetch when a
+ * dispatch plan exists, the FU routing table otherwise (I-cache
+ * fetches with plans disabled, or test-constructed instructions).
+ */
+inline StationKind
+instStation(const TimedInst &inst)
 {
-    Mem = 0,
-    Branch = 1,
-    Complex = 2,
-    Simple0 = 3,
-    Simple1 = 4,
-    NumStations = 5,
-};
-
-inline constexpr unsigned numStations =
-    static_cast<unsigned>(StationKind::NumStations);
+    if (inst.stationKind != noStationPlan)
+        return static_cast<StationKind>(inst.stationKind);
+    return stationFor(inst.dyn.fu());
+}
 
 /**
  * One out-of-order-selectable reservation station. Tracks occupancy
@@ -81,9 +81,25 @@ class ReservationStation
     /**
      * Try to insert @p inst during cycle @p now, respecting capacity
      * and per-cycle write-port limits. Records the station on the
-     * instruction so removal is O(1).
+     * instruction so removal is O(1). Inline: runs once per issued
+     * instruction from the rename loop.
      */
-    bool tryInsert(TimedInst *inst, Cycle now);
+    bool
+    tryInsert(TimedInst *inst, Cycle now)
+    {
+        if (full())
+            return false;
+        if (portCycle_ != now) {
+            portCycle_ = now;
+            portsUsed_ = 0;
+        }
+        if (portsUsed_ >= writePorts_)
+            return false;
+        ++portsUsed_;
+        ++size_;
+        inst->station = this;
+        return true;
+    }
 
     /**
      * Would tryInsert succeed at @p now (capacity and ports)? Inline:
@@ -99,7 +115,14 @@ class ReservationStation
     }
 
     /** Remove a dispatched instruction. */
-    void remove(TimedInst *inst);
+    void
+    remove(TimedInst *inst)
+    {
+        ctcp_assert(inst->station == this && size_ > 0,
+                    "removing instruction not in station");
+        --size_;
+        inst->station = nullptr;
+    }
 
   private:
     unsigned capacity_;
@@ -141,37 +164,28 @@ class FuPool
 
     /**
      * Single-scan reserve: locate a unit of @p kind free at @p now.
+     * Inline: the dispatch loop probes this for every schedulable
+     * instruction every cycle.
      * @return a falsy Slot when every unit is busy.
      */
-    Slot tryReserve(FuKind kind, Cycle now);
+    Slot
+    tryReserve(FuKind kind, Cycle now)
+    {
+        Slot slot;
+        for (Cycle &busy_until : units_[static_cast<std::size_t>(kind)]) {
+            if (busy_until <= now) {
+                slot.busyUntil_ = &busy_until;
+                break;
+            }
+        }
+        return slot;
+    }
 
   private:
     /** busy-until cycle per unit, grouped by kind. */
     std::array<std::vector<Cycle>, static_cast<std::size_t>(FuKind::NumKinds)>
         units_;
 };
-
-/** Routing from functional-unit class to reservation-station class. */
-inline StationKind
-stationFor(FuKind kind)
-{
-    switch (kind) {
-      case FuKind::IntMem:
-      case FuKind::FpMem:
-        return StationKind::Mem;
-      case FuKind::Branch:
-        return StationKind::Branch;
-      case FuKind::IntComplex:
-      case FuKind::FpComplex:
-        return StationKind::Complex;
-      case FuKind::IntAlu:
-      case FuKind::FpBasic:
-        return StationKind::Simple0;   // caller picks Simple0 vs Simple1
-      default:
-        ctcp_panic("no station for FU kind %u",
-                   static_cast<unsigned>(kind));
-    }
-}
 
 /**
  * Intrusive doubly-linked list of resident instructions (linkage lives
@@ -185,15 +199,62 @@ struct SchedList
 
     bool empty() const { return head == nullptr; }
 
-    void pushBack(TimedInst *inst);
+    void
+    pushBack(TimedInst *inst)
+    {
+        inst->schedPrev = tail;
+        inst->schedNext = nullptr;
+        if (tail != nullptr)
+            tail->schedNext = inst;
+        else
+            head = inst;
+        tail = inst;
+    }
 
     /**
      * Insert keeping ascending dyn.seq order, walking from the tail —
      * O(1) for the common in-order arrival, short walk otherwise.
      */
-    void insertByAge(TimedInst *inst);
+    void
+    insertByAge(TimedInst *inst)
+    {
+        TimedInst *after = tail;
+        while (after != nullptr && after->dyn.seq > inst->dyn.seq)
+            after = after->schedPrev;
+        if (after == nullptr) {
+            // Oldest resident: new head.
+            inst->schedPrev = nullptr;
+            inst->schedNext = head;
+            if (head != nullptr)
+                head->schedPrev = inst;
+            else
+                tail = inst;
+            head = inst;
+            return;
+        }
+        inst->schedPrev = after;
+        inst->schedNext = after->schedNext;
+        if (after->schedNext != nullptr)
+            after->schedNext->schedPrev = inst;
+        else
+            tail = inst;
+        after->schedNext = inst;
+    }
 
-    void unlink(TimedInst *inst);
+    void
+    unlink(TimedInst *inst)
+    {
+        if (inst->schedPrev != nullptr)
+            inst->schedPrev->schedNext = inst->schedNext;
+        else
+            head = inst->schedNext;
+        if (inst->schedNext != nullptr)
+            inst->schedNext->schedPrev = inst->schedPrev;
+        else
+            tail = inst->schedPrev;
+        inst->schedPrev = nullptr;
+        inst->schedNext = nullptr;
+    }
 };
 
 /** One execution cluster. */
@@ -211,8 +272,40 @@ class Cluster
      * producer is outstanding): it selects the scheduler list.
      *
      * @return false when the station is full or out of write ports.
+     * Inline: runs once per renamed instruction.
      */
-    bool issue(TimedInst *inst, Cycle now);
+    bool
+    issue(TimedInst *inst, Cycle now)
+    {
+        StationKind kind = instStation(*inst);
+        bool inserted;
+        if (kind == StationKind::Simple0) {
+            // Pick the emptier of the two simple stations; on a tie or
+            // failure, try the other as well.
+            ReservationStation &s0 = station(StationKind::Simple0);
+            ReservationStation &s1 = station(StationKind::Simple1);
+            ReservationStation &first =
+                s1.freeEntries() > s0.freeEntries() ? s1 : s0;
+            ReservationStation &second = &first == &s0 ? s1 : s0;
+            inserted =
+                first.tryInsert(inst, now) || second.tryInsert(inst, now);
+        } else {
+            inserted = station(kind).tryInsert(inst, now);
+        }
+        if (!inserted)
+            return false;
+        ++occupancy_;
+        // Park behind outstanding producers, or straight onto the
+        // schedulable list. Issue can happen out of seq order (steering
+        // skips), so keep the schedulable list age-ordered.
+        if (inst->pendingProducers > 0) {
+            waiting_.pushBack(inst);
+        } else {
+            ready_.insertByAge(inst);
+            nextDispatchAttempt_ = 0;
+        }
+        return true;
+    }
 
     /**
      * True when @p inst could be issued at @p now (non-mutating).
@@ -222,7 +315,7 @@ class Cluster
     bool
     canAccept(const TimedInst &inst, Cycle now) const
     {
-        StationKind kind = stationFor(inst.dyn.fu());
+        StationKind kind = instStation(inst);
         if (kind == StationKind::Simple0) {
             return station(StationKind::Simple0).canInsert(now) ||
                    station(StationKind::Simple1).canInsert(now);
@@ -235,7 +328,14 @@ class Cluster
      * move it from the waiting list onto the schedulable list. The
      * caller must have refreshed inst->readyAt first.
      */
-    void wake(TimedInst *inst);
+    void
+    wake(TimedInst *inst)
+    {
+        ctcp_assert(inst->pendingProducers == 0, "waking a non-ready inst");
+        waiting_.unlink(inst);
+        ready_.insertByAge(inst);
+        nextDispatchAttempt_ = 0;
+    }
 
     /**
      * Select and dispatch ready instructions, oldest first, up to the
@@ -259,8 +359,12 @@ class Cluster
             dispatchImpl<true>(now, hooks, out);
     }
 
-    /** Total instructions currently waiting in this cluster's stations. */
-    std::size_t occupancy() const;
+    /**
+     * Total instructions currently waiting in this cluster's stations.
+     * Counter-tracked (issue/dispatch), O(1): issue-time steering reads
+     * this for every cluster on every pick.
+     */
+    std::size_t occupancy() const { return occupancy_; }
 
     std::uint64_t dispatched() const { return dispatchCount_.value(); }
 
@@ -291,11 +395,24 @@ class Cluster
     void
     dispatchImpl(Cycle now, Hooks &&hooks, std::vector<TimedInst *> &out)
     {
+        // Event-driven fast-out: a walk that found nothing attemptable
+        // (every schedulable readyAt in the future) computed the cycle
+        // the earliest one matures; until then — or until an issue or
+        // wakeup adds a new schedulable instruction, which resets the
+        // bound — re-walking the list cannot select anything. Only
+        // valid without accounting: the accounted walk must attribute
+        // this cycle's empty slots either way.
+        if constexpr (!Accounted) {
+            if (now < nextDispatchAttempt_)
+                return;
+        }
         [[maybe_unused]] SlotCat blocked[acctScanCap];
         [[maybe_unused]] unsigned nblocked = 0;
         [[maybe_unused]] unsigned acct_cap = 0;
         if constexpr (Accounted)
             acct_cap = width_ < acctScanCap ? width_ : acctScanCap;
+        [[maybe_unused]] bool attempted = false;
+        [[maybe_unused]] Cycle earliest = neverCycle;
         unsigned dispatched = 0;
         TimedInst *next = nullptr;
         for (TimedInst *inst = ready_.head; inst != nullptr; inst = next) {
@@ -307,9 +424,14 @@ class Cluster
                     if (nblocked < acct_cap)
                         blocked[nblocked++] =
                             CycleAccounting::waitCategory(inst->stallHops);
+                } else {
+                    if (inst->readyAt < earliest)
+                        earliest = inst->readyAt;
                 }
                 continue;
             }
+            if constexpr (!Accounted)
+                attempted = true;
             FuPool::Slot unit = fus_.tryReserve(inst->dyn.fu(), now);
             if (!unit) {
                 if constexpr (Accounted) {
@@ -335,8 +457,14 @@ class Cluster
             out.push_back(inst);
             ++dispatched;
         }
-        if constexpr (Accounted)
+        if constexpr (Accounted) {
             attributeSlots(dispatched, blocked, nblocked);
+        } else {
+            // FU conflicts and memory-ordering holds (attempted) must
+            // retry next cycle; a walk of pure future readiness can
+            // sleep until the earliest instruction matures.
+            nextDispatchAttempt_ = attempted ? 0 : earliest;
+        }
     }
 
     /**
@@ -376,7 +504,19 @@ class Cluster
     friend class verify::FaultInjector;
 
     /** Record/unlink/count bookkeeping after a successful dispatch. */
-    void finishDispatch(TimedInst *inst, Cycle now);
+    void
+    finishDispatch(TimedInst *inst, Cycle now)
+    {
+        if (obs_ != nullptr)
+            maybeRecordExecute(*inst, now);
+        ready_.unlink(inst);
+        inst->station->remove(inst);
+        --occupancy_;
+        ++dispatchCount_;
+    }
+
+    /** Cold tracing tail of finishDispatch (out of line in cluster.cc). */
+    void maybeRecordExecute(const TimedInst &inst, Cycle now) const;
 
     ReservationStation &station(StationKind k)
     {
@@ -395,6 +535,15 @@ class Cluster
     SchedList ready_;
     /** Producer outstanding: parked until the completion push wakes it. */
     SchedList waiting_;
+    /** Instructions resident across all five stations (O(1) occupancy). */
+    std::size_t occupancy_ = 0;
+    /**
+     * Earliest cycle the next non-accounted dispatch walk can select
+     * anything (0 = walk every cycle). Set by an empty-handed walk to
+     * the earliest future readyAt it saw; cleared whenever issue() or
+     * wake() adds a schedulable instruction.
+     */
+    Cycle nextDispatchAttempt_ = 0;
     Counter dispatchCount_;
     ObsSink *obs_ = nullptr;
     CycleAccounting *acct_ = nullptr;

@@ -69,6 +69,7 @@ Interconnect::Interconnect(const ClusterConfig &cfg)
             maxDistance_ = std::max(maxDistance_, hops);
         }
     }
+    buildCentrality();
 }
 
 } // namespace ctcp

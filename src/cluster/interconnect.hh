@@ -92,23 +92,26 @@ class Interconnect
      * FDRT strategy to funnel producers toward the middle and keep
      * worst-case forwarding distances short. For the symmetric
      * topologies (ring, crossbar, bus) every cluster is equivalent and
-     * this is simply a stable deterministic order.
+     * this is simply a stable deterministic order. Precomputed at
+     * construction — issue-time steering walks it on every fallback
+     * pick, so it must not allocate or sort per call.
      */
-    std::vector<ClusterId>
-    byCentrality() const
+    const std::vector<ClusterId> &byCentrality() const { return central_; }
+
+  private:
+    /** Build the centrality order (constructor helper). */
+    void
+    buildCentrality()
     {
-        std::vector<ClusterId> order;
         for (int c = 0; c < numClusters_; ++c)
-            order.push_back(static_cast<ClusterId>(c));
+            central_.push_back(static_cast<ClusterId>(c));
         const double mid = (numClusters_ - 1) / 2.0;
-        std::stable_sort(order.begin(), order.end(),
+        std::stable_sort(central_.begin(), central_.end(),
             [mid](ClusterId a, ClusterId b) {
                 return std::abs(a - mid) < std::abs(b - mid);
             });
-        return order;
     }
 
-  private:
     int numClusters_;
     unsigned hopLatency_;
     Topology topo_;
@@ -118,6 +121,8 @@ class Interconnect
     std::vector<unsigned> dist_;
     /** Row-major NxN forwarding latencies in cycles. */
     std::vector<unsigned> lat_;
+    /** Middle-first cluster order (see byCentrality()). */
+    std::vector<ClusterId> central_;
 };
 
 } // namespace ctcp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reservation-station classes and the functional-unit → station
+ * routing table, split out of cluster.hh so the fill unit and the
+ * fetch engine can precompute an instruction's station class (part of
+ * a trace line's memoized dispatch plan) without depending on the
+ * whole cluster model.
+ */
+
+#ifndef CTCPSIM_CLUSTER_STATION_HH
+#define CTCPSIM_CLUSTER_STATION_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/opcodes.hh"
+
+namespace ctcp {
+
+/** Reservation-station classes within a cluster. */
+enum class StationKind : std::uint8_t
+{
+    Mem = 0,
+    Branch = 1,
+    Complex = 2,
+    Simple0 = 3,
+    Simple1 = 4,
+    NumStations = 5,
+};
+
+inline constexpr unsigned numStations =
+    static_cast<unsigned>(StationKind::NumStations);
+
+/** Sentinel for TimedInst::stationKind when no plan was stamped. */
+inline constexpr std::uint8_t noStationPlan = 0xff;
+
+/** Routing from functional-unit class to reservation-station class. */
+inline constexpr std::array<StationKind,
+    static_cast<std::size_t>(FuKind::NumKinds)> fuStationTable = {
+    StationKind::Simple0,   // IntAlu (caller picks Simple0 vs Simple1)
+    StationKind::Mem,       // IntMem
+    StationKind::Branch,    // Branch
+    StationKind::Complex,   // IntComplex
+    StationKind::Simple0,   // FpBasic
+    StationKind::Complex,   // FpComplex
+    StationKind::Mem,       // FpMem
+};
+
+inline StationKind
+stationFor(FuKind kind)
+{
+    return fuStationTable[static_cast<std::size_t>(kind)];
+}
+
+} // namespace ctcp
+
+#endif // CTCPSIM_CLUSTER_STATION_HH

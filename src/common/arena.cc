@@ -1,0 +1,59 @@
+#include "common/arena.hh"
+
+#include <cstdint>
+
+namespace ctcp {
+
+void *
+Arena::allocate(std::size_t bytes, std::size_t align)
+{
+    if (bytes == 0)
+        bytes = 1;
+    // Walk forward through retained chunks until one fits; after a
+    // reset this reuses the chunks allocated by earlier runs.
+    while (cur_ < chunks_.size()) {
+        Chunk &chunk = chunks_[cur_];
+        const std::uintptr_t base =
+            reinterpret_cast<std::uintptr_t>(chunk.data.get());
+        const std::size_t aligned =
+            (base + offset_ + (align - 1)) & ~(std::uintptr_t{align} - 1);
+        const std::size_t start = aligned - base;
+        if (start + bytes <= chunk.size) {
+            offset_ = start + bytes;
+            used_ += bytes;
+            return chunk.data.get() + start;
+        }
+        ++cur_;
+        offset_ = 0;
+    }
+    // No retained chunk fits: grow. Oversize requests get a chunk of
+    // their own so chunkBytes_ stays the steady-state granularity.
+    const std::size_t size =
+        bytes + align > chunkBytes_ ? bytes + align : chunkBytes_;
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(size);
+    chunk.size = size;
+    chunks_.push_back(std::move(chunk));
+    cur_ = chunks_.size() - 1;
+    offset_ = 0;
+    return allocate(bytes, align);
+}
+
+void
+Arena::reset()
+{
+    cur_ = 0;
+    offset_ = 0;
+    used_ = 0;
+}
+
+std::size_t
+Arena::capacity() const
+{
+    std::size_t total = 0;
+    for (const Chunk &chunk : chunks_)
+        total += chunk.size;
+    return total;
+}
+
+} // namespace ctcp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Bump-pointer arena for per-run simulator working state.
+ *
+ * A campaign worker runs thousands of simulator jobs back to back;
+ * each job allocates the same transient per-instruction state
+ * (TimedInst slots, their cold side arrays) and frees it all at once
+ * when the job ends. The arena turns that churn into pointer bumps
+ * over a set of retained chunks: reset() rewinds the bump cursor
+ * without returning memory to the OS, so the steady state of a
+ * campaign performs no malloc/free on the simulation hot path at all.
+ *
+ * The arena hands out raw storage only — it never runs constructors
+ * or destructors. Owners of non-trivial objects placed in arena
+ * storage (e.g. TimedInstPool) must destroy them before reset().
+ */
+
+#ifndef CTCPSIM_COMMON_ARENA_HH
+#define CTCPSIM_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace ctcp {
+
+/** Chunked bump allocator with O(1) whole-arena reset. */
+class Arena
+{
+  public:
+    /** @param chunk_bytes capacity of each chunk (oversize requests
+     *         get a dedicated chunk of their own size). */
+    explicit Arena(std::size_t chunk_bytes = 1u << 16)
+        : chunkBytes_(chunk_bytes)
+    {}
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Aligned storage for @p bytes; never returns null (throws
+     *  std::bad_alloc like operator new). */
+    void *allocate(std::size_t bytes, std::size_t align);
+
+    /** Typed convenience: storage for @p n objects of T (no ctors). */
+    template <typename T>
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Rewind to empty, retaining every chunk for reuse. All storage
+     * handed out so far becomes invalid.
+     */
+    void reset();
+
+    /** Bytes currently handed out (since construction or reset). */
+    std::size_t used() const { return used_; }
+
+    /** Total chunk capacity held (high-water mark across resets). */
+    std::size_t capacity() const;
+
+    std::size_t chunks() const { return chunks_.size(); }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    std::size_t chunkBytes_;
+    std::vector<Chunk> chunks_;
+    /** Chunk the bump cursor sits in (== chunks_.size() when empty). */
+    std::size_t cur_ = 0;
+    /** Bump offset within the current chunk. */
+    std::size_t offset_ = 0;
+    std::size_t used_ = 0;
+};
+
+} // namespace ctcp
+
+#endif // CTCPSIM_COMMON_ARENA_HH

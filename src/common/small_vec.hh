@@ -76,6 +76,11 @@ class SmallVec
     T &operator[](unsigned i) { return data_[i]; }
     const T &operator[](unsigned i) const { return data_[i]; }
 
+    T &front() { return data_[0]; }
+    const T &front() const { return data_[0]; }
+    T &back() { return data_[size_ - 1]; }
+    const T &back() const { return data_[size_ - 1]; }
+
     T *begin() { return data_; }
     T *end() { return data_ + size_; }
     const T *begin() const { return data_; }

@@ -267,6 +267,14 @@ struct DebugConfig
     std::string pipelineTracePath;
     /** Cycles of pipeline trace to record. */
     std::uint64_t traceCycles = 1000;
+    /**
+     * Ignore the memoized per-trace-line dispatch plans and re-derive
+     * slot→cluster / FU→station routing per fetched instruction, as if
+     * the plan cache did not exist. Timing-neutral by construction;
+     * exists so tests can prove cached and uncached runs produce
+     * byte-identical stats.
+     */
+    bool disableDispatchPlans = false;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "core/fetch.hh"
 
+#include "cluster/station.hh"
 #include "common/logging.hh"
 #include "obs/sink.hh"
 
@@ -26,14 +27,21 @@ recordFetchEvent(ObsSink &obs, Cycle now, const DynInst &dyn, bool from_tc)
 
 FetchEngine::FetchEngine(const SimConfig &cfg, TraceCache &tc,
                          InstMemory &imem, BranchPredictor &bpred,
-                         Executor &exec)
-    : cfg_(cfg), tc_(tc), imem_(imem), bpred_(bpred), exec_(exec)
+                         Executor &exec, TimedInstPool &pool)
+    : cfg_(cfg), tc_(tc), imem_(imem), bpred_(bpred), exec_(exec),
+      pool_(pool), plansOn_(!cfg.debug.disableDispatchPlans)
 {}
 
 const DynInst *
-FetchEngine::peek(std::size_t k)
+FetchEngine::peekSlow(std::size_t k)
 {
-    while (buffer_.size() <= k && !execDone_) {
+    // Buffer a short batch past k: fetch peeks the stream one
+    // instruction at a time, so running the functional simulator a few
+    // steps ahead keeps the next several peeks on the inline fast
+    // path. Read-ahead is invisible to timing — the buffer only holds
+    // committed-stream instructions until fetch consumes them.
+    const std::size_t want = k + peekAhead;
+    while (buffer_.size() <= want && !execDone_) {
         DynInst d;
         const bool more = exec_.step(d);
         buffer_.push_back(d);   // the Halt itself is part of the stream
@@ -51,12 +59,6 @@ FetchEngine::consume(std::size_t n)
                   buffer_.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
-bool
-FetchEngine::streamEnded()
-{
-    return peek(0) == nullptr;
-}
-
 void
 FetchEngine::resolveGate(InstSeqNum seq, Cycle resume_at)
 {
@@ -66,18 +68,18 @@ FetchEngine::resolveGate(InstSeqNum seq, Cycle resume_at)
     }
 }
 
-std::unique_ptr<TimedInst>
+TimedInst *
 FetchEngine::makeInst(const DynInst &dyn, Cycle now, bool from_tc,
                       std::uint64_t instance, std::uint64_t key, int slot,
                       int logical, const ChainProfile &profile)
 {
-    auto ti = std::make_unique<TimedInst>();
+    TimedInst *ti = pool_.acquire();
     ti->dyn = dyn;
     ti->fromTraceCache = from_tc;
     ti->traceInstance = instance;
     ti->traceKey = key;
     ti->slotIndex = slot;
-    ti->logicalIndex = logical;
+    ti->cold().logicalIndex = logical;
     ti->profile = profile;
     ti->fetchAt = now;
     if (from_tc)
@@ -108,23 +110,23 @@ FetchEngine::predictBranch(TimedInst &ti, bool embedded_dir_valid,
         bpred_.pushRas(dyn.pc + 1);
     if (dyn.isReturnOp()) {
         auto [target, valid] = bpred_.popRas();
-        ti.predictedTarget = target;
-        ti.predictedTargetValid = valid;
+        ti.cold().predictedTarget = target;
+        ti.cold().predictedTargetValid = valid;
         ti.mispredicted = !valid || target != dyn.targetPc;
         return ti.mispredicted;
     }
     if (dyn.op == Opcode::JumpReg) {
         auto [target, valid] = bpred_.peekBtb(dyn.pc);
-        ti.predictedTarget = target;
-        ti.predictedTargetValid = valid;
+        ti.cold().predictedTarget = target;
+        ti.cold().predictedTargetValid = valid;
         ti.mispredicted = !valid || target != dyn.targetPc;
         return ti.mispredicted;
     }
 
     // Direct jumps and calls: the target is encodable at decode; we
     // idealize next-line prediction for them (no BTB dependence).
-    ti.predictedTarget = dyn.targetPc;
-    ti.predictedTargetValid = true;
+    ti.cold().predictedTarget = dyn.targetPc;
+    ti.cold().predictedTargetValid = true;
     ti.mispredicted = false;
     return false;
 }
@@ -161,13 +163,20 @@ FetchEngine::fetchCycle(Cycle now)
             const DynInst *dyn = peek(i);
             if (dyn == nullptr)
                 break;
-            ctcp_assert(dyn->pc == line->insts[i].pc,
+            const TraceSlot &lslot = line->insts[i];
+            ctcp_assert(dyn->pc == lslot.pc,
                         "trace line diverged from the committed stream "
                         "without a mispredicted branch");
-            auto ti = makeInst(*dyn, now, true, instance, key,
-                               line->insts[i].physSlot,
-                               static_cast<int>(i),
-                               line->insts[i].profile);
+            TimedInst *ti = makeInst(*dyn, now, true, instance, key,
+                                     lslot.physSlot, static_cast<int>(i),
+                                     lslot.profile);
+            if (plansOn_) {
+                // Memoized dispatch plan: slot routing and station
+                // class computed once when the fill unit built the
+                // line, replayed here as two byte copies.
+                ti->plannedCluster = lslot.cluster;
+                ti->stationKind = lslot.station;
+            }
             bool gate = false;
             if (dyn->isBranchOp()) {
                 bool embedded_valid = false;
@@ -182,7 +191,7 @@ FetchEngine::fetchCycle(Cycle now)
                 gate = predictBranch(*ti, embedded_valid, embedded);
             }
             const InstSeqNum seq = ti->dyn.seq;
-            group.insts.push_back(std::move(ti));
+            group.insts.push_back(ti);
             ++delivered;
             if (gate) {
                 gatingSeq_ = seq;
@@ -209,9 +218,15 @@ FetchEngine::fetchCycle(Cycle now)
         const DynInst *dyn = peek(i);
         if (dyn == nullptr)
             break;
-        auto ti = makeInst(*dyn, now, false, instance, 0,
-                           static_cast<int>(i), static_cast<int>(i),
-                           ChainProfile{});
+        TimedInst *ti = makeInst(*dyn, now, false, instance, 0,
+                                 static_cast<int>(i), static_cast<int>(i),
+                                 ChainProfile{});
+        if (plansOn_) {
+            ti->plannedCluster = static_cast<std::uint8_t>(
+                i / cfg_.cluster.clusterWidth);
+            ti->stationKind =
+                static_cast<std::uint8_t>(stationFor(dyn->fu()));
+        }
         bool gate = false;
         bool stop = false;
         if (dyn->isBranchOp()) {
@@ -223,7 +238,7 @@ FetchEngine::fetchCycle(Cycle now)
         if (dyn->op == Opcode::Halt)
             stop = true;
         const InstSeqNum seq = ti->dyn.seq;
-        group.insts.push_back(std::move(ti));
+        group.insts.push_back(ti);
         ++delivered;
         if (gate) {
             gatingSeq_ = seq;

@@ -21,12 +21,12 @@
 #define CTCPSIM_CORE_FETCH_HH
 
 #include <deque>
-#include <memory>
 #include <optional>
-#include <vector>
 
 #include "bpred/predictor.hh"
+#include "cluster/inst_pool.hh"
 #include "cluster/timed_inst.hh"
+#include "common/small_vec.hh"
 #include "config/sim_config.hh"
 #include "func/executor.hh"
 #include "mem/dmem.hh"
@@ -37,10 +37,15 @@ namespace ctcp {
 
 class ObsSink;
 
-/** One group of instructions fetched in a single cycle. */
+/**
+ * One group of instructions fetched in a single cycle. Instructions
+ * are owned by the engine's TimedInstPool; rename nulls each entry as
+ * it moves the instruction into the ROB, and retire returns it to the
+ * pool.
+ */
 struct FetchGroup
 {
-    std::vector<std::unique_ptr<TimedInst>> insts;
+    SmallVec<TimedInst *, traceLineMaxInsts> insts;
     /** Cycle the group becomes available to rename. */
     Cycle readyAt = 0;
     bool fromTraceCache = false;
@@ -51,7 +56,7 @@ class FetchEngine
 {
   public:
     FetchEngine(const SimConfig &cfg, TraceCache &tc, InstMemory &imem,
-                BranchPredictor &bpred, Executor &exec);
+                BranchPredictor &bpred, Executor &exec, TimedInstPool &pool);
 
     /**
      * Attempt to fetch one group at cycle @p now.
@@ -88,7 +93,7 @@ class FetchEngine
     void resolveGate(InstSeqNum seq, Cycle resume_at);
 
     /** True once the functional stream is exhausted and buffered empty. */
-    bool streamEnded();
+    bool streamEnded() { return peek(0) == nullptr; }
 
     std::uint64_t instsFromTC() const { return fromTC_.value(); }
     std::uint64_t instsFromIC() const { return fromIC_.value(); }
@@ -108,16 +113,27 @@ class FetchEngine
     void setObs(ObsSink *obs) { obs_ = obs; }
 
   private:
-    /** Peek the k-th not-yet-fetched committed instruction. */
-    const DynInst *peek(std::size_t k);
+    /**
+     * Peek the k-th not-yet-fetched committed instruction. The fast
+     * path (already buffered) stays inline — this runs once per
+     * fetched instruction plus once per cycle via streamEnded().
+     */
+    const DynInst *
+    peek(std::size_t k)
+    {
+        if (k < buffer_.size())
+            return &buffer_[k];
+        return peekSlow(k);
+    }
+    /** Functional-simulator read-ahead beyond the requested index. */
+    static constexpr std::size_t peekAhead = 15;
+    /** Advance the functional simulator until k is buffered (or EOF). */
+    const DynInst *peekSlow(std::size_t k);
     void consume(std::size_t n);
 
-    std::unique_ptr<TimedInst> makeInst(const DynInst &dyn, Cycle now,
-                                        bool from_tc,
-                                        std::uint64_t instance,
-                                        std::uint64_t key, int slot,
-                                        int logical,
-                                        const ChainProfile &profile);
+    TimedInst *makeInst(const DynInst &dyn, Cycle now, bool from_tc,
+                        std::uint64_t instance, std::uint64_t key, int slot,
+                        int logical, const ChainProfile &profile);
 
     /**
      * Handle prediction for a delivered control transfer; sets the
@@ -132,6 +148,9 @@ class FetchEngine
     InstMemory &imem_;
     BranchPredictor &bpred_;
     Executor &exec_;
+    TimedInstPool &pool_;
+    /** Stamp memoized dispatch plans (off under disableDispatchPlans). */
+    bool plansOn_ = true;
 
     std::deque<DynInst> buffer_;
     bool execDone_ = false;

@@ -5,13 +5,15 @@ namespace ctcp {
 void
 Profiler::onExecute(const TimedInst &inst)
 {
+    const TimedInstCold &cold = inst.cold();
+
     // ---- Figure 4: source of the most critical input -------------------
     const bool has_inputs = inst.ops[0].valid || inst.ops[1].valid;
     if (has_inputs) {
         ++instsWithInputs_;
-        if (!inst.criticalForwarded)
+        if (!cold.criticalForwarded)
             ++critFromRF_;
-        else if (inst.criticalSrc == 1)
+        else if (cold.criticalSrc == 1)
             ++critFromRs1_;
         else
             ++critFromRs2_;
@@ -24,22 +26,22 @@ Profiler::onExecute(const TimedInst &inst)
             continue;
         ++fwdDeps_;
         const bool critical =
-            inst.criticalForwarded && inst.criticalSrc == s + 1;
+            cold.criticalForwarded && cold.criticalSrc == s + 1;
         if (critical) {
             ++critFwdDeps_;
-            if (inst.criticalInterTrace) {
+            if (cold.criticalInterTrace) {
                 ++critFwdInter_;
-                critFwdInterDistance_ += inst.criticalDistance;
-                if (inst.criticalDistance == 0)
+                critFwdInterDistance_ += cold.criticalDistance;
+                if (cold.criticalDistance == 0)
                     ++critFwdInterIntraCluster_;
             }
-            if (inst.criticalDistance == 0)
+            if (cold.criticalDistance == 0)
                 ++critFwdIntraCluster_;
-            critFwdDistance_ += inst.criticalDistance;
+            critFwdDistance_ += cold.criticalDistance;
         }
 
         // ---- Table 3: producer stability ------------------------------
-        ProducerHistory &hist = producers_[inst.dyn.pc];
+        ProducerHistory &hist = history(producers_, inst.dyn.pc);
         Counter &events = s == 0 ? rs1Events_ : rs2Events_;
         Counter &repeats = s == 0 ? rs1Repeat_ : rs2Repeat_;
         ++events;
@@ -48,8 +50,8 @@ Profiler::onExecute(const TimedInst &inst)
         hist.last[s] = op.producerPc;
         hist.seen[s] = true;
 
-        if (critical && inst.criticalInterTrace) {
-            ProducerHistory &ci = critInterProducers_[inst.dyn.pc];
+        if (critical && cold.criticalInterTrace) {
+            ProducerHistory &ci = history(critInterProducers_, inst.dyn.pc);
             Counter &ci_events = s == 0 ? rs1CiEvents_ : rs2CiEvents_;
             Counter &ci_repeats = s == 0 ? rs1CiRepeat_ : rs2CiRepeat_;
             ++ci_events;
@@ -70,10 +72,12 @@ Profiler::onRetire(const TimedInst &inst)
 
     // ---- Table 9: cluster migration --------------------------------------
     const bool chain = inst.profile.isMember();
-    auto it = lastCluster_.find(inst.dyn.pc);
-    if (it != lastCluster_.end()) {
+    if (inst.dyn.pc >= lastCluster_.size())
+        lastCluster_.resize(static_cast<std::size_t>(inst.dyn.pc) + 1);
+    LastCluster &lc = lastCluster_[static_cast<std::size_t>(inst.dyn.pc)];
+    if (lc.seen) {
         ++revisits_;
-        const bool moved = it->second != inst.cluster;
+        const bool moved = lc.cluster != inst.cluster;
         if (moved)
             ++migrated_;
         if (chain) {
@@ -81,10 +85,9 @@ Profiler::onRetire(const TimedInst &inst)
             if (moved)
                 ++chainMigrated_;
         }
-        it->second = inst.cluster;
-    } else {
-        lastCluster_.emplace(inst.dyn.pc, inst.cluster);
     }
+    lc.cluster = inst.cluster;
+    lc.seen = true;
 }
 
 void

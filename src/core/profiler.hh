@@ -12,7 +12,7 @@
 #define CTCPSIM_CORE_PROFILER_HH
 
 #include <array>
-#include <unordered_map>
+#include <vector>
 
 #include "cluster/timed_inst.hh"
 #include "stats/stats.hh"
@@ -155,20 +155,40 @@ class Profiler
     Counter critFwdInterIntraCluster_;
 
     // Table 3: last forwarded producer per (consumer PC, source).
+    // Program PCs are dense small integers (instruction indices), so
+    // the history tables are PC-indexed vectors grown on demand rather
+    // than hash maps — the lookups sit on the per-instruction execute
+    // and retire paths. A default-constructed entry (seen == false) is
+    // exactly equivalent to the PC being absent.
     struct ProducerHistory
     {
         Addr last[2] = {0, 0};
         bool seen[2] = {false, false};
     };
-    std::unordered_map<Addr, ProducerHistory> producers_;
-    std::unordered_map<Addr, ProducerHistory> critInterProducers_;
+    /** history(table, pc): grow-on-demand PC-indexed lookup. */
+    static ProducerHistory &
+    history(std::vector<ProducerHistory> &table, Addr pc)
+    {
+        if (pc >= table.size())
+            table.resize(static_cast<std::size_t>(pc) + 1);
+        return table[static_cast<std::size_t>(pc)];
+    }
+    std::vector<ProducerHistory> producers_;
+    std::vector<ProducerHistory> critInterProducers_;
     Counter rs1Events_, rs1Repeat_;
     Counter rs2Events_, rs2Repeat_;
     Counter rs1CiEvents_, rs1CiRepeat_;
     Counter rs2CiEvents_, rs2CiRepeat_;
 
-    // Table 9: cluster migration.
-    std::unordered_map<Addr, ClusterId> lastCluster_;
+    // Table 9: cluster migration. An explicit seen flag (not a cluster
+    // sentinel) preserves the exact absent-entry semantics of the old
+    // map: the first retirement of a PC counts no revisit.
+    struct LastCluster
+    {
+        ClusterId cluster = invalidCluster;
+        bool seen = false;
+    };
+    std::vector<LastCluster> lastCluster_;
     Counter revisits_, migrated_;
     Counter chainRevisits_, chainMigrated_;
 };

@@ -68,8 +68,12 @@ recordForwardEvent(ObsSink &obs, Cycle cycle, const TimedInst &inst,
 
 } // namespace
 
-CtcpSimulator::CtcpSimulator(const SimConfig &cfg, const Program &program)
-    : cfg_(cfg), program_(program), exec_(program), dmem_(cfg.mem),
+CtcpSimulator::CtcpSimulator(const SimConfig &cfg, const Program &program,
+                             Arena *arena)
+    : cfg_(cfg), program_(program),
+      ownedArena_(arena != nullptr ? nullptr : std::make_unique<Arena>()),
+      pool_(arena != nullptr ? *arena : *ownedArena_),
+      exec_(program), dmem_(cfg.mem),
       imem_(cfg.frontEnd, dmem_), interconnect_(cfg.cluster),
       rob_(cfg.core.robEntries),
       renameTable_(numArchRegs, nullptr)
@@ -131,7 +135,7 @@ CtcpSimulator::CtcpSimulator(const SimConfig &cfg, const Program &program)
         cfg_.frontEnd.traceCache, cfg_.cluster.numClusters,
         cfg_.cluster.clusterWidth, *tc_, *policy_);
     fetch_ = std::make_unique<FetchEngine>(cfg_, *tc_, imem_, *bpred_,
-                                           exec_);
+                                           exec_, pool_);
 
     if (!cfg_.debug.pipelineTracePath.empty()) {
         traceFile_ = std::fopen(cfg_.debug.pipelineTracePath.c_str(), "w");
@@ -343,25 +347,26 @@ void
 CtcpSimulator::recordCriticality(TimedInst &inst)
 {
     const Readiness r = operandReadiness(inst);
-    inst.criticalSrc = 0;
-    inst.criticalForwarded = false;
-    inst.criticalInterTrace = false;
-    inst.criticalDistance = 0;
+    TimedInstCold &cold = inst.cold();
+    cold.criticalSrc = 0;
+    cold.criticalForwarded = false;
+    cold.criticalInterTrace = false;
+    cold.criticalDistance = 0;
     if (r.critical < 0)
         return;
     const OperandState &op = inst.ops[r.critical];
     if (op.fromRF)
         return;   // criticalSrc stays 0 (register file)
-    inst.criticalSrc = r.critical + 1;
-    inst.criticalForwarded = true;
-    inst.criticalInterTrace =
+    cold.criticalSrc = r.critical + 1;
+    cold.criticalForwarded = true;
+    cold.criticalInterTrace =
         op.producerTraceInstance != inst.traceInstance;
-    inst.criticalDistance = interconnect_.distance(op.producerCluster,
+    cold.criticalDistance = interconnect_.distance(op.producerCluster,
                                                    inst.cluster);
-    inst.criticalProducerPc = op.producerPc;
-    inst.criticalProducerProfile = op.producerProfile;
-    inst.criticalProducerCluster = op.producerCluster;
-    inst.criticalProducerTraceKey = op.producerTraceKey;
+    cold.criticalProducerPc = op.producerPc;
+    cold.criticalProducerProfile = op.producerProfile;
+    cold.criticalProducerCluster = op.producerCluster;
+    cold.criticalProducerTraceKey = op.producerTraceKey;
 }
 
 void
@@ -432,7 +437,7 @@ CtcpSimulator::executeInst(TimedInst &inst, Cycle now_cycle)
 {
     recordCriticality(inst);
     profiler_.onExecute(inst);
-    if (inst.criticalForwarded && inst.criticalInterTrace)
+    if (inst.cold().criticalForwarded && inst.cold().criticalInterTrace)
         policy_->noteCriticalForward(inst, *tc_);
 
     // Count forwarded (bypassed) operand deliveries and emit one
@@ -479,8 +484,8 @@ void
 CtcpSimulator::doCompletions()
 {
     while (!completions_.empty() &&
-           completions_.top()->completeAt <= cycle_) {
-        TimedInst *inst = completions_.top();
+           completions_.top().completeAt <= cycle_) {
+        TimedInst *inst = completions_.top().inst;
         completions_.pop();
         inst->completed = true;
         if (tracing())
@@ -531,7 +536,7 @@ CtcpSimulator::doRetire()
     if (faultStallRetire_)
         return;   // injected retirement stall (watchdog tests)
     for (unsigned n = 0; n < cfg_.core.retireWidth && !rob_.empty(); ++n) {
-        TimedInst *head = rob_.front().get();
+        TimedInst *head = rob_.front();
         if (!head->completed)
             break;
         if (head->dyn.isStoreOp()) {
@@ -562,6 +567,11 @@ CtcpSimulator::doRetire()
 
         ++retired_;
         rob_.popFront();
+        // Recycle the slot. Safe: the instruction has completed (its
+        // completion push cleared every waiter registration), the
+        // rename table no longer points at it, and consumers only
+        // dereference producerPtr while producerComplete is false.
+        pool_.release(head);
     }
 }
 
@@ -575,7 +585,7 @@ CtcpSimulator::doDispatch()
         for (TimedInst *inst : dispatchScratch_) {
             if (tracing())
                 traceEvent("dispatch", *inst);
-            completions_.push(inst);
+            completions_.push({inst->completeAt, inst});
         }
     }
 }
@@ -618,7 +628,7 @@ CtcpSimulator::doIssue()
                 ++issueStalls_;
                 if (acct_) {
                     const unsigned kind_bit = 1u << static_cast<unsigned>(
-                        stationFor(inst->dyn.fu()));
+                        instStation(*inst));
                     if ((rsProbedKinds & kind_bit) == 0) {
                         rsProbedKinds |= kind_bit;
                         // Charge next cycle's empty slots to the
@@ -745,7 +755,7 @@ CtcpSimulator::doRename()
             break;
         }
 
-        TimedInst *inst = group.insts[frontGroupPos_].get();
+        TimedInst *inst = group.insts[frontGroupPos_];
         if (inst->dyn.info().readsSrc1)
             renameOperand(*inst, 0, inst->dyn.src1);
         if (inst->dyn.info().readsSrc2)
@@ -758,12 +768,21 @@ CtcpSimulator::doRename()
         if (obs_ && obs_->enabled(ObsKind::Rename))
             recordInstEvent(*obs_, ObsKind::Rename, cycle_, *inst);
 
-        rob_.pushBack(std::move(group.insts[frontGroupPos_]));
-        if (routeToIssueQueue_)
+        rob_.pushBack(inst);
+        // Hand-off: the group entry is nulled so the fetch-queue no
+        // longer claims the instruction (the invariant checker relies
+        // on this to tell renamed-out entries apart).
+        group.insts[frontGroupPos_] = nullptr;
+        if (routeToIssueQueue_) {
             issueQueue_.push_back(inst);
-        else
-            clusterQueues_[static_cast<std::size_t>(slotCluster(*inst))]
-                .push_back(inst);
+        } else {
+            // Slot routing: replay the memoized plan byte when one was
+            // stamped at fetch; derive from the slot index otherwise.
+            const std::size_t c = inst->plannedCluster != 0xff
+                ? inst->plannedCluster
+                : static_cast<std::size_t>(slotCluster(*inst));
+            clusterQueues_[c].push_back(inst);
+        }
         if (inst->dyn.isStoreOp())
             storeWindow_.insert(inst);
 

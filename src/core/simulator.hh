@@ -29,7 +29,9 @@
 #include "assign/issue_time_steering.hh"
 #include "bpred/predictor.hh"
 #include "cluster/cluster.hh"
+#include "cluster/inst_pool.hh"
 #include "cluster/interconnect.hh"
+#include "common/arena.hh"
 #include "common/circular_queue.hh"
 #include "config/sim_config.hh"
 #include "core/fetch.hh"
@@ -63,8 +65,15 @@ class CtcpSimulator
     /**
      * @param cfg      validated machine configuration
      * @param program  workload (not owned; must outlive the simulator)
+     * @param arena    backing storage for per-instruction state; pass a
+     *                 worker-local arena to reuse its chunks across
+     *                 back-to-back runs (campaigns). Must outlive the
+     *                 simulator and must only be reset after it is
+     *                 destroyed. Null = the simulator owns a private
+     *                 arena.
      */
-    CtcpSimulator(const SimConfig &cfg, const Program &program);
+    CtcpSimulator(const SimConfig &cfg, const Program &program,
+                  Arena *arena = nullptr);
     ~CtcpSimulator();
 
     CtcpSimulator(const CtcpSimulator &) = delete;
@@ -165,6 +174,17 @@ class CtcpSimulator
     SimConfig cfg_;
     const Program &program_;
 
+    /**
+     * Per-instruction storage. ownedArena_ is the private fallback when
+     * no external arena was supplied; pool_ carves TimedInst hot/cold
+     * blocks out of whichever arena is in use. Declared before pool_
+     * (and before everything that holds TimedInst pointers) so the
+     * pool's destructor — which destroys every carved slot — runs
+     * before the owned arena releases the chunks, never after.
+     */
+    std::unique_ptr<Arena> ownedArena_;
+    TimedInstPool pool_;
+
     // Substrates.
     Executor exec_;
     DataMemorySystem dmem_;
@@ -200,7 +220,8 @@ class CtcpSimulator
     /** Position of the next instruction to rename in the front group. */
     std::size_t frontGroupPos_ = 0;
 
-    CircularQueue<std::unique_ptr<TimedInst>> rob_;
+    /** Reorder buffer; entries are owned by pool_ (released at retire). */
+    CircularQueue<TimedInst *> rob_;
     /** Issue-time steering mode: one in-order queue (steering redirects). */
     std::deque<TimedInst *> issueQueue_;
     /**
@@ -215,15 +236,27 @@ class CtcpSimulator
     /** Per-cycle dispatch output, reused across cycles and clusters. */
     std::vector<TimedInst *> dispatchScratch_;
 
+    /**
+     * Pending completion, keyed by cycle. The key is stored next to
+     * the pointer so heap sifts compare inline data instead of
+     * dereferencing cold TimedInst lines; comparisons resolve exactly
+     * as the pointer-chasing form did (same key, same tie behavior),
+     * so the pop order — and therefore every stat — is unchanged.
+     */
+    struct PendingComplete
+    {
+        Cycle completeAt;
+        TimedInst *inst;
+    };
     struct CompareComplete
     {
         bool
-        operator()(const TimedInst *a, const TimedInst *b) const
+        operator()(const PendingComplete &a, const PendingComplete &b) const
         {
-            return a->completeAt > b->completeAt;
+            return a.completeAt > b.completeAt;
         }
     };
-    std::priority_queue<TimedInst *, std::vector<TimedInst *>,
+    std::priority_queue<PendingComplete, std::vector<PendingComplete>,
                         CompareComplete> completions_;
     /** Shared result-bus broadcast slots (bus interconnect mode only). */
     std::unique_ptr<PortSchedule> busSchedule_;

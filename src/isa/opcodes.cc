@@ -1,140 +1,8 @@
 #include "isa/opcodes.hh"
 
-#include <array>
-
 #include "common/logging.hh"
 
 namespace ctcp {
-
-namespace {
-
-constexpr std::size_t numOpcodes = static_cast<std::size_t>(Opcode::NumOpcodes);
-
-// Latencies follow Table 7 of the paper: simple integer 1/1, integer
-// mul 3/1, integer div 20/19, FP mul 3/1, FP div 12/12, FP sqrt 24/24.
-// Memory opcodes model address generation here (1 cycle); cache access
-// latency is added by the memory subsystem.
-constexpr std::array<OpcodeInfo, numOpcodes> opcodeTable = {{
-    //                 mnemonic  fu                   exec issue s1     s2     dst    imm
-    /* Add    */ {"add",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
-    /* Sub    */ {"sub",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
-    /* And    */ {"and",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
-    /* Or     */ {"or",     FuKind::IntAlu,     1,  1, true,  true,  true,  false},
-    /* Xor    */ {"xor",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
-    /* Sll    */ {"sll",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
-    /* Srl    */ {"srl",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
-    /* Sra    */ {"sra",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
-    /* Slt    */ {"slt",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
-    /* Sltu   */ {"sltu",   FuKind::IntAlu,     1,  1, true,  true,  true,  false},
-    /* AddI   */ {"addi",   FuKind::IntAlu,     1,  1, true,  false, true,  true},
-    /* AndI   */ {"andi",   FuKind::IntAlu,     1,  1, true,  false, true,  true},
-    /* OrI    */ {"ori",    FuKind::IntAlu,     1,  1, true,  false, true,  true},
-    /* XorI   */ {"xori",   FuKind::IntAlu,     1,  1, true,  false, true,  true},
-    /* SllI   */ {"slli",   FuKind::IntAlu,     1,  1, true,  false, true,  true},
-    /* SrlI   */ {"srli",   FuKind::IntAlu,     1,  1, true,  false, true,  true},
-    /* SltI   */ {"slti",   FuKind::IntAlu,     1,  1, true,  false, true,  true},
-    /* MovI   */ {"movi",   FuKind::IntAlu,     1,  1, false, false, true,  true},
-    /* Mov    */ {"mov",    FuKind::IntAlu,     1,  1, true,  false, true,  false},
-
-    /* Mul    */ {"mul",    FuKind::IntComplex, 3,  1, true,  true,  true,  false},
-    /* Div    */ {"div",    FuKind::IntComplex, 20, 19, true, true,  true,  false},
-    /* Rem    */ {"rem",    FuKind::IntComplex, 20, 19, true, true,  true,  false},
-
-    /* Load   */ {"ld",     FuKind::IntMem,     1,  1, true,  false, true,  true},
-    /* Store  */ {"st",     FuKind::IntMem,     1,  1, true,  true,  false, true},
-
-    /* Beq    */ {"beq",    FuKind::Branch,     1,  1, true,  true,  false, true},
-    /* Bne    */ {"bne",    FuKind::Branch,     1,  1, true,  true,  false, true},
-    /* Blt    */ {"blt",    FuKind::Branch,     1,  1, true,  true,  false, true},
-    /* Bge    */ {"bge",    FuKind::Branch,     1,  1, true,  true,  false, true},
-    /* Jump   */ {"j",      FuKind::Branch,     1,  1, false, false, false, true},
-    /* JumpReg*/ {"jr",     FuKind::Branch,     1,  1, true,  false, false, false},
-    /* Call   */ {"call",   FuKind::Branch,     1,  1, false, false, true,  true},
-    /* Ret    */ {"ret",    FuKind::Branch,     1,  1, true,  false, false, false},
-
-    /* FAdd   */ {"fadd",   FuKind::FpBasic,    2,  1, true,  true,  true,  false},
-    /* FSub   */ {"fsub",   FuKind::FpBasic,    2,  1, true,  true,  true,  false},
-    /* FNeg   */ {"fneg",   FuKind::FpBasic,    2,  1, true,  false, true,  false},
-    /* FCmpLt */ {"fcmplt", FuKind::FpBasic,    2,  1, true,  true,  true,  false},
-    /* FCvtIF */ {"fcvtif", FuKind::FpBasic,    2,  1, true,  false, true,  false},
-    /* FCvtFI */ {"fcvtfi", FuKind::FpBasic,    2,  1, true,  false, true,  false},
-
-    /* FMul   */ {"fmul",   FuKind::FpComplex,  3,  1, true,  true,  true,  false},
-    /* FDiv   */ {"fdiv",   FuKind::FpComplex, 12, 12, true,  true,  true,  false},
-    /* FSqrt  */ {"fsqrt",  FuKind::FpComplex, 24, 24, true,  false, true,  false},
-
-    /* FLoad  */ {"fld",    FuKind::FpMem,      1,  1, true,  false, true,  true},
-    /* FStore */ {"fst",    FuKind::FpMem,      1,  1, true,  true,  false, true},
-
-    /* Nop    */ {"nop",    FuKind::IntAlu,     1,  1, false, false, false, false},
-    /* Halt   */ {"halt",   FuKind::IntAlu,     1,  1, false, false, false, false},
-}};
-
-} // namespace
-
-const OpcodeInfo &
-opcodeInfo(Opcode op)
-{
-    auto idx = static_cast<std::size_t>(op);
-    ctcp_assert(idx < numOpcodes, "opcodeInfo on invalid opcode %zu", idx);
-    return opcodeTable[idx];
-}
-
-bool
-isBranch(Opcode op)
-{
-    return opcodeInfo(op).fu == FuKind::Branch;
-}
-
-bool
-isConditionalBranch(Opcode op)
-{
-    switch (op) {
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-      case Opcode::Bge:
-        return true;
-      default:
-        return false;
-    }
-}
-
-bool
-isIndirect(Opcode op)
-{
-    return op == Opcode::JumpReg || op == Opcode::Ret;
-}
-
-bool
-isCall(Opcode op)
-{
-    return op == Opcode::Call;
-}
-
-bool
-isReturn(Opcode op)
-{
-    return op == Opcode::Ret;
-}
-
-bool
-isLoad(Opcode op)
-{
-    return op == Opcode::Load || op == Opcode::FLoad;
-}
-
-bool
-isStore(Opcode op)
-{
-    return op == Opcode::Store || op == Opcode::FStore;
-}
-
-bool
-isMemOp(Opcode op)
-{
-    return isLoad(op) || isStore(op);
-}
 
 std::string_view
 fuKindName(FuKind kind)

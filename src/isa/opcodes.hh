@@ -16,8 +16,11 @@
 #ifndef CTCPSIM_ISA_OPCODES_HH
 #define CTCPSIM_ISA_OPCODES_HH
 
+#include <array>
 #include <cstdint>
 #include <string_view>
+
+#include "common/logging.hh"
 
 namespace ctcp {
 
@@ -88,18 +91,128 @@ struct OpcodeInfo
     bool hasImmediate;
 };
 
+namespace detail {
+
+inline constexpr std::size_t numOpcodes =
+    static_cast<std::size_t>(Opcode::NumOpcodes);
+
+// Latencies follow Table 7 of the paper: simple integer 1/1, integer
+// mul 3/1, integer div 20/19, FP mul 3/1, FP div 12/12, FP sqrt 24/24.
+// Memory opcodes model address generation here (1 cycle); cache access
+// latency is added by the memory subsystem. Lives in the header so the
+// pipeline's per-instruction property lookups (DynInst::fu()/info(),
+// several per instruction per stage) inline to one indexed load.
+inline constexpr std::array<OpcodeInfo, numOpcodes> opcodeTable = {{
+    //                 mnemonic  fu                   exec issue s1     s2     dst    imm
+    /* Add    */ {"add",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
+    /* Sub    */ {"sub",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
+    /* And    */ {"and",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
+    /* Or     */ {"or",     FuKind::IntAlu,     1,  1, true,  true,  true,  false},
+    /* Xor    */ {"xor",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
+    /* Sll    */ {"sll",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
+    /* Srl    */ {"srl",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
+    /* Sra    */ {"sra",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
+    /* Slt    */ {"slt",    FuKind::IntAlu,     1,  1, true,  true,  true,  false},
+    /* Sltu   */ {"sltu",   FuKind::IntAlu,     1,  1, true,  true,  true,  false},
+    /* AddI   */ {"addi",   FuKind::IntAlu,     1,  1, true,  false, true,  true},
+    /* AndI   */ {"andi",   FuKind::IntAlu,     1,  1, true,  false, true,  true},
+    /* OrI    */ {"ori",    FuKind::IntAlu,     1,  1, true,  false, true,  true},
+    /* XorI   */ {"xori",   FuKind::IntAlu,     1,  1, true,  false, true,  true},
+    /* SllI   */ {"slli",   FuKind::IntAlu,     1,  1, true,  false, true,  true},
+    /* SrlI   */ {"srli",   FuKind::IntAlu,     1,  1, true,  false, true,  true},
+    /* SltI   */ {"slti",   FuKind::IntAlu,     1,  1, true,  false, true,  true},
+    /* MovI   */ {"movi",   FuKind::IntAlu,     1,  1, false, false, true,  true},
+    /* Mov    */ {"mov",    FuKind::IntAlu,     1,  1, true,  false, true,  false},
+
+    /* Mul    */ {"mul",    FuKind::IntComplex, 3,  1, true,  true,  true,  false},
+    /* Div    */ {"div",    FuKind::IntComplex, 20, 19, true, true,  true,  false},
+    /* Rem    */ {"rem",    FuKind::IntComplex, 20, 19, true, true,  true,  false},
+
+    /* Load   */ {"ld",     FuKind::IntMem,     1,  1, true,  false, true,  true},
+    /* Store  */ {"st",     FuKind::IntMem,     1,  1, true,  true,  false, true},
+
+    /* Beq    */ {"beq",    FuKind::Branch,     1,  1, true,  true,  false, true},
+    /* Bne    */ {"bne",    FuKind::Branch,     1,  1, true,  true,  false, true},
+    /* Blt    */ {"blt",    FuKind::Branch,     1,  1, true,  true,  false, true},
+    /* Bge    */ {"bge",    FuKind::Branch,     1,  1, true,  true,  false, true},
+    /* Jump   */ {"j",      FuKind::Branch,     1,  1, false, false, false, true},
+    /* JumpReg*/ {"jr",     FuKind::Branch,     1,  1, true,  false, false, false},
+    /* Call   */ {"call",   FuKind::Branch,     1,  1, false, false, true,  true},
+    /* Ret    */ {"ret",    FuKind::Branch,     1,  1, true,  false, false, false},
+
+    /* FAdd   */ {"fadd",   FuKind::FpBasic,    2,  1, true,  true,  true,  false},
+    /* FSub   */ {"fsub",   FuKind::FpBasic,    2,  1, true,  true,  true,  false},
+    /* FNeg   */ {"fneg",   FuKind::FpBasic,    2,  1, true,  false, true,  false},
+    /* FCmpLt */ {"fcmplt", FuKind::FpBasic,    2,  1, true,  true,  true,  false},
+    /* FCvtIF */ {"fcvtif", FuKind::FpBasic,    2,  1, true,  false, true,  false},
+    /* FCvtFI */ {"fcvtfi", FuKind::FpBasic,    2,  1, true,  false, true,  false},
+
+    /* FMul   */ {"fmul",   FuKind::FpComplex,  3,  1, true,  true,  true,  false},
+    /* FDiv   */ {"fdiv",   FuKind::FpComplex, 12, 12, true,  true,  true,  false},
+    /* FSqrt  */ {"fsqrt",  FuKind::FpComplex, 24, 24, true,  false, true,  false},
+
+    /* FLoad  */ {"fld",    FuKind::FpMem,      1,  1, true,  false, true,  true},
+    /* FStore */ {"fst",    FuKind::FpMem,      1,  1, true,  true,  false, true},
+
+    /* Nop    */ {"nop",    FuKind::IntAlu,     1,  1, false, false, false, false},
+    /* Halt   */ {"halt",   FuKind::IntAlu,     1,  1, false, false, false, false},
+}};
+
+} // namespace detail
+
 /** Table lookup for a given opcode's static properties. */
-const OpcodeInfo &opcodeInfo(Opcode op);
+inline const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    ctcp_assert(idx < detail::numOpcodes,
+                "opcodeInfo on invalid opcode %zu", idx);
+    return detail::opcodeTable[idx];
+}
 
 /** Convenience predicates. */
-bool isBranch(Opcode op);
-bool isConditionalBranch(Opcode op);
-bool isIndirect(Opcode op);
-bool isCall(Opcode op);
-bool isReturn(Opcode op);
-bool isLoad(Opcode op);
-bool isStore(Opcode op);
-bool isMemOp(Opcode op);
+inline bool
+isBranch(Opcode op)
+{
+    return opcodeInfo(op).fu == FuKind::Branch;
+}
+
+inline bool
+isConditionalBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+inline bool
+isIndirect(Opcode op)
+{
+    return op == Opcode::JumpReg || op == Opcode::Ret;
+}
+
+inline bool isCall(Opcode op) { return op == Opcode::Call; }
+inline bool isReturn(Opcode op) { return op == Opcode::Ret; }
+
+inline bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::FLoad;
+}
+
+inline bool
+isStore(Opcode op)
+{
+    return op == Opcode::Store || op == Opcode::FStore;
+}
+
+inline bool isMemOp(Opcode op) { return isLoad(op) || isStore(op); }
 
 /** Human-readable FU class name (for stats and disassembly). */
 std::string_view fuKindName(FuKind kind);

@@ -1,5 +1,6 @@
 #include "tracecache/fill_unit.hh"
 
+#include "cluster/station.hh"
 #include "common/logging.hh"
 #include "obs/sink.hh"
 
@@ -29,11 +30,12 @@ FillUnit::retire(const TimedInst &inst, Cycle now)
     d.src1 = inst.dyn.src1;
     d.src2 = inst.dyn.src2;
     d.writesDst = inst.dyn.hasDst();
-    d.criticalSrc = inst.criticalSrc;
-    d.criticalForwarded = inst.criticalForwarded;
-    d.criticalInterTrace = inst.criticalInterTrace;
-    d.criticalProducerPc = inst.criticalProducerPc;
-    d.criticalProducerProfile = inst.criticalProducerProfile;
+    const TimedInstCold &cold = inst.cold();
+    d.criticalSrc = cold.criticalSrc;
+    d.criticalForwarded = cold.criticalForwarded;
+    d.criticalInterTrace = cold.criticalInterTrace;
+    d.criticalProducerPc = cold.criticalProducerPc;
+    d.criticalProducerProfile = cold.criticalProducerProfile;
     d.carriedProfile = inst.profile;
     d.newProfile = inst.profile;   // policies may refine
 
@@ -110,9 +112,10 @@ FillUnit::finalize(Cycle now)
 {
     ctcp_assert(!pending_.empty(), "finalize with no pending instructions");
 
-    TraceDraft draft;
+    TraceDraft &draft = draftScratch_;
     draft.numClusters = numClusters_;
     draft.slotsPerCluster = slotsPerCluster_;
+    draft.insts.clear();
     draft.insts.reserve(pending_.size());
     for (const PendingInst &p : pending_)
         draft.insts.push_back(p.draft);
@@ -144,13 +147,22 @@ FillUnit::finalize(Cycle now)
     line.successorPc = pending_.back().nextPc;
 
     line.insts.reserve(draft.insts.size());
-    for (const DraftInst &d : draft.insts) {
+    for (std::size_t i = 0; i < draft.insts.size(); ++i) {
+        const DraftInst &d = draft.insts[i];
         ctcp_assert(d.physSlot >= 0 &&
                     d.physSlot < static_cast<int>(draft.totalSlots()),
                     "policy left an instruction without a physical slot");
         TraceSlot slot;
         slot.pc = d.pc;
         slot.physSlot = static_cast<std::uint8_t>(d.physSlot);
+        // Memoized dispatch plan: this line's slot→cluster routing and
+        // the instruction's station class are fixed once the policy
+        // has placed it, so compute them here — fetch replays the two
+        // bytes instead of re-deriving them per delivered instruction.
+        slot.cluster =
+            static_cast<std::uint8_t>(slot.physSlot / slotsPerCluster_);
+        slot.station = static_cast<std::uint8_t>(
+            stationFor(opcodeInfo(pending_[i].op).fu));
         slot.profile = d.newProfile;
         line.insts.push_back(slot);
     }

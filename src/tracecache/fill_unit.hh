@@ -94,6 +94,12 @@ class FillUnit
 
     std::vector<PendingInst> pending_;
     unsigned blocks_ = 0;
+    /**
+     * Draft scratch reused across finalize() calls so the per-trace
+     * analysis buffer stops paying an allocation per constructed trace
+     * (one trace completes every few retired instructions).
+     */
+    TraceDraft draftScratch_;
 
     Counter traces_;
     Counter instsInTraces_;

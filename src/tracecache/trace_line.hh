@@ -65,6 +65,17 @@ struct TraceSlot
     Addr pc = 0;
     /** Physical issue-buffer slot assigned by the fill unit. */
     std::uint8_t physSlot = 0;
+    /**
+     * Memoized dispatch plan, computed once when the fill unit builds
+     * the line: the cluster physSlot maps to under slot routing, and
+     * the reservation-station class of the instruction's FU. Fetch
+     * stamps these straight into the TimedInst instead of re-deriving
+     * slot→cluster and FU→station per delivered instruction. Replaced
+     * wholesale with the slot on line overwrite/eviction, so plans can
+     * never outlive the line that produced them.
+     */
+    std::uint8_t cluster = 0xff;
+    std::uint8_t station = 0xff;
     /** FDRT dynamic-profile fields. */
     ChainProfile profile;
 };

@@ -76,6 +76,21 @@ InvariantChecker::checkTraceLine(const TraceLine &line) const
                 ull(line.key.startPc), slot.physSlot,
                 slot.physSlot / clusterWidth_));
         used[slot.physSlot] = 1;
+        // The memoized dispatch plan must agree with the slot it was
+        // derived from — a stale or scrambled plan byte would silently
+        // reroute dispatch.
+        if (slot.cluster != noStationPlan &&
+            slot.cluster != slot.physSlot / clusterWidth_)
+            fail(detail::format(
+                "trace line at pc %llu caches dispatch plan cluster %u "
+                "for physical slot %u (expected cluster %u)",
+                ull(line.key.startPc), unsigned{slot.cluster},
+                slot.physSlot, slot.physSlot / clusterWidth_));
+        if (slot.station != noStationPlan &&
+            slot.station >= numStations)
+            fail(detail::format(
+                "trace line at pc %llu caches invalid station plan %u",
+                ull(line.key.startPc), unsigned{slot.station}));
     }
 }
 
@@ -87,7 +102,7 @@ InvariantChecker::checkRob(const CtcpSimulator &sim) const
     resident.reserve(sim.rob_.size());
     InstSeqNum prev_seq = 0;
     for (std::size_t i = 0; i < sim.rob_.size(); ++i) {
-        const TimedInst *inst = sim.rob_.at(i).get();
+        const TimedInst *inst = sim.rob_.at(i);
         resident.insert(inst);
         if (i > 0 && inst->dyn.seq <= prev_seq)
             fail(detail::format(

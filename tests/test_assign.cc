@@ -210,12 +210,12 @@ TEST_F(FdrtTest, LeaderPromotionViaFeedback)
     tcc.assoc = 2;
     TraceCache tc(tcc);
 
-    TimedInst consumer;
-    consumer.criticalForwarded = true;
-    consumer.criticalInterTrace = true;
-    consumer.criticalProducerPc = 500;
-    consumer.criticalProducerCluster = 2;
-    consumer.criticalProducerTraceKey = 0;
+    OwnedTimedInst consumer;
+    consumer.cold().criticalForwarded = true;
+    consumer.cold().criticalInterTrace = true;
+    consumer.cold().criticalProducerPc = 500;
+    consumer.cold().criticalProducerCluster = 2;
+    consumer.cold().criticalProducerTraceKey = 0;
     fdrt_.noteCriticalForward(consumer, tc);
     EXPECT_EQ(fdrt_.promotions(), 1u);
     EXPECT_EQ(fdrt_.pinCount(), 1u);
@@ -235,11 +235,11 @@ TEST_F(FdrtTest, PinningFixesLeaderCluster)
     tcc.assoc = 2;
     TraceCache tc(tcc);
 
-    TimedInst consumer;
-    consumer.criticalForwarded = true;
-    consumer.criticalInterTrace = true;
-    consumer.criticalProducerPc = 500;
-    consumer.criticalProducerCluster = 2;
+    OwnedTimedInst consumer;
+    consumer.cold().criticalForwarded = true;
+    consumer.cold().criticalInterTrace = true;
+    consumer.cold().criticalProducerPc = 500;
+    consumer.cold().criticalProducerCluster = 2;
     fdrt_.noteCriticalForward(consumer, tc);
 
     TraceDraft d1 = makeDraft(1);
@@ -248,7 +248,7 @@ TEST_F(FdrtTest, PinningFixesLeaderCluster)
     const ClusterId first = d1.insts[0].newProfile.chainCluster;
 
     // Re-promote from a different cluster: the pin must not move.
-    consumer.criticalProducerCluster = 0;
+    consumer.cold().criticalProducerCluster = 0;
     fdrt_.noteCriticalForward(consumer, tc);
     TraceDraft d2 = makeDraft(1);
     d2.insts[0].pc = 500;
@@ -266,11 +266,11 @@ TEST(FdrtNoPinning, SuggestionTracksProducerCluster)
     tcc.assoc = 2;
     TraceCache tc(tcc);
 
-    TimedInst consumer;
-    consumer.criticalForwarded = true;
-    consumer.criticalInterTrace = true;
-    consumer.criticalProducerPc = 500;
-    consumer.criticalProducerCluster = 3;
+    OwnedTimedInst consumer;
+    consumer.cold().criticalForwarded = true;
+    consumer.cold().criticalInterTrace = true;
+    consumer.cold().criticalProducerPc = 500;
+    consumer.cold().criticalProducerCluster = 3;
     fdrt.noteCriticalForward(consumer, tc);
 
     TraceDraft d = makeDraft(1);
@@ -286,12 +286,12 @@ TEST_F(FdrtTest, NonCriticalForwardsDoNotPromote)
     tcc.entries = 8;
     tcc.assoc = 2;
     TraceCache tc(tcc);
-    TimedInst consumer;
-    consumer.criticalForwarded = false;
-    consumer.criticalInterTrace = true;
+    OwnedTimedInst consumer;
+    consumer.cold().criticalForwarded = false;
+    consumer.cold().criticalInterTrace = true;
     fdrt_.noteCriticalForward(consumer, tc);
-    consumer.criticalForwarded = true;
-    consumer.criticalInterTrace = false;
+    consumer.cold().criticalForwarded = true;
+    consumer.cold().criticalInterTrace = false;
     fdrt_.noteCriticalForward(consumer, tc);
     EXPECT_EQ(fdrt_.promotions(), 0u);
 }
@@ -374,12 +374,12 @@ TEST(IssueTimeSteering, PrefersInFlightProducerCluster)
     IssueTimeSteering steer(ic, 4);
     steer.newCycle(1);
 
-    TimedInst producer;
+    OwnedTimedInst producer;
     producer.dyn.seq = 1;
     producer.dyn.op = Opcode::Add;
     producer.cluster = 2;
 
-    TimedInst consumer;
+    OwnedTimedInst consumer;
     consumer.dyn.seq = 2;
     consumer.dyn.op = Opcode::Add;
     consumer.ops[0].valid = true;
@@ -400,7 +400,7 @@ TEST(IssueTimeSteering, PerCycleCapRedirects)
     IssueTimeSteering steer(ic, 2);
     steer.newCycle(5);
 
-    TimedInst free_inst;
+    OwnedTimedInst free_inst;
     free_inst.dyn.op = Opcode::Add;
     // No producers: balance fallback spreads picks; with cap 2 per
     // cluster per cycle, exactly 8 picks succeed in one cycle.
@@ -424,7 +424,7 @@ TEST(IssueTimeSteering, NewCycleResetsCaps)
         clusters.emplace_back(static_cast<ClusterId>(c), cc);
     IssueTimeSteering steer(ic, 1);
 
-    TimedInst inst;
+    OwnedTimedInst inst;
     inst.dyn.op = Opcode::Add;
     steer.newCycle(1);
     for (int i = 0; i < 4; ++i)

@@ -40,10 +40,10 @@ struct TestHooks
     }
 };
 
-TimedInst
+OwnedTimedInst
 makeInst(InstSeqNum seq, Opcode op)
 {
-    TimedInst t;
+    OwnedTimedInst t;
     t.dyn.seq = seq;
     t.dyn.op = op;
     return t;
@@ -150,9 +150,9 @@ TEST(Interconnect, MatrixPropertiesHoldForEveryTopologyAndSize)
 TEST(ReservationStation, CapacityAndPorts)
 {
     ReservationStation rs(4, 2);
-    TimedInst a = makeInst(1, Opcode::Add);
-    TimedInst b = makeInst(2, Opcode::Add);
-    TimedInst c = makeInst(3, Opcode::Add);
+    OwnedTimedInst a = makeInst(1, Opcode::Add);
+    OwnedTimedInst b = makeInst(2, Opcode::Add);
+    OwnedTimedInst c = makeInst(3, Opcode::Add);
 
     EXPECT_TRUE(rs.tryInsert(&a, 10));
     EXPECT_TRUE(rs.tryInsert(&b, 10));
@@ -165,9 +165,9 @@ TEST(ReservationStation, CapacityAndPorts)
 TEST(ReservationStation, FullStopsInsertion)
 {
     ReservationStation rs(2, 2);
-    TimedInst a = makeInst(1, Opcode::Add);
-    TimedInst b = makeInst(2, Opcode::Add);
-    TimedInst c = makeInst(3, Opcode::Add);
+    OwnedTimedInst a = makeInst(1, Opcode::Add);
+    OwnedTimedInst b = makeInst(2, Opcode::Add);
+    OwnedTimedInst c = makeInst(3, Opcode::Add);
     EXPECT_TRUE(rs.tryInsert(&a, 1));
     EXPECT_TRUE(rs.tryInsert(&b, 1));
     EXPECT_FALSE(rs.tryInsert(&c, 2));
@@ -239,7 +239,7 @@ class ClusterTest : public ::testing::Test
 TEST_F(ClusterTest, SimpleOpsSplitAcrossTwoStations)
 {
     // Four ALU inserts in one cycle succeed (2 ports x 2 stations).
-    std::vector<TimedInst> insts;
+    std::vector<OwnedTimedInst> insts;
     for (int i = 0; i < 5; ++i)
         insts.push_back(makeInst(static_cast<InstSeqNum>(i), Opcode::Add));
     unsigned accepted = 0;
@@ -250,7 +250,7 @@ TEST_F(ClusterTest, SimpleOpsSplitAcrossTwoStations)
 
 TEST_F(ClusterTest, DispatchOldestFirstUpToWidth)
 {
-    std::vector<TimedInst> insts;
+    std::vector<OwnedTimedInst> insts;
     for (int i = 0; i < 6; ++i)
         insts.push_back(makeInst(static_cast<InstSeqNum>(10 - i),
                                  Opcode::Add));
@@ -268,8 +268,8 @@ TEST_F(ClusterTest, DispatchOldestFirstUpToWidth)
 
 TEST_F(ClusterTest, DispatchHonorsReadiness)
 {
-    TimedInst a = makeInst(1, Opcode::Add);
-    TimedInst b = makeInst(2, Opcode::Add);
+    OwnedTimedInst a = makeInst(1, Opcode::Add);
+    OwnedTimedInst b = makeInst(2, Opcode::Add);
     cluster_.issue(&a, 0);
     cluster_.issue(&b, 0);
 
@@ -285,11 +285,11 @@ TEST_F(ClusterTest, DispatchHonorsReadiness)
 
 TEST_F(ClusterTest, MixedKindsDispatchInParallel)
 {
-    TimedInst alu = makeInst(1, Opcode::Add);
-    TimedInst mem = makeInst(2, Opcode::Load);
-    TimedInst br = makeInst(3, Opcode::Beq);
-    TimedInst cpx = makeInst(4, Opcode::Mul);
-    TimedInst extra = makeInst(5, Opcode::Sub);
+    OwnedTimedInst alu = makeInst(1, Opcode::Add);
+    OwnedTimedInst mem = makeInst(2, Opcode::Load);
+    OwnedTimedInst br = makeInst(3, Opcode::Beq);
+    OwnedTimedInst cpx = makeInst(4, Opcode::Mul);
+    OwnedTimedInst extra = makeInst(5, Opcode::Sub);
     for (TimedInst *inst : {&alu, &mem, &br, &cpx, &extra})
         ASSERT_TRUE(cluster_.issue(inst, 0));
 
@@ -300,8 +300,8 @@ TEST_F(ClusterTest, MixedKindsDispatchInParallel)
 
 TEST_F(ClusterTest, ComplexIssueLatencyBlocksBackToBack)
 {
-    TimedInst d1 = makeInst(1, Opcode::Div);
-    TimedInst d2 = makeInst(2, Opcode::Div);
+    OwnedTimedInst d1 = makeInst(1, Opcode::Div);
+    OwnedTimedInst d2 = makeInst(2, Opcode::Div);
     cluster_.issue(&d1, 0);
     cluster_.issue(&d2, 0);
     EXPECT_EQ(dispatch(1).size(), 1u);
@@ -313,9 +313,9 @@ TEST_F(ClusterTest, ComplexIssueLatencyBlocksBackToBack)
 
 TEST(TimedInst, CompletionPushFillsWaiters)
 {
-    TimedInst producer = makeInst(1, Opcode::Add);
+    OwnedTimedInst producer = makeInst(1, Opcode::Add);
     producer.cluster = 2;
-    TimedInst consumer = makeInst(2, Opcode::Add);
+    OwnedTimedInst consumer = makeInst(2, Opcode::Add);
     consumer.ops[0].valid = true;
     consumer.ops[0].fromRF = false;
     consumer.ops[0].producerSeq = 1;
@@ -335,11 +335,11 @@ TEST_F(ClusterTest, DispatchOrderOldestReadyFirstAcrossStations)
     // scrambled seq order (as issue-time steering can produce), with
     // one old instruction not yet operand-ready. Selection must visit
     // ready instructions in ascending seq regardless of station.
-    TimedInst br = makeInst(7, Opcode::Beq);
-    TimedInst mem = makeInst(3, Opcode::Load);
-    TimedInst alu = makeInst(9, Opcode::Add);
-    TimedInst cpx = makeInst(5, Opcode::Mul);
-    TimedInst stale = makeInst(1, Opcode::Sub);
+    OwnedTimedInst br = makeInst(7, Opcode::Beq);
+    OwnedTimedInst mem = makeInst(3, Opcode::Load);
+    OwnedTimedInst alu = makeInst(9, Opcode::Add);
+    OwnedTimedInst cpx = makeInst(5, Opcode::Mul);
+    OwnedTimedInst stale = makeInst(1, Opcode::Sub);
     stale.readyAt = 100;   // oldest, but operands arrive much later
 
     Cycle cycle = 0;
@@ -367,7 +367,7 @@ TEST_F(ClusterTest, WakeMovesWaiterOntoSchedulableList)
 {
     // A consumer with an outstanding producer is parked: the dispatch
     // loop must never select it, however many cycles pass.
-    TimedInst consumer = makeInst(4, Opcode::Add);
+    OwnedTimedInst consumer = makeInst(4, Opcode::Add);
     consumer.pendingProducers = 1;
     consumer.readyAt = neverCycle;
     ASSERT_TRUE(cluster_.issue(&consumer, 0));
@@ -387,10 +387,10 @@ TEST_F(ClusterTest, WakeMovesWaiterOntoSchedulableList)
 TEST(SchedList, InsertByAgeKeepsSeqOrder)
 {
     SchedList list;
-    TimedInst a = makeInst(10, Opcode::Add);
-    TimedInst b = makeInst(20, Opcode::Add);
-    TimedInst c = makeInst(15, Opcode::Add);
-    TimedInst d = makeInst(5, Opcode::Add);
+    OwnedTimedInst a = makeInst(10, Opcode::Add);
+    OwnedTimedInst b = makeInst(20, Opcode::Add);
+    OwnedTimedInst c = makeInst(15, Opcode::Add);
+    OwnedTimedInst d = makeInst(5, Opcode::Add);
     for (TimedInst *inst : {&a, &b, &c, &d})
         list.insertByAge(inst);
 

@@ -27,11 +27,14 @@ class FetchTest : public ::testing::Test
         imem_ = std::make_unique<InstMemory>(cfg_.frontEnd, *dmem_);
         bpred_ = std::make_unique<BranchPredictor>(cfg_.bpred);
         tc_ = std::make_unique<TraceCache>(cfg_.frontEnd.traceCache);
+        pool_ = std::make_unique<TimedInstPool>(arena_);
         fetch_ = std::make_unique<FetchEngine>(cfg_, *tc_, *imem_, *bpred_,
-                                               *exec_);
+                                               *exec_, *pool_);
     }
 
     SimConfig cfg_;
+    Arena arena_;
+    std::unique_ptr<TimedInstPool> pool_;
     std::unique_ptr<Program> program_;
     std::unique_ptr<Executor> exec_;
     std::unique_ptr<DataMemorySystem> dmem_;
@@ -111,7 +114,7 @@ TEST_F(FetchTest, MispredictGatesUntilResolved)
     const TimedInst *branch = nullptr;
     for (const auto &ti : g->insts)
         if (ti->dyn.isCondBranch())
-            branch = ti.get();
+            branch = ti;
     ASSERT_NE(branch, nullptr);
     EXPECT_TRUE(branch->mispredicted);
     EXPECT_EQ(fetch_->gatingBranch(), branch->dyn.seq);
@@ -167,7 +170,8 @@ TEST_F(FetchTest, TraceCacheLineDeliversProfilesAndSlots)
     EXPECT_TRUE(g->fromTraceCache);
     ASSERT_EQ(g->insts.size(), 6u);
     for (int i = 0; i < 6; ++i) {
-        EXPECT_EQ(g->insts[static_cast<std::size_t>(i)]->logicalIndex, i);
+        EXPECT_EQ(g->insts[static_cast<std::size_t>(i)]->cold().logicalIndex,
+                  i);
         EXPECT_EQ(g->insts[static_cast<std::size_t>(i)]->slotIndex, 5 - i);
         EXPECT_EQ(g->insts[static_cast<std::size_t>(i)]->traceKey,
                   line.key.hash());
@@ -207,10 +211,10 @@ TEST_F(FetchTest, ReturnUsesRasWithoutGating)
     // Group 3: fn body; the ret pops the RAS and predicts pc 4.
     auto g3 = fetch_->fetchCycle(2);
     ASSERT_TRUE(g3.has_value());
-    const TimedInst *ret = g3->insts.back().get();
+    const TimedInst *ret = g3->insts.back();
     EXPECT_TRUE(ret->dyn.isReturnOp());
     EXPECT_FALSE(ret->mispredicted);
-    EXPECT_EQ(ret->predictedTarget, 4u);
+    EXPECT_EQ(ret->cold().predictedTarget, 4u);
     EXPECT_EQ(fetch_->gatingBranch(), invalidSeqNum);
 }
 

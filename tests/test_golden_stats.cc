@@ -32,6 +32,9 @@
 #ifndef CTCP_GOLDEN_TOPOLOGY_PATH
 #error "CTCP_GOLDEN_TOPOLOGY_PATH must point at tests/golden/golden_topology.json"
 #endif
+#ifndef CTCP_GOLDEN_ADAPTIVE_PATH
+#error "CTCP_GOLDEN_ADAPTIVE_PATH must point at tests/golden/golden_adaptive.json"
+#endif
 
 namespace ctcp {
 namespace {
@@ -48,6 +51,16 @@ constexpr const char *goldenMatrix =
  */
 constexpr const char *goldenTopologyMatrix =
     "bench=gzip;strategy=base,fdrt;preset=ring,crossbar;budget=50000";
+
+/**
+ * The adaptive chooser completes the five-strategy coverage: its
+ * interval sampling, hysteresis, and mid-run policy switches all sit
+ * on top of the memoized dispatch plans and pooled TimedInst storage,
+ * so byte-identity here is what certifies those caches stay invisible
+ * under the most stateful strategy.
+ */
+constexpr const char *goldenAdaptiveMatrix =
+    "bench=gzip,twolf;strategy=adaptive;budget=50000";
 
 std::string
 generateGolden(const char *matrix)
@@ -140,6 +153,11 @@ TEST(GoldenStats, HeadlineMetricsMatchGoldenFile)
 TEST(GoldenStats, TopologyMetricsMatchGoldenFile)
 {
     checkAgainstGolden(CTCP_GOLDEN_TOPOLOGY_PATH, goldenTopologyMatrix);
+}
+
+TEST(GoldenStats, AdaptiveMetricsMatchGoldenFile)
+{
+    checkAgainstGolden(CTCP_GOLDEN_ADAPTIVE_PATH, goldenAdaptiveMatrix);
 }
 
 TEST(GoldenStats, GoldenFileCoversTheFullMatrix)

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cstdint>
 #include <filesystem>
@@ -249,10 +251,15 @@ tracedRun()
 {
     static const TraceRun run = [] {
         TraceRun r;
+        // Paths are per-process: ctest runs each gtest case as its own
+        // process, and under -j several of them rebuild this run
+        // concurrently — fixed names would race on the same files.
         const std::string dir = testing::TempDir();
-        r.jsonPath = dir + "ctcp_obs_run.trace.json";
-        r.textPath = dir + "ctcp_obs_run.trace.txt";
-        r.csvPath = dir + "ctcp_obs_run.intervals.csv";
+        const std::string tag =
+            "ctcp_obs_run." + std::to_string(::getpid());
+        r.jsonPath = dir + tag + ".trace.json";
+        r.textPath = dir + tag + ".trace.txt";
+        r.csvPath = dir + tag + ".intervals.csv";
         SimConfig cfg = tracedConfig();
         cfg.obs.traceEventsPath = r.jsonPath;
         cfg.obs.traceTextPath = r.textPath;

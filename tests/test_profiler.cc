@@ -12,11 +12,11 @@
 namespace ctcp {
 namespace {
 
-TimedInst
+OwnedTimedInst
 consumer(Addr pc, int critical_src, bool forwarded, bool inter_trace,
          Addr producer_pc, unsigned distance)
 {
-    TimedInst t;
+    OwnedTimedInst t;
     t.dyn.pc = pc;
     t.dyn.op = Opcode::Add;
     t.dyn.src1 = intReg(1);
@@ -30,11 +30,11 @@ consumer(Addr pc, int critical_src, bool forwarded, bool inter_trace,
         op.fromRF = false;
         op.producerPc = producer_pc;
     }
-    t.criticalSrc = critical_src;
-    t.criticalForwarded = forwarded;
-    t.criticalInterTrace = inter_trace;
-    t.criticalDistance = distance;
-    t.criticalProducerPc = producer_pc;
+    t.cold().criticalSrc = critical_src;
+    t.cold().criticalForwarded = forwarded;
+    t.cold().criticalInterTrace = inter_trace;
+    t.cold().criticalDistance = distance;
+    t.cold().criticalProducerPc = producer_pc;
     return t;
 }
 
@@ -67,7 +67,7 @@ TEST(Profiler, CriticalDependencyShares)
 {
     Profiler prof;
     // Two forwarded operands, only src1 critical: 1 of 2 deps critical.
-    TimedInst t = consumer(1, 1, true, true, 100, 0);
+    OwnedTimedInst t = consumer(1, 1, true, true, 100, 0);
     t.ops[1].fromRF = false;
     t.ops[1].producerPc = 200;
     prof.onExecute(t);
@@ -101,7 +101,7 @@ TEST(Profiler, RepeatIsPerConsumerPc)
 TEST(Profiler, MigrationDetection)
 {
     Profiler prof;
-    TimedInst a;
+    OwnedTimedInst a;
     a.dyn.pc = 50;
     a.cluster = 1;
     prof.onRetire(a);           // first visit: no revisit counted
@@ -115,7 +115,7 @@ TEST(Profiler, MigrationDetection)
 TEST(Profiler, ChainMigrationSubset)
 {
     Profiler prof;
-    TimedInst a;
+    OwnedTimedInst a;
     a.dyn.pc = 60;
     a.cluster = 0;
     a.profile.role = ChainRole::Follower;
@@ -129,7 +129,7 @@ TEST(Profiler, ChainMigrationSubset)
 TEST(Profiler, TraceCacheShare)
 {
     Profiler prof;
-    TimedInst a;
+    OwnedTimedInst a;
     a.dyn.pc = 1;
     a.fromTraceCache = true;
     prof.onRetire(a);
@@ -143,7 +143,7 @@ TEST(Profiler, TraceCacheShare)
 TEST(Profiler, InstructionsWithoutInputsExcluded)
 {
     Profiler prof;
-    TimedInst none;
+    OwnedTimedInst none;
     none.dyn.pc = 5;
     none.dyn.op = Opcode::MovI;   // no register inputs
     prof.onExecute(none);

@@ -13,20 +13,20 @@
 namespace ctcp {
 namespace {
 
-TimedInst
+OwnedTimedInst
 makeStore(InstSeqNum seq, Addr addr)
 {
-    TimedInst t;
+    OwnedTimedInst t;
     t.dyn.seq = seq;
     t.dyn.op = Opcode::Store;
     t.dyn.effAddr = addr;
     return t;
 }
 
-TimedInst
+OwnedTimedInst
 makeLoad(InstSeqNum seq, Addr addr)
 {
-    TimedInst t;
+    OwnedTimedInst t;
     t.dyn.seq = seq;
     t.dyn.op = Opcode::Load;
     t.dyn.effAddr = addr;
@@ -36,7 +36,7 @@ makeLoad(InstSeqNum seq, Addr addr)
 TEST(StoreWindow, EmptyWindowNeverGatesLoads)
 {
     StoreWindow w;
-    TimedInst load = makeLoad(5, 0x1000);
+    OwnedTimedInst load = makeLoad(5, 0x1000);
     EXPECT_TRUE(w.olderStoresDispatched(load));
     EXPECT_EQ(w.forwardingStore(load), nullptr);
     EXPECT_TRUE(w.empty());
@@ -45,11 +45,11 @@ TEST(StoreWindow, EmptyWindowNeverGatesLoads)
 TEST(StoreWindow, UnresolvedOlderStoreGatesLoad)
 {
     StoreWindow w;
-    TimedInst st = makeStore(3, 0x2000);
+    OwnedTimedInst st = makeStore(3, 0x2000);
     w.insert(&st);
 
-    TimedInst younger = makeLoad(7, 0x1000);
-    TimedInst older = makeLoad(2, 0x1000);
+    OwnedTimedInst younger = makeLoad(7, 0x1000);
+    OwnedTimedInst older = makeLoad(2, 0x1000);
     EXPECT_FALSE(w.olderStoresDispatched(younger));
     // A load older than every store in the window is never gated.
     EXPECT_TRUE(w.olderStoresDispatched(older));
@@ -61,13 +61,13 @@ TEST(StoreWindow, UnresolvedOlderStoreGatesLoad)
 TEST(StoreWindow, PrefixAdvancesPastDispatchedRuns)
 {
     StoreWindow w;
-    TimedInst s1 = makeStore(1, 0x10);
-    TimedInst s2 = makeStore(2, 0x20);
-    TimedInst s3 = makeStore(3, 0x30);
+    OwnedTimedInst s1 = makeStore(1, 0x10);
+    OwnedTimedInst s2 = makeStore(2, 0x20);
+    OwnedTimedInst s3 = makeStore(3, 0x30);
     for (TimedInst *st : {&s1, &s2, &s3})
         w.insert(st);
 
-    TimedInst load = makeLoad(4, 0x40);
+    OwnedTimedInst load = makeLoad(4, 0x40);
     EXPECT_FALSE(w.olderStoresDispatched(load));
 
     // Out-of-order resolution: the youngest store resolving first must
@@ -82,43 +82,43 @@ TEST(StoreWindow, PrefixAdvancesPastDispatchedRuns)
     // A load between s2 and s3 is only blocked by s1/s2 — both are
     // resolved even before s3 is.
     s3.dispatched = false;
-    TimedInst mid = makeLoad(3, 0x40);   // seq ties break on >=
+    OwnedTimedInst mid = makeLoad(3, 0x40);   // seq ties break on >=
     EXPECT_TRUE(w.olderStoresDispatched(mid));
 }
 
 TEST(StoreWindow, ForwardingPicksYoungestOlderSameWordStore)
 {
     StoreWindow w;
-    TimedInst s1 = makeStore(1, 0x1000);
-    TimedInst s2 = makeStore(2, 0x1004);   // same 8-byte word as s1
-    TimedInst s3 = makeStore(3, 0x2000);   // different word
-    TimedInst s4 = makeStore(9, 0x1000);   // younger than the load
+    OwnedTimedInst s1 = makeStore(1, 0x1000);
+    OwnedTimedInst s2 = makeStore(2, 0x1004);   // same 8-byte word as s1
+    OwnedTimedInst s3 = makeStore(3, 0x2000);   // different word
+    OwnedTimedInst s4 = makeStore(9, 0x1000);   // younger than the load
     for (TimedInst *st : {&s1, &s2, &s3, &s4})
         w.insert(st);
 
-    TimedInst load = makeLoad(5, 0x1000);
+    OwnedTimedInst load = makeLoad(5, 0x1000);
     // s2 is the youngest store older than the load to the same word;
     // s4 matches the word but is younger and must be ignored.
     EXPECT_EQ(w.forwardingStore(load), &s2);
 
-    TimedInst other = makeLoad(5, 0x3000);
+    OwnedTimedInst other = makeLoad(5, 0x3000);
     EXPECT_EQ(w.forwardingStore(other), nullptr);
 
-    TimedInst third = makeLoad(5, 0x2004);
+    OwnedTimedInst third = makeLoad(5, 0x2004);
     EXPECT_EQ(w.forwardingStore(third), &s3);
 }
 
 TEST(StoreWindow, RetireDropsOldestAndKeepsIndexesInSync)
 {
     StoreWindow w;
-    TimedInst s1 = makeStore(1, 0x1000);
-    TimedInst s2 = makeStore(2, 0x1000);
+    OwnedTimedInst s1 = makeStore(1, 0x1000);
+    OwnedTimedInst s2 = makeStore(2, 0x1000);
     w.insert(&s1);
     w.insert(&s2);
     s1.dispatched = true;
     s2.dispatched = true;
 
-    TimedInst load = makeLoad(5, 0x1000);
+    OwnedTimedInst load = makeLoad(5, 0x1000);
     EXPECT_TRUE(w.olderStoresDispatched(load));
     EXPECT_EQ(w.forwardingStore(load), &s2);
 
@@ -142,21 +142,21 @@ TEST(StoreWindow, InterleavedResolutionAndRetirement)
     // Exercise the prefix across retire boundaries: resolve, gate,
     // retire, insert more, and confirm the cursor stays exact.
     StoreWindow w;
-    TimedInst s1 = makeStore(10, 0x100);
-    TimedInst s2 = makeStore(20, 0x200);
+    OwnedTimedInst s1 = makeStore(10, 0x100);
+    OwnedTimedInst s2 = makeStore(20, 0x200);
     w.insert(&s1);
     w.insert(&s2);
 
-    TimedInst mid = makeLoad(15, 0x300);
+    OwnedTimedInst mid = makeLoad(15, 0x300);
     EXPECT_FALSE(w.olderStoresDispatched(mid));
     s1.dispatched = true;
     EXPECT_TRUE(w.olderStoresDispatched(mid));
 
     w.retire(&s1);
-    TimedInst s3 = makeStore(30, 0x100);
+    OwnedTimedInst s3 = makeStore(30, 0x100);
     w.insert(&s3);
 
-    TimedInst tail = makeLoad(40, 0x100);
+    OwnedTimedInst tail = makeLoad(40, 0x100);
     EXPECT_FALSE(w.olderStoresDispatched(tail));
     s2.dispatched = true;
     EXPECT_FALSE(w.olderStoresDispatched(tail));

@@ -174,10 +174,10 @@ class FillUnitTest : public ::testing::Test
         return c;
     }
 
-    TimedInst
+    OwnedTimedInst
     inst(Addr pc, Opcode op, bool taken = false, Addr target = 0)
     {
-        TimedInst t;
+        OwnedTimedInst t;
         t.dyn.pc = pc;
         t.dyn.op = op;
         t.dyn.taken = taken;

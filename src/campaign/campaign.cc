@@ -357,22 +357,56 @@ runCampaign(const std::vector<Job> &jobs, const Options &options)
     Report report;
     report.jobs.resize(jobs.size());
 
+    // Shard support: journal records carry the campaign-wide slot
+    // index (slotIndexMap[i]), not the local one, so journals written
+    // by different shards of one campaign merge by index.
+    const std::vector<std::size_t> &slot_map = options.slotIndexMap;
+    if (!slot_map.empty() && slot_map.size() != jobs.size())
+        throw std::invalid_argument(
+            "campaign: slotIndexMap size " +
+            std::to_string(slot_map.size()) + " != job count " +
+            std::to_string(jobs.size()));
+    const auto journal_index = [&](std::size_t i) {
+        return slot_map.empty() ? i : slot_map[i];
+    };
+    // Global journal index -> local job index (identity when unmapped).
+    const auto local_index = [&](std::size_t global, std::size_t &local) {
+        if (slot_map.empty()) {
+            local = global;
+            return global < jobs.size();
+        }
+        for (std::size_t i = 0; i < slot_map.size(); ++i) {
+            if (slot_map[i] == global) {
+                local = i;
+                return true;
+            }
+        }
+        return false;
+    };
+
     // Checkpoint/resume: replay outcomes an earlier (killed) run of
     // the same campaign already journalled, then append new ones.
+    // First-complete-wins: after a failover re-execution two shards
+    // may both have journalled one slot; the first record is kept and
+    // later duplicates are ignored (deterministic simulation makes
+    // them byte-identical anyway).
     std::vector<char> replayed(jobs.size(), 0);
     std::unique_ptr<JournalWriter> journal;
     if (!options.journalPath.empty()) {
         for (JournalRecord &rec : loadJournal(options.journalPath)) {
-            if (rec.index >= jobs.size() ||
-                rec.outcome.label != jobs[rec.index].label) {
+            std::size_t local = 0;
+            if (!local_index(rec.index, local) ||
+                rec.outcome.label != jobs[local].label) {
                 ctcp_warn("journal %s: record '%s' (index %zu) does "
                           "not match this campaign; ignored",
                           options.journalPath.c_str(),
                           rec.outcome.label.c_str(), rec.index);
                 continue;
             }
-            report.jobs[rec.index] = std::move(rec.outcome);
-            replayed[rec.index] = 1;
+            if (replayed[local])
+                continue;
+            report.jobs[local] = std::move(rec.outcome);
+            replayed[local] = 1;
         }
         journal = std::make_unique<JournalWriter>(options.journalPath);
     }
@@ -407,7 +441,7 @@ runCampaign(const std::vector<Job> &jobs, const Options &options)
                         break;
                 }
                 if (journal)
-                    journal->append(i, out);
+                    journal->append(journal_index(i), out);
             }
         }
         if (options.onJobFinished)

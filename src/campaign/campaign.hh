@@ -170,6 +170,16 @@ struct Options
      * replayed (their jobs skipped) on start — see campaign/journal.hh.
      */
     std::string journalPath;
+    /**
+     * Optional mapping from local job index to campaign-wide slot
+     * index, used when `jobs` is a shard of a larger campaign (a
+     * `slots=` matrix subset). Journal records are written with
+     * slotIndexMap[i] instead of i, and replay accepts records by
+     * their global index, so journals from different shards of one
+     * campaign merge into a single resumable file. Empty = identity.
+     * When set, its size must equal jobs.size().
+     */
+    std::vector<std::size_t> slotIndexMap;
 
     // ---- Service integration (src/service) -----------------------------
     /**

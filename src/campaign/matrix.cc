@@ -1,5 +1,6 @@
 #include "campaign/matrix.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -180,10 +181,51 @@ parseBudget(const std::string &value)
     return budget;
 }
 
+std::size_t
+parseSlotIndex(const std::string &value)
+{
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+        bad("bad slot index '" + value + "'");
+    return static_cast<std::size_t>(
+        std::strtoull(value.c_str(), nullptr, 10));
+}
+
+/** Expand "0,2,5-7" into a sorted, deduplicated index list. */
+std::vector<std::size_t>
+expandSlotValues(const std::vector<std::string> &values)
+{
+    std::vector<std::size_t> out;
+    for (const std::string &v : values) {
+        const std::size_t dash = v.find('-');
+        if (dash == std::string::npos) {
+            out.push_back(parseSlotIndex(v));
+            continue;
+        }
+        const std::size_t lo = parseSlotIndex(v.substr(0, dash));
+        const std::size_t hi = parseSlotIndex(v.substr(dash + 1));
+        if (hi < lo)
+            bad("bad slot range '" + v + "'");
+        for (std::size_t i = lo; i <= hi; ++i)
+            out.push_back(i);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
 } // namespace
 
 std::vector<Job>
 parseMatrix(const std::string &spec)
+{
+    std::vector<std::size_t> ignored;
+    return parseMatrix(spec, ignored);
+}
+
+std::vector<Job>
+parseMatrix(const std::string &spec,
+            std::vector<std::size_t> &slotIndices)
 {
     std::vector<std::string> bench_values = {"six"};
     std::vector<std::string> strategy_values = {"base"};
@@ -191,6 +233,7 @@ parseMatrix(const std::string &spec)
     std::vector<std::string> budget_values = {"300000"};
     std::vector<std::string> topology_values;
     std::vector<std::string> cluster_values;
+    std::vector<std::string> slot_values;
 
     for (const std::string &clause : split(spec, ';')) {
         if (clause.empty())
@@ -215,10 +258,12 @@ parseMatrix(const std::string &spec)
             topology_values = values;
         else if (key == "clusters")
             cluster_values = values;
+        else if (key == "slots")
+            slot_values = values;
         else
             bad("unknown key '" + key +
                 "' (expected bench, strategy, preset, topology, "
-                "clusters or budget)");
+                "clusters, budget or slots)");
     }
 
     const std::vector<std::string> benches = expandBenches(bench_values);
@@ -291,7 +336,25 @@ parseMatrix(const std::string &spec)
             }
         }
     }
-    return jobs;
+
+    slotIndices.clear();
+    if (slot_values.empty()) {
+        slotIndices.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            slotIndices.push_back(i);
+        return jobs;
+    }
+    slotIndices = expandSlotValues(slot_values);
+    for (const std::size_t slot : slotIndices)
+        if (slot >= jobs.size())
+            bad("slot " + std::to_string(slot) +
+                " out of range (campaign expands to " +
+                std::to_string(jobs.size()) + " jobs)");
+    std::vector<Job> selected;
+    selected.reserve(slotIndices.size());
+    for (const std::size_t slot : slotIndices)
+        selected.push_back(jobs[slot]);
+    return selected;
 }
 
 const char *
@@ -311,6 +374,9 @@ matrixSyntaxHelp()
         "  clusters=...  cluster counts 1..8; rescales the machine\n"
         "                width accordingly (absent = leave preset)\n"
         "  budget=...    instructions per run (default 300000)\n"
+        "  slots=...     global job indices or a-b ranges into the\n"
+        "                expanded cross product; yields only those\n"
+        "                jobs, labels unchanged (sharding subsets)\n"
         "example: --campaign \"bench=gzip,twolf;strategy=base,fdrt\"";
 }
 

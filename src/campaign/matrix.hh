@@ -22,6 +22,12 @@
  *             applyMachineScale; absent = dimension contributes
  *             nothing
  *   budget    instruction budgets per run (default: 300000)
+ *   slots     global job indices (single values or a-b ranges) into
+ *             the expanded cross product; the spec then yields only
+ *             those jobs, with labels and configs unchanged.  Used by
+ *             the shard coordinator to hand each daemon a subset of
+ *             one campaign while journal records keep their global
+ *             slot index (absent = all jobs)
  *
  * Example: "bench=gzip,twolf;strategy=base,fdrt,issue-time:0;budget=200000"
  * expands to 6 jobs labelled "<bench>/<preset>/<strategy>"; listed
@@ -32,6 +38,7 @@
 #ifndef CTCPSIM_CAMPAIGN_MATRIX_HH
 #define CTCPSIM_CAMPAIGN_MATRIX_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -45,6 +52,17 @@ namespace ctcp::campaign {
  *         benchmarks, strategies or presets.
  */
 std::vector<Job> parseMatrix(const std::string &spec);
+
+/**
+ * As above, and report each returned job's global slot index in the
+ * full cross product: @p slotIndices[i] is the index job i would have
+ * had without a `slots=` clause.  Without the clause this is the
+ * identity mapping; with it, the sorted, deduplicated clause values.
+ * Journals written against the map merge cleanly across shards because
+ * every record carries its campaign-wide index.
+ */
+std::vector<Job> parseMatrix(const std::string &spec,
+                             std::vector<std::size_t> &slotIndices);
 
 /** One-paragraph syntax reference for CLI help text. */
 const char *matrixSyntaxHelp();

@@ -8,9 +8,11 @@ namespace ctcp::service {
 bool
 httpRequest(const std::string &socketPath, const std::string &method,
             const std::string &target, const std::string &body,
-            HttpResponse &resp, std::string &error)
+            const ClientOptions &options, HttpResponse &resp,
+            std::string &error)
 {
-    const int fd = connectUnix(socketPath, error);
+    const int fd =
+        connectUnix(socketPath, options.connectTimeoutSeconds, error);
     if (fd < 0)
         return false;
 
@@ -20,20 +22,38 @@ httpRequest(const std::string &socketPath, const std::string &method,
         "\r\n";
     request += "Connection: close\r\n\r\n";
     request += body;
-    if (!writeAll(fd, request)) {
-        error = "failed to send request to " + socketPath;
+    std::string io_error;
+    if (!writeAll(fd, request, options.writeTimeoutSeconds, io_error)) {
+        error = "failed to send request to " + socketPath + " (" +
+            io_error + ")";
         ::close(fd);
         return false;
     }
     ::shutdown(fd, SHUT_WR);
 
-    const std::string raw = readAll(fd);
+    std::string raw;
+    const bool read_ok =
+        readAll(fd, options.readTimeoutSeconds, raw, io_error);
     ::close(fd);
+    if (!read_ok) {
+        error = "failed to read response from " + socketPath + " (" +
+            io_error + ")";
+        return false;
+    }
     if (raw.empty()) {
         error = "empty response from " + socketPath;
         return false;
     }
     return parseResponse(raw, resp, error);
+}
+
+bool
+httpRequest(const std::string &socketPath, const std::string &method,
+            const std::string &target, const std::string &body,
+            HttpResponse &resp, std::string &error)
+{
+    return httpRequest(socketPath, method, target, body,
+                       ClientOptions{}, resp, error);
 }
 
 } // namespace ctcp::service

@@ -2,9 +2,12 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -310,7 +313,82 @@ parseResponse(const std::string &raw, HttpResponse &resp,
     return true;
 }
 
-// ---- Blocking unix-socket I/O ------------------------------------------
+// ---- Unix-socket I/O ---------------------------------------------------
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * One absolute deadline shared by every poll/read/send of an
+ * operation; timeoutSeconds <= 0 disables it.
+ */
+struct Deadline
+{
+    bool armed = false;
+    Clock::time_point when;
+
+    explicit Deadline(double timeoutSeconds)
+    {
+        if (timeoutSeconds > 0.0) {
+            armed = true;
+            when = Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(timeoutSeconds));
+        }
+    }
+
+    bool expired() const { return armed && Clock::now() >= when; }
+
+    /** Remaining budget as a poll() timeout (-1 = infinite). */
+    int pollMillis() const
+    {
+        if (!armed)
+            return -1;
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                when - Clock::now()).count();
+        if (left <= 0)
+            return 0;
+        return static_cast<int>(left > 60'000 ? 60'000 : left);
+    }
+};
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 &&
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/**
+ * Wait for @p events on @p fd. @return 1 ready, 0 deadline expired,
+ * -1 poll error.
+ */
+int
+waitFd(int fd, short events, const Deadline &deadline)
+{
+    while (true) {
+        if (deadline.expired())
+            return 0;
+        pollfd p{};
+        p.fd = fd;
+        p.events = events;
+        const int r = ::poll(&p, 1, deadline.pollMillis());
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (r > 0)
+            return 1;
+        // r == 0: poll's clamped slice elapsed — loop back and
+        // re-check the deadline.
+    }
+}
+
+} // namespace
 
 int
 listenUnix(const std::string &path, std::string &error)
@@ -347,6 +425,13 @@ listenUnix(const std::string &path, std::string &error)
 int
 connectUnix(const std::string &path, std::string &error)
 {
+    return connectUnix(path, 0.0, error);
+}
+
+int
+connectUnix(const std::string &path, double timeoutSeconds,
+            std::string &error)
+{
     sockaddr_un addr{};
     if (path.size() >= sizeof(addr.sun_path)) {
         error = "socket path too long: " + path;
@@ -357,20 +442,55 @@ connectUnix(const std::string &path, std::string &error)
         error = std::string("socket: ") + std::strerror(errno);
         return -1;
     }
+    if (!setNonBlocking(fd)) {
+        error = std::string("fcntl: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
     addr.sun_family = AF_UNIX;
     std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
     if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
-        error = "connect " + path + ": " + std::strerror(errno);
-        ::close(fd);
-        return -1;
+        if (errno != EINPROGRESS && errno != EAGAIN) {
+            error = "connect " + path + ": " + std::strerror(errno);
+            ::close(fd);
+            return -1;
+        }
+        const Deadline deadline(timeoutSeconds);
+        const int ready = waitFd(fd, POLLOUT, deadline);
+        if (ready <= 0) {
+            error = "connect " + path + ": " +
+                (ready == 0 ? "timed out" : std::strerror(errno));
+            ::close(fd);
+            return -1;
+        }
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+            soerr != 0) {
+            error = "connect " + path + ": " +
+                std::strerror(soerr ? soerr : errno);
+            ::close(fd);
+            return -1;
+        }
     }
+    // The fd stays non-blocking; readRequest/writeAll/readAll all go
+    // through poll() and handle EAGAIN.
     return fd;
 }
 
 bool
 readRequest(int fd, HttpRequest &req, std::string &error)
 {
+    return readRequest(fd, req, 0.0, error);
+}
+
+bool
+readRequest(int fd, HttpRequest &req, double timeoutSeconds,
+            std::string &error)
+{
+    setNonBlocking(fd);
+    const Deadline deadline(timeoutSeconds);
     std::string raw;
     char buf[4096];
     std::size_t head_end = std::string::npos;
@@ -403,6 +523,15 @@ readRequest(int fd, HttpRequest &req, std::string &error)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                const int ready = waitFd(fd, POLLIN, deadline);
+                if (ready == 1)
+                    continue;
+                error = ready == 0
+                    ? "read: timed out"
+                    : std::string("poll: ") + std::strerror(errno);
+                return false;
+            }
             error = std::string("read: ") + std::strerror(errno);
             return false;
         }
@@ -419,13 +548,34 @@ readRequest(int fd, HttpRequest &req, std::string &error)
 bool
 writeAll(int fd, const std::string &bytes)
 {
+    std::string ignored;
+    return writeAll(fd, bytes, 0.0, ignored);
+}
+
+bool
+writeAll(int fd, const std::string &bytes, double timeoutSeconds,
+         std::string &error)
+{
+    setNonBlocking(fd);
+    const Deadline deadline(timeoutSeconds);
     std::size_t off = 0;
     while (off < bytes.size()) {
-        const ssize_t n =
-            ::write(fd, bytes.data() + off, bytes.size() - off);
+        // MSG_NOSIGNAL: a vanished reader yields EPIPE, not SIGPIPE.
+        const ssize_t n = ::send(fd, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                const int ready = waitFd(fd, POLLOUT, deadline);
+                if (ready == 1)
+                    continue;
+                error = ready == 0
+                    ? "write: timed out"
+                    : std::string("poll: ") + std::strerror(errno);
+                return false;
+            }
+            error = std::string("write: ") + std::strerror(errno);
             return false;
         }
         off += static_cast<std::size_t>(n);
@@ -437,19 +587,39 @@ std::string
 readAll(int fd)
 {
     std::string out;
+    std::string ignored;
+    readAll(fd, 0.0, out, ignored);
+    return out;
+}
+
+bool
+readAll(int fd, double timeoutSeconds, std::string &out,
+        std::string &error)
+{
+    setNonBlocking(fd);
+    const Deadline deadline(timeoutSeconds);
     char buf[4096];
     while (true) {
         const ssize_t n = ::read(fd, buf, sizeof(buf));
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            break;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                const int ready = waitFd(fd, POLLIN, deadline);
+                if (ready == 1)
+                    continue;
+                error = ready == 0
+                    ? "read: timed out"
+                    : std::string("poll: ") + std::strerror(errno);
+                return false;
+            }
+            error = std::string("read: ") + std::strerror(errno);
+            return false;
         }
         if (n == 0)
-            break;
+            return true;
         out.append(buf, static_cast<std::size_t>(n));
     }
-    return out;
 }
 
 } // namespace ctcp::service

@@ -87,7 +87,13 @@ std::string percentDecode(const std::string &text);
 /** JSON string escaping for hand-built response bodies. */
 std::string jsonEscape(const std::string &text);
 
-// ---- Blocking unix-socket I/O ------------------------------------------
+// ---- Unix-socket I/O ---------------------------------------------------
+//
+// Every helper taking a @p timeoutSeconds applies it as an overall
+// deadline for the whole operation (not per chunk); <= 0 means "no
+// deadline". All socket writes use MSG_NOSIGNAL, so a peer that went
+// away surfaces as a clean EPIPE error instead of killing the process
+// with SIGPIPE.
 
 /**
  * Create, bind and listen on a unix-domain socket at @p path (an
@@ -102,17 +108,39 @@ int listenUnix(const std::string &path, std::string &error);
  */
 int connectUnix(const std::string &path, std::string &error);
 
+/** As above, but give up after @p timeoutSeconds. */
+int connectUnix(const std::string &path, double timeoutSeconds,
+                std::string &error);
+
 /**
  * Read one complete request from @p fd (headers, then Content-Length
  * body bytes). @return false on EOF, I/O error, or malformed input.
  */
 bool readRequest(int fd, HttpRequest &req, std::string &error);
 
+/** As above, but fail once @p timeoutSeconds elapse mid-read. */
+bool readRequest(int fd, HttpRequest &req, double timeoutSeconds,
+                 std::string &error);
+
 /** Write all of @p bytes to @p fd. @return false on error. */
 bool writeAll(int fd, const std::string &bytes);
 
+/**
+ * Write all of @p bytes, failing once @p timeoutSeconds elapse — a
+ * reader that stops draining its socket cannot wedge the writer.
+ */
+bool writeAll(int fd, const std::string &bytes, double timeoutSeconds,
+              std::string &error);
+
 /** Read until EOF (the peer closes after one response). */
 std::string readAll(int fd);
+
+/**
+ * Read until EOF with a deadline. @return false (with partial bytes
+ * in @p out) on timeout or I/O error.
+ */
+bool readAll(int fd, double timeoutSeconds, std::string &out,
+             std::string &error);
 
 } // namespace ctcp::service
 

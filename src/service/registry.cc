@@ -91,6 +91,12 @@ struct RunRegistry::Run
     std::string spec;
     SubmitOptions options;
     std::vector<campaign::Job> jobs;
+    /**
+     * jobs[i]'s campaign-wide slot index (identity unless the spec
+     * carries a slots= shard subset). Journal records use these, so a
+     * shard's journal merges into its campaign's by index.
+     */
+    std::vector<std::size_t> slotMap;
     std::string journalPath;
 
     mutable std::mutex mutex;
@@ -166,6 +172,7 @@ RunRegistry::runnerMain(Run *run)
     campaign::Options options;
     options.pool = &pool_;
     options.journalPath = run->journalPath;
+    options.slotIndexMap = run->slotMap;
     options.accounting = run->options.accounting;
     options.maxAttempts = run->options.maxAttempts;
     options.jobDeadlineSeconds = run->options.jobDeadlineSeconds;
@@ -215,12 +222,15 @@ RunRegistry::submit(const std::string &spec, const SubmitOptions &options)
                        "daemon is shutting down");
     // Validate before allocating an id: a bad spec must not leave a
     // half-created run behind.
-    std::vector<campaign::Job> jobs = campaign::parseMatrix(spec);
+    std::vector<std::size_t> slot_map;
+    std::vector<campaign::Job> jobs = campaign::parseMatrix(spec,
+                                                            slot_map);
 
     auto run = std::make_unique<Run>();
     run->spec = spec;
     run->options = options;
     run->jobs = std::move(jobs);
+    run->slotMap = std::move(slot_map);
 
     std::lock_guard<std::mutex> lock(mutex_);
     char id[16];
@@ -296,7 +306,7 @@ RunRegistry::resume()
         run->options = options;
         run->journalPath = journalPath(id);
         try {
-            run->jobs = campaign::parseMatrix(spec);
+            run->jobs = campaign::parseMatrix(spec, run->slotMap);
         } catch (const std::exception &e) {
             ctcp_warn("state dir: spec of %s no longer parses: %s — "
                       "skipped", id.c_str(), e.what());
@@ -483,9 +493,16 @@ RunRegistry::htmlReport(const std::string &id, std::string &html) const
             }
             for (campaign::JournalRecord &rec :
                  campaign::loadJournal(run->journalPath)) {
-                if (rec.index < live.jobs.size() &&
-                    rec.outcome.label == live.jobs[rec.index].label)
-                    live.jobs[rec.index] = std::move(rec.outcome);
+                // Journal indices are campaign-wide; map them back to
+                // this run's local job order (identity without a
+                // slots= subset).
+                for (std::size_t i = 0; i < run->slotMap.size(); ++i) {
+                    if (run->slotMap[i] != rec.index)
+                        continue;
+                    if (rec.outcome.label == live.jobs[i].label)
+                        live.jobs[i] = std::move(rec.outcome);
+                    break;
+                }
             }
             json_text = live.toJson(false, true);
         }

@@ -296,7 +296,7 @@ ServiceServer::handleConnection(int fd)
     HttpRequest req;
     std::string error;
     HttpResponse resp;
-    if (readRequest(fd, req, error)) {
+    if (readRequest(fd, req, config_.ioDeadlineSeconds, error)) {
         resp = handle(req);
         if (config_.verbose)
             std::fprintf(stderr, "ctcpd: %s %s -> %d\n",
@@ -305,7 +305,13 @@ ServiceServer::handleConnection(int fd)
     } else {
         resp = errorResponse(400, error);
     }
-    writeAll(fd, serializeResponse(resp));
+    std::string write_error;
+    if (!writeAll(fd, serializeResponse(resp),
+                  config_.ioDeadlineSeconds, write_error) &&
+        config_.verbose)
+        std::fprintf(stderr, "ctcpd: dropping reply to %s %s (%s)\n",
+                     req.method.c_str(), req.path.c_str(),
+                     write_error.c_str());
     ::close(fd);
 }
 

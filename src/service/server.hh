@@ -52,6 +52,17 @@ class ServiceServer
         bool verbose = false;
         /** Long-poll ceiling for ?wait= (seconds). */
         double maxWaitSeconds = 30.0;
+        /**
+         * Per-connection I/O deadline (seconds, <= 0 = none): the
+         * budget for reading one request and, separately, for writing
+         * one response. A client that stops sending or draining is
+         * cut off instead of wedging a server thread (and stalling
+         * graceful shutdown, which waits for active connections).
+         * Long polls don't count against it: they run inside
+         * handle(), between the request read and the response write,
+         * so each side of the deadline only covers honest I/O time.
+         */
+        double ioDeadlineSeconds = 30.0;
     };
 
     /** @throws SimError (Config) when the state dir cannot be set up */

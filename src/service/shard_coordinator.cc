@@ -1,0 +1,628 @@
+#include "service/shard_coordinator.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "campaign/matrix.hh"
+#include "common/sim_error.hh"
+#include "service/client.hh"
+
+namespace ctcp::service {
+
+// ---- Deterministic building blocks -------------------------------------
+
+std::uint64_t
+shardHash(const std::string &label)
+{
+    std::uint64_t h = 14695981039346656037ull; // FNV offset basis
+    for (const char c : label) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull; // FNV prime
+    }
+    return h;
+}
+
+std::size_t
+shardOfLabel(const std::string &label, std::size_t shardCount)
+{
+    return shardCount <= 1
+        ? 0
+        : static_cast<std::size_t>(shardHash(label) % shardCount);
+}
+
+double
+shardBackoffSeconds(unsigned failureCount, const ShardPolicy &policy,
+                    std::uint64_t &rngState)
+{
+    double raw = policy.backoffBaseSeconds;
+    for (unsigned k = 1; k < failureCount &&
+                         raw < policy.backoffCapSeconds; ++k)
+        raw *= 2.0;
+    raw = std::min(raw, policy.backoffCapSeconds);
+    // xorshift64: cheap, seedable, and identical on every platform —
+    // the jitter stream is part of the deterministic test contract.
+    std::uint64_t x = rngState ? rngState : 0x9e3779b97f4a7c15ull;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    rngState = x;
+    const double unit =
+        static_cast<double>(x % 1000000ull) / 1000000.0;
+    return raw * (0.5 + 0.5 * unit); // [raw/2, raw]
+}
+
+std::string
+formatSlotRanges(const std::vector<std::size_t> &slots)
+{
+    std::string out;
+    std::size_t i = 0;
+    while (i < slots.size()) {
+        std::size_t j = i;
+        while (j + 1 < slots.size() && slots[j + 1] == slots[j] + 1)
+            ++j;
+        if (!out.empty())
+            out += ',';
+        out += std::to_string(slots[i]);
+        if (j > i)
+            out += '-' + std::to_string(slots[j]);
+        i = j + 1;
+    }
+    return out;
+}
+
+ParsedChunk
+parseJournalChunk(const std::string &chunk)
+{
+    ParsedChunk out;
+    std::size_t start = 0;
+    while (start < chunk.size()) {
+        const std::size_t nl = chunk.find('\n', start);
+        if (nl == std::string::npos) {
+            // The server only sends whole newline-terminated lines; a
+            // trailing fragment means the transport cut the stream.
+            out.torn = true;
+            break;
+        }
+        const std::string line = chunk.substr(start, nl - start + 1);
+        start = nl + 1;
+        out.consumedBytes += line.size();
+        ParsedChunk::Entry entry;
+        if (campaign::decodeJournalRecord(line, entry.record)) {
+            entry.line = line;
+            out.entries.push_back(std::move(entry));
+        } else {
+            ++out.corruptLines;
+        }
+    }
+    return out;
+}
+
+MergeResult
+mergeJournalFiles(const std::vector<std::string> &inputs,
+                  const std::vector<campaign::Job> &jobs,
+                  const std::string &outPath)
+{
+    MergeResult result;
+    std::vector<char> merged(jobs.size(), 0);
+    std::FILE *out = std::fopen(outPath.c_str(), "wb");
+    if (!out)
+        throw SimError(ErrorCategory::Config,
+                       "cannot write merged journal " + outPath);
+    for (const std::string &input : inputs) {
+        for (const campaign::JournalRecord &rec :
+             campaign::loadJournal(input)) {
+            if (rec.index >= jobs.size() ||
+                rec.outcome.label != jobs[rec.index].label) {
+                ++result.mismatched;
+                continue;
+            }
+            if (merged[rec.index]) {
+                ++result.duplicates;
+                continue;
+            }
+            merged[rec.index] = 1;
+            // Re-encoding is exact: the journal's %.17g round-trip
+            // contract makes decode(encode(decode(x))) == decode(x).
+            const std::string line =
+                campaign::encodeJournalRecord(rec.index, rec.outcome);
+            std::fwrite(line.data(), 1, line.size(), out);
+            ++result.merged;
+        }
+    }
+    std::fclose(out);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        if (!merged[i])
+            result.missingSlots.push_back(i);
+    return result;
+}
+
+// ---- The coordinator ---------------------------------------------------
+
+namespace {
+
+using campaign::Job;
+
+/** Pull "r0001" out of the submit response {"id":"r0001",...}. */
+std::string
+extractRunId(const std::string &body)
+{
+    static const std::string key = "\"id\":\"";
+    const std::size_t at = body.find(key);
+    if (at == std::string::npos)
+        return {};
+    const std::size_t end = body.find('"', at + key.size());
+    if (end == std::string::npos)
+        return {};
+    return body.substr(at + key.size(), end - at - key.size());
+}
+
+class Coordinator
+{
+  public:
+    explicit Coordinator(const ShardOptions &options)
+        : options_(options)
+    {}
+
+    ShardedReport run();
+
+  private:
+    struct Shard
+    {
+        ShardStats stats;
+        unsigned consecutive = 0; ///< failures since last success
+        std::uint64_t rng = 1;
+    };
+
+    void note(const std::string &line);
+    bool circuitOpen(std::size_t s);
+    void noteFailure(std::size_t s, const std::string &what);
+    /**
+     * One exchange with retry/backoff. @return true with a response
+     * of @p expectStatus; false once the shard's circuit is open.
+     * @throws SimError (Config) on HTTP 400 — a rejected spec is
+     * deterministic and must abort the campaign, not retry.
+     */
+    bool exchangeWithRetry(std::size_t s, const std::string &method,
+                           const std::string &target,
+                           const std::string &body, int expectStatus,
+                           double readTimeout, HttpResponse &resp);
+    void acceptEntry(std::size_t s, const ParsedChunk::Entry &entry);
+    void runBatch(std::size_t s, const std::vector<std::size_t> &slots);
+
+    const ShardOptions &options_;
+    std::vector<Job> jobs_;
+    std::vector<Shard> shards_;
+
+    std::mutex mutex_; ///< guards everything below + shard stats
+    std::vector<char> completed_;
+    std::size_t completedCount_ = 0;
+    std::FILE *merged_ = nullptr;
+    std::string fatalError_; ///< first config-fatal error from a batch
+};
+
+void
+Coordinator::note(const std::string &line)
+{
+    if (!options_.progress)
+        return;
+    // One shard thread at a time; mutex_ also orders lines with the
+    // merge they describe.
+    options_.progress(line);
+}
+
+bool
+Coordinator::circuitOpen(std::size_t s)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shards_[s].stats.circuitOpen;
+}
+
+void
+Coordinator::noteFailure(std::size_t s, const std::string &what)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Shard &shard = shards_[s];
+    ++shard.stats.transportFailures;
+    ++shard.consecutive;
+    if (shard.consecutive >=
+            options_.policy.maxConsecutiveFailures &&
+        !shard.stats.circuitOpen) {
+        shard.stats.circuitOpen = true;
+        note("shard " + shard.stats.socket + ": circuit opened after " +
+             std::to_string(shard.consecutive) +
+             " consecutive failures (" + what + ")");
+    } else if (!shard.stats.circuitOpen) {
+        note("shard " + shard.stats.socket + ": " + what + " (failure " +
+             std::to_string(shard.consecutive) + "/" +
+             std::to_string(options_.policy.maxConsecutiveFailures) +
+             ")");
+    }
+}
+
+bool
+Coordinator::exchangeWithRetry(std::size_t s, const std::string &method,
+                               const std::string &target,
+                               const std::string &body, int expectStatus,
+                               double readTimeout, HttpResponse &resp)
+{
+    ClientOptions copts;
+    copts.connectTimeoutSeconds =
+        options_.policy.connectTimeoutSeconds;
+    copts.writeTimeoutSeconds = options_.policy.writeTimeoutSeconds;
+    copts.readTimeoutSeconds = readTimeout;
+    const std::string &socket = shards_[s].stats.socket;
+    while (true) {
+        if (circuitOpen(s))
+            return false;
+        std::string error;
+        if (httpRequest(socket, method, target, body, copts, resp,
+                        error)) {
+            if (resp.status == expectStatus) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                shards_[s].consecutive = 0;
+                return true;
+            }
+            if (resp.status == 400)
+                throw SimError(ErrorCategory::Config,
+                               "shard " + socket + " rejected " +
+                                   method + " " + target + ": " +
+                                   resp.body);
+            error = "HTTP " + std::to_string(resp.status) + " from " +
+                method + " " + target;
+        }
+        noteFailure(s, error);
+        unsigned failures = 0;
+        double delay = 0.0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            Shard &shard = shards_[s];
+            if (shard.stats.circuitOpen)
+                return false;
+            failures = shard.consecutive;
+            delay = shardBackoffSeconds(failures, options_.policy,
+                                        shard.rng);
+            ++shard.stats.backoffSleeps;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(delay));
+    }
+}
+
+void
+Coordinator::acceptEntry(std::size_t s, const ParsedChunk::Entry &entry)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Shard &shard = shards_[s];
+    const std::size_t slot = entry.record.index;
+    if (slot >= jobs_.size() ||
+        entry.record.outcome.label != jobs_[slot].label) {
+        ++shard.stats.rejectedRecords;
+        return;
+    }
+    if (completed_[slot]) {
+        // First-complete-wins: a slot re-executed after presumed shard
+        // death may stream in twice; only the first record merges.
+        ++shard.stats.duplicateSlots;
+        return;
+    }
+    completed_[slot] = 1;
+    ++completedCount_;
+    ++shard.stats.completedSlots;
+    std::fwrite(entry.line.data(), 1, entry.line.size(), merged_);
+    std::fflush(merged_);
+    note(shard.stats.socket + " [" + std::to_string(completedCount_) +
+         "/" + std::to_string(jobs_.size()) + "] " +
+         entry.record.outcome.label + ": " +
+         (entry.record.outcome.ok() ? "ok" : "FAILED"));
+}
+
+void
+Coordinator::runBatch(std::size_t s, const std::vector<std::size_t> &slots)
+{
+    try {
+        const ShardPolicy &policy = options_.policy;
+        HttpResponse resp;
+        // Health check: don't hand jobs to a shard that can't even
+        // answer a ping (counts toward its circuit like any call).
+        if (!exchangeWithRetry(s, "GET", "/v1/ping", "", 200,
+                               policy.readTimeoutSeconds, resp))
+            return;
+
+        std::string target = "/v1/runs?max_attempts=" +
+            std::to_string(options_.submit.maxAttempts);
+        if (options_.submit.accounting)
+            target += "&accounting=1";
+        if (options_.submit.jobDeadlineSeconds > 0.0) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "&deadline=%.17g",
+                          options_.submit.jobDeadlineSeconds);
+            target += buf;
+        }
+        const std::string sub_spec =
+            options_.spec + ";slots=" + formatSlotRanges(slots);
+        if (!exchangeWithRetry(s, "POST", target, sub_spec, 201,
+                               policy.readTimeoutSeconds, resp))
+            return;
+        const std::string id = extractRunId(resp.body);
+        if (id.empty()) {
+            noteFailure(s, "unparseable submit response");
+            return;
+        }
+
+        // Stream the shard's journal. The offset only ever advances
+        // by whole consumed lines — a truncated chunk is re-polled
+        // from the last complete record, never trusted.
+        std::uint64_t from = 0;
+        const double event_read_timeout =
+            policy.readTimeoutSeconds + policy.pollWaitSeconds;
+        while (true) {
+            char wait[32];
+            std::snprintf(wait, sizeof(wait), "%.3f",
+                          policy.pollWaitSeconds);
+            const std::string events_target = "/v1/runs/" + id +
+                "/events?from=" + std::to_string(from) +
+                "&wait=" + wait;
+            if (!exchangeWithRetry(s, "GET", events_target, "", 200,
+                                   event_read_timeout, resp))
+                return;
+            const ParsedChunk chunk = parseJournalChunk(resp.body);
+            if (chunk.torn) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++shards_[s].stats.tornChunks;
+            }
+            if (!resp.body.empty() && chunk.consumedBytes == 0) {
+                // A non-empty chunk without one whole line cannot come
+                // from a healthy daemon: count it like a failed
+                // exchange so a permanently-truncating path opens the
+                // circuit instead of live-locking the stream.
+                noteFailure(s, "torn event chunk");
+                if (circuitOpen(s))
+                    return;
+                unsigned failures = 0;
+                double delay = 0.0;
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    Shard &shard = shards_[s];
+                    failures = shard.consecutive;
+                    delay = shardBackoffSeconds(
+                        failures, policy, shard.rng);
+                    ++shard.stats.backoffSleeps;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(delay));
+                continue;
+            }
+            for (const ParsedChunk::Entry &entry : chunk.entries)
+                acceptEntry(s, entry);
+            from += chunk.consumedBytes;
+            // Terminal state with an empty tail = the journal is
+            // complete (ctcpd journals before it flips the state); a
+            // cancelled or errored shard run simply leaves its
+            // missing slots to the reassignment round.
+            const std::string state = [&] {
+                for (const auto &[name, value] : resp.headers)
+                    if (name == "x-ctcp-run-state")
+                        return value;
+                return std::string();
+            }();
+            if (resp.body.empty() &&
+                (state == "done" || state == "cancelled" ||
+                 state == "error"))
+                return;
+        }
+    } catch (const SimError &e) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (fatalError_.empty())
+            fatalError_ = e.what();
+    }
+}
+
+ShardedReport
+Coordinator::run()
+{
+    const ShardPolicy &policy = options_.policy;
+    if (options_.sockets.empty())
+        throw SimError(ErrorCategory::Config,
+                       "sharded campaign needs at least one shard "
+                       "socket");
+
+    // The full, unsharded campaign; also rejects malformed specs
+    // before anything is submitted anywhere. A user spec must not
+    // itself be sharded: the coordinator owns the slots= clause (a
+    // slots=0 subset is indistinguishable from a full campaign by
+    // expansion alone, so check the clause keys, not the slot map).
+    std::size_t clause_start = 0;
+    const std::string &spec = options_.spec;
+    while (clause_start <= spec.size()) {
+        std::size_t clause_end = spec.find(';', clause_start);
+        if (clause_end == std::string::npos)
+            clause_end = spec.size();
+        std::string key =
+            spec.substr(clause_start, clause_end - clause_start);
+        key.erase(std::min(key.size(), key.find('=')));
+        key.erase(std::remove_if(key.begin(), key.end(),
+                                 [](unsigned char c) {
+                                     return std::isspace(c);
+                                 }),
+                  key.end());
+        if (key == "slots")
+            throw SimError(ErrorCategory::Config,
+                           "spec already carries a slots= clause; "
+                           "shard subsets are composed by the "
+                           "coordinator");
+        if (clause_end == spec.size())
+            break;
+        clause_start = clause_end + 1;
+    }
+    jobs_ = campaign::parseMatrix(spec);
+
+    shards_.resize(options_.sockets.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        shards_[s].stats.socket = options_.sockets[s];
+        shards_[s].rng = policy.jitterSeed + s + 1;
+    }
+
+    // Merged journal: the coordinator's source of truth. Honoring
+    // pre-existing records resumes a previously-killed coordinator.
+    std::string journal_path = options_.journalPath;
+    bool temp_journal = false;
+    if (journal_path.empty()) {
+        char tmpl[] = "/tmp/ctcp-shard-XXXXXX";
+        const int fd = ::mkstemp(tmpl);
+        if (fd < 0)
+            throw SimError(ErrorCategory::Config,
+                           "cannot create a temporary merged journal");
+        ::close(fd);
+        journal_path = tmpl;
+        temp_journal = true;
+    }
+    completed_.assign(jobs_.size(), 0);
+    for (const campaign::JournalRecord &rec :
+         campaign::loadJournal(journal_path)) {
+        if (rec.index < jobs_.size() &&
+            rec.outcome.label == jobs_[rec.index].label &&
+            !completed_[rec.index]) {
+            completed_[rec.index] = 1;
+            ++completedCount_;
+        }
+    }
+    merged_ = std::fopen(journal_path.c_str(), "ab");
+    if (!merged_)
+        throw SimError(ErrorCategory::Config,
+                       "cannot open merged journal " + journal_path);
+
+    ShardedReport result;
+    result.journalPath = journal_path;
+
+    // Assignment rounds: hash every missing slot across the live
+    // shards, stream the batches, and re-hash whatever is still
+    // missing across the survivors. Shards only leave the pool by
+    // circuit-break, so the loop is bounded by shard count — plus a
+    // no-progress guard for the degenerate all-shards-wedged case.
+    std::size_t round = 0;
+    while (true) {
+        std::vector<std::size_t> remaining;
+        std::vector<std::size_t> alive;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (std::size_t i = 0; i < jobs_.size(); ++i)
+                if (!completed_[i])
+                    remaining.push_back(i);
+            for (std::size_t s = 0; s < shards_.size(); ++s)
+                if (!shards_[s].stats.circuitOpen)
+                    alive.push_back(s);
+        }
+        if (remaining.empty() || alive.empty())
+            break;
+        if (round > 0) {
+            result.reassignedSlots += remaining.size();
+            note("reassigning " + std::to_string(remaining.size()) +
+                 " slot(s) across " + std::to_string(alive.size()) +
+                 " surviving shard(s)");
+        }
+
+        std::vector<std::vector<std::size_t>> batches(alive.size());
+        for (const std::size_t slot : remaining)
+            batches[shardOfLabel(jobs_[slot].label, alive.size())]
+                .push_back(slot);
+
+        const std::size_t before_completed = completedCount_;
+        const std::size_t before_alive = alive.size();
+        std::vector<std::thread> threads;
+        for (std::size_t k = 0; k < alive.size(); ++k) {
+            if (batches[k].empty())
+                continue;
+            const std::size_t s = alive[k];
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                shards_[s].stats.assignedSlots += batches[k].size();
+            }
+            threads.emplace_back(&Coordinator::runBatch, this, s,
+                                 batches[k]);
+        }
+        for (std::thread &t : threads)
+            t.join();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!fatalError_.empty()) {
+                std::fclose(merged_);
+                throw SimError(ErrorCategory::Config, fatalError_);
+            }
+        }
+
+        std::size_t now_alive = 0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (const Shard &shard : shards_)
+                if (!shard.stats.circuitOpen)
+                    ++now_alive;
+        }
+        if (completedCount_ == before_completed &&
+            now_alive == before_alive)
+            break; // wedged: no new slots, no newly-dead shards
+        ++round;
+    }
+    std::fclose(merged_);
+    merged_ = nullptr;
+
+    std::vector<std::size_t> missing;
+    for (std::size_t i = 0; i < jobs_.size(); ++i)
+        if (!completed_[i])
+            missing.push_back(i);
+    if (!missing.empty() && !policy.localFallback)
+        throw SimError(ErrorCategory::Internal,
+                       std::to_string(missing.size()) +
+                           " slot(s) undelivered after shard failures "
+                           "and local fallback is disabled; merged "
+                           "journal kept at " + journal_path);
+    if (!missing.empty())
+        note("running " + std::to_string(missing.size()) +
+             " undelivered slot(s) locally");
+    result.locallyRunSlots = missing.size();
+
+    // Merge-then-replay: with every slot delivered this replays the
+    // merged journal without executing anything; with shards lost it
+    // transparently runs the missing slots right here. Either way the
+    // report is the submission-order aggregate — byte-identical to
+    // the single-host batch path.
+    campaign::Options local;
+    local.journalPath = journal_path;
+    local.jobs = policy.localWorkers;
+    local.accounting = options_.submit.accounting;
+    local.maxAttempts = options_.submit.maxAttempts;
+    local.jobDeadlineSeconds = options_.submit.jobDeadlineSeconds;
+    if (options_.progress)
+        local.progress = [this](const std::string &line) {
+            options_.progress("local " + line);
+        };
+    result.report = campaign::runCampaign(jobs_, local);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        result.shards.reserve(shards_.size());
+        for (const Shard &shard : shards_)
+            result.shards.push_back(shard.stats);
+    }
+    if (temp_journal) {
+        ::unlink(journal_path.c_str());
+        result.journalPath.clear();
+    }
+    return result;
+}
+
+} // namespace
+
+ShardedReport
+runShardedCampaign(const ShardOptions &options)
+{
+    Coordinator coordinator(options);
+    return coordinator.run();
+}
+
+} // namespace ctcp::service

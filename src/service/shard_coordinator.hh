@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Sharded campaign coordinator: fan one campaign matrix out across
+ * several ctcpd daemons and merge their journal streams back into one
+ * report byte-identical to a single-host `ctcpsim --campaign` run.
+ *
+ * Model (DESIGN decision 12): journals are the source of truth and
+ * merging is order-independent by slot index.
+ *
+ *  - Each shard receives the original spec plus a `slots=` clause
+ *    naming the global job indices it owns, so every journal record a
+ *    shard streams back already carries its campaign-wide slot index
+ *    (campaign::Options::slotIndexMap) and labels identical to the
+ *    full expansion.
+ *  - Slots are assigned by a deterministic FNV-1a hash of the job
+ *    label over the currently-live shards.
+ *  - One thread per shard submits the sub-campaign and long-polls
+ *    /v1/runs/<id>/events, appending validated whole journal lines to
+ *    a local merged journal. Records are deduplicated by slot index,
+ *    first-complete-wins, so failover re-execution and out-of-order
+ *    arrival cannot change the result.
+ *  - Every exchange is bounded by connect/read/write deadlines and
+ *    retried with capped exponential backoff plus deterministic
+ *    jitter; a shard exceeding maxConsecutiveFailures has its circuit
+ *    opened and is dropped from the round.
+ *  - After each round the completed-slot bitmap (i.e. journal replay)
+ *    says exactly which slots are missing; they are rehashed across
+ *    the surviving shards. With no shards left, the coordinator
+ *    degrades gracefully to local execution.
+ *  - The final report is produced by campaign::runCampaign() over the
+ *    merged journal: a pure replay when the shards delivered
+ *    everything (byte-identical by the journal round-trip contract),
+ *    and transparent local execution of whatever is missing otherwise.
+ *
+ * tools/ctcp_merge drives the same merge + replay path offline over
+ * shard journal files, for post-hoc recovery when the coordinator
+ * itself dies.
+ */
+
+#ifndef CTCPSIM_SERVICE_SHARD_COORDINATOR_HH
+#define CTCPSIM_SERVICE_SHARD_COORDINATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/journal.hh"
+#include "service/registry.hh"
+
+namespace ctcp::service {
+
+/** Robustness knobs for every shard exchange. */
+struct ShardPolicy
+{
+    double connectTimeoutSeconds = 5.0;
+    /**
+     * Read deadline for plain exchanges; event long-polls get this on
+     * top of pollWaitSeconds so a healthy idle poll never times out.
+     */
+    double readTimeoutSeconds = 20.0;
+    double writeTimeoutSeconds = 10.0;
+    /** Server-side long-poll budget per events request. */
+    double pollWaitSeconds = 5.0;
+    /** Backoff after the k-th consecutive failure: min(cap, base*2^k),
+     *  halved-to-full by deterministic jitter. */
+    double backoffBaseSeconds = 0.1;
+    double backoffCapSeconds = 2.0;
+    /** Consecutive transport failures before the circuit opens. */
+    unsigned maxConsecutiveFailures = 4;
+    /** Jitter stream seed (tests pin it; any value works). */
+    std::uint64_t jitterSeed = 1;
+    /** Run slots no shard delivered locally instead of failing. */
+    bool localFallback = true;
+    /** Worker threads for the local fallback (0 = hardware threads). */
+    unsigned localWorkers = 0;
+};
+
+/** Per-shard counters; each maps to one defense a test can assert. */
+struct ShardStats
+{
+    std::string socket;
+    std::size_t assignedSlots = 0;    ///< across all rounds
+    std::size_t completedSlots = 0;   ///< records accepted from here
+    std::size_t duplicateSlots = 0;   ///< dropped, slot already complete
+    std::size_t rejectedRecords = 0;  ///< bad index/label, never merged
+    std::size_t transportFailures = 0;///< failed exchanges (any cause)
+    std::size_t backoffSleeps = 0;    ///< capped-backoff waits taken
+    std::size_t tornChunks = 0;       ///< event bodies cut mid-record
+    bool circuitOpen = false;         ///< dropped after repeated failure
+};
+
+/** What runShardedCampaign() hands back. */
+struct ShardedReport
+{
+    campaign::Report report;
+    std::vector<ShardStats> shards;
+    /** Slots re-hashed to surviving shards after a shard died. */
+    std::size_t reassignedSlots = 0;
+    /** Slots executed locally because no shard delivered them. */
+    std::size_t locallyRunSlots = 0;
+    /** Merged journal actually used (empty once a temp was cleaned). */
+    std::string journalPath;
+};
+
+struct ShardOptions
+{
+    /** Campaign matrix spec; must not itself carry a slots= clause. */
+    std::string spec;
+    /** ctcpd unix-socket paths, one per shard (at least one). */
+    std::vector<std::string> sockets;
+    /** Forwarded to every shard and applied to the local fallback. */
+    RunRegistry::SubmitOptions submit;
+    ShardPolicy policy;
+    /**
+     * Merged journal path. Pre-existing records are honored (resuming
+     * a died coordinator), and the file is left behind on failure for
+     * tools/ctcp_merge recovery. Empty = a temporary file, removed
+     * after a successful run.
+     */
+    std::string journalPath;
+    /** Serialized progress lines ("sockB [3/8] gzip/base/fdrt: ok"). */
+    std::function<void(const std::string &)> progress;
+};
+
+/**
+ * Run @p options.spec across the shards and aggregate the outcomes.
+ * @throws SimError (Config) on a malformed spec, a spec already
+ *         sharded with slots=, or no sockets; SimError (Internal)
+ *         when slots remain undelivered and localFallback is off.
+ */
+ShardedReport runShardedCampaign(const ShardOptions &options);
+
+// ---- Deterministic building blocks (unit-tested directly) --------------
+
+/** FNV-1a 64-bit hash of @p label. */
+std::uint64_t shardHash(const std::string &label);
+
+/** Which of @p shardCount live shards owns the job labelled @p label. */
+std::size_t shardOfLabel(const std::string &label,
+                         std::size_t shardCount);
+
+/**
+ * Backoff before retry number @p failureCount (1-based): raw delay
+ * min(cap, base * 2^(failureCount-1)), jittered into [raw/2, raw] by
+ * an xorshift64 step of @p rngState — deterministic per seed.
+ */
+double shardBackoffSeconds(unsigned failureCount,
+                           const ShardPolicy &policy,
+                           std::uint64_t &rngState);
+
+/** Compress sorted slot indices into a slots= value ("0-3,7,9-10"). */
+std::string formatSlotRanges(const std::vector<std::size_t> &slots);
+
+/** One event-stream chunk split into whole journal lines. */
+struct ParsedChunk
+{
+    struct Entry
+    {
+        campaign::JournalRecord record;
+        std::string line; ///< raw bytes incl. trailing newline
+    };
+    std::vector<Entry> entries;
+    /** Bytes of whole lines consumed (advance the ?from offset by
+     *  exactly this much — never trust a torn tail). */
+    std::size_t consumedBytes = 0;
+    /** Complete lines that failed to decode (corrupt, skipped). */
+    std::size_t corruptLines = 0;
+    /** Chunk ended mid-line: transport truncation, the server only
+     *  ever sends whole newline-terminated records. */
+    bool torn = false;
+};
+
+ParsedChunk parseJournalChunk(const std::string &chunk);
+
+/** Offline shard-journal merge (the ctcp_merge core). */
+struct MergeResult
+{
+    std::size_t merged = 0;     ///< records written to the output
+    std::size_t duplicates = 0; ///< dropped, slot already merged
+    std::size_t mismatched = 0; ///< dropped, index/label not in campaign
+    std::vector<std::size_t> missingSlots; ///< jobs with no record
+};
+
+/**
+ * Merge every record of @p inputs (in file order — first-complete-wins
+ * across files) that belongs to @p jobs into a fresh journal at
+ * @p outPath. Replaying that journal through runCampaign() yields the
+ * merged report; missingSlots lists what such a replay would re-run.
+ * @throws SimError (Config) when @p outPath cannot be written
+ */
+MergeResult mergeJournalFiles(const std::vector<std::string> &inputs,
+                              const std::vector<campaign::Job> &jobs,
+                              const std::string &outPath);
+
+} // namespace ctcp::service
+
+#endif // CTCPSIM_SERVICE_SHARD_COORDINATOR_HH

@@ -1,0 +1,214 @@
+#include "verify/net_fault.hh"
+
+#include <cerrno>
+#include <chrono>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/http.hh"
+
+namespace ctcp::verify {
+
+NetFaultProxy::NetFaultProxy(std::string listenPath,
+                             std::string upstreamPath)
+    : listenPath_(std::move(listenPath)),
+      upstreamPath_(std::move(upstreamPath))
+{}
+
+NetFaultProxy::~NetFaultProxy()
+{
+    stop();
+}
+
+bool
+NetFaultProxy::start(std::string &error)
+{
+    listenFd_ = service::listenUnix(listenPath_, error);
+    if (listenFd_ < 0)
+        return false;
+    acceptor_ = std::thread(&NetFaultProxy::acceptLoop, this);
+    return true;
+}
+
+void
+NetFaultProxy::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    if (acceptor_.joinable())
+        acceptor_.join();
+    std::vector<std::thread> relays;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        relays.swap(relays_);
+    }
+    for (std::thread &t : relays)
+        if (t.joinable())
+            t.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    ::unlink(listenPath_.c_str());
+}
+
+void
+NetFaultProxy::setPlan(const Plan &plan)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = plan;
+}
+
+NetFaultProxy::Stats
+NetFaultProxy::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+NetFaultProxy::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue; // timeout or EINTR — re-check stopping_
+        const int conn = ::accept(listenFd_, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.accepted;
+        if (plan_.refuseConnections > 0) {
+            --plan_.refuseConnections;
+            ++stats_.refused;
+            ::close(conn);
+            continue;
+        }
+        relays_.emplace_back(&NetFaultProxy::relay, this, conn);
+    }
+}
+
+namespace {
+
+/** Wait for @p events, returning false when @p stopping turns true. */
+bool
+waitReady(int fd, short events, const std::atomic<bool> &stopping)
+{
+    while (!stopping.load(std::memory_order_relaxed)) {
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = events;
+        const int r = ::poll(&pfd, 1, 100);
+        if (r > 0)
+            return true;
+        if (r < 0 && errno != EINTR)
+            return false;
+    }
+    return false;
+}
+
+/** Write all of @p take bytes, tolerating non-blocking fds. */
+bool
+sendAll(int to, const char *buf, std::size_t take,
+        const std::atomic<bool> &stopping)
+{
+    std::size_t off = 0;
+    while (off < take) {
+        const ssize_t n =
+            ::send(to, buf + off, take - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+                waitReady(to, POLLOUT, stopping))
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Pump @p from to @p to until EOF; cap forwarded bytes when >= 0.
+ * Handles non-blocking fds on either side (connectUnix returns them).
+ */
+void
+pump(int from, int to, long cap, const std::atomic<bool> &stopping)
+{
+    char buf[4096];
+    long sent = 0;
+    while (true) {
+        const ssize_t n = ::read(from, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+                waitReady(from, POLLIN, stopping))
+                continue;
+            return;
+        }
+        if (n == 0)
+            return;
+        std::size_t take = static_cast<std::size_t>(n);
+        if (cap >= 0 && sent + n > cap)
+            take = static_cast<std::size_t>(cap - sent);
+        if (take > 0 && !sendAll(to, buf, take, stopping))
+            return;
+        sent += static_cast<long>(take);
+        if (cap >= 0 && sent >= cap)
+            return; // budget exhausted: cut the stream mid-flight
+    }
+}
+
+} // namespace
+
+void
+NetFaultProxy::relay(int client)
+{
+    // Take this connection's fault decision up front so a concurrent
+    // setPlan() cannot split one response between two plans.
+    bool faulted = false;
+    double delay = 0.0;
+    long cap = -1;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (plan_.faultedResponses > 0) {
+            --plan_.faultedResponses;
+            faulted = true;
+            delay = plan_.responseDelaySeconds;
+            cap = plan_.truncateResponseBytes;
+            ++stats_.faulted;
+        }
+    }
+
+    std::string error;
+    const int upstream = service::connectUnix(upstreamPath_, error);
+    if (upstream < 0) {
+        ::close(client);
+        return;
+    }
+
+    // Request: the client writes then half-closes, so EOF marks the
+    // end; the server still sees a half-open connection it can answer.
+    pump(client, upstream, -1, stopping_);
+    ::shutdown(upstream, SHUT_WR);
+
+    if (faulted && delay > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(delay));
+    pump(upstream, client, faulted ? cap : -1, stopping_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.relayed;
+    }
+    ::close(upstream);
+    ::close(client);
+}
+
+} // namespace ctcp::verify

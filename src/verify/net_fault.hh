@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic network fault injection for the service test suite.
+ *
+ * NetFaultProxy is a unix-socket relay placed between an HTTP client
+ * (ctcpctl, the shard coordinator) and a ctcpd daemon. Its Plan maps
+ * one distributed failure mode to one client-side defense, mirroring
+ * how src/verify/fault maps simulator corruptions to single-host
+ * defenses:
+ *
+ *   refuseConnections   -> retry with capped exponential backoff
+ *   responseDelaySeconds-> client read deadlines (a slow daemon is
+ *                          indistinguishable from a dead one)
+ *   truncateResponseBytes -> whole-line journal consumption + torn
+ *                          chunk re-poll (and, when permanent,
+ *                          circuit-breaking + slot reassignment)
+ *
+ * Counter-driven, never random: the Nth connection through the proxy
+ * sees the same fault on every test run. The proxy exploits the
+ * service protocol's strict shape — one request (client half-closes),
+ * one response, close — so it can pump each direction sequentially.
+ */
+
+#ifndef CTCPSIM_VERIFY_NET_FAULT_HH
+#define CTCPSIM_VERIFY_NET_FAULT_HH
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ctcp::verify {
+
+/** Relay between listenPath and upstreamPath with injected faults. */
+class NetFaultProxy
+{
+  public:
+    struct Plan
+    {
+        /** Refuse (accept + immediately close) the next N connections. */
+        unsigned refuseConnections = 0;
+        /**
+         * Apply the delay/truncation faults below to the next N
+         * responses (after any refused connections); 0 disables both.
+         */
+        unsigned faultedResponses = 0;
+        /** Sleep before relaying a faulted response (deadline tests). */
+        double responseDelaySeconds = 0.0;
+        /**
+         * Forward only this many bytes of a faulted response, then
+         * close both sides — a connection killed mid-stream. < 0
+         * relays faulted responses in full (delay only).
+         */
+        long truncateResponseBytes = -1;
+    };
+
+    struct Stats
+    {
+        std::size_t accepted = 0; ///< connections taken off the listener
+        std::size_t refused = 0;  ///< closed without relaying
+        std::size_t faulted = 0;  ///< responses delayed and/or truncated
+        std::size_t relayed = 0;  ///< responses forwarded (even if cut)
+    };
+
+    NetFaultProxy(std::string listenPath, std::string upstreamPath);
+    ~NetFaultProxy();
+
+    NetFaultProxy(const NetFaultProxy &) = delete;
+    NetFaultProxy &operator=(const NetFaultProxy &) = delete;
+
+    /** Bind listenPath and start the accept thread. */
+    bool start(std::string &error);
+
+    /** Stop accepting, join every relay thread, unlink the socket. */
+    void stop();
+
+    /** Swap the active fault plan (applies to future connections). */
+    void setPlan(const Plan &plan);
+
+    Stats stats() const;
+
+    const std::string &listenPath() const { return listenPath_; }
+
+  private:
+    void acceptLoop();
+    void relay(int client);
+
+    std::string listenPath_;
+    std::string upstreamPath_;
+    int listenFd_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::thread acceptor_;
+    std::vector<std::thread> relays_;
+
+    mutable std::mutex mutex_; ///< guards plan_, stats_, relays_
+    Plan plan_;
+    Stats stats_;
+};
+
+} // namespace ctcp::verify
+
+#endif // CTCPSIM_VERIFY_NET_FAULT_HH

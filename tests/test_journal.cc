@@ -183,6 +183,87 @@ TEST(Journal, MissingFileIsAFreshCampaign)
                     .empty());
 }
 
+namespace {
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+}
+
+} // namespace
+
+TEST(JournalTail, TornLineAtExactPageBoundaryIsNotConsumed)
+{
+    // Whole lines totalling exactly one 4096-byte I/O page, then a
+    // torn fragment starting precisely at the boundary — the layout a
+    // crash mid-append leaves when the page before it was flushed.
+    const std::string path = tempPath("ctcp_tail_page.jsonl");
+    std::string page(4095, 'x');
+    page += '\n';
+    ASSERT_EQ(page.size(), 4096u);
+    writeBytes(path, page + "{\"torn");
+
+    std::uint64_t next = 0;
+    EXPECT_EQ(campaign::readJournalTail(path, 0, next), page);
+    EXPECT_EQ(next, 4096u);
+    // Re-polling from the boundary: no whole line yet, no progress.
+    EXPECT_EQ(campaign::readJournalTail(path, 4096, next), "");
+    EXPECT_EQ(next, 4096u);
+
+    // Once the append completes, the same offset serves the record.
+    writeBytes(path, page + "{\"torn\":1}\n");
+    EXPECT_EQ(campaign::readJournalTail(path, 4096, next),
+              "{\"torn\":1}\n");
+    EXPECT_EQ(next, 4096u + 11u);
+    std::remove(path.c_str());
+}
+
+TEST(JournalTail, OffsetAtOrPastEndYieldsEmptyWithoutAdvancing)
+{
+    const std::string path = tempPath("ctcp_tail_end.jsonl");
+    const std::string line =
+        campaign::encodeJournalRecord(0, sampleOkOutcome());
+    writeBytes(path, line);
+
+    std::uint64_t next = 0;
+    EXPECT_EQ(campaign::readJournalTail(path, line.size(), next), "");
+    EXPECT_EQ(next, line.size());
+    EXPECT_EQ(campaign::readJournalTail(path, line.size() + 100, next),
+              "");
+    EXPECT_EQ(next, line.size() + 100);
+    std::remove(path.c_str());
+}
+
+TEST(JournalTail, RereadingAnOffsetIsIdempotent)
+{
+    // Shard failover makes the coordinator re-poll offsets it already
+    // consumed on a fresh connection; the stream must be stable.
+    const std::string path = tempPath("ctcp_tail_reread.jsonl");
+    {
+        campaign::JournalWriter writer(path);
+        writer.append(0, sampleOkOutcome());
+        writer.append(1, sampleOkOutcome());
+    }
+    std::uint64_t next_a = 0, next_b = 0;
+    const std::string a = campaign::readJournalTail(path, 0, next_a);
+    const std::string b = campaign::readJournalTail(path, 0, next_b);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(next_a, next_b);
+    ASSERT_FALSE(a.empty());
+
+    // A mid-stream offset resumes cleanly at a record boundary.
+    const std::size_t first = a.find('\n') + 1;
+    std::uint64_t next_c = 0;
+    EXPECT_EQ(campaign::readJournalTail(path, first, next_c),
+              a.substr(first));
+    EXPECT_EQ(next_c, next_a);
+    std::remove(path.c_str());
+}
+
 TEST(CampaignJournal, ResumeSkipsCompletedJobs)
 {
     const std::string path = tempPath("ctcp_journal_resume.jsonl");

@@ -15,179 +15,22 @@
 
 #include <gtest/gtest.h>
 
-#include <csignal>
 #include <cstdio>
-#include <cstdlib>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <string>
 
-#include <sys/stat.h>
-#include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include "service/client.hh"
-#include "service/http.hh"
+#include "e2e_util.hh"
 #include "verify/fault.hh"
 
 namespace {
 
-struct CommandResult
-{
-    int status = -1;
-    std::string output; // stdout only
-};
-
-/** Run a shell command, capturing exit status and stdout. */
-CommandResult
-run(const std::string &cmd)
-{
-    CommandResult result;
-    FILE *pipe = ::popen((cmd + " 2>/dev/null").c_str(), "r");
-    if (!pipe)
-        return result;
-    char buffer[4096];
-    std::size_t n;
-    while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0)
-        result.output.append(buffer, n);
-    const int rc = ::pclose(pipe);
-    result.status = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
-    return result;
-}
-
-/** Run a command and capture stderr (for diagnostics assertions). */
-std::string
-runStderr(const std::string &cmd)
-{
-    std::string output;
-    FILE *pipe = ::popen((cmd + " 2>&1 1>/dev/null").c_str(), "r");
-    if (!pipe)
-        return output;
-    char buffer[4096];
-    std::size_t n;
-    while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0)
-        output.append(buffer, n);
-    ::pclose(pipe);
-    return output;
-}
-
-std::string
-slurp(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
-}
-
-std::string
-chomp(std::string text)
-{
-    while (!text.empty() &&
-           (text.back() == '\n' || text.back() == '\r'))
-        text.pop_back();
-    return text;
-}
-
-/** One daemon instance on a private socket + state dir. */
-class Daemon
-{
-  public:
-    explicit Daemon(const std::string &tag, unsigned workers = 2)
-        : dir_(::testing::TempDir() + "ctcp_e2e_" + tag),
-          socket_(dir_ + "/d.sock"), state_(dir_ + "/state")
-    {
-        // State from a previous suite invocation would resume into
-        // this daemon and trivialize the crash/resume scenarios.
-        std::filesystem::remove_all(dir_);
-        ::mkdir(dir_.c_str(), 0755);
-        start(workers);
-    }
-
-    ~Daemon() { kill(); }
-
-    void start(unsigned workers = 2)
-    {
-        pid_ = ::fork();
-        ASSERT_GE(pid_, 0);
-        if (pid_ == 0) {
-            // Quiet child: the test asserts over the API, not logs.
-            ::freopen("/dev/null", "w", stdout);
-            ::freopen("/dev/null", "w", stderr);
-            ::execl(CTCP_CTCPD_PATH, CTCP_CTCPD_PATH, "--socket",
-                    socket_.c_str(), "--state-dir", state_.c_str(),
-                    "--workers", std::to_string(workers).c_str(),
-                    (char *)nullptr);
-            ::_exit(127);
-        }
-        waitReady();
-    }
-
-    /** Block until the daemon answers /v1/ping (bounded). */
-    void waitReady()
-    {
-        for (int i = 0; i < 100; ++i) {
-            ctcp::service::HttpResponse resp;
-            std::string error;
-            if (ctcp::service::httpRequest(socket_, "GET", "/v1/ping",
-                                           "", resp, error) &&
-                resp.status == 200)
-                return;
-            ::usleep(100 * 1000);
-        }
-        FAIL() << "daemon never became ready on " << socket_;
-    }
-
-    /** SIGKILL (simulated crash); reap the child. */
-    void kill()
-    {
-        if (pid_ <= 0)
-            return;
-        ::kill(pid_, SIGKILL);
-        int status = 0;
-        ::waitpid(pid_, &status, 0);
-        pid_ = -1;
-    }
-
-    /** SIGTERM (graceful); @return the daemon's exit status. */
-    int terminate()
-    {
-        if (pid_ <= 0)
-            return -1;
-        ::kill(pid_, SIGTERM);
-        int status = 0;
-        ::waitpid(pid_, &status, 0);
-        pid_ = -1;
-        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-    }
-
-    /** ctcpctl against this daemon. */
-    CommandResult ctl(const std::string &args) const
-    {
-        return run(std::string(CTCP_CTCPCTL_PATH) + " --socket " +
-                   socket_ + " " + args);
-    }
-
-    const std::string &dir() const { return dir_; }
-    const std::string &statePath() const { return state_; }
-
-  private:
-    std::string dir_;
-    std::string socket_;
-    std::string state_;
-    pid_t pid_ = -1;
-};
+using namespace e2e;
 
 /** Write a spec file and return its path. */
 std::string
 writeSpec(const Daemon &daemon, const std::string &spec)
 {
-    const std::string path = daemon.dir() + "/spec.txt";
-    std::ofstream out(path, std::ios::binary);
-    out << spec;
-    return path;
+    return e2e::writeSpec(daemon.dir(), spec);
 }
 
 // The figure-6 style matrix both identity tests use: two benchmarks
@@ -198,12 +41,7 @@ const char *const kMatrix =
 std::string
 batchReport(const std::string &dir)
 {
-    const std::string out = dir + "/batch.json";
-    const CommandResult batch =
-        run(std::string(CTCP_CTCPSIM_PATH) + " --campaign '" +
-            std::string(kMatrix) + "' --jobs 2 --out " + out);
-    EXPECT_EQ(batch.status, 0);
-    return slurp(out);
+    return e2e::batchReport(dir, kMatrix);
 }
 
 TEST(ServiceE2E, StreamedRunMatchesBatchByteForByte)

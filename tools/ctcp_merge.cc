@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ctcp_merge — offline shard-journal merger.
+ *
+ * Takes the campaign spec plus any number of journal files (per-shard
+ * daemon journals, a coordinator's merged journal, or a mix), merges
+ * them by slot index (first-complete-wins, file order decides ties)
+ * through the same service::mergeJournalFiles code path the live shard
+ * coordinator uses, and replays the merged journal into the aggregated
+ * report — byte-identical to `ctcpsim --campaign` over the same spec.
+ *
+ * This is the post-hoc recovery tool for a coordinator that died
+ * mid-campaign: the per-shard journals on each daemon's state dir are
+ * the source of truth, and merging them is order-independent.
+ *
+ * Exit status: 0 report complete and every job ok, 1 jobs failed or
+ * slots missing (unless --run-missing), 2 usage/config errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/matrix.hh"
+#include "common/sim_error.hh"
+#include "service/shard_coordinator.hh"
+
+namespace {
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s --campaign SPEC --merged FILE [options] "
+        "JOURNAL...\n"
+        "\n"
+        "Merge shard campaign journals into one resumable journal at\n"
+        "FILE and print the aggregated report.\n"
+        "\n"
+        "options:\n"
+        "  --campaign SPEC   campaign matrix spec (required)\n"
+        "  --merged FILE     merged journal output path (required)\n"
+        "  --out FILE        report destination (default stdout)\n"
+        "  --csv             CSV report instead of JSON\n"
+        "  --run-missing     execute slots no journal covers locally\n"
+        "                    instead of reporting them missing\n"
+        "  --jobs N          worker threads for --run-missing\n"
+        "\n"
+        "exit status: 0 complete and all ok, 1 failed jobs or missing\n"
+        "slots, 2 usage/config\n",
+        prog);
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "ctcp_merge: %s\n", msg.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string spec, merged_path, out_path = "-";
+    bool csv = false, run_missing = false;
+    unsigned jobs = 0;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--campaign" && i + 1 < argc) {
+            spec = argv[++i];
+        } else if (arg == "--merged" && i + 1 < argc) {
+            merged_path = argv[++i];
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--run-missing") {
+            run_missing = true;
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            char *end = nullptr;
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], &end, 10));
+            if (!end || *end != '\0')
+                die(std::string("bad --jobs value '") + argv[i] + "'");
+        } else if (!arg.empty() && arg[0] == '-') {
+            die("unknown option '" + arg + "'");
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (spec.empty())
+        die("--campaign SPEC is required");
+    if (merged_path.empty())
+        die("--merged FILE is required");
+    if (inputs.empty())
+        die("at least one journal file is required");
+
+    try {
+        std::vector<std::size_t> slot_check;
+        const std::vector<ctcp::campaign::Job> all =
+            ctcp::campaign::parseMatrix(spec, slot_check);
+
+        const ctcp::service::MergeResult merge =
+            ctcp::service::mergeJournalFiles(inputs, all, merged_path);
+        std::fprintf(stderr,
+                     "ctcp_merge: %zu merged, %zu duplicate(s), %zu "
+                     "mismatched record(s)\n",
+                     merge.merged, merge.duplicates, merge.mismatched);
+        if (!merge.missingSlots.empty())
+            std::fprintf(
+                stderr, "ctcp_merge: missing slot(s): %s%s\n",
+                ctcp::service::formatSlotRanges(merge.missingSlots)
+                    .c_str(),
+                run_missing ? " (running locally)" : "");
+        if (!merge.missingSlots.empty() && !run_missing)
+            return 1;
+
+        // Same merge-then-replay path as the live coordinator: a
+        // complete journal replays without executing anything.
+        ctcp::campaign::Options options;
+        options.journalPath = merged_path;
+        options.jobs = jobs;
+        const ctcp::campaign::Report report =
+            ctcp::campaign::runCampaign(all, options);
+
+        const std::string body =
+            csv ? report.toCsv() : report.toJson();
+        if (out_path.empty() || out_path == "-") {
+            std::fwrite(body.data(), 1, body.size(), stdout);
+        } else {
+            std::ofstream out(out_path, std::ios::binary);
+            out.write(body.data(),
+                      static_cast<std::streamsize>(body.size()));
+            out.close();
+            if (!out)
+                die("cannot write " + out_path);
+        }
+        return report.failed() == 0 ? 0 : 1;
+    } catch (const ctcp::SimError &e) {
+        die(e.what());
+    } catch (const std::exception &e) {
+        die(e.what());
+    }
+}

@@ -56,6 +56,11 @@ usage(const char *prog)
         "                      ctcpsim --jobs\n"
         "  --cache-entries N   workload setup cache capacity\n"
         "                      (default 64)\n"
+        "  --io-deadline SECS  per-connection budget for reading one\n"
+        "                      request and writing one response\n"
+        "                      (default 30; 0 = unbounded). A stalled\n"
+        "                      client is cut off instead of wedging a\n"
+        "                      server thread\n"
         "  --verbose           log requests and lifecycle to stderr\n"
         "\n"
         "API (see README \"Running as a service\"): POST /v1/runs\n"
@@ -116,6 +121,14 @@ main(int argc, char **argv)
             cache_entries = std::strtoul(text, &end, 10);
             if (end == text || *end != '\0' || cache_entries == 0)
                 die(std::string("invalid --cache-entries '") + text +
+                    "'");
+        } else if (arg == "--io-deadline") {
+            char *end = nullptr;
+            const char *text = next_arg(i);
+            config.ioDeadlineSeconds = std::strtod(text, &end);
+            if (end == text || *end != '\0' ||
+                config.ioDeadlineSeconds < 0.0)
+                die(std::string("invalid --io-deadline '") + text +
                     "'");
         } else if (arg == "--verbose") {
             config.verbose = true;

@@ -1,6 +1,7 @@
 /**
  * @file
- * Error-reporting helpers in the gem5 spirit.
+ * Error-reporting helpers in the gem5 spirit, plus the leveled
+ * structured JSONL logger the ctcpd fleet writes through.
  *
  * panic()  — an internal simulator invariant was violated (a bug in
  *            ctcpsim itself); aborts.
@@ -8,14 +9,28 @@
  *            (bad configuration, unknown benchmark name); exits(1).
  * warn()   — something questionable happened but simulation continues.
  * inform() — plain status output.
+ *
+ * Structured logging (ctcpd --log-file / --log-level): logOpen()
+ * configures one process-global JSONL sink; logRecord() appends one
+ * object per line — ts (UTC, millisecond), level, component, optional
+ * trace id, msg, optional extra string fields — under an internal
+ * mutex, so records from concurrent server threads never interleave.
+ * Once a sink is configured, warn()/inform() additionally route their
+ * messages into it (component "core"), so existing call sites show up
+ * in the fleet's logs without being touched. Logging is an
+ * operational side channel only: nothing here may influence
+ * simulation output (DESIGN decision 13).
  */
 
 #ifndef CTCPSIM_COMMON_LOGGING_HH
 #define CTCPSIM_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace ctcp {
 
@@ -23,6 +38,50 @@ namespace ctcp {
 [[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+
+// ---- Structured JSONL logging ------------------------------------------
+
+enum class LogLevel : std::uint8_t
+{
+    Debug = 0,
+    Info,
+    Warn,
+    Error,
+};
+
+/** Stable lower-case name ("debug", "info", "warn", "error"). */
+const char *logLevelName(LogLevel level);
+
+/** Parse a level name. @return false for unrecognized text. */
+bool parseLogLevel(const std::string &text, LogLevel &out);
+
+/** Extra key/value string fields appended to one record. */
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Open (append) the process-global structured log sink. Records below
+ * @p level are dropped. Replaces any previously-open sink.
+ * @return false with a diagnostic in @p error when the file cannot be
+ *         opened
+ */
+bool logOpen(const std::string &path, LogLevel level,
+             std::string &error);
+
+/** Flush and close the sink; further records are dropped. Idempotent. */
+void logClose();
+
+/** Is a sink configured (regardless of level)? */
+bool logEnabled();
+
+/**
+ * Append one record: {"ts":...,"level":...,"component":...,
+ * ["trace":...,] "msg":..., extras...}. No-op when no sink is
+ * configured or @p level is below the configured threshold. @p traceId
+ * is omitted when empty. Thread-safe.
+ */
+void logRecord(LogLevel level, const std::string &component,
+               const std::string &traceId, const std::string &msg,
+               const LogFields &fields = {});
 
 namespace detail {
 

@@ -1,0 +1,291 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace ctcp::obs {
+
+namespace {
+
+/** HELP text escaping: backslash and newline. */
+std::string
+escapeHelp(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Label value escaping: backslash, double quote, newline. */
+std::string
+escapeLabelValue(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** `{k1="v1",k2="v2"}`, or "" for an unlabeled child. */
+std::string
+renderLabels(const MetricLabels &labels)
+{
+    if (labels.empty())
+        return {};
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += key + "=\"" + escapeLabelValue(value) + "\"";
+    }
+    out += '}';
+    return out;
+}
+
+/**
+ * As renderLabels, but with one extra label appended (histogram `le`)
+ * without mutating the child's stored label set.
+ */
+std::string
+renderLabelsPlus(const MetricLabels &labels, const std::string &key,
+                 const std::string &value)
+{
+    MetricLabels all = labels;
+    all.emplace_back(key, value);
+    return renderLabels(all);
+}
+
+/** Shortest round-trip decimal for doubles; integers stay integral. */
+std::string
+formatValue(double v)
+{
+    // Integral values render as integers ("10", not "1e+01") — the
+    // conventional spelling for `le` bounds and count-like gauges.
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::fabs(v) < 1e15)
+        return std::to_string(static_cast<long long>(v));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer a shorter representation when it round-trips exactly —
+    // "0.25" instead of "0.25000000000000000".
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[64];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+        double back = 0.0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == v)
+            return shorter;
+    }
+    return buf;
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1])
+{
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    for (std::size_t i = 1; i < bounds_.size(); ++i)
+        ctcp_assert(bounds_[i] > bounds_[i - 1],
+                    "histogram bounds must ascend (bound %zu)", i);
+}
+
+void
+Histogram::observe(double v)
+{
+    // First bucket whose upper bound contains v; the final slot is the
+    // +Inf overflow. Linear scan: bucket lists are short (~13).
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i])
+        ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double seen = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(seen, seen + v,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+MetricsRegistry::Family &
+MetricsRegistry::familyLocked(const std::string &name,
+                              const std::string &help, Kind kind,
+                              const std::vector<double> &bounds)
+{
+    for (const auto &family : families_) {
+        if (family->name != name)
+            continue;
+        ctcp_assert(family->kind == kind,
+                    "metric family '%s' re-registered as a different "
+                    "kind", name.c_str());
+        ctcp_assert(kind != Kind::Histogram ||
+                        family->bounds == bounds,
+                    "histogram family '%s' re-registered with "
+                    "different bounds", name.c_str());
+        return *family;
+    }
+    auto family = std::make_unique<Family>();
+    family->name = name;
+    family->help = help;
+    family->kind = kind;
+    family->bounds = bounds;
+    families_.push_back(std::move(family));
+    return *families_.back();
+}
+
+MetricsRegistry::Child &
+MetricsRegistry::childLocked(Family &family, const MetricLabels &labels)
+{
+    for (Child &child : family.children)
+        if (child.labels == labels)
+            return child;
+    Child child;
+    child.labels = labels;
+    switch (family.kind) {
+      case Kind::Counter:
+        child.counter = std::make_unique<Counter>();
+        break;
+      case Kind::Gauge:
+        child.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::Histogram:
+        child.histogram.reset(new Histogram(family.bounds));
+        break;
+    }
+    family.children.push_back(std::move(child));
+    return family.children.back();
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, const std::string &help,
+                         const MetricLabels &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Family &family = familyLocked(name, help, Kind::Counter, {});
+    return *childLocked(family, labels).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help,
+                       const MetricLabels &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Family &family = familyLocked(name, help, Kind::Gauge, {});
+    return *childLocked(family, labels).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help,
+                           const std::vector<double> &bounds,
+                           const MetricLabels &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Family &family = familyLocked(name, help, Kind::Histogram, bounds);
+    return *childLocked(family, labels).histogram;
+}
+
+void
+MetricsRegistry::declareCounter(const std::string &name,
+                                const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    familyLocked(name, help, Kind::Counter, {});
+}
+
+void
+MetricsRegistry::declareGauge(const std::string &name,
+                              const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    familyLocked(name, help, Kind::Gauge, {});
+}
+
+void
+MetricsRegistry::declareHistogram(const std::string &name,
+                                  const std::string &help,
+                                  const std::vector<double> &bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    familyLocked(name, help, Kind::Histogram, bounds);
+}
+
+std::string
+MetricsRegistry::exposition() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const auto &family : families_) {
+        out += "# HELP " + family->name + " " +
+            escapeHelp(family->help) + "\n";
+        out += "# TYPE " + family->name + " ";
+        switch (family->kind) {
+          case Kind::Counter:   out += "counter\n"; break;
+          case Kind::Gauge:     out += "gauge\n"; break;
+          case Kind::Histogram: out += "histogram\n"; break;
+        }
+        for (const Child &child : family->children) {
+            if (family->kind == Kind::Counter) {
+                out += family->name + renderLabels(child.labels) + " " +
+                    std::to_string(child.counter->value()) + "\n";
+            } else if (family->kind == Kind::Gauge) {
+                out += family->name + renderLabels(child.labels) + " " +
+                    formatValue(child.gauge->value()) + "\n";
+            } else {
+                const Histogram &h = *child.histogram;
+                std::uint64_t cumulative = 0;
+                for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                    cumulative += h.bucketCount(i);
+                    out += family->name + "_bucket" +
+                        renderLabelsPlus(child.labels, "le",
+                                         formatValue(h.bounds()[i])) +
+                        " " + std::to_string(cumulative) + "\n";
+                }
+                cumulative += h.bucketCount(h.bounds().size());
+                out += family->name + "_bucket" +
+                    renderLabelsPlus(child.labels, "le", "+Inf") + " " +
+                    std::to_string(cumulative) + "\n";
+                out += family->name + "_sum" +
+                    renderLabels(child.labels) + " " +
+                    formatValue(h.sum()) + "\n";
+                out += family->name + "_count" +
+                    renderLabels(child.labels) + " " +
+                    std::to_string(h.count()) + "\n";
+            }
+        }
+    }
+    return out;
+}
+
+const std::vector<double> &
+MetricsRegistry::defaultLatencyBuckets()
+{
+    static const std::vector<double> buckets = {
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+        0.25,  0.5,    1.0,   2.5,  5.0,   10.0};
+    return buckets;
+}
+
+} // namespace ctcp::obs

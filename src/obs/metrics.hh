@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Dependency-free, thread-safe metrics registry with Prometheus
+ * text-format exposition — the operator-facing half of the ctcpd
+ * service (GET /v1/metrics).
+ *
+ * Three instrument kinds, mirroring the Prometheus data model:
+ *
+ *   Counter   — monotonically increasing 64-bit total. inc() for
+ *               inline instrumentation; incTo() raises the counter to
+ *               an externally-tracked monotonic total (scrape-time
+ *               sync from sources like WorkloadCache::Stats that
+ *               already keep their own counts).
+ *   Gauge     — a double that goes up and down (queue depth, busy
+ *               workers, runs by state).
+ *   Histogram — fixed bucket bounds decided at family registration;
+ *               exposition renders the cumulative _bucket/_sum/_count
+ *               triplet Prometheus expects.
+ *
+ * Families are identified by name; children by their label set.
+ * counter()/gauge()/histogram() get-or-create under one registry
+ * mutex and return references that stay valid for the registry's
+ * lifetime, so hot paths touch only the instrument's own atomics —
+ * never the registry lock. Everything here is an operational side
+ * channel: nothing in this file may feed back into simulation results
+ * (DESIGN decision 13).
+ */
+
+#ifndef CTCPSIM_OBS_METRICS_HH
+#define CTCPSIM_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ctcp::obs {
+
+/** Label set of one child, in presentation order. */
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotonic event total. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /**
+     * Raise the counter to @p total when larger (no-op otherwise):
+     * scrape-time sync from a source that keeps its own monotonic
+     * count. Mixing inc() and incTo() on one counter is a usage bug.
+     */
+    void incTo(std::uint64_t total)
+    {
+        std::uint64_t seen = value_.load(std::memory_order_relaxed);
+        while (seen < total &&
+               !value_.compare_exchange_weak(seen, total,
+                                             std::memory_order_relaxed))
+            ;
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** A value that can go up and down. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    void add(double d)
+    {
+        double seen = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(seen, seen + d,
+                                             std::memory_order_relaxed))
+            ;
+    }
+
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Fixed-bucket distribution (latencies, sizes). */
+class Histogram
+{
+  public:
+    void observe(double v);
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Non-cumulative count of bucket @p i (bounds().size() = +Inf). */
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    explicit Histogram(std::vector<double> bounds);
+
+    std::vector<double> bounds_; ///< ascending upper bounds
+    /** bounds_.size() + 1 slots; the last is the +Inf overflow. */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+    std::atomic<double> sum_{0.0};
+    std::atomic<std::uint64_t> count_{0};
+};
+
+/**
+ * Named families of counters/gauges/histograms with text exposition.
+ * All registration calls are thread-safe; re-registering a name with a
+ * different kind (or different histogram bounds) is a programming bug
+ * and panics.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Get or create the child of family @p name with @p labels. */
+    Counter &counter(const std::string &name, const std::string &help,
+                     const MetricLabels &labels = {});
+    Gauge &gauge(const std::string &name, const std::string &help,
+                 const MetricLabels &labels = {});
+    /** @p bounds must be ascending; fixed for the family's lifetime. */
+    Histogram &histogram(const std::string &name,
+                         const std::string &help,
+                         const std::vector<double> &bounds,
+                         const MetricLabels &labels = {});
+
+    /**
+     * Register a family without creating a child, so labeled families
+     * appear in the exposition (# HELP / # TYPE) before first use —
+     * scrapers can discover every family on a fresh daemon.
+     */
+    void declareCounter(const std::string &name,
+                        const std::string &help);
+    void declareGauge(const std::string &name, const std::string &help);
+    void declareHistogram(const std::string &name,
+                          const std::string &help,
+                          const std::vector<double> &bounds);
+
+    /**
+     * Prometheus text format (0.0.4): families in registration order,
+     * children in creation order, HELP text and label values escaped.
+     */
+    std::string exposition() const;
+
+    /** Request-latency buckets, 1ms .. 10s. */
+    static const std::vector<double> &defaultLatencyBuckets();
+
+  private:
+    enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+    struct Child
+    {
+        MetricLabels labels;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    struct Family
+    {
+        std::string name;
+        std::string help;
+        Kind kind = Kind::Counter;
+        std::vector<double> bounds; ///< histograms only
+        std::vector<Child> children;
+    };
+
+    Family &familyLocked(const std::string &name,
+                         const std::string &help, Kind kind,
+                         const std::vector<double> &bounds);
+    Child &childLocked(Family &family, const MetricLabels &labels);
+
+    mutable std::mutex mutex_;
+    /** unique_ptr keeps Family addresses stable across growth. */
+    std::vector<std::unique_ptr<Family>> families_;
+};
+
+} // namespace ctcp::obs
+
+#endif // CTCPSIM_OBS_METRICS_HH

@@ -20,6 +20,8 @@ httpRequest(const std::string &socketPath, const std::string &method,
     request += "Host: ctcpd\r\n";
     request += "Content-Length: " + std::to_string(body.size()) +
         "\r\n";
+    for (const auto &[name, value] : options.headers)
+        request += name + ": " + value + "\r\n";
     request += "Connection: close\r\n\r\n";
     request += body;
     std::string io_error;

@@ -15,6 +15,8 @@
 #define CTCPSIM_SERVICE_CLIENT_HH
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "service/http.hh"
 
@@ -31,6 +33,12 @@ struct ClientOptions
      * `wait` they request, or the poll looks like a dead daemon.
      */
     double readTimeoutSeconds = 120.0;
+    /**
+     * Extra request headers, sent verbatim after the standard ones —
+     * e.g. {X-Ctcp-Trace-Id, <id>} so the daemon's logs correlate
+     * this exchange with the campaign that caused it.
+     */
+    std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /**

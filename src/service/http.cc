@@ -1,5 +1,6 @@
 #include "service/http.hh"
 
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
@@ -197,6 +198,29 @@ jsonEscape(const std::string &text)
         }
     }
     return out;
+}
+
+std::string
+makeTraceId()
+{
+    // splitmix64 over a process-unique seed + per-call counter: cheap,
+    // collision-resistant enough for correlation ids, and free of any
+    // dependency on the deterministic simulation RNGs.
+    static std::atomic<std::uint64_t> counter{0};
+    std::uint64_t x =
+        static_cast<std::uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count()) ^
+        (static_cast<std::uint64_t>(::getpid()) << 32) ^
+        (counter.fetch_add(1, std::memory_order_relaxed) * 0x9e3779b97f4a7c15ull);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(x));
+    return buf;
 }
 
 bool

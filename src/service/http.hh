@@ -87,6 +87,17 @@ std::string percentDecode(const std::string &text);
 /** JSON string escaping for hand-built response bodies. */
 std::string jsonEscape(const std::string &text);
 
+/**
+ * A fresh correlation id for the X-Ctcp-Trace-Id header: 16 lowercase
+ * hex digits, unique per process lifetime (seeded from the clock and
+ * pid, advanced per call). Operational side channel only — trace ids
+ * never influence run output.
+ */
+std::string makeTraceId();
+
+/** The header every request/response carries once traced. */
+inline constexpr const char *traceIdHeader = "X-Ctcp-Trace-Id";
+
 // ---- Unix-socket I/O ---------------------------------------------------
 //
 // Every helper taking a @p timeoutSeconds applies it as an overall

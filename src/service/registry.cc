@@ -180,13 +180,23 @@ RunRegistry::runnerMain(Run *run)
         return run->cancel.load(std::memory_order_relaxed) ||
             shuttingDown_.load(std::memory_order_relaxed);
     };
-    options.onJobFinished = [run](std::size_t,
-                                  const campaign::JobOutcome &out) {
+    options.onJobFinished = [this, run](std::size_t,
+                                        const campaign::JobOutcome &out) {
         {
             std::lock_guard<std::mutex> lock(run->mutex);
             ++run->done;
             if (!out.ok())
                 ++run->failed;
+        }
+        jobStats_.completed.fetch_add(1, std::memory_order_relaxed);
+        if (out.attempts > 1)
+            jobStats_.retried.fetch_add(out.attempts - 1,
+                                        std::memory_order_relaxed);
+        if (!out.ok()) {
+            const auto bucket = static_cast<std::size_t>(out.category);
+            if (bucket < 7)
+                jobStats_.failed[bucket].fetch_add(
+                    1, std::memory_order_relaxed);
         }
         run->cv.notify_all();
     };
@@ -324,10 +334,51 @@ RunRegistry::resume()
         }
         Run &ref = *run;
         runs_[id] = std::move(run);
+        // Scrape-visible resume accounting: how many runs came back
+        // and how many finished jobs their journals replay.
+        jobStats_.resumedRuns.fetch_add(1, std::memory_order_relaxed);
+        jobStats_.replayedJobs.fetch_add(
+            campaign::loadJournal(ref.journalPath).size(),
+            std::memory_order_relaxed);
         startLocked(ref);
         ++resumed;
     }
     return resumed;
+}
+
+RunRegistry::JobStats
+RunRegistry::jobStats() const
+{
+    JobStats out;
+    out.completed = jobStats_.completed.load(std::memory_order_relaxed);
+    out.retried = jobStats_.retried.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < 7; ++i)
+        out.failed[i] =
+            jobStats_.failed[i].load(std::memory_order_relaxed);
+    out.resumedRuns =
+        jobStats_.resumedRuns.load(std::memory_order_relaxed);
+    out.replayedJobs =
+        jobStats_.replayedJobs.load(std::memory_order_relaxed);
+    return out;
+}
+
+std::uint64_t
+RunRegistry::journalBytes() const
+{
+    std::vector<std::string> paths;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paths.reserve(runs_.size());
+        for (const auto &[id, run] : runs_)
+            paths.push_back(run->journalPath);
+    }
+    std::uint64_t total = 0;
+    for (const std::string &path : paths) {
+        struct stat st;
+        if (::stat(path.c_str(), &st) == 0)
+            total += static_cast<std::uint64_t>(st.st_size);
+    }
+    return total;
 }
 
 bool

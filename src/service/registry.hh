@@ -169,6 +169,33 @@ class RunRegistry
     WorkloadCache::Stats cacheStats() const { return cache_.stats(); }
     std::size_t runCount() const;
 
+    /**
+     * Monotonic job-lifecycle totals across every run, for the
+     * /v1/metrics scrape (synced into Prometheus counters with
+     * Counter::incTo). Plain atomics here so the campaign path gains
+     * no obs dependency and no extra locking.
+     */
+    struct JobStats
+    {
+        std::uint64_t completed = 0; ///< outcomes finalized (any status)
+        std::uint64_t retried = 0;   ///< extra attempts beyond the first
+        /** Failed outcomes, bucketed by ErrorCategory value. */
+        std::uint64_t failed[7] = {};
+        std::uint64_t resumedRuns = 0;   ///< runs re-submitted by resume()
+        std::uint64_t replayedJobs = 0;  ///< journal records resume() found
+    };
+
+    JobStats jobStats() const;
+
+    /** Total on-disk bytes of every run's journal right now. */
+    std::uint64_t journalBytes() const;
+
+    /** Pool occupancy for the metrics scrape. */
+    campaign::PersistentPool::Snapshot poolSnapshot() const
+    {
+        return pool_.snapshot();
+    }
+
   private:
     struct Run;
 
@@ -183,6 +210,16 @@ class RunRegistry
     campaign::PersistentPool pool_;
     WorkloadCache cache_;
     std::atomic<bool> shuttingDown_{false};
+
+    /** JobStats backing store (relaxed atomics; see jobStats()). */
+    struct
+    {
+        std::atomic<std::uint64_t> completed{0};
+        std::atomic<std::uint64_t> retried{0};
+        std::atomic<std::uint64_t> failed[7] = {};
+        std::atomic<std::uint64_t> resumedRuns{0};
+        std::atomic<std::uint64_t> replayedJobs{0};
+    } jobStats_;
 
     mutable std::mutex mutex_; ///< guards runs_ / nextId_
     std::map<std::string, std::unique_ptr<Run>> runs_;

@@ -13,6 +13,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/logging.hh"
 #include "common/sim_error.hh"
 
 namespace ctcp::service {
@@ -76,16 +77,108 @@ flagParam(const HttpRequest &req, const std::string &name)
     return v == "1" || v == "true" || v == "yes";
 }
 
+/**
+ * Collapse a request path to a bounded endpoint label so the
+ * per-endpoint metric families stay low-cardinality: run ids become
+ * "{id}", anything unroutable becomes "other".
+ */
+std::string
+normalizeEndpoint(const std::string &path)
+{
+    const std::vector<std::string> seg = pathSegments(path);
+    if (seg.size() < 2 || seg[0] != "v1")
+        return "other";
+    if (seg.size() == 2 &&
+        (seg[1] == "ping" || seg[1] == "stats" ||
+         seg[1] == "metrics" || seg[1] == "runs"))
+        return "/v1/" + seg[1];
+    if (seg[1] != "runs")
+        return "other";
+    if (seg.size() == 3)
+        return "/v1/runs/{id}";
+    if (seg.size() == 4 &&
+        (seg[3] == "events" || seg[3] == "cancel" ||
+         seg[3] == "report" || seg[3] == "html"))
+        return "/v1/runs/{id}/" + seg[3];
+    return "other";
+}
+
 } // namespace
 
 ServiceServer::ServiceServer(Config config)
     : config_(std::move(config)), registry_(config_.registry)
-{}
+{
+    // Declare every family up front so a fresh daemon's first scrape
+    // (and the CI family grep) sees the whole catalogue before any
+    // request or job exists.
+    metrics_.declareCounter("ctcpd_http_requests_total",
+                            "Requests answered, by endpoint, method "
+                            "and status.");
+    metrics_.declareHistogram(
+        "ctcpd_http_request_seconds",
+        "Wall time from parsed request to routed response.",
+        obs::MetricsRegistry::defaultLatencyBuckets());
+    metrics_.declareCounter("ctcpd_http_response_bytes_total",
+                            "Response body bytes written, by endpoint.");
+    metrics_.gauge("ctcpd_http_active_connections",
+                   "Connections currently being served.");
+    metrics_
+        .gauge("ctcpd_pool_workers",
+               "Worker threads in the shared pool.")
+        .set(static_cast<double>(registry_.workers()));
+    metrics_.gauge("ctcpd_pool_busy_workers",
+                   "Workers executing a job right now.");
+    metrics_.gauge("ctcpd_pool_queue_depth",
+                   "Jobs queued and not yet picked up.");
+    metrics_.counter("ctcpd_pool_jobs_executed_total",
+                     "Pool tasks fully executed.");
+    metrics_.counter("ctcpd_jobs_completed_total",
+                     "Campaign jobs with a finalized outcome.");
+    metrics_.counter("ctcpd_jobs_retried_total",
+                     "Extra attempts beyond each job's first.");
+    for (int c = 0; c <= static_cast<int>(ErrorCategory::Cancelled);
+         ++c)
+        metrics_.counter(
+            "ctcpd_jobs_failed_total",
+            "Failed campaign jobs, by error category.",
+            {{"category",
+              errorCategoryName(static_cast<ErrorCategory>(c))}});
+    for (int s = 0; s <= static_cast<int>(RunState::Error); ++s)
+        metrics_.gauge(
+            "ctcpd_runs", "Runs in the registry, by state.",
+            {{"state", runStateName(static_cast<RunState>(s))}});
+    metrics_.gauge("ctcpd_journal_bytes",
+                   "On-disk bytes across every run's journal.");
+    metrics_.counter("ctcpd_resumed_runs_total",
+                     "Runs re-submitted by startup resume.");
+    metrics_.counter("ctcpd_resume_replayed_jobs_total",
+                     "Journal outcomes replayed instead of re-run.");
+    metrics_.counter("ctcpd_workload_cache_hits_total",
+                     "Workload cache hits.");
+    metrics_.counter("ctcpd_workload_cache_misses_total",
+                     "Workload cache misses.");
+    metrics_.counter("ctcpd_workload_cache_evictions_total",
+                     "Workload cache evictions.");
+    metrics_.gauge("ctcpd_workload_cache_entries",
+                   "Workloads currently cached.");
+}
 
 ServiceServer::~ServiceServer() = default;
 
 HttpResponse
 ServiceServer::handle(const HttpRequest &req)
+{
+    HttpResponse resp = route(req);
+    // Echo the correlation id so a client (or the shard coordinator)
+    // can stitch this exchange into the fleet-wide trace.
+    const std::string trace = req.header("x-ctcp-trace-id");
+    if (!trace.empty())
+        resp.headers.emplace_back(traceIdHeader, trace);
+    return resp;
+}
+
+HttpResponse
+ServiceServer::route(const HttpRequest &req)
 {
     const std::vector<std::string> seg = pathSegments(req.path);
     if (seg.size() < 2 || seg[0] != "v1")
@@ -114,6 +207,16 @@ ServiceServer::handle(const HttpRequest &req)
                 ",\"evictions\":" + std::to_string(cache.evictions) +
                 ",\"entries\":" + std::to_string(cache.entries) +
                 "}}\n";
+            return resp;
+        }
+
+        if (seg[1] == "metrics" && seg.size() == 2) {
+            if (req.method != "GET")
+                return errorResponse(405, "metrics is GET-only");
+            HttpResponse resp;
+            resp.contentType =
+                "text/plain; version=0.0.4; charset=utf-8";
+            resp.body = metricsExposition();
             return resp;
         }
 
@@ -290,6 +393,88 @@ ServiceServer::handle(const HttpRequest &req)
     }
 }
 
+std::string
+ServiceServer::metricsExposition()
+{
+    // Scrape-time sync: sources that already keep their own monotonic
+    // counts (pool, registry, workload cache) are mirrored into the
+    // metrics registry here via incTo()/set(), so the campaign layer
+    // never gains an obs dependency. Help strings live with the
+    // declarations in the constructor; "" on re-lookup is ignored.
+    const campaign::PersistentPool::Snapshot pool =
+        registry_.poolSnapshot();
+    metrics_.gauge("ctcpd_pool_workers", "")
+        .set(static_cast<double>(pool.workers));
+    metrics_.gauge("ctcpd_pool_busy_workers", "")
+        .set(static_cast<double>(pool.busyWorkers));
+    metrics_.gauge("ctcpd_pool_queue_depth", "")
+        .set(static_cast<double>(pool.queuedTasks));
+    metrics_.counter("ctcpd_pool_jobs_executed_total", "")
+        .incTo(pool.executedTasks);
+
+    const RunRegistry::JobStats jobs = registry_.jobStats();
+    metrics_.counter("ctcpd_jobs_completed_total", "")
+        .incTo(jobs.completed);
+    metrics_.counter("ctcpd_jobs_retried_total", "")
+        .incTo(jobs.retried);
+    for (int c = 0; c <= static_cast<int>(ErrorCategory::Cancelled);
+         ++c)
+        metrics_
+            .counter("ctcpd_jobs_failed_total", "",
+                     {{"category", errorCategoryName(
+                                       static_cast<ErrorCategory>(c))}})
+            .incTo(jobs.failed[c]);
+    metrics_.counter("ctcpd_resumed_runs_total", "")
+        .incTo(jobs.resumedRuns);
+    metrics_.counter("ctcpd_resume_replayed_jobs_total", "")
+        .incTo(jobs.replayedJobs);
+
+    std::size_t byState[static_cast<int>(RunState::Error) + 1] = {};
+    for (const RunInfo &info : registry_.list())
+        ++byState[static_cast<std::size_t>(info.state)];
+    for (int s = 0; s <= static_cast<int>(RunState::Error); ++s)
+        metrics_
+            .gauge("ctcpd_runs", "",
+                   {{"state", runStateName(static_cast<RunState>(s))}})
+            .set(static_cast<double>(byState[s]));
+    metrics_.gauge("ctcpd_journal_bytes", "")
+        .set(static_cast<double>(registry_.journalBytes()));
+
+    const WorkloadCache::Stats cache = registry_.cacheStats();
+    metrics_.counter("ctcpd_workload_cache_hits_total", "")
+        .incTo(cache.hits);
+    metrics_.counter("ctcpd_workload_cache_misses_total", "")
+        .incTo(cache.misses);
+    metrics_.counter("ctcpd_workload_cache_evictions_total", "")
+        .incTo(cache.evictions);
+    metrics_.gauge("ctcpd_workload_cache_entries", "")
+        .set(static_cast<double>(cache.entries));
+
+    return metrics_.exposition();
+}
+
+void
+ServiceServer::recordRequest(const HttpRequest &req,
+                             const HttpResponse &resp, double seconds)
+{
+    const std::string endpoint = normalizeEndpoint(req.path);
+    metrics_
+        .counter("ctcpd_http_requests_total", "",
+                 {{"endpoint", endpoint},
+                  {"method", req.method},
+                  {"status", std::to_string(resp.status)}})
+        .inc();
+    metrics_
+        .histogram("ctcpd_http_request_seconds", "",
+                   obs::MetricsRegistry::defaultLatencyBuckets(),
+                   {{"endpoint", endpoint}})
+        .observe(seconds);
+    metrics_
+        .counter("ctcpd_http_response_bytes_total", "",
+                 {{"endpoint", endpoint}})
+        .inc(resp.body.size());
+}
+
 void
 ServiceServer::handleConnection(int fd)
 {
@@ -297,13 +482,44 @@ ServiceServer::handleConnection(int fd)
     std::string error;
     HttpResponse resp;
     if (readRequest(fd, req, config_.ioDeadlineSeconds, error)) {
+        // Every request carries a correlation id — the client's when
+        // supplied, a fresh one otherwise — injected before routing so
+        // handle() (and the log record below) always sees one.
+        if (req.header("x-ctcp-trace-id").empty())
+            req.headers.emplace_back("x-ctcp-trace-id", makeTraceId());
+        const auto start = std::chrono::steady_clock::now();
         resp = handle(req);
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        recordRequest(req, resp, seconds);
         if (config_.verbose)
             std::fprintf(stderr, "ctcpd: %s %s -> %d\n",
                          req.method.c_str(), req.path.c_str(),
                          resp.status);
+        if (logEnabled()) {
+            char secs[32];
+            std::snprintf(secs, sizeof(secs), "%.6f", seconds);
+            logRecord(LogLevel::Info, "http",
+                      req.header("x-ctcp-trace-id"),
+                      req.method + " " + req.path + " -> " +
+                          std::to_string(resp.status),
+                      {{"method", req.method},
+                       {"path", req.path},
+                       {"status", std::to_string(resp.status)},
+                       {"seconds", secs}});
+        }
     } else {
         resp = errorResponse(400, error);
+        metrics_
+            .counter("ctcpd_http_requests_total", "",
+                     {{"endpoint", "other"},
+                      {"method", "invalid"},
+                      {"status", "400"}})
+            .inc();
+        logRecord(LogLevel::Warn, "http", "",
+                  "unreadable request: " + error);
     }
     std::string write_error;
     if (!writeAll(fd, serializeResponse(resp),
@@ -327,6 +543,9 @@ ServiceServer::serve(const std::atomic<bool> &stop)
     if (config_.verbose)
         std::fprintf(stderr, "ctcpd: listening on %s\n",
                      config_.socketPath.c_str());
+    logRecord(LogLevel::Info, "server", "",
+              "listening on " + config_.socketPath,
+              {{"socket", config_.socketPath}});
 
     while (!stop.load(std::memory_order_relaxed)) {
         pollfd pfd{};
@@ -341,10 +560,14 @@ ServiceServer::serve(const std::atomic<bool> &stop)
         {
             std::lock_guard<std::mutex> lock(connMutex_);
             ++activeConnections_;
+            metrics_.gauge("ctcpd_http_active_connections", "")
+                .set(static_cast<double>(activeConnections_));
         }
         std::thread([this, conn] {
             handleConnection(conn);
             std::lock_guard<std::mutex> lock(connMutex_);
+            metrics_.gauge("ctcpd_http_active_connections", "")
+                .set(static_cast<double>(activeConnections_ - 1));
             if (--activeConnections_ == 0)
                 connIdle_.notify_all();
         }).detach();
@@ -363,6 +586,7 @@ ServiceServer::serve(const std::atomic<bool> &stop)
     ::unlink(config_.socketPath.c_str());
     if (config_.verbose)
         std::fprintf(stderr, "ctcpd: shut down cleanly\n");
+    logRecord(LogLevel::Info, "server", "", "shut down cleanly");
     return 0;
 }
 

@@ -234,6 +234,7 @@ Coordinator::noteFailure(std::size_t s, const std::string &what)
             options_.policy.maxConsecutiveFailures &&
         !shard.stats.circuitOpen) {
         shard.stats.circuitOpen = true;
+        ++shard.stats.circuitBreaks;
         note("shard " + shard.stats.socket + ": circuit opened after " +
              std::to_string(shard.consecutive) +
              " consecutive failures (" + what + ")");
@@ -256,6 +257,8 @@ Coordinator::exchangeWithRetry(std::size_t s, const std::string &method,
         options_.policy.connectTimeoutSeconds;
     copts.writeTimeoutSeconds = options_.policy.writeTimeoutSeconds;
     copts.readTimeoutSeconds = readTimeout;
+    if (!options_.traceId.empty())
+        copts.headers.emplace_back(traceIdHeader, options_.traceId);
     const std::string &socket = shards_[s].stats.socket;
     while (true) {
         if (circuitOpen(s))
@@ -330,6 +333,10 @@ Coordinator::runBatch(std::size_t s, const std::vector<std::size_t> &slots)
         HttpResponse resp;
         // Health check: don't hand jobs to a shard that can't even
         // answer a ping (counts toward its circuit like any call).
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++shards_[s].stats.healthProbes;
+        }
         if (!exchangeWithRetry(s, "GET", "/v1/ping", "", 200,
                                policy.readTimeoutSeconds, resp))
             return;

@@ -88,6 +88,8 @@ struct ShardStats
     std::size_t transportFailures = 0;///< failed exchanges (any cause)
     std::size_t backoffSleeps = 0;    ///< capped-backoff waits taken
     std::size_t tornChunks = 0;       ///< event bodies cut mid-record
+    std::size_t healthProbes = 0;     ///< pre-batch pings attempted
+    std::size_t circuitBreaks = 0;    ///< closed->open transitions
     bool circuitOpen = false;         ///< dropped after repeated failure
 };
 
@@ -122,6 +124,12 @@ struct ShardOptions
     std::string journalPath;
     /** Serialized progress lines ("sockB [3/8] gzip/base/fdrt: ok"). */
     std::function<void(const std::string &)> progress;
+    /**
+     * Correlation id sent as X-Ctcp-Trace-Id on every exchange with
+     * every shard, so one campaign greps out of the whole fleet's
+     * structured logs. Empty = untraced (no header sent).
+     */
+    std::string traceId;
 };
 
 /**

@@ -68,6 +68,13 @@ NetFaultProxy::stats() const
     return stats_;
 }
 
+std::vector<std::string>
+NetFaultProxy::capturedRequests() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return requests_;
+}
+
 void
 NetFaultProxy::acceptLoop()
 {
@@ -137,9 +144,11 @@ sendAll(int to, const char *buf, std::size_t take,
 /**
  * Pump @p from to @p to until EOF; cap forwarded bytes when >= 0.
  * Handles non-blocking fds on either side (connectUnix returns them).
+ * When @p capture is non-null, every forwarded byte is appended to it.
  */
 void
-pump(int from, int to, long cap, const std::atomic<bool> &stopping)
+pump(int from, int to, long cap, const std::atomic<bool> &stopping,
+     std::string *capture = nullptr)
 {
     char buf[4096];
     long sent = 0;
@@ -160,6 +169,8 @@ pump(int from, int to, long cap, const std::atomic<bool> &stopping)
             take = static_cast<std::size_t>(cap - sent);
         if (take > 0 && !sendAll(to, buf, take, stopping))
             return;
+        if (capture)
+            capture->append(buf, take);
         sent += static_cast<long>(take);
         if (cap >= 0 && sent >= cap)
             return; // budget exhausted: cut the stream mid-flight
@@ -196,8 +207,13 @@ NetFaultProxy::relay(int client)
 
     // Request: the client writes then half-closes, so EOF marks the
     // end; the server still sees a half-open connection it can answer.
-    pump(client, upstream, -1, stopping_);
+    std::string request;
+    pump(client, upstream, -1, stopping_, &request);
     ::shutdown(upstream, SHUT_WR);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        requests_.push_back(std::move(request));
+    }
 
     if (faulted && delay > 0.0)
         std::this_thread::sleep_for(

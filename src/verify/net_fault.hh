@@ -81,6 +81,14 @@ class NetFaultProxy
 
     Stats stats() const;
 
+    /**
+     * Raw bytes of every client request relayed upstream, one string
+     * per connection in completion order — lets a test assert what
+     * actually crossed the wire (e.g. that an X-Ctcp-Trace-Id header
+     * reached this shard).
+     */
+    std::vector<std::string> capturedRequests() const;
+
     const std::string &listenPath() const { return listenPath_; }
 
   private:
@@ -94,9 +102,11 @@ class NetFaultProxy
     std::thread acceptor_;
     std::vector<std::thread> relays_;
 
-    mutable std::mutex mutex_; ///< guards plan_, stats_, relays_
+    mutable std::mutex mutex_; ///< guards plan_, stats_, relays_,
+                               ///< requests_
     Plan plan_;
     Stats stats_;
+    std::vector<std::string> requests_;
 };
 
 } // namespace ctcp::verify

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Metrics registry semantics: counter/gauge/histogram behavior, the
+ * Prometheus text exposition (families, labels, escaping, cumulative
+ * histogram buckets), and thread safety of concurrent increments.
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+
+using ctcp::obs::MetricsRegistry;
+
+namespace {
+
+bool
+contains(const std::string &haystack, const std::string &needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+TEST(Metrics, CounterIncrementsMonotonically)
+{
+    MetricsRegistry registry;
+    ctcp::obs::Counter &c = registry.counter("c_total", "help");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, CounterIncToIsRaiseOnly)
+{
+    MetricsRegistry registry;
+    ctcp::obs::Counter &c = registry.counter("c_total", "help");
+    c.incTo(10);
+    EXPECT_EQ(c.value(), 10u);
+    c.incTo(7); // stale total: never goes backwards
+    EXPECT_EQ(c.value(), 10u);
+    c.incTo(12);
+    EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(Metrics, GaugeSetsAndAdds)
+{
+    MetricsRegistry registry;
+    ctcp::obs::Gauge &g = registry.gauge("g", "help");
+    g.set(3.5);
+    EXPECT_DOUBLE_EQ(g.value(), 3.5);
+    g.add(-1.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Metrics, SameNameAndLabelsReturnsTheSameInstrument)
+{
+    MetricsRegistry registry;
+    ctcp::obs::Counter &a =
+        registry.counter("c_total", "help", {{"k", "v"}});
+    ctcp::obs::Counter &b =
+        registry.counter("c_total", "", {{"k", "v"}});
+    ctcp::obs::Counter &other =
+        registry.counter("c_total", "", {{"k", "w"}});
+    a.inc();
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &other);
+    EXPECT_EQ(b.value(), 1u);
+    EXPECT_EQ(other.value(), 0u);
+}
+
+TEST(Metrics, HistogramFillsCorrectBuckets)
+{
+    MetricsRegistry registry;
+    ctcp::obs::Histogram &h =
+        registry.histogram("h_seconds", "help", {0.1, 1.0, 10.0});
+    h.observe(0.05); // bucket 0
+    h.observe(0.1);  // bucket 0 (le is inclusive)
+    h.observe(0.5);  // bucket 1
+    h.observe(99.0); // +Inf overflow
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.05 + 0.1 + 0.5 + 99.0);
+}
+
+TEST(Metrics, ExpositionRendersFamiliesAndSamples)
+{
+    MetricsRegistry registry;
+    registry.counter("requests_total", "Requests served.").inc(3);
+    registry
+        .gauge("busy", "Busy workers.", {{"pool", "default"}})
+        .set(2);
+    registry.histogram("lat_seconds", "Latency.", {0.5}).observe(0.25);
+    const std::string text = registry.exposition();
+
+    EXPECT_TRUE(contains(text, "# HELP requests_total Requests served.\n"));
+    EXPECT_TRUE(contains(text, "# TYPE requests_total counter\n"));
+    EXPECT_TRUE(contains(text, "requests_total 3\n"));
+    EXPECT_TRUE(contains(text, "# TYPE busy gauge\n"));
+    EXPECT_TRUE(contains(text, "busy{pool=\"default\"} 2\n"));
+    EXPECT_TRUE(contains(text, "# TYPE lat_seconds histogram\n"));
+    EXPECT_TRUE(contains(text, "lat_seconds_bucket{le=\"0.5\"} 1\n"));
+    EXPECT_TRUE(contains(text, "lat_seconds_bucket{le=\"+Inf\"} 1\n"));
+    EXPECT_TRUE(contains(text, "lat_seconds_sum 0.25\n"));
+    EXPECT_TRUE(contains(text, "lat_seconds_count 1\n"));
+}
+
+TEST(Metrics, ExpositionHistogramBucketsAreCumulative)
+{
+    MetricsRegistry registry;
+    ctcp::obs::Histogram &h =
+        registry.histogram("h_seconds", "help", {1.0, 2.0});
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(9.0);
+    const std::string text = registry.exposition();
+    EXPECT_TRUE(contains(text, "h_seconds_bucket{le=\"1\"} 1\n"));
+    EXPECT_TRUE(contains(text, "h_seconds_bucket{le=\"2\"} 2\n"));
+    EXPECT_TRUE(contains(text, "h_seconds_bucket{le=\"+Inf\"} 3\n"));
+}
+
+TEST(Metrics, ExpositionEscapesHelpAndLabelValues)
+{
+    MetricsRegistry registry;
+    registry.counter("c_total", "line one\nline \\two",
+                     {{"path", "a\"b\\c\nd"}});
+    const std::string text = registry.exposition();
+    EXPECT_TRUE(
+        contains(text, "# HELP c_total line one\\nline \\\\two\n"));
+    EXPECT_TRUE(contains(text, "c_total{path=\"a\\\"b\\\\c\\nd\"} 0\n"));
+}
+
+TEST(Metrics, DeclaredFamiliesRenderBeforeFirstUse)
+{
+    // A labeled family has no children until first use; declaring it
+    // still surfaces HELP/TYPE so scrapers can discover the catalogue
+    // on a fresh daemon.
+    MetricsRegistry registry;
+    registry.declareCounter("later_total", "Declared, unused.");
+    registry.declareHistogram("lat_seconds", "Latency.", {1.0});
+    const std::string text = registry.exposition();
+    EXPECT_TRUE(contains(text, "# HELP later_total Declared, unused.\n"));
+    EXPECT_TRUE(contains(text, "# TYPE later_total counter\n"));
+    EXPECT_TRUE(contains(text, "# TYPE lat_seconds histogram\n"));
+    EXPECT_FALSE(contains(text, "later_total 0"));
+}
+
+TEST(Metrics, ConcurrentIncrementsLoseNothing)
+{
+    MetricsRegistry registry;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&registry] {
+            // Half the threads race the get-or-create path too.
+            for (int i = 0; i < kPerThread; ++i) {
+                registry.counter("racy_total", "help").inc();
+                registry
+                    .histogram("racy_seconds", "help", {0.5},
+                               {{"side", i % 2 ? "a" : "b"}})
+                    .observe(0.25);
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(registry.counter("racy_total", "").value(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    const std::uint64_t observed =
+        registry.histogram("racy_seconds", "", {0.5}, {{"side", "a"}})
+            .count() +
+        registry.histogram("racy_seconds", "", {0.5}, {{"side", "b"}})
+            .count();
+    EXPECT_EQ(observed, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+} // namespace

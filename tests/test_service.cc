@@ -633,5 +633,93 @@ TEST_F(ServerRouting, SubmitOptionsFlowThroughQuery)
     EXPECT_NE(json.body.find("\"accounting\""), std::string::npos);
 }
 
+// ---- /v1/metrics and trace correlation ---------------------------------
+
+TEST(TraceId, IdsAreUniqueSixteenHexDigits)
+{
+    const std::string a = service::makeTraceId();
+    const std::string b = service::makeTraceId();
+    EXPECT_NE(a, b);
+    for (const std::string &id : {a, b}) {
+        ASSERT_EQ(id.size(), 16u) << id;
+        for (const char c : id)
+            EXPECT_TRUE((c >= '0' && c <= '9') ||
+                        (c >= 'a' && c <= 'f'))
+                << id;
+    }
+}
+
+TEST_F(ServerRouting, MetricsExposeEveryFamilyOnAFreshServer)
+{
+    const service::HttpResponse resp = get("/v1/metrics");
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.contentType,
+              "text/plain; version=0.0.4; charset=utf-8");
+    for (const char *family :
+         {"ctcpd_http_requests_total", "ctcpd_http_request_seconds",
+          "ctcpd_http_response_bytes_total",
+          "ctcpd_http_active_connections", "ctcpd_pool_workers",
+          "ctcpd_pool_busy_workers", "ctcpd_pool_queue_depth",
+          "ctcpd_pool_jobs_executed_total", "ctcpd_jobs_completed_total",
+          "ctcpd_jobs_retried_total", "ctcpd_jobs_failed_total",
+          "ctcpd_runs", "ctcpd_journal_bytes",
+          "ctcpd_resumed_runs_total", "ctcpd_resume_replayed_jobs_total",
+          "ctcpd_workload_cache_hits_total",
+          "ctcpd_workload_cache_misses_total",
+          "ctcpd_workload_cache_evictions_total",
+          "ctcpd_workload_cache_entries"})
+        EXPECT_NE(resp.body.find(std::string("# TYPE ") + family + " "),
+                  std::string::npos)
+            << family;
+    EXPECT_EQ(post("/v1/metrics", "").status, 405);
+}
+
+TEST_F(ServerRouting, MetricsTrackJobAndCacheCountersAfterARun)
+{
+    // Two jobs share one workload setup: one miss, one hit.
+    const std::string id =
+        submit("bench=gzip;strategy=base,fdrt;budget=5000");
+    waitDone(id);
+    const service::HttpResponse resp = get("/v1/metrics");
+    ASSERT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("ctcpd_jobs_completed_total 2\n"),
+              std::string::npos)
+        << resp.body;
+    EXPECT_NE(resp.body.find("ctcpd_pool_jobs_executed_total 2\n"),
+              std::string::npos);
+    EXPECT_NE(resp.body.find("ctcpd_runs{state=\"done\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(resp.body.find("ctcpd_workload_cache_hits_total 1\n"),
+              std::string::npos);
+    EXPECT_NE(resp.body.find("ctcpd_workload_cache_misses_total 1\n"),
+              std::string::npos);
+    EXPECT_EQ(resp.body.find("ctcpd_journal_bytes 0\n"),
+              std::string::npos)
+        << "journal bytes should be nonzero after a completed run";
+}
+
+TEST_F(ServerRouting, TraceIdEchoesOnlyWhenSupplied)
+{
+    service::HttpRequest req;
+    std::string error;
+    ASSERT_TRUE(service::parseRequest(
+        "GET /v1/ping HTTP/1.1\r\n"
+        "X-Ctcp-Trace-Id: cafe0123beef4567\r\n"
+        "\r\n",
+        req, error))
+        << error;
+    const service::HttpResponse traced = server_->handle(req);
+    bool echoed = false;
+    for (const auto &[name, value] : traced.headers)
+        if (name == service::traceIdHeader &&
+            value == "cafe0123beef4567")
+            echoed = true;
+    EXPECT_TRUE(echoed);
+
+    const service::HttpResponse untraced = get("/v1/ping");
+    for (const auto &[name, value] : untraced.headers)
+        EXPECT_NE(name, std::string(service::traceIdHeader)) << value;
+}
+
 } // namespace
 } // namespace ctcp

@@ -81,10 +81,16 @@ TEST(ServiceE2E, StreamedRunMatchesBatchByteForByte)
 
     // Both benchmarks appeared twice: the workload cache hit once per
     // (benchmark, budget) pair.
-    const CommandResult stats = daemon.ctl("stats");
+    const CommandResult stats = daemon.ctl("stats --json");
     EXPECT_EQ(stats.status, 0);
     EXPECT_NE(stats.output.find("\"hits\":2"), std::string::npos)
         << stats.output;
+
+    // The default rendering is an aligned table of the same counters.
+    const CommandResult table = daemon.ctl("stats");
+    EXPECT_EQ(table.status, 0);
+    EXPECT_NE(table.output.find("cache hits"), std::string::npos)
+        << table.output;
 }
 
 TEST(ServiceE2E, KilledDaemonResumesFromJournalByteForByte)

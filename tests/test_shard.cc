@@ -488,11 +488,50 @@ TEST(ShardCoordinator, DeadShardIsCircuitBrokenAndReassigned)
         service::runShardedCampaign(options);
     EXPECT_EQ(sharded.report.toJson(), referenceJson(kSpec));
     EXPECT_FALSE(sharded.shards[0].circuitOpen);
+    EXPECT_EQ(sharded.shards[0].circuitBreaks, 0u);
     EXPECT_TRUE(sharded.shards[1].circuitOpen);
+    EXPECT_EQ(sharded.shards[1].circuitBreaks, 1u);
+    EXPECT_GE(sharded.shards[1].healthProbes, 1u);
     EXPECT_EQ(sharded.shards[1].completedSlots, 0u);
     EXPECT_GE(sharded.shards[1].transportFailures, 3u);
     EXPECT_EQ(sharded.reassignedSlots, dead_slots);
     EXPECT_EQ(sharded.locallyRunSlots, 0u);
+}
+
+TEST(ShardCoordinator, TraceIdReachesEveryShardOnEveryExchange)
+{
+    InProcDaemon a("trace_a"), b("trace_b");
+    const std::string dir = tempDir("trace_proxy");
+    // A capturing proxy in front of each daemon shows exactly what
+    // crossed the wire, fault-free.
+    verify::NetFaultProxy proxy_a(dir + "/a.sock", a.socket());
+    verify::NetFaultProxy proxy_b(dir + "/b.sock", b.socket());
+    std::string error;
+    ASSERT_TRUE(proxy_a.start(error)) << error;
+    ASSERT_TRUE(proxy_b.start(error)) << error;
+
+    service::ShardOptions options;
+    options.spec = kSpec;
+    options.sockets = {proxy_a.listenPath(), proxy_b.listenPath()};
+    options.policy = quickPolicy();
+    options.traceId = "feedfacecafe0001";
+
+    const service::ShardedReport sharded =
+        service::runShardedCampaign(options);
+    EXPECT_EQ(sharded.report.toJson(), referenceJson(kSpec));
+
+    for (verify::NetFaultProxy *proxy : {&proxy_a, &proxy_b}) {
+        const std::vector<std::string> requests =
+            proxy->capturedRequests();
+        ASSERT_FALSE(requests.empty()) << proxy->listenPath();
+        for (const std::string &request : requests)
+            EXPECT_NE(request.find(
+                          "X-Ctcp-Trace-Id: feedfacecafe0001\r\n"),
+                      std::string::npos)
+                << request.substr(0, request.find("\r\n\r\n"));
+    }
+    proxy_a.stop();
+    proxy_b.stop();
 }
 
 TEST(ShardCoordinator, TruncatedStreamsCircuitBreakAndReassign)

@@ -97,6 +97,39 @@ TEST(ShardE2E, KilledShardFailsOverWithIdenticalBytes)
     EXPECT_EQ(slurp(out), batchReport(dir, matrix));
 }
 
+TEST(ShardE2E, TraceIdIsGreppableAcrossBothDaemonLogs)
+{
+    // Daemon dirs are predictable from the tag, so the log paths can
+    // be chosen before the daemons exist.
+    const std::string log_a =
+        ::testing::TempDir() + "ctcp_e2e_trace_a/d.log";
+    const std::string log_b =
+        ::testing::TempDir() + "ctcp_e2e_trace_b/d.log";
+    Daemon a("trace_a", 2, {"--log-file", log_a, "--log-level", "info"});
+    Daemon b("trace_b", 2, {"--log-file", log_b, "--log-level", "info"});
+    const std::string dir = a.dir();
+
+    const std::string trace = "feedfacecafe0042";
+    int status = -1;
+    const std::string out =
+        shardSubmit(dir, a, b, kMatrix, "--trace-id " + trace, status);
+    ASSERT_EQ(status, 0);
+
+    // Logging is a side channel: the report stays byte-identical.
+    EXPECT_EQ(slurp(out), batchReport(dir, kMatrix));
+
+    // One grep-able correlation id ties the whole fleet together: the
+    // coordinator stamped every exchange, so both daemons logged it.
+    for (const std::string &log : {log_a, log_b}) {
+        const std::string text = slurp(log);
+        ASSERT_FALSE(text.empty()) << log;
+        EXPECT_NE(text.find("\"trace\":\"" + trace + "\""),
+                  std::string::npos)
+            << log << ":\n"
+            << text;
+    }
+}
+
 TEST(ShardE2E, StalledClientCannotWedgeGracefulShutdown)
 {
     Daemon daemon("stall", 2, {"--io-deadline", "1"});

@@ -12,6 +12,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,10 +20,14 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "common/json.hh"
 #include "common/sim_error.hh"
+#include "common/version.hh"
 #include "service/client.hh"
 #include "service/http.hh"
 #include "service/shard_coordinator.hh"
@@ -41,7 +46,12 @@ usage(const char *prog)
         "\n"
         "commands:\n"
         "  ping                       check the daemon is alive\n"
-        "  stats                      pool / run / cache counters\n"
+        "  stats [--json]             pool / run / cache counters as\n"
+        "                             an aligned table (--json: the\n"
+        "                             daemon's raw JSON)\n"
+        "  top [--interval S]         live metrics dashboard polling\n"
+        "      [--iterations N]       GET /v1/metrics every S seconds\n"
+        "                             (default 2; N=0 runs forever)\n"
         "  submit SPECFILE            submit a campaign matrix spec\n"
         "                             (- reads stdin); prints the run\n"
         "                             id. Options: --accounting,\n"
@@ -59,7 +69,10 @@ usage(const char *prog)
         "                             options: --out FILE, --csv,\n"
         "                             --journal FILE (merged journal,\n"
         "                             resumable), --local-jobs N,\n"
-        "                             --no-local-fallback\n"
+        "                             --no-local-fallback,\n"
+        "                             --trace-id ID (correlation id\n"
+        "                             sent to every shard; generated\n"
+        "                             and printed when omitted)\n"
         "  list                       status of every run\n"
         "  status ID                  status of one run\n"
         "  events ID [--follow]       print journal records from the\n"
@@ -72,6 +85,7 @@ usage(const char *prog)
         "         [--out FILE]        path); 1 while not finished\n"
         "  html ID --out FILE         live HTML report snapshot\n"
         "\n"
+        "--version prints the version and exits.\n"
         "exit status: 0 ok, 1 daemon-side failure, 2 usage/transport\n",
         prog);
 }
@@ -153,13 +167,132 @@ parseSeconds(const std::string &text, const std::string &what)
     return v;
 }
 
+/**
+ * Sum every sample of @p family in a Prometheus exposition,
+ * optionally keeping only lines containing @p labelFilter (e.g.
+ * "state=\"running\""). Histograms are not addressable this way —
+ * their sample names carry _bucket/_sum/_count suffixes.
+ */
+double
+metricSum(const std::string &text, const std::string &family,
+          const std::string &labelFilter = std::string())
+{
+    double total = 0.0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.compare(0, family.size(), family) != 0 ||
+            line.size() <= family.size())
+            continue;
+        const char next = line[family.size()];
+        if (next != ' ' && next != '{')
+            continue;
+        if (!labelFilter.empty() &&
+            line.find(labelFilter) == std::string::npos)
+            continue;
+        const std::size_t sp = line.rfind(' ');
+        if (sp == std::string::npos)
+            continue;
+        total += std::strtod(line.c_str() + sp + 1, nullptr);
+    }
+    return total;
+}
+
+/** Live dashboard over GET /v1/metrics. */
+int
+cmdTop(double intervalSeconds, unsigned iterations)
+{
+    // Only a real terminal gets the ANSI clear, so `top --iterations 1`
+    // stays greppable in scripts and CI.
+    const bool tty = ::isatty(STDOUT_FILENO) != 0;
+    for (unsigned frame = 0; iterations == 0 || frame < iterations;
+         ++frame) {
+        if (frame)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(intervalSeconds));
+        const HttpResponse resp = request("GET", "/v1/metrics");
+        if (resp.status != 200)
+            return failFrom(resp);
+        const std::string &m = resp.body;
+        if (tty)
+            std::printf("\033[H\033[2J");
+        std::printf("ctcpd @ %s\n", g_socket.c_str());
+        std::printf(
+            "  runs     queued %.0f  running %.0f  done %.0f  "
+            "cancelled %.0f  error %.0f\n",
+            metricSum(m, "ctcpd_runs", "state=\"queued\""),
+            metricSum(m, "ctcpd_runs", "state=\"running\""),
+            metricSum(m, "ctcpd_runs", "state=\"done\""),
+            metricSum(m, "ctcpd_runs", "state=\"cancelled\""),
+            metricSum(m, "ctcpd_runs", "state=\"error\""));
+        std::printf(
+            "  pool     %.0f/%.0f workers busy, %.0f queued, "
+            "%.0f tasks executed\n",
+            metricSum(m, "ctcpd_pool_busy_workers"),
+            metricSum(m, "ctcpd_pool_workers"),
+            metricSum(m, "ctcpd_pool_queue_depth"),
+            metricSum(m, "ctcpd_pool_jobs_executed_total"));
+        std::printf(
+            "  jobs     %.0f completed, %.0f retried, %.0f failed\n",
+            metricSum(m, "ctcpd_jobs_completed_total"),
+            metricSum(m, "ctcpd_jobs_retried_total"),
+            metricSum(m, "ctcpd_jobs_failed_total"));
+        std::printf(
+            "  cache    %.0f hits, %.0f misses, %.0f evictions, "
+            "%.0f entries\n",
+            metricSum(m, "ctcpd_workload_cache_hits_total"),
+            metricSum(m, "ctcpd_workload_cache_misses_total"),
+            metricSum(m, "ctcpd_workload_cache_evictions_total"),
+            metricSum(m, "ctcpd_workload_cache_entries"));
+        std::printf(
+            "  http     %.0f requests, %.0f active, %.0f body bytes "
+            "out\n",
+            metricSum(m, "ctcpd_http_requests_total"),
+            metricSum(m, "ctcpd_http_active_connections"),
+            metricSum(m, "ctcpd_http_response_bytes_total"));
+        std::printf("  journal  %.0f bytes\n",
+                    metricSum(m, "ctcpd_journal_bytes"));
+        std::fflush(stdout);
+    }
+    return 0;
+}
+
+/** `stats` as an aligned table (the default; --json = raw body). */
+int
+cmdStatsTable(const std::string &body)
+{
+    try {
+        const ctcp::json::Value doc = ctcp::json::parse(body);
+        const ctcp::json::Value *cache = doc.find("workloadCache");
+        if (!doc.isObject() || !cache || !cache->isObject())
+            throw std::runtime_error("not a stats object");
+        const auto row = [](const char *name, double v) {
+            std::printf("%-16s %llu\n", name,
+                        static_cast<unsigned long long>(v));
+        };
+        row("workers", doc.num("workers"));
+        row("runs", doc.num("runs"));
+        row("cache hits", cache->num("hits"));
+        row("cache misses", cache->num("misses"));
+        row("cache evictions", cache->num("evictions"));
+        row("cache entries", cache->num("entries"));
+    } catch (const std::exception &) {
+        die("malformed stats response: " + body);
+    }
+    return 0;
+}
+
 /** Synchronous sharded submission: coordinator, not daemon query. */
 int
 cmdSubmitSharded(const std::string &spec, const std::string &shards,
                  const std::string &journal, const std::string &out,
                  bool csv, bool accounting, unsigned maxAttempts,
                  double deadlineSeconds, unsigned localJobs,
-                 bool localFallback)
+                 bool localFallback, const std::string &traceId)
 {
     ctcp::service::ShardOptions options;
     options.spec = spec;
@@ -183,6 +316,10 @@ cmdSubmitSharded(const std::string &spec, const std::string &shards,
     options.policy.localFallback = localFallback;
     options.policy.localWorkers = localJobs;
     options.journalPath = journal;
+    options.traceId =
+        traceId.empty() ? ctcp::service::makeTraceId() : traceId;
+    std::fprintf(stderr, "ctcpctl: trace id %s\n",
+                 options.traceId.c_str());
     options.progress = [](const std::string &line) {
         std::fprintf(stderr, "ctcpctl: %s\n", line.c_str());
     };
@@ -193,10 +330,12 @@ cmdSubmitSharded(const std::string &spec, const std::string &shards,
         for (const ctcp::service::ShardStats &s : sharded.shards)
             std::fprintf(stderr,
                          "ctcpctl: shard %s: %zu/%zu slots, "
-                         "%zu failures, %zu backoffs%s\n",
+                         "probes=%zu failures=%zu backoffs=%zu "
+                         "circuit_breaks=%zu%s\n",
                          s.socket.c_str(), s.completedSlots,
-                         s.assignedSlots, s.transportFailures,
-                         s.backoffSleeps,
+                         s.assignedSlots, s.healthProbes,
+                         s.transportFailures, s.backoffSleeps,
+                         s.circuitBreaks,
                          s.circuitOpen ? ", circuit OPEN" : "");
         if (sharded.reassignedSlots || sharded.locallyRunSlots)
             std::fprintf(stderr,
@@ -221,7 +360,7 @@ cmdSubmit(const std::vector<std::string> &args)
 {
     std::string spec_path;
     std::string query;
-    std::string shards, journal, out = "-";
+    std::string shards, journal, out = "-", trace_id;
     bool csv = false, accounting = false, local_fallback = true;
     unsigned max_attempts = 1, local_jobs = 0;
     double deadline_seconds = 0.0;
@@ -244,6 +383,8 @@ cmdSubmit(const std::vector<std::string> &args)
             shards = args[++i];
         } else if (args[i] == "--journal" && i + 1 < args.size()) {
             journal = args[++i];
+        } else if (args[i] == "--trace-id" && i + 1 < args.size()) {
+            trace_id = args[++i];
         } else if (args[i] == "--out" && i + 1 < args.size()) {
             out = args[++i];
         } else if (args[i] == "--csv") {
@@ -266,9 +407,9 @@ cmdSubmit(const std::vector<std::string> &args)
         die("submit needs a spec file (or - for stdin)");
     if (shards.empty() &&
         (!journal.empty() || csv || out != "-" || local_jobs ||
-         !local_fallback))
-        die("--journal/--out/--csv/--local-jobs/--no-local-fallback "
-            "only apply with --shard");
+         !local_fallback || !trace_id.empty()))
+        die("--journal/--out/--csv/--local-jobs/--no-local-fallback/"
+            "--trace-id only apply with --shard");
 
     std::string spec;
     if (spec_path == "-") {
@@ -295,7 +436,7 @@ cmdSubmit(const std::vector<std::string> &args)
         return cmdSubmitSharded(spec, shards, journal, out, csv,
                                 accounting, max_attempts,
                                 deadline_seconds, local_jobs,
-                                local_fallback);
+                                local_fallback, trace_id);
 
     const HttpResponse resp = request("POST", "/v1/runs" + query, spec);
     if (resp.status != 201)
@@ -395,6 +536,9 @@ main(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
+        } else if (arg == "--version") {
+            std::printf("ctcpctl %s\n", CTCP_VERSION);
+            return 0;
         } else if (arg == "--socket") {
             if (i + 1 >= argc)
                 die("missing value for --socket");
@@ -445,9 +589,17 @@ main(int argc, char **argv)
         const HttpResponse resp = request("GET", "/v1/stats");
         if (resp.status != 200)
             return failFrom(resp);
-        std::printf("%s\n", resp.body.c_str());
-        return 0;
+        if (flag("--json")) {
+            std::printf("%s\n", resp.body.c_str());
+            return 0;
+        }
+        return cmdStatsTable(resp.body);
     }
+    if (command == "top")
+        return cmdTop(parseSeconds(value("--interval", "2"),
+                                   "--interval value"),
+                      parseUnsigned(value("--iterations", "0"),
+                                    "--iterations value"));
     if (command == "submit")
         return cmdSubmit(args);
     if (command == "list") {

@@ -24,7 +24,9 @@
 #include <string>
 
 #include "campaign/campaign.hh"
+#include "common/logging.hh"
 #include "common/sim_error.hh"
+#include "common/version.hh"
 #include "service/server.hh"
 
 namespace {
@@ -62,6 +64,12 @@ usage(const char *prog)
         "                      client is cut off instead of wedging a\n"
         "                      server thread\n"
         "  --verbose           log requests and lifecycle to stderr\n"
+        "  --log-file PATH     append structured JSONL log records\n"
+        "                      (one JSON object per line: timestamp,\n"
+        "                      level, component, trace id, message)\n"
+        "  --log-level LEVEL   debug, info, warn or error (default\n"
+        "                      info); only applies to --log-file\n"
+        "  --version           print the version and exit\n"
         "\n"
         "API (see README \"Running as a service\"): POST /v1/runs\n"
         "submits a campaign matrix spec; GET /v1/runs/<id>/events\n"
@@ -91,6 +99,8 @@ main(int argc, char **argv)
 
     service::ServiceServer::Config config;
     unsigned long cache_entries = 64;
+    std::string log_file;
+    LogLevel log_level = LogLevel::Info;
 
     auto next_arg = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -102,6 +112,9 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
+            return 0;
+        } else if (arg == "--version") {
+            std::printf("ctcpd %s\n", CTCP_VERSION);
             return 0;
         } else if (arg == "--socket") {
             config.socketPath = next_arg(i);
@@ -130,6 +143,12 @@ main(int argc, char **argv)
                 config.ioDeadlineSeconds < 0.0)
                 die(std::string("invalid --io-deadline '") + text +
                     "'");
+        } else if (arg == "--log-file") {
+            log_file = next_arg(i);
+        } else if (arg == "--log-level") {
+            const char *text = next_arg(i);
+            if (!parseLogLevel(text, log_level))
+                die(std::string("invalid --log-level '") + text + "'");
         } else if (arg == "--verbose") {
             config.verbose = true;
         } else {
@@ -141,6 +160,11 @@ main(int argc, char **argv)
     if (config.registry.stateDir.empty())
         config.registry.stateDir = config.socketPath + ".state";
     config.registry.cacheEntries = cache_entries;
+    if (!log_file.empty()) {
+        std::string log_error;
+        if (!logOpen(log_file, log_level, log_error))
+            die(log_error);
+    }
 
     struct sigaction sa;
     std::memset(&sa, 0, sizeof(sa));
@@ -150,7 +174,22 @@ main(int argc, char **argv)
     ::signal(SIGPIPE, SIG_IGN); // a vanished client must not kill us
 
     try {
+        const std::string socket = config.socketPath;
+        const std::string state_dir = config.registry.stateDir;
         service::ServiceServer server(std::move(config));
+        std::fprintf(stderr,
+                     "ctcpd %s: socket %s, state %s, %u workers, "
+                     "cache %lu\n",
+                     CTCP_VERSION, socket.c_str(), state_dir.c_str(),
+                     server.registry().workers(), cache_entries);
+        logRecord(LogLevel::Info, "server", "",
+                  std::string("ctcpd ") + CTCP_VERSION + " starting",
+                  {{"version", CTCP_VERSION},
+                   {"socket", socket},
+                   {"stateDir", state_dir},
+                   {"workers",
+                    std::to_string(server.registry().workers())},
+                   {"cacheEntries", std::to_string(cache_entries)}});
         const std::size_t resumed = server.registry().resume();
         if (resumed)
             std::fprintf(stderr,

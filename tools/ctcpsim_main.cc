@@ -20,6 +20,7 @@
 #include "campaign/matrix.hh"
 #include "common/atomic_file.hh"
 #include "common/sim_error.hh"
+#include "common/version.hh"
 #include "config/presets.hh"
 #include "core/simulator.hh"
 #include "obs/report.hh"
@@ -142,6 +143,8 @@ usage(const char *prog)
         "  --zero-rf             no register-file read latency\n"
         "\n"
         "%s\n"
+        "--version prints the version and exits.\n"
+        "\n"
         "exit status:\n"
         "  0  simulation (or every campaign job) succeeded\n"
         "  1  the simulation failed, or at least one campaign job did\n"
@@ -336,6 +339,9 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
+            return 0;
+        } else if (arg == "--version") {
+            std::printf("ctcpsim %s\n", CTCP_VERSION);
             return 0;
         } else if (arg == "--list") {
             for (const auto &info : workloads::all())
